@@ -1,0 +1,89 @@
+/**
+ * Workload characterization: the operation mix each application
+ * schedule issues (the inputs behind Table 5), the per-op cost on
+ * Neo, and the resulting time breakdown — making the schedule
+ * assumptions auditable rather than baked into opaque totals.
+ */
+#include "apps/schedules.h"
+#include "baselines/backends.h"
+#include "bench_util.h"
+
+using namespace neo;
+using namespace neo::apps;
+
+namespace {
+
+void
+characterize(const char *name, const Schedule &s,
+             const model::KernelModel &m)
+{
+    std::printf("%s (embedded bootstraps: %.0f)\n", name, s.bootstraps);
+    struct Kind
+    {
+        OpKind op;
+        const char *label;
+    };
+    const Kind kinds[] = {
+        {OpKind::hmult, "HMULT"},     {OpKind::hrotate, "HROTATE"},
+        {OpKind::pmult, "PMULT"},     {OpKind::hadd, "HADD"},
+        {OpKind::padd, "PADD"},       {OpKind::rescale, "Rescale"},
+        {OpKind::double_rescale, "DS"},
+    };
+    TextTable t;
+    t.header({"op", "count", "share of time"});
+    const double total = run_schedule(s, m);
+    for (const auto &k : kinds) {
+        double cnt = 0, time = 0;
+        for (const auto &o : s.ops) {
+            if (o.op != k.op)
+                continue;
+            cnt += o.count;
+            double per = 0;
+            switch (o.op) {
+              case OpKind::hmult:
+                per = m.hmult_time(o.level);
+                break;
+              case OpKind::hrotate:
+                per = m.hrotate_time(o.level);
+                break;
+              case OpKind::pmult:
+                per = m.pmult_time(o.level);
+                break;
+              case OpKind::hadd:
+                per = m.hadd_time(o.level);
+                break;
+              case OpKind::padd:
+                per = m.padd_time(o.level);
+                break;
+              case OpKind::rescale:
+                per = m.rescale_time(o.level);
+                break;
+              case OpKind::double_rescale:
+                per = m.double_rescale_time(o.level);
+                break;
+            }
+            time += per * o.count;
+        }
+        if (cnt > 0)
+            t.row({k.label, strfmt("%.0f", cnt),
+                   strfmt("%5.1f%%", 100 * time / total)});
+    }
+    t.print();
+    std::printf("total: %s\n\n", format_time(total).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Characterization", "application op mixes (Neo/Set-C)");
+    auto b = baselines::make_neo('C');
+    auto m = b.model();
+    characterize("PackBootstrap", pack_bootstrap(b.params), m);
+    characterize("HELR iteration", helr_iteration(b.params), m);
+    characterize("ResNet-20", resnet(b.params, 20), m);
+    std::printf("Note: KeySwitch-bearing ops (HMULT/HROTATE) dominate — "
+                "the premise of the paper's optimization focus.\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark binaries: each
+ * binary regenerates one table or figure of the paper and prints the
+ * paper's published values next to the model's, so EXPERIMENTS.md can
+ * be checked against the binary output directly.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+
+namespace neo::bench {
+
+/// Standard banner naming the experiment being regenerated.
+inline void
+banner(const char *id, const char *what)
+{
+    std::printf("=== %s — %s ===\n", id, what);
+}
+
+/// "x.xx s (paper: y.yy)" cell.
+inline std::string
+vs_paper(double ours, double paper)
+{
+    return strfmt("%8.3f (paper %7.3f)", ours, paper);
+}
+
+} // namespace neo::bench

@@ -1,0 +1,54 @@
+/**
+ * Fig 2 — proportion of KeySwitch global-memory traffic due to the
+ * BConv, IP and NTT kernels at levels l = 5..35, for the Hybrid
+ * method (Set-B) and the KLSS method (Set-C). The paper highlights
+ * BConv+IP reaching 43.4% + 41.8%-class shares at l = 35 under KLSS.
+ *
+ * Traffic is counted on the *pre-optimization* (element-wise) kernel
+ * forms, as in the paper's motivation section.
+ */
+#include "baselines/backends.h"
+#include "bench_util.h"
+
+using namespace neo;
+
+namespace {
+
+void
+print_method(const char *label, const ckks::CkksParams &params, bool klss)
+{
+    model::ModelConfig cfg;
+    cfg.use_klss = klss;
+    cfg.matmul_dataflow = false; // motivate: original kernels
+    cfg.engine = model::MatMulEngine::tcu_int8;
+    cfg.radix16_ntt = false;
+    model::KernelModel m(params, cfg);
+
+    TextTable t;
+    t.header({"l", "BConv", "IP", "NTT", "other", "total"});
+    for (size_t l = 5; l <= params.max_level; l += 5) {
+        auto tr = m.keyswitch_traffic(l);
+        const double tot = tr.total();
+        t.row({strfmt("%zu", l), strfmt("%5.1f%%", 100 * tr.bconv / tot),
+               strfmt("%5.1f%%", 100 * tr.ip / tot),
+               strfmt("%5.1f%%", 100 * tr.ntt / tot),
+               strfmt("%5.1f%%", 100 * tr.other / tot),
+               format_bytes(tot)});
+    }
+    std::printf("%s\n", label);
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 2", "KeySwitch data-transfer proportions by kernel");
+    print_method("Hybrid method (Set-B):", ckks::paper_set('B'), false);
+    print_method("KLSS method (Set-C):", ckks::paper_set('C'), true);
+    std::printf("Paper reference: BConv+IP together dominate — 43.4%% "
+                "(BConv) and 41.8%% (IP) at l=35 under KLSS.\n");
+    return 0;
+}

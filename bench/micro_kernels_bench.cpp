@@ -1,0 +1,129 @@
+/**
+ * Measured microbenchmarks (google-benchmark) of the *functional*
+ * kernels on the host CPU: the bit-exact TCU emulations, the NTT
+ * variants and the BConv/IP algorithm pairs. These measure the
+ * reproduction substrate itself, complementing the device-model
+ * benches that regenerate the paper's figures.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "neo/kernels.h"
+#include "poly/matrix_ntt.h"
+#include "rns/primes.h"
+#include "tensor/gemm.h"
+
+namespace neo {
+namespace {
+
+void
+BM_NttRadix2(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Modulus q(generate_ntt_primes(36, 1, n)[0]);
+    NttTables t(n, q);
+    Rng rng(1);
+    auto a = rng.uniform_vec(n, q.value());
+    for (auto _ : state) {
+        t.forward(a.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttRadix2)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void
+BM_NttRadix16Matrix(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Modulus q(generate_ntt_primes(36, 1, n)[0]);
+    NttTables t(n, q);
+    MatrixNtt mntt(t, 16);
+    Rng rng(2);
+    auto a = rng.uniform_vec(n, q.value());
+    for (auto _ : state) {
+        mntt.forward(a.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttRadix16Matrix)->Arg(1 << 12)->Arg(1 << 14);
+
+void
+BM_ScalarGemm(benchmark::State &state)
+{
+    Modulus q(generate_ntt_primes(48, 1, 1 << 10)[0]);
+    const size_t m = 256, n = 16, k = 16;
+    Rng rng(3);
+    auto a = rng.uniform_vec(m * k, q.value());
+    auto b = rng.uniform_vec(k * n, q.value());
+    std::vector<u64> c(m * n);
+    for (auto _ : state) {
+        scalar_mod_matmul(a.data(), b.data(), c.data(), m, n, k, q);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_ScalarGemm);
+
+void
+BM_Fp64SlicedGemm(benchmark::State &state)
+{
+    Modulus q(generate_ntt_primes(48, 1, 1 << 10)[0]);
+    const size_t m = 256, n = 16, k = 16;
+    Rng rng(4);
+    auto a = rng.uniform_vec(m * k, q.value());
+    auto b = rng.uniform_vec(k * n, q.value());
+    std::vector<u64> c(m * n);
+    for (auto _ : state) {
+        fp64_sliced_matmul(a.data(), b.data(), c.data(), m, n, k, q);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_Fp64SlicedGemm);
+
+void
+BM_BConvElementwise(benchmark::State &state)
+{
+    auto p1 = generate_ntt_primes(36, 4, 1 << 10);
+    auto p2 = generate_ntt_primes(48, 8, 1 << 10);
+    RnsBasis from(p1), to(p2);
+    BConvKernel kernel(from, to);
+    const size_t batch = 2, n = 256;
+    Rng rng(5);
+    std::vector<u64> in(4 * batch * n);
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t x = 0; x < batch * n; ++x)
+            in[i * batch * n + x] = rng.uniform(p1[i]);
+    std::vector<u64> out(8 * batch * n);
+    for (auto _ : state) {
+        kernel.run_elementwise(in.data(), batch, n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_BConvElementwise);
+
+void
+BM_BConvMatmul(benchmark::State &state)
+{
+    auto p1 = generate_ntt_primes(36, 4, 1 << 10);
+    auto p2 = generate_ntt_primes(48, 8, 1 << 10);
+    RnsBasis from(p1), to(p2);
+    BConvKernel kernel(from, to);
+    const size_t batch = 2, n = 256;
+    Rng rng(6);
+    std::vector<u64> in(4 * batch * n);
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t x = 0; x < batch * n; ++x)
+            in[i * batch * n + x] = rng.uniform(p1[i]);
+    std::vector<u64> out(8 * batch * n);
+    for (auto _ : state) {
+        kernel.run_matmul(in.data(), batch, n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_BConvMatmul);
+
+} // namespace
+} // namespace neo

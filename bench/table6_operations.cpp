@@ -1,0 +1,43 @@
+/**
+ * Table 6 — primitive-operation times at l = 35 (microseconds, per
+ * batched ciphertext) for TensorFHE (Sets A/B/C), HEonGPU (Set-E) and
+ * Neo (Set-C), plus the CPU reference at Set-H.
+ */
+#include "baselines/backends.h"
+#include "bench_util.h"
+
+using namespace neo;
+
+namespace {
+
+void
+add_row(TextTable &t, const baselines::Backend &b, size_t level)
+{
+    auto m = b.model();
+    auto us = [](double s) { return strfmt("%10.1f", s * 1e6); };
+    t.row({b.name, us(m.hmult_time(level)), us(m.hrotate_time(level)),
+           us(m.pmult_time(level)), us(m.hadd_time(level)),
+           us(m.padd_time(level)), us(m.rescale_time(level))});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 6", "Operation times at l=35, microseconds");
+    TextTable t;
+    t.header({"scheme", "HMult", "HRotate", "PMult", "HAdd", "PAdd",
+              "Rescale"});
+    add_row(t, baselines::make_cpu(), 44);
+    add_row(t, baselines::make_tensorfhe('A'), 35);
+    add_row(t, baselines::make_tensorfhe('B'), 35);
+    add_row(t, baselines::make_tensorfhe('C'), 35);
+    add_row(t, baselines::make_heongpu(), 35);
+    add_row(t, baselines::make_neo('C'), 35);
+    t.print();
+    std::printf(
+        "\nPaper reference (us): TensorFHE A/B/C HMult = 15304.6 / 18689.4 "
+        "/ 32523.6; HEonGPU = 8172.6; Neo = 3472.5; CPU HMult = 2.6 s.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * Table 7 — kernel throughput (#kernels/second) for BConv, IP and
+ * NTT under Set-B parameters: TensorFHE's element-wise / INT8-TCU
+ * mappings vs Neo's matrix-form / FP64-TCU mappings on identical
+ * kernel shapes. Paper speedups: 2.74× (BConv), 2.60× (IP), 3.74×
+ * (NTT).
+ */
+#include "baselines/backends.h"
+#include "bench_util.h"
+
+using namespace neo;
+
+int
+main()
+{
+    bench::banner("Table 7", "Kernel throughput under Set-B shapes");
+    const auto params = ckks::paper_set('B');
+    const size_t l = params.max_level;
+    const size_t alpha = params.alpha();        // 12
+    const size_t ext = l + 1 + alpha;           // 48
+    const size_t beta = params.beta(l);         // 3
+
+    auto tfhe = baselines::make_tensorfhe('B');
+    auto neo = baselines::make_neo('C');
+    // Same parameter set so the kernels have identical shapes.
+    neo.params = params;
+    neo.cfg.use_klss = false;
+    model::KernelModel m_t(tfhe.params, tfhe.cfg);
+    model::KernelModel m_n(neo.params, neo.cfg);
+    const auto &dev = tfhe.cfg.device;
+
+    TextTable t;
+    t.header({"kernel", "TensorFHE /s", "Neo /s", "speedup", "paper"});
+
+    auto rate = [&](const gpusim::KernelCost &c, bool overlap) {
+        // Throughput per batched kernel invocation.
+        return 1.0 / c.time(dev, overlap);
+    };
+
+    {
+        auto kt = m_t.bconv(alpha, ext - alpha, params.word_size,
+                            params.word_size);
+        auto kn = m_n.bconv(alpha, ext - alpha, params.word_size,
+                            params.word_size);
+        double rt = rate(kt, false), rn = rate(kn, true);
+        t.row({"BConv", strfmt("%.0f", rt), strfmt("%.0f", rn),
+               strfmt("%.2fx", rn / rt), "2.74x"});
+    }
+    {
+        auto kt = m_t.ip(beta, 1, ext, params.word_size);
+        auto kn = m_n.ip(beta, 1, ext, params.word_size);
+        double rt = rate(kt, false), rn = rate(kn, true);
+        t.row({"IP", strfmt("%.0f", rt), strfmt("%.0f", rn),
+               strfmt("%.2fx", rn / rt), "2.60x"});
+    }
+    {
+        auto kt = m_t.ntt(1, params.word_size);
+        auto kn = m_n.ntt(1, params.word_size);
+        double rt = rate(kt, false), rn = rate(kn, true);
+        t.row({"NTT", strfmt("%.0f", rt), strfmt("%.0f", rn),
+               strfmt("%.2fx", rn / rt), "3.74x"});
+    }
+    t.print();
+    std::printf("\nPaper reference: #BConv 311526 -> 854700; #IP 621762 -> "
+                "1617978; #NTT 25478 -> 95329 per second.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Backend definitions: Neo and the systems it is compared against.
+ *
+ * Every backend is (parameter set, ModelConfig, device). All GPU
+ * backends share the A100 device model; differences in results come
+ * only from each system's algorithm and mapping choices:
+ *
+ *  - Neo        : KLSS, matmul dataflow, radix-16 NTT, FP64 TCU,
+ *                 fusion + multi-stream (§4).
+ *  - TensorFHE  : Hybrid KS, four-step NTT on the INT8 TCU pipes,
+ *                 element-wise BConv/IP, kernel fusion, batched.
+ *  - HEonGPU    : Hybrid KS, butterfly NTT on CUDA cores only,
+ *                 element-wise kernels, unbatched (Set-E).
+ *  - CPU        : scalar reference machine (Set-H), as in 100x /
+ *                 CraterLake's software baseline.
+ */
+#pragma once
+
+#include <string>
+
+#include "ckks/paper_params.h"
+#include "neo/kernel_model.h"
+
+namespace neo::baselines {
+
+/** A named system under evaluation. */
+struct Backend
+{
+    std::string name;
+    ckks::CkksParams params;
+    model::ModelConfig cfg;
+
+    model::KernelModel model() const
+    {
+        return model::KernelModel(params, cfg);
+    }
+};
+
+/// Neo with every optimization on (default Set-C; 'D' also valid).
+Backend make_neo(char set = 'C');
+
+/// Neo with single-scaling parameters (Set-G, L = 23).
+Backend make_neo_ss();
+
+/// TensorFHE with DS integrated, at Set-A/B/C parameters.
+Backend make_tensorfhe(char set = 'A');
+
+/// TensorFHE with single scaling (Set-F).
+Backend make_tensorfhe_ss();
+
+/// HEonGPU (CUDA cores only, Set-E).
+Backend make_heongpu();
+
+/// CPU software baseline (Set-H).
+Backend make_cpu();
+
+/// The ablation ladder of Fig 14: TensorFHE-like start, then +KLSS,
+/// +dataflow, +ten-step NTT, +FP64 TCU (== Neo).
+std::vector<Backend> ablation_ladder();
+
+/// A CPU-like DeviceSpec (no TCU, host memory bandwidth).
+gpusim::DeviceSpec cpu_device();
+
+} // namespace neo::baselines

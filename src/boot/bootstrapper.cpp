@@ -1,0 +1,286 @@
+#include "boot/bootstrapper.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "boot/factored_transform.h"
+#include "common/check.h"
+
+namespace neo::boot {
+
+namespace {
+
+/// Parameters of the base cosine g(u) = cos((2πK·u - π/2) / 2^r).
+struct CosArg
+{
+    double k;
+    int r;
+};
+
+double
+base_cos(double u, void *arg)
+{
+    const auto *a = static_cast<const CosArg *>(arg);
+    return std::cos((2.0 * M_PI * a->k * u - M_PI / 2.0) /
+                    std::pow(2.0, a->r));
+}
+
+} // namespace
+
+Bootstrapper::Bootstrapper(const CkksContext &ctx, const Evaluator &ev,
+                           const EvalKey &rlk, const GaloisKeys &gk,
+                           const BootstrapOptions &opts)
+    : ctx_(ctx), ev_(ev), rlk_(rlk), gk_(gk), opts_(opts),
+      poly_(ctx, ev, rlk)
+{
+    const size_t n = ctx.n();
+    const size_t s = n / 2;
+
+    // Base-cosine Chebyshev fit for EvalMod.
+    CosArg arg{opts_.k_range, opts_.double_angles};
+    cos_coeffs_ =
+        PolyEvaluator::chebyshev_fit(base_cos, &arg, opts_.sin_degree);
+
+    // Precompute e_k powers once; build the four transform matrices.
+    std::vector<u64> exps(s);
+    u64 e = 1;
+    for (size_t k = 0; k < s; ++k) {
+        exps[k] = e;
+        e = (e * 5) % (2 * n);
+    }
+    auto zeta = [&](u64 expo) {
+        const double theta = M_PI * static_cast<double>(expo % (2 * n)) /
+                             static_cast<double>(n);
+        return Complex(std::cos(theta), std::sin(theta));
+    };
+
+    // CtS: u_half[i] = Σ_k (1/N)·conj(A[k][i(+S)])·z[k]; c = u+conj(u).
+    std::vector<Complex> m_lo(s * s), m_hi(s * s);
+    // StC: z[k] = Σ_i A[k][i]·c_lo[i] + A[k][i+S]·c_hi[i].
+    std::vector<Complex> a_lo(s * s), a_hi(s * s);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t k = 0; k < s; ++k) {
+        for (size_t i = 0; i < s; ++i) {
+            Complex lo = zeta(exps[k] * i);
+            Complex hi = zeta(exps[k] * (i + s));
+            a_lo[k * s + i] = lo;
+            a_hi[k * s + i] = hi;
+            m_lo[i * s + k] = std::conj(lo) * inv_n;
+            m_hi[i * s + k] = std::conj(hi) * inv_n;
+        }
+    }
+    cts_lo_ = std::make_unique<LinearTransform>(std::move(m_lo), s);
+    cts_hi_ = std::make_unique<LinearTransform>(std::move(m_hi), s);
+    stc_lo_ = std::make_unique<LinearTransform>(std::move(a_lo), s);
+    stc_hi_ = std::make_unique<LinearTransform>(std::move(a_hi), s);
+
+    if (opts_.factored_groups > 0) {
+        factored_ = std::make_unique<FactoredEmbedding>(
+            n, opts_.factored_groups);
+    }
+}
+
+Bootstrapper::~Bootstrapper() = default;
+
+std::vector<i64>
+Bootstrapper::required_rotations(const CkksContext &ctx,
+                                 const BootstrapOptions &opts)
+{
+    // Dense transforms touch every BSGS rotation step of the slot
+    // dimension.
+    const size_t s = ctx.n() / 2;
+    size_t g = 1;
+    while (g * g < s)
+        g <<= 1;
+    std::vector<i64> rots;
+    for (size_t j = 1; j < g; ++j)
+        rots.push_back(static_cast<i64>(j));
+    for (size_t i = 1; i * g < s; ++i)
+        rots.push_back(static_cast<i64>(i * g));
+    if (opts.factored_groups > 0) {
+        // The sparse stages rotate by their own diagonal offsets.
+        FactoredEmbedding fe(ctx.n(), opts.factored_groups);
+        auto add = [&](const std::vector<ckks::LinearTransform> &stages) {
+            for (const auto &stage : stages)
+                for (i64 r : stage.required_rotations())
+                    rots.push_back(r);
+        };
+        add(fe.forward());
+        add(fe.inverse());
+    }
+    std::sort(rots.begin(), rots.end());
+    rots.erase(std::unique(rots.begin(), rots.end()), rots.end());
+    return rots;
+}
+
+size_t
+Bootstrapper::depth() const
+{
+    size_t cheb_depth = 1;
+    while ((1u << cheb_depth) < static_cast<size_t>(opts_.sin_degree))
+        ++cheb_depth;
+    const size_t eval_mod_depth =
+        1 + cheb_depth + 1 + static_cast<size_t>(opts_.double_angles);
+    if (opts_.factored_groups == 0) {
+        // dense CtS + EvalMod + dense StC.
+        return 1 + eval_mod_depth + 1;
+    }
+    // G inverse groups + EvalMod + i-recombine + G forward groups.
+    return opts_.factored_groups + eval_mod_depth + 1 +
+           opts_.factored_groups;
+}
+
+Ciphertext
+Bootstrapper::mod_raise(const Ciphertext &ct) const
+{
+    NEO_CHECK(ct.level == opts_.input_level,
+              "input must sit at the configured input level");
+    NEO_CHECK(opts_.input_level == 0,
+              "ModRaise implemented from level 0");
+    const size_t n = ctx_.n();
+    const u64 q0 = ctx_.q_basis()[0].value();
+    const auto top_mods = ctx_.active_mods(ctx_.max_level());
+
+    Ciphertext out;
+    out.level = ctx_.max_level();
+    // The raised ciphertext decrypts to m + q0·I; declaring scale = q0
+    // makes its logical value t = (m + q0·I)/q0, |t| ≤ K.
+    out.scale = static_cast<double>(q0);
+    for (int comp = 0; comp < 2; ++comp) {
+        RnsPoly src = comp == 0 ? ct.c0 : ct.c1;
+        ctx_.tables().to_coeff(src);
+        RnsPoly dst(n, top_mods, PolyForm::coeff);
+        const u64 *limb0 = src.limb(0);
+        for (size_t i = 0; i < top_mods.size(); ++i) {
+            const Modulus &qi = top_mods[i];
+            u64 *d = dst.limb(i);
+            for (size_t l = 0; l < n; ++l) {
+                // Centered lift of the level-0 residue.
+                u64 v = limb0[l];
+                d[l] = v > q0 / 2
+                           ? qi.sub(v % qi.value(), q0 % qi.value())
+                           : v % qi.value();
+            }
+        }
+        ctx_.tables().to_eval(dst);
+        (comp == 0 ? out.c0 : out.c1) = std::move(dst);
+    }
+    return out;
+}
+
+Ciphertext
+Bootstrapper::eval_mod(const Ciphertext &ct, Complex prefactor) const
+{
+    const size_t slots = ctx_.encoder().slot_count();
+    const double nominal =
+        static_cast<double>(ctx_.q_basis()[1].value());
+
+    // Normalise: value t -> prefactor·t/K at exactly the nominal
+    // scale (one plaintext multiplication with an engineered
+    // constant; the factored path passes prefactor = -i to turn its
+    // i·b-valued slots real).
+    const double q_drop =
+        static_cast<double>(ctx_.q_basis()[ct.level].value());
+    std::vector<Complex> ones(slots, Complex(1, 0));
+    const double enc_scale =
+        (1.0 / opts_.k_range) * nominal * q_drop / ct.scale;
+    std::vector<Complex> pre(slots, prefactor);
+    Ciphertext x = ev_.rescale(
+        ev_.mul_plain(ct, ctx_.encode(pre, ct.level, enc_scale)));
+    x.scale = nominal;
+
+    // Base cosine, then r double-angle steps: cos(2θ) = 2cos²θ - 1.
+    Ciphertext c = poly_.evaluate_chebyshev(x, cos_coeffs_);
+    for (int r = 0; r < opts_.double_angles; ++r) {
+        Ciphertext sq = ev_.rescale(ev_.mul(c, c, rlk_));
+        sq.scale = nominal;
+        c = ev_.add(sq, sq);
+        Plaintext minus_one = ctx_.encode(ones, c.level, c.scale);
+        minus_one.poly.negate_inplace();
+        c = ev_.add_plain(c, minus_one);
+    }
+    // c's value is sin(2πt) ≈ 2π(t - I); re-declare the scale so the
+    // interpreted value becomes (t - I)·q0 at the *input message's*
+    // scale — i.e. the refreshed message itself.
+    return c;
+}
+
+Ciphertext
+Bootstrapper::bootstrap_dense(const Ciphertext &raised) const
+{
+    // 2. CoeffToSlot: two transforms + conjugations give the two
+    //    coefficient halves as real slot vectors.
+    Ciphertext w0 = cts_lo_->apply_bsgs(ev_, ctx_, raised, gk_);
+    Ciphertext w1 = cts_hi_->apply_bsgs(ev_, ctx_, raised, gk_);
+    Ciphertext u0 = ev_.add(w0, ev_.conjugate(w0, gk_));
+    Ciphertext u1 = ev_.add(w1, ev_.conjugate(w1, gk_));
+
+    // 3. EvalMod on both halves.
+    Ciphertext v0 = eval_mod(u0, Complex(1, 0));
+    Ciphertext v1 = eval_mod(u1, Complex(1, 0));
+
+    // 4. SlotToCoeff.
+    Ciphertext z0 = stc_lo_->apply_bsgs(ev_, ctx_, v0, gk_);
+    Ciphertext z1 = stc_hi_->apply_bsgs(ev_, ctx_, v1, gk_);
+    return ev_.add(z0, z1);
+}
+
+Ciphertext
+Bootstrapper::bootstrap_factored(const Ciphertext &raised) const
+{
+    const size_t slots = ctx_.encoder().slot_count();
+
+    // 2. CoeffToSlot: inverse butterfly groups take the slot values z
+    //    back to the base vector a + i·b (a, b = coefficient halves
+    //    in σ order), then conjugation splits the two real parts.
+    Ciphertext x = raised;
+    for (const auto &stage : factored_->inverse())
+        x = stage.apply(ev_, ctx_, x, gk_); // sparse: few diagonals
+    Ciphertext xc = ev_.conjugate(x, gk_);
+    Ciphertext u0 = ev_.add(x, xc);      // value 2a
+    Ciphertext w1 = ev_.sub(x, xc);      // value 2i·b
+
+    // 3. EvalMod; the ±i and 1/2 factors fold into the prefactor.
+    Ciphertext v0 = eval_mod(u0, Complex(0.5, 0));
+    Ciphertext v1 = eval_mod(w1, Complex(0, -0.5));
+
+    // 4. SlotToCoeff: recombine base' = v0 + i·v1 (one plaintext
+    //    multiplication), then the forward butterfly groups. Encoding
+    //    the constant at exactly the dropped prime's value keeps the
+    //    rescaled v1i on v0's scale, so the add needs no fudging.
+    std::vector<Complex> eye(slots, Complex(0, 1));
+    const double q_drop =
+        static_cast<double>(ctx_.q_basis()[v1.level].value());
+    Ciphertext v1i = ev_.rescale(
+        ev_.mul_plain(v1, ctx_.encode(eye, v1.level, q_drop)));
+    Ciphertext v0m = ev_.mod_switch_to(v0, v1i.level);
+    v0m.scale = v1i.scale; // equal up to FP bookkeeping
+    Ciphertext base = ev_.add(v0m, v1i);
+    for (const auto &stage : factored_->forward())
+        base = stage.apply(ev_, ctx_, base, gk_); // sparse: few diagonals
+    return base;
+}
+
+Ciphertext
+Bootstrapper::bootstrap(const Ciphertext &ct) const
+{
+    const double delta_in = ct.scale;
+    const u64 q0 = ctx_.q_basis()[0].value();
+
+    // 1. ModRaise.
+    Ciphertext raised = mod_raise(ct);
+
+    Ciphertext out = opts_.factored_groups > 0
+                         ? bootstrap_factored(raised)
+                         : bootstrap_dense(raised);
+
+    // Scale bookkeeping: the slot values now equal sin(2πt) ≈
+    // 2π·(m̂/q0) times the transforms' scale factors; declaring
+    //   scale' = scale · 2π · Δ_in / q0
+    // makes the interpreted value the original message again.
+    out.scale = out.scale * 2.0 * M_PI * delta_in /
+                static_cast<double>(q0);
+    return out;
+}
+
+} // namespace neo::boot

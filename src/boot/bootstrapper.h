@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CKKS bootstrapping (PackBootstrap, §5): refresh an exhausted
+ * ciphertext's multiplicative budget.
+ *
+ * Stages, as in Fig 5's application column and the standard
+ * Lattigo/HEAAN pipeline:
+ *
+ *  1. ModRaise — reinterpret the level-0 ciphertext over the full
+ *     chain; it now decrypts to m + q0·I for a small integer
+ *     polynomial I (|I| ≲ ||s||₁/2, hence the sparse secret).
+ *  2. CoeffToSlot — two homomorphic linear transforms (+ conjugation)
+ *     move the N coefficients into the slots of two ciphertexts.
+ *  3. EvalMod — evaluate (1/2π)·sin(2π t) ≈ t − I on each: Chebyshev
+ *     approximation of a scaled cosine followed by double-angle
+ *     steps (the Double Rescale discipline applies here at small
+ *     WordSize).
+ *  4. SlotToCoeff — the inverse transforms reassemble a fresh
+ *     ciphertext encrypting ≈ m at a higher level.
+ *
+ * Matrices for stages 2/4 are derived *numerically from the encoder's
+ * own canonical embedding*, so the implementation cannot drift from
+ * the encoding convention.
+ */
+#pragma once
+
+#include "ckks/linear_transform.h"
+#include "ckks/poly_eval.h"
+
+namespace neo::boot {
+
+using namespace ckks;
+
+/** Tunables for the sine approximation and transform structure. */
+struct BootstrapOptions
+{
+    double k_range = 8.0;     ///< bound on |t| = |m + q0·I|/q0
+    int sin_degree = 63;      ///< Chebyshev degree of the base cosine
+    int double_angles = 1;    ///< r: cos doubling steps (error scales ~4^r)
+    size_t input_level = 0;   ///< level the input is dropped to
+    /**
+     * 0: dense single-stage CtS/StC. G ≥ 1: factored butterfly
+     * transforms grouped into G homomorphic stages each (the
+     * PackBootstrap "3 BSGS stages" structure; costs 2G-1 extra
+     * levels, saves rotations at scale).
+     */
+    size_t factored_groups = 0;
+};
+
+/** Precomputed bootstrapping machinery for one context. */
+class Bootstrapper
+{
+  public:
+    Bootstrapper(const CkksContext &ctx, const Evaluator &ev,
+                 const EvalKey &rlk, const GaloisKeys &gk,
+                 const BootstrapOptions &opts = {});
+    ~Bootstrapper();
+
+    /// Rotation steps whose Galois keys the transforms require
+    /// (includes the factored stages' diagonal offsets when enabled).
+    static std::vector<i64>
+    required_rotations(const CkksContext &ctx,
+                       const BootstrapOptions &opts = {});
+
+    /**
+     * Refresh @p ct (at opts.input_level) to a higher level.
+     * The output level is whatever the EvalMod depth leaves standing.
+     */
+    Ciphertext bootstrap(const Ciphertext &ct) const;
+
+    /// Multiplicative depth consumed above the input level.
+    size_t depth() const;
+
+  private:
+    Ciphertext mod_raise(const Ciphertext &ct) const;
+    /// EvalMod with a complex pre-factor folded into the input
+    /// normalisation (the factored path feeds i·b-valued slots).
+    Ciphertext eval_mod(const Ciphertext &ct, Complex prefactor) const;
+    Ciphertext bootstrap_dense(const Ciphertext &raised) const;
+    Ciphertext bootstrap_factored(const Ciphertext &raised) const;
+
+    const CkksContext &ctx_;
+    const Evaluator &ev_;
+    const EvalKey &rlk_;
+    const GaloisKeys &gk_;
+    BootstrapOptions opts_;
+    PolyEvaluator poly_;
+    std::vector<double> cos_coeffs_; // Chebyshev fit of the base cosine
+    // Dense path: CtS halves from slots; StC slots from halves.
+    std::unique_ptr<LinearTransform> cts_lo_, cts_hi_;
+    std::unique_ptr<LinearTransform> stc_lo_, stc_hi_;
+    // Factored path: grouped butterfly stages.
+    std::unique_ptr<class FactoredEmbedding> factored_;
+};
+
+} // namespace neo::boot

@@ -1,0 +1,172 @@
+#include "boot/factored_transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace neo::boot {
+
+namespace {
+
+/// Dense S×S complex matrix product: c = a·b.
+std::vector<Complex>
+mat_mul(const std::vector<Complex> &a, const std::vector<Complex> &b,
+        size_t s)
+{
+    std::vector<Complex> c(s * s, Complex(0, 0));
+    for (size_t i = 0; i < s; ++i) {
+        for (size_t k = 0; k < s; ++k) {
+            const Complex aik = a[i * s + k];
+            if (std::abs(aik) < 1e-15)
+                continue;
+            for (size_t j = 0; j < s; ++j)
+                c[i * s + j] += aik * b[k * s + j];
+        }
+    }
+    return c;
+}
+
+/// Dense inverse via Gauss-Jordan (stages are well-conditioned
+/// butterflies; S ≤ a few hundred at test scale).
+std::vector<Complex>
+mat_inv(std::vector<Complex> a, size_t s)
+{
+    std::vector<Complex> inv(s * s, Complex(0, 0));
+    for (size_t i = 0; i < s; ++i)
+        inv[i * s + i] = Complex(1, 0);
+    for (size_t col = 0; col < s; ++col) {
+        // Pivot.
+        size_t piv = col;
+        for (size_t r = col; r < s; ++r) {
+            if (std::abs(a[r * s + col]) > std::abs(a[piv * s + col]))
+                piv = r;
+        }
+        NEO_CHECK(std::abs(a[piv * s + col]) > 1e-12,
+                  "singular stage matrix");
+        if (piv != col) {
+            for (size_t j = 0; j < s; ++j) {
+                std::swap(a[piv * s + j], a[col * s + j]);
+                std::swap(inv[piv * s + j], inv[col * s + j]);
+            }
+        }
+        const Complex d = a[col * s + col];
+        for (size_t j = 0; j < s; ++j) {
+            a[col * s + j] /= d;
+            inv[col * s + j] /= d;
+        }
+        for (size_t r = 0; r < s; ++r) {
+            if (r == col)
+                continue;
+            const Complex f = a[r * s + col];
+            if (std::abs(f) < 1e-15)
+                continue;
+            for (size_t j = 0; j < s; ++j) {
+                a[r * s + j] -= f * a[col * s + j];
+                inv[r * s + j] -= f * inv[col * s + j];
+            }
+        }
+    }
+    return inv;
+}
+
+} // namespace
+
+FactoredEmbedding::FactoredEmbedding(size_t n, size_t groups)
+    : n_(n), slots_(n / 2)
+{
+    NEO_CHECK(is_pow2(n) && n >= 8, "degree must be a power of two >= 8");
+    const size_t levels = static_cast<size_t>(log2_exact(slots_));
+    NEO_CHECK(groups >= 1 && groups <= levels, "bad group count");
+
+    // σ = bit reversal over log2(S) bits.
+    sigma_.resize(slots_);
+    for (size_t k = 0; k < slots_; ++k)
+        sigma_[k] = reverse_bits(k, static_cast<int>(levels));
+
+    // Multiply consecutive stage matrices into the requested groups
+    // (stage 1 = smallest blocks applies first).
+    const size_t per_group = ceil_div(levels, groups);
+    size_t level = 1;
+    while (level <= levels) {
+        std::vector<Complex> acc = stage_matrix(level);
+        ++level;
+        for (size_t g = 1; g < per_group && level <= levels; ++g) {
+            acc = mat_mul(stage_matrix(level), acc, slots_);
+            ++level;
+        }
+        inverse_.emplace_back(mat_inv(acc, slots_), slots_);
+        forward_.emplace_back(std::move(acc), slots_);
+    }
+    // Inverse stages must apply in reverse order; store them reversed
+    // so callers iterate naturally.
+    std::reverse(inverse_.begin(), inverse_.end());
+}
+
+std::vector<Complex>
+FactoredEmbedding::stage_matrix(size_t level) const
+{
+    const size_t s = slots_;
+    const size_t block = 1ULL << level; // S_d of the merged transform
+    const size_t dist = block / 2;
+    // The butterfly merges two transforms of ring degree N_d = 2*block
+    // with ζ_d a primitive 2N_d-th root of unity.
+    const size_t two_nd = 4 * block;
+    auto zeta = [&](u64 e) {
+        const double theta = 2.0 * M_PI * static_cast<double>(e % two_nd) /
+                             static_cast<double>(two_nd);
+        return Complex(std::cos(theta), std::sin(theta));
+    };
+    // tw[t] = ζ_d^{5^t mod 2N_d} for t in [0, block).
+    std::vector<Complex> tw(block);
+    u64 e = 1;
+    for (size_t t = 0; t < block; ++t) {
+        tw[t] = zeta(e);
+        e = (e * 5) % two_nd;
+    }
+
+    std::vector<Complex> m(s * s, Complex(0, 0));
+    for (size_t beta = 0; beta < s; beta += block) {
+        for (size_t t = 0; t < dist; ++t) {
+            const size_t i = beta + t;
+            const size_t j = beta + t + dist;
+            // z_i = x_i + tw[t]·x_j ; z_j = x_i + tw[t+dist]·x_j.
+            m[i * s + i] = Complex(1, 0);
+            m[i * s + j] = tw[t];
+            m[j * s + i] = Complex(1, 0);
+            m[j * s + j] = tw[t + dist];
+        }
+    }
+    return m;
+}
+
+std::vector<Complex>
+FactoredEmbedding::pack_base(const std::vector<double> &coeffs) const
+{
+    NEO_CHECK(coeffs.size() == n_, "coefficient count mismatch");
+    std::vector<Complex> base(slots_);
+    for (size_t k = 0; k < slots_; ++k) {
+        base[k] = Complex(coeffs[sigma_[k]], 0) +
+                  Complex(0, 1) * coeffs[sigma_[k] + slots_];
+    }
+    return base;
+}
+
+std::vector<Complex>
+FactoredEmbedding::apply_forward(std::vector<Complex> base) const
+{
+    for (const auto &lt : forward_)
+        base = lt.apply_plain(base);
+    return base;
+}
+
+std::vector<Complex>
+FactoredEmbedding::apply_inverse(std::vector<Complex> z) const
+{
+    for (const auto &lt : inverse_)
+        z = lt.apply_plain(z);
+    return z;
+}
+
+} // namespace neo::boot

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The CKKS evaluator: the primitive operations of §2.1 (HADD, PADD,
+ * HMULT, PMULT, HROTATE, Rescale, Double Rescale) built on either
+ * key-switch method.
+ */
+#pragma once
+
+#include "ckks/context.h"
+#include "ckks/keys.h"
+#include "ckks/keyswitch.h"
+
+namespace neo::ckks {
+
+/** Which KeySwitch implementation the evaluator routes through. */
+enum class KeySwitchMethod { hybrid, klss };
+
+/** Homomorphic-operation engine. */
+class Evaluator
+{
+  public:
+    Evaluator(const CkksContext &ctx,
+              KeySwitchMethod method = KeySwitchMethod::hybrid);
+
+    KeySwitchMethod method() const { return method_; }
+
+    /// HADD: ciphertext + ciphertext (matching level and scale).
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+
+    /// Ciphertext - ciphertext.
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+
+    /// Negation.
+    Ciphertext negate(const Ciphertext &a) const;
+
+    /// PADD: ciphertext + plaintext.
+    Ciphertext add_plain(const Ciphertext &a, const Plaintext &pt) const;
+
+    /// PMULT: ciphertext × plaintext (scale multiplies; no key switch).
+    Ciphertext mul_plain(const Ciphertext &a, const Plaintext &pt) const;
+
+    /**
+     * HMULT: ciphertext × ciphertext with relinearization via the
+     * configured KeySwitch. Does NOT rescale; callers follow with
+     * rescale() (or double_rescale), as in Fig 5.
+     */
+    Ciphertext mul(const Ciphertext &a, const Ciphertext &b,
+                   const EvalKey &rlk,
+                   const KlssEvalKey *klss_rlk = nullptr,
+                   KeySwitchStats *stats = nullptr) const;
+
+    /// HROTATE by @p steps slots (Galois key required for the element).
+    Ciphertext rotate(const Ciphertext &a, i64 steps, const GaloisKeys &gk,
+                      KeySwitchStats *stats = nullptr) const;
+
+    /// Complex conjugation of all slots.
+    Ciphertext conjugate(const Ciphertext &a, const GaloisKeys &gk,
+                         KeySwitchStats *stats = nullptr) const;
+
+    /// Rescale: drop the last prime, dividing the scale by it.
+    Ciphertext rescale(const Ciphertext &a) const;
+
+    /// Double Rescale (DS): drop the last two primes in one step.
+    Ciphertext double_rescale(const Ciphertext &a) const;
+
+    /// Drop to @p level without rescaling (modulus switch).
+    Ciphertext mod_switch_to(const Ciphertext &a, size_t level) const;
+
+  private:
+    std::pair<RnsPoly, RnsPoly>
+    keyswitch(const RnsPoly &d2, const EvalKey *evk,
+              const KlssEvalKey *kevk, KeySwitchStats *stats) const;
+
+    Ciphertext rescale_by(const Ciphertext &a, size_t count) const;
+
+    const CkksContext &ctx_;
+    KeySwitchMethod method_;
+};
+
+} // namespace neo::ckks

@@ -1,0 +1,237 @@
+#include "ckks/keygen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace neo::ckks {
+
+KeyGenerator::KeyGenerator(const CkksContext &ctx, u64 seed)
+    : ctx_(ctx), rng_(seed)
+{
+}
+
+SecretKey
+KeyGenerator::secret_key()
+{
+    SecretKey sk;
+    sk.coeffs.resize(ctx_.n());
+    for (auto &c : sk.coeffs) {
+        switch (rng_.next() & 3) {
+          case 0:
+            c = 1;
+            break;
+          case 1:
+            c = -1;
+            break;
+          default:
+            c = 0;
+        }
+    }
+    return sk;
+}
+
+SecretKey
+KeyGenerator::secret_key_sparse(size_t h)
+{
+    NEO_CHECK(h > 0 && h <= ctx_.n(), "bad Hamming weight");
+    SecretKey sk;
+    sk.coeffs.assign(ctx_.n(), 0);
+    size_t placed = 0;
+    while (placed < h) {
+        size_t pos = rng_.uniform(ctx_.n());
+        if (sk.coeffs[pos] != 0)
+            continue;
+        sk.coeffs[pos] = (rng_.next() & 1) ? 1 : -1;
+        ++placed;
+    }
+    return sk;
+}
+
+RnsPoly
+KeyGenerator::expand_secret(const SecretKey &sk,
+                            const std::vector<Modulus> &mods) const
+{
+    RnsPoly s = ctx_.poly_from_signed(sk.coeffs, mods);
+    ctx_.tables().to_eval(s);
+    return s;
+}
+
+namespace {
+
+/// Uniform polynomial over @p mods directly in eval form.
+RnsPoly
+uniform_poly(size_t n, const std::vector<Modulus> &mods, Rng &rng)
+{
+    RnsPoly a(n, mods, PolyForm::eval);
+    for (size_t i = 0; i < mods.size(); ++i) {
+        u64 *dst = a.limb(i);
+        for (size_t l = 0; l < n; ++l)
+            dst[l] = rng.uniform(mods[i].value());
+    }
+    return a;
+}
+
+} // namespace
+
+PublicKey
+KeyGenerator::public_key(const SecretKey &sk)
+{
+    const auto mods = ctx_.active_mods(ctx_.max_level());
+    RnsPoly s = expand_secret(sk, mods);
+    RnsPoly a = uniform_poly(ctx_.n(), mods, rng_);
+
+    // e in coefficient form, then NTT.
+    std::vector<i64> e(ctx_.n());
+    for (auto &x : e)
+        x = to_centered(rng_.gaussian(1ULL << 40), 1ULL << 40);
+    RnsPoly ep = ctx_.poly_from_signed(e, mods);
+    ctx_.tables().to_eval(ep);
+
+    // b = -a*s + e.
+    RnsPoly b = a;
+    b.mul_inplace(s);
+    b.negate_inplace();
+    b.add_inplace(ep);
+    return PublicKey{std::move(b), std::move(a)};
+}
+
+EvalKey
+KeyGenerator::make_eval_key(const SecretKey &sk, const RnsPoly &s_prime)
+{
+    const size_t top = ctx_.max_level();
+    const auto ext_mods = ctx_.extended_mods(top);
+    const size_t n = ctx_.n();
+    RnsPoly s = expand_secret(sk, ext_mods);
+
+    const auto groups = ctx_.digit_partition(top);
+    EvalKey evk;
+    evk.parts.reserve(groups.size());
+    for (const auto &g : groups) {
+        RnsPoly a = uniform_poly(n, ext_mods, rng_);
+        std::vector<i64> e(n);
+        for (auto &x : e)
+            x = to_centered(rng_.gaussian(1ULL << 40), 1ULL << 40);
+        RnsPoly b = ctx_.poly_from_signed(e, ext_mods);
+        ctx_.tables().to_eval(b);
+        // b = e - a*s ...
+        RnsPoly as = a;
+        as.mul_inplace(s);
+        b.sub_inplace(as);
+        // ... + [P]*s' on the primes of this digit group.
+        for (size_t t = g.first; t < g.first + g.count; ++t) {
+            const Modulus &qt = ext_mods[t];
+            const u64 p_mod = ctx_.p_basis().product_mod(qt);
+            const u64 ps = shoup_precompute(p_mod, qt.value());
+            u64 *dst = b.limb(t);
+            const u64 *sp = s_prime.limb(t);
+            for (size_t l = 0; l < n; ++l)
+                dst[l] = qt.add(dst[l],
+                                mul_shoup(sp[l], p_mod, ps, qt.value()));
+        }
+        evk.parts.push_back({std::move(b), std::move(a)});
+    }
+    return evk;
+}
+
+EvalKey
+KeyGenerator::relin_key(const SecretKey &sk)
+{
+    const auto ext_mods = ctx_.extended_mods(ctx_.max_level());
+    RnsPoly s = expand_secret(sk, ext_mods);
+    RnsPoly s2 = s;
+    s2.mul_inplace(s);
+    return make_eval_key(sk, s2);
+}
+
+EvalKey
+KeyGenerator::galois_key(const SecretKey &sk, u64 g)
+{
+    const auto ext_mods = ctx_.extended_mods(ctx_.max_level());
+    // σ_g(s) on the integer coefficients, then expand.
+    const size_t n = ctx_.n();
+    std::vector<i64> rotated(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        u64 j = (static_cast<u128>(i) * g) % (2 * n);
+        if (j < n)
+            rotated[j] = sk.coeffs[i];
+        else
+            rotated[j - n] = -sk.coeffs[i];
+    }
+    RnsPoly sp = ctx_.poly_from_signed(rotated, ext_mods);
+    ctx_.tables().to_eval(sp);
+    return make_eval_key(sk, sp);
+}
+
+GaloisKeys
+KeyGenerator::galois_keys(const SecretKey &sk, const std::vector<i64> &steps,
+                          bool conjugate, bool with_klss)
+{
+    GaloisKeys keys;
+    auto add = [&](u64 g) {
+        if (keys.hybrid.count(g))
+            return;
+        EvalKey k = galois_key(sk, g);
+        if (with_klss)
+            keys.klss.emplace(g, to_klss(k));
+        keys.hybrid.emplace(g, std::move(k));
+    };
+    for (i64 s : steps)
+        add(ctx_.encoder().galois_element(s));
+    if (conjugate)
+        add(ctx_.encoder().galois_element(0, true));
+    return keys;
+}
+
+KlssEvalKey
+KeyGenerator::to_klss(const EvalKey &evk) const
+{
+    NEO_CHECK(ctx_.params().klss.enabled(), "KLSS not configured");
+    const size_t n = ctx_.n();
+    const size_t k_special = ctx_.p_basis().size();
+    const size_t top = ctx_.max_level();
+    const auto &partition = ctx_.klss_key_partition();
+
+    KlssEvalKey out;
+    out.beta_max = evk.parts.size();
+    out.beta_tilde_max = partition.size();
+    out.parts.reserve(out.beta_max * out.beta_tilde_max * 2);
+
+    for (size_t i = 0; i < out.beta_tilde_max; ++i) {
+        const auto &grp = partition[i];
+        // Group primes in the [P, Q] ordering.
+        std::vector<u64> grp_primes;
+        for (size_t t = grp.first; t < grp.first + grp.count; ++t)
+            grp_primes.push_back(ctx_.pq_ordered_mod(t).value());
+        RnsBasis grp_basis(grp_primes);
+        BaseConverter conv(grp_basis, ctx_.t_basis());
+
+        for (size_t j = 0; j < out.beta_max; ++j) {
+            for (size_t c = 0; c < 2; ++c) {
+                // Gather this group's limbs of evk (coeff form).
+                RnsPoly limb_src = evk.parts[j][c];
+                ctx_.tables().to_coeff(limb_src);
+                std::vector<u64> in(grp.count * n);
+                for (size_t t = 0; t < grp.count; ++t) {
+                    const size_t pq_idx = grp.first + t;
+                    // [P,Q] index -> storage index in extended basis
+                    // [q_0..q_L, p_0..p_{K-1}].
+                    const size_t store_idx =
+                        pq_idx < k_special ? top + 1 + pq_idx
+                                           : pq_idx - k_special;
+                    std::copy(limb_src.limb(store_idx),
+                              limb_src.limb(store_idx) + n,
+                              in.begin() + t * n);
+                }
+                RnsPoly digit(n, ctx_.t_basis().mods(), PolyForm::coeff);
+                conv.convert_exact(in.data(), n, digit.data());
+                ctx_.t_tables().to_eval(digit);
+                out.parts.push_back(std::move(digit));
+            }
+        }
+    }
+    // Reindex: we filled in (i, j, c) order matching part().
+    return out;
+}
+
+} // namespace neo::ckks

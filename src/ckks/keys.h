@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Key material and ciphertext types.
+ *
+ * Decryption convention: m ≈ c0 + c1·s. A hybrid evaluation key for a
+ * target key s' is the digit vector evk_j = (b_j, a_j) over the
+ * extended basis Q·P with b_j = -a_j·s + e_j + [P]·g_j·s', where the
+ * RNS gadget g_j is 1 on the primes of digit group j and 0 elsewhere.
+ *
+ * A KLSS evaluation key is the same material further decomposed into
+ * β̃ key digits over the [P, Q] prime ordering and lifted exactly into
+ * the auxiliary base T (§2.2) — two sets of β·β̃·α' polynomial limbs,
+ * stored NTT-transformed over T, exactly as the paper describes the
+ * IP operand layout.
+ */
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "poly/rns_poly.h"
+
+namespace neo::ckks {
+
+/** Ternary secret key, stored as signed integer coefficients. */
+struct SecretKey
+{
+    std::vector<i64> coeffs;
+};
+
+/** Encryption key (b, a) = (-a·s + e, a) over the full Q chain. */
+struct PublicKey
+{
+    RnsPoly b, a;
+};
+
+/** Hybrid key-switching key: β_max digit pairs over Q·P, eval form. */
+struct EvalKey
+{
+    std::vector<std::array<RnsPoly, 2>> parts;
+
+    size_t digit_count() const { return parts.size(); }
+};
+
+/** KLSS key-switching key: key digits lifted into R_T (NTT form). */
+struct KlssEvalKey
+{
+    size_t beta_max = 0;       ///< ciphertext digits covered (j index)
+    size_t beta_tilde_max = 0; ///< key digits (i index)
+    /// parts[(i*beta_max + j)*2 + c], each an RnsPoly over T.
+    std::vector<RnsPoly> parts;
+
+    const RnsPoly &
+    part(size_t i, size_t j, size_t c) const
+    {
+        return parts[(i * beta_max + j) * 2 + c];
+    }
+
+    RnsPoly &
+    part(size_t i, size_t j, size_t c)
+    {
+        return parts[(i * beta_max + j) * 2 + c];
+    }
+};
+
+/** Rotation / conjugation keys indexed by Galois element. */
+struct GaloisKeys
+{
+    std::map<u64, EvalKey> hybrid;
+    std::map<u64, KlssEvalKey> klss;
+};
+
+/** A CKKS ciphertext (c0, c1) in eval form over q_0..q_level. */
+struct Ciphertext
+{
+    RnsPoly c0, c1;
+    size_t level = 0;
+    double scale = 1.0;
+};
+
+} // namespace neo::ckks

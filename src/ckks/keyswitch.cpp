@@ -1,0 +1,260 @@
+#include "ckks/keyswitch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace neo::ckks {
+
+namespace {
+
+/// Copy the level-l active limbs (q_0..q_l, then P) out of a key part
+/// stored over the full extended basis [q_0..q_L, p_0..p_{K-1}].
+RnsPoly
+slice_key_part(const RnsPoly &full, size_t level, size_t max_level,
+               const std::vector<Modulus> &ext_mods)
+{
+    const size_t n = full.n();
+    const size_t k_special = ext_mods.size() - (level + 1);
+    RnsPoly out(n, ext_mods, PolyForm::eval);
+    for (size_t i = 0; i <= level; ++i)
+        std::copy(full.limb(i), full.limb(i) + n, out.limb(i));
+    for (size_t k = 0; k < k_special; ++k) {
+        std::copy(full.limb(max_level + 1 + k),
+                  full.limb(max_level + 1 + k) + n,
+                  out.limb(level + 1 + k));
+    }
+    return out;
+}
+
+} // namespace
+
+RnsPoly
+mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
+         KeySwitchStats *stats)
+{
+    NEO_ASSERT(ext_poly.form() == PolyForm::coeff,
+               "mod_down expects coefficient form");
+    const size_t n = ext_poly.n();
+    const size_t k_special = ctx.p_basis().size();
+    NEO_ASSERT(ext_poly.limbs() == level + 1 + k_special,
+               "mod_down shape mismatch");
+
+    // BConv the P-part down to the q primes.
+    const auto active = ctx.active_mods(level);
+    RnsBasis q_active(
+        [&] {
+            std::vector<u64> v;
+            for (const auto &m : active)
+                v.push_back(m.value());
+            return v;
+        }());
+    BaseConverter conv(ctx.p_basis(), q_active);
+    std::vector<u64> p_part(k_special * n);
+    for (size_t k = 0; k < k_special; ++k)
+        std::copy(ext_poly.limb(level + 1 + k),
+                  ext_poly.limb(level + 1 + k) + n,
+                  p_part.begin() + k * n);
+    std::vector<u64> corr((level + 1) * n);
+    conv.convert_approx(p_part.data(), n, corr.data());
+    if (stats)
+        stats->moddown_products += k_special * (level + 1);
+
+    // (c - corr) * P^{-1} mod q_i.
+    RnsPoly out(n, active, PolyForm::coeff);
+    for (size_t i = 0; i <= level; ++i) {
+        const Modulus &qi = active[i];
+        const u64 p_inv = qi.inv(ctx.p_basis().product_mod(qi));
+        const u64 ps = shoup_precompute(p_inv, qi.value());
+        const u64 *src = ext_poly.limb(i);
+        const u64 *cr = corr.data() + i * n;
+        u64 *dst = out.limb(i);
+        for (size_t l = 0; l < n; ++l)
+            dst[l] = mul_shoup(qi.sub(src[l], cr[l]), p_inv, ps,
+                               qi.value());
+    }
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
+                 const CkksContext &ctx, KeySwitchStats *stats)
+{
+    NEO_ASSERT(d2.form() == PolyForm::eval, "expects eval form");
+    const size_t n = d2.n();
+    const size_t level = d2.limbs() - 1;
+    const auto ext_mods = ctx.extended_mods(level);
+    const auto groups = ctx.digit_partition(level);
+    NEO_CHECK(groups.size() <= evk.digit_count(),
+              "evaluation key has too few digits");
+
+    RnsPoly d2c = d2;
+    ctx.tables().to_coeff(d2c);
+    if (stats)
+        stats->intt_limbs += level + 1;
+
+    RnsPoly acc0(n, ext_mods, PolyForm::eval);
+    RnsPoly acc1(n, ext_mods, PolyForm::eval);
+
+    for (size_t j = 0; j < groups.size(); ++j) {
+        const auto &g = groups[j];
+        // --- ModUp: approximate BConv of digit j to the other primes.
+        std::vector<u64> digit_primes;
+        for (size_t t = g.first; t < g.first + g.count; ++t)
+            digit_primes.push_back(ctx.q_basis()[t].value());
+        RnsBasis digit_basis(digit_primes);
+
+        std::vector<u64> other_primes;
+        for (size_t t = 0; t < ext_mods.size(); ++t) {
+            if (t < g.first || t >= g.first + g.count)
+                other_primes.push_back(ext_mods[t].value());
+        }
+        RnsBasis other_basis(other_primes);
+        BaseConverter conv(digit_basis, other_basis);
+
+        std::vector<u64> converted(other_primes.size() * n);
+        conv.convert_approx(d2c.limb(g.first), n, converted.data());
+        if (stats)
+            stats->bconv_products += g.count * other_primes.size();
+
+        RnsPoly up(n, ext_mods, PolyForm::coeff);
+        size_t src = 0;
+        for (size_t t = 0; t < ext_mods.size(); ++t) {
+            if (t >= g.first && t < g.first + g.count) {
+                std::copy(d2c.limb(t), d2c.limb(t) + n, up.limb(t));
+            } else {
+                std::copy(converted.begin() + src * n,
+                          converted.begin() + (src + 1) * n, up.limb(t));
+                ++src;
+            }
+        }
+        ctx.tables().to_eval(up);
+        if (stats)
+            stats->ntt_limbs += ext_mods.size();
+
+        // --- Inner product with this digit's key.
+        RnsPoly key_b =
+            slice_key_part(evk.parts[j][0], level, ctx.max_level(),
+                           ext_mods);
+        RnsPoly key_a =
+            slice_key_part(evk.parts[j][1], level, ctx.max_level(),
+                           ext_mods);
+        acc0.add_product(up, key_b);
+        acc1.add_product(up, key_a);
+        if (stats)
+            stats->ip_mul_limbs += 2 * ext_mods.size();
+    }
+
+    // --- ModDown.
+    ctx.tables().to_coeff(acc0);
+    ctx.tables().to_coeff(acc1);
+    if (stats)
+        stats->intt_limbs += 2 * ext_mods.size();
+    RnsPoly k0 = mod_down(acc0, level, ctx, stats);
+    RnsPoly k1 = mod_down(acc1, level, ctx, stats);
+    ctx.tables().to_eval(k0);
+    ctx.tables().to_eval(k1);
+    if (stats)
+        stats->ntt_limbs += 2 * (level + 1);
+    return {std::move(k0), std::move(k1)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
+               const CkksContext &ctx, KeySwitchStats *stats)
+{
+    NEO_ASSERT(d2.form() == PolyForm::eval, "expects eval form");
+    const size_t n = d2.n();
+    const size_t level = d2.limbs() - 1;
+    const size_t k_special = ctx.p_basis().size();
+    const size_t alpha_p = ctx.alpha_prime();
+    const auto ext_mods = ctx.extended_mods(level);
+    const auto groups = ctx.digit_partition(level);
+    const auto &key_partition = ctx.klss_key_partition();
+    // Key digits covering the active [P, q_0..q_l] prefix.
+    const size_t beta_tilde =
+        (level + 1 + k_special + ctx.params().klss.alpha_tilde - 1) /
+        ctx.params().klss.alpha_tilde;
+    NEO_ASSERT(beta_tilde <= evk.beta_tilde_max, "key digit overflow");
+    NEO_CHECK(groups.size() <= evk.beta_max,
+              "evaluation key has too few digits");
+
+    RnsPoly d2c = d2;
+    ctx.tables().to_coeff(d2c);
+    if (stats)
+        stats->intt_limbs += level + 1;
+
+    // --- Mod Up: exact lift of each ciphertext digit into T.
+    std::vector<RnsPoly> digits_t;
+    digits_t.reserve(groups.size());
+    for (const auto &g : groups) {
+        std::vector<u64> digit_primes;
+        for (size_t t = g.first; t < g.first + g.count; ++t)
+            digit_primes.push_back(ctx.q_basis()[t].value());
+        RnsBasis digit_basis(digit_primes);
+        BaseConverter conv(digit_basis, ctx.t_basis());
+
+        RnsPoly dt(n, ctx.t_basis().mods(), PolyForm::coeff);
+        conv.convert_exact(d2c.limb(g.first), n, dt.data());
+        if (stats)
+            stats->bconv_products += g.count * alpha_p;
+        // --- NTT over T.
+        ctx.t_tables().to_eval(dt);
+        if (stats)
+            stats->ntt_limbs += alpha_p;
+        digits_t.push_back(std::move(dt));
+    }
+
+    // --- IP: S_i[c] = Σ_j digit_j * key[i][j][c] over R_T.
+    std::vector<std::array<RnsPoly, 2>> s(beta_tilde);
+    for (size_t i = 0; i < beta_tilde; ++i) {
+        for (size_t c = 0; c < 2; ++c) {
+            s[i][c] = RnsPoly(n, ctx.t_basis().mods(), PolyForm::eval);
+            for (size_t j = 0; j < groups.size(); ++j) {
+                s[i][c].add_product(digits_t[j], evk.part(i, j, c));
+                if (stats)
+                    stats->ip_mul_limbs += alpha_p;
+            }
+        }
+    }
+
+    // --- INTT over T.
+    for (size_t i = 0; i < beta_tilde; ++i) {
+        for (size_t c = 0; c < 2; ++c) {
+            ctx.t_tables().to_coeff(s[i][c]);
+            if (stats)
+                stats->intt_limbs += alpha_p;
+        }
+    }
+
+    // --- Recover Limbs: each output prime reads its own key-digit
+    // group's accumulator (the RNS gadget is 1 there, 0 elsewhere).
+    RnsPoly acc0(n, ext_mods, PolyForm::coeff);
+    RnsPoly acc1(n, ext_mods, PolyForm::coeff);
+    for (size_t pq_idx = 0; pq_idx < level + 1 + k_special; ++pq_idx) {
+        const Modulus &m = ctx.pq_ordered_mod(pq_idx);
+        // Storage index in [q_0..q_l, P] layout.
+        const size_t store_idx = pq_idx < k_special
+                                     ? level + 1 + pq_idx
+                                     : pq_idx - k_special;
+        const size_t grp = group_of(key_partition, pq_idx);
+        NEO_ASSERT(grp < beta_tilde, "recover group out of range");
+        RnsBasis single({m.value()});
+        BaseConverter conv(ctx.t_basis(), single);
+        conv.convert_exact(s[grp][0].data(), n, acc0.limb(store_idx));
+        conv.convert_exact(s[grp][1].data(), n, acc1.limb(store_idx));
+        if (stats)
+            stats->recover_products += 2 * alpha_p;
+    }
+
+    // --- NTT over Q·P, then ModDown (shared with hybrid).
+    RnsPoly k0 = mod_down(acc0, level, ctx, stats);
+    RnsPoly k1 = mod_down(acc1, level, ctx, stats);
+    ctx.tables().to_eval(k0);
+    ctx.tables().to_eval(k1);
+    if (stats)
+        stats->ntt_limbs += 2 * (level + 1);
+    return {std::move(k0), std::move(k1)};
+}
+
+} // namespace neo::ckks

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The KeySwitch operation — both methods the paper compares.
+ *
+ * Hybrid (Han–Ki): digit-decompose the input over Q, ModUp every
+ * digit to the full Q·P basis (approximate BConv), inner-product with
+ * the evaluation keys over Q·P, ModDown by P.
+ *
+ * KLSS (Kim–Lee–Seo–Song, §2.2): digit-decompose over Q, ModUp each
+ * digit *exactly* into the small auxiliary base T, NTT over T, inner
+ * product against the β̃×β key digits over T (exact integers — no
+ * wrap, by the Eq. 4 bound), INTT, Recover Limbs (exact CRT back to
+ * each Q·P prime — each output prime needs only its own key-digit
+ * group's accumulator), ModDown by P.
+ *
+ * Both return the same switched ciphertext up to BConv noise; tests
+ * verify they decrypt identically.
+ */
+#pragma once
+
+#include "ckks/context.h"
+#include "ckks/keys.h"
+
+namespace neo::ckks {
+
+/** Operation counters for validating Table 2's complexity formulas. */
+struct KeySwitchStats
+{
+    u64 bconv_products = 0;  ///< (input-limb, output-limb) pairs in ModUp
+    u64 ntt_limbs = 0;       ///< forward NTT limb transforms
+    u64 intt_limbs = 0;      ///< inverse NTT limb transforms
+    u64 ip_mul_limbs = 0;    ///< limb multiply-accumulates in IP
+    u64 recover_products = 0;///< limb pairs in Recover Limbs
+    u64 moddown_products = 0;///< limb pairs in ModDown's BConv
+};
+
+/**
+ * Hybrid key switch of @p d2 (eval form over q_0..q_level) under
+ * @p evk. Returns (k0, k1) in eval form at the same level with
+ * k0 + k1·s ≈ d2·s'.
+ */
+std::pair<RnsPoly, RnsPoly> keyswitch_hybrid(const RnsPoly &d2,
+                                             const EvalKey &evk,
+                                             const CkksContext &ctx,
+                                             KeySwitchStats *stats =
+                                                 nullptr);
+
+/** KLSS key switch; same contract as keyswitch_hybrid. */
+std::pair<RnsPoly, RnsPoly> keyswitch_klss(const RnsPoly &d2,
+                                           const KlssEvalKey &evk,
+                                           const CkksContext &ctx,
+                                           KeySwitchStats *stats = nullptr);
+
+/**
+ * ModDown: divide a (coeff-form) polynomial over q_0..q_level ∪ P by
+ * P, returning a coeff-form polynomial over q_0..q_level.
+ */
+RnsPoly mod_down(const RnsPoly &ext_poly, size_t level,
+                 const CkksContext &ctx, KeySwitchStats *stats = nullptr);
+
+} // namespace neo::ckks

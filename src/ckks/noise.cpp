@@ -1,0 +1,45 @@
+#include "ckks/noise.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace neo::ckks {
+
+NoiseInspector::NoiseInspector(const CkksContext &ctx, const SecretKey &sk,
+                               const KeyGenerator &keygen)
+    : ctx_(ctx), dec_(ctx, sk, keygen)
+{
+}
+
+double
+NoiseInspector::noise_bits(const Ciphertext &ct,
+                           const std::vector<Complex> &expected) const
+{
+    Plaintext raw = dec_.decrypt(ct);
+    RnsPoly poly = raw.poly;
+    ctx_.tables().to_coeff(poly);
+    auto coeffs = ctx_.lift_centered(poly);
+
+    // Real-valued encoding of the expectation at the same scale (no
+    // integer rounding — the scale may exceed the i64 encode range).
+    auto want = ctx_.encoder().encode_real(expected, ct.scale);
+    double worst = 0;
+    for (size_t i = 0; i < coeffs.size(); ++i)
+        worst = std::max(worst, std::abs(coeffs[i] - want[i]));
+    return worst <= 0 ? -64.0 : std::log2(worst);
+}
+
+double
+NoiseInspector::budget_bits(const Ciphertext &ct,
+                            const std::vector<Complex> &expected) const
+{
+    // Bits of growth available before the noise wraps the modulus.
+    double log_q = 0;
+    for (size_t i = 0; i <= ct.level; ++i)
+        log_q += std::log2(
+            static_cast<double>(ctx_.q_basis()[i].value()));
+    return log_q - 1.0 - noise_bits(ct, expected);
+}
+
+} // namespace neo::ckks

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Noise measurement — the quantity Rescale/DS manage and the reason
+ * SHARP (and hence Neo) insists on WordSize ≥ 36.
+ *
+ * Given the secret key, the exact noise of a ciphertext against its
+ * intended message is measurable: decrypt, subtract the encoding of
+ * the expected values at the ciphertext's scale, and take the largest
+ * centered coefficient. Tests use this to verify that noise grows as
+ * predicted across operations and that both key-switch methods add
+ * comparable noise.
+ */
+#pragma once
+
+#include "ckks/encryptor.h"
+
+namespace neo::ckks {
+
+/** Secret-key-holding noise probe (testing/diagnostics only). */
+class NoiseInspector
+{
+  public:
+    NoiseInspector(const CkksContext &ctx, const SecretKey &sk,
+                   const KeyGenerator &keygen);
+
+    /**
+     * log2 of the largest noise coefficient of @p ct relative to the
+     * exact encoding of @p expected at the ciphertext's scale.
+     * Returns -inf-ish (< 0) for a noiseless ciphertext.
+     */
+    double noise_bits(const Ciphertext &ct,
+                      const std::vector<Complex> &expected) const;
+
+    /**
+     * Remaining budget in bits: log2(q_active / 2) - log2(scale) -
+     * noise_bits. Positive budget ⇒ the message is still recoverable.
+     */
+    double budget_bits(const Ciphertext &ct,
+                       const std::vector<Complex> &expected) const;
+
+  private:
+    const CkksContext &ctx_;
+    Decryptor dec_;
+};
+
+} // namespace neo::ckks

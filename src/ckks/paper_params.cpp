@@ -1,0 +1,71 @@
+#include "ckks/paper_params.h"
+
+#include "common/check.h"
+
+namespace neo::ckks {
+
+CkksParams
+paper_set(char set)
+{
+    CkksParams p;
+    p.n = 1 << 16;
+    p.batch = 128;
+    p.klss.alpha_tilde = 0; // disabled unless the set specifies it
+    switch (set) {
+      case 'A':
+        p.max_level = 35;
+        p.word_size = 36;
+        p.d_num = 1;
+        break;
+      case 'B':
+        p.max_level = 35;
+        p.word_size = 36;
+        p.d_num = 3;
+        break;
+      case 'C':
+        p.max_level = 35;
+        p.word_size = 36;
+        p.d_num = 9;
+        p.klss.word_size_t = 48;
+        p.klss.alpha_tilde = 5;
+        break;
+      case 'D':
+        p.max_level = 35;
+        p.word_size = 60;
+        p.d_num = 36;
+        p.klss.word_size_t = 64;
+        p.klss.alpha_tilde = 3;
+        break;
+      case 'E':
+        p.max_level = 35;
+        p.word_size = 60;
+        p.d_num = 36;
+        p.batch = 1; // HEonGPU is unbatched
+        break;
+      case 'F':
+        p.max_level = 23;
+        p.word_size = 36;
+        p.d_num = 1;
+        break;
+      case 'G':
+        p.max_level = 23;
+        p.word_size = 36;
+        p.d_num = 6;
+        p.klss.word_size_t = 48;
+        p.klss.alpha_tilde = 5;
+        break;
+      case 'H':
+        p.max_level = 44;
+        p.word_size = 60;
+        p.d_num = 45;
+        p.batch = 1; // CPU comparison point
+        break;
+      default:
+        NEO_CHECK(false, "unknown parameter set");
+    }
+    p.name = std::string("Set-") + set;
+    p.validate();
+    return p;
+}
+
+} // namespace neo::ckks

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * The paper's CKKS parameter sets A–H (Table 4). All use N = 2^16.
+ *
+ * Sets A/B/F use the Hybrid method only; C/D/G add the KLSS
+ * parameters (WordSize_T, α̃). E and H are the HEonGPU / CPU
+ * comparison points and are unbatched.
+ */
+#pragma once
+
+#include "ckks/params.h"
+
+namespace neo::ckks {
+
+/// Parameter set by Table 4 letter ('A'..'H').
+CkksParams paper_set(char set);
+
+/// All set letters in Table 4 order.
+inline constexpr char kPaperSets[] = {'A', 'B', 'C', 'D',
+                                      'E', 'F', 'G', 'H'};
+
+} // namespace neo::ckks

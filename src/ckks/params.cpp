@@ -1,0 +1,75 @@
+#include "ckks/params.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace neo::ckks {
+
+double
+CkksParams::delta()
+const
+{
+    return scale > 0 ? scale : std::ldexp(1.0, word_size - 1);
+}
+
+size_t
+CkksParams::klss_alpha_prime() const
+{
+    NEO_CHECK(klss.enabled(), "KLSS parameters not set");
+    // Worst-case coefficient bound of S_i = Σ_j c_j ⊛ d_i(k_j):
+    //   |c_j| ≤ 2^(α·WordSize)   (centered ciphertext digit; the lift
+    //                             may mis-round by one digit modulus,
+    //                             which is harmless but doubles it)
+    //   |d_i| ≤ 2^(α̃·WordSize)   (centered key digit, same slack)
+    //   negacyclic convolution: ×N, digit sum: ×β (β at worst level).
+    // This is the Eq. 4 requirement instantiated with our operand
+    // bounds.
+    const double beta_max = static_cast<double>(beta(max_level));
+    const double log2_bound = std::log2(static_cast<double>(n)) +
+                              std::log2(beta_max) +
+                              static_cast<double>(alpha() * word_size) +
+                              static_cast<double>(klss.alpha_tilde *
+                                                  word_size) +
+                              2.0; // safety bits for the FP estimate
+    // T is a product of α' primes each >= 2^(WordSize_T - 1); require
+    // T/2 > bound: α'·(WordSize_T - 1) - 1 >= log2_bound.
+    size_t a = 1;
+    while (static_cast<double>(a) * (klss.word_size_t - 1) - 1.0 <
+           log2_bound) {
+        ++a;
+    }
+    return a;
+}
+
+void
+CkksParams::validate() const
+{
+    NEO_CHECK(is_pow2(n) && n >= 16, "N must be a power of two >= 16");
+    NEO_CHECK(word_size >= 30 && word_size <= 60, "WordSize out of range");
+    NEO_CHECK(d_num >= 1 && d_num <= max_level + 1, "d_num out of range");
+    if (klss.enabled()) {
+        NEO_CHECK(klss.word_size_t >= 30 && klss.word_size_t <= 64,
+                  "WordSize_T out of range");
+        NEO_CHECK(klss.alpha_tilde >= 1, "alpha_tilde must be positive");
+    }
+}
+
+CkksParams
+CkksParams::test_params(size_t n, size_t levels, size_t d_num)
+{
+    CkksParams p;
+    p.name = "test";
+    p.n = n;
+    p.max_level = levels;
+    p.word_size = 36;
+    p.d_num = d_num;
+    p.klss.word_size_t = 48;
+    p.klss.alpha_tilde = 2;
+    p.batch = 1;
+    p.validate();
+    return p;
+}
+
+} // namespace neo::ckks

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CKKS parameter sets (Table 1 / Table 4 symbols).
+ *
+ * A parameter set fixes the ring degree N, the modulus chain (L+1
+ * primes of WordSize bits plus K special primes), the key-switch
+ * digit count d_num (α = ceil((L+1)/d_num) primes per digit, and K =
+ * α special primes), and — when the KLSS method is used — the
+ * auxiliary base T (α' primes of WordSize_T bits) and the key-digit
+ * width α̃.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace neo::ckks {
+
+/** KLSS-specific parameters (§2.2). */
+struct KlssParams
+{
+    int word_size_t = 48; ///< bit width of the t_i primes (WordSize_T)
+    size_t alpha_tilde = 5; ///< key-digit group width α̃
+
+    bool enabled() const { return alpha_tilde != 0; }
+};
+
+/** Full CKKS parameter set. */
+struct CkksParams
+{
+    std::string name = "custom";
+    size_t n = 1 << 16;     ///< polynomial degree N
+    size_t max_level = 35;  ///< L: ciphertext starts with L+1 primes
+    int word_size = 36;     ///< bit width of the q_i / p_i primes
+    size_t d_num = 9;       ///< digit count of the gadget decomposition
+    double scale = 0;       ///< Δ; defaults to 2^(word_size - 1)
+    KlssParams klss;        ///< auxiliary-base parameters (optional)
+    size_t batch = 128;     ///< ciphertexts batched per kernel (BatchSize)
+
+    /// α = ceil((L+1)/d_num): primes per ciphertext digit, and the
+    /// number of special primes K.
+    size_t alpha() const { return (max_level + 1 + d_num - 1) / d_num; }
+
+    /// Number of special primes (K = α for the hybrid method).
+    size_t special_primes() const { return alpha(); }
+
+    /// β at level l: number of ciphertext digits.
+    size_t beta(size_t level) const
+    {
+        return (level + 1 + alpha() - 1) / alpha();
+    }
+
+    /// β̃ at level l: ceil((l + α + 1)/α̃) key digits (KLSS).
+    size_t beta_tilde(size_t level) const
+    {
+        return (level + alpha() + 1 + klss.alpha_tilde - 1) /
+               klss.alpha_tilde;
+    }
+
+    /// Effective scale Δ.
+    double delta() const;
+
+    /**
+     * α': the number of T primes needed so the KLSS inner product is
+     * an exact integer: T/2 must exceed N·β·(Q_digit/2)·(G_key/2)
+     * summed over β terms (the Eq. 4 bound, computed from our exact
+     * operand bounds at the worst level).
+     */
+    size_t klss_alpha_prime() const;
+
+    /// Validate invariants; throws on inconsistency.
+    void validate() const;
+
+    /// Small parameters for functional tests (fast, still 36-bit).
+    static CkksParams test_params(size_t n = 1 << 10, size_t levels = 5,
+                                  size_t d_num = 2);
+};
+
+} // namespace neo::ckks

@@ -1,0 +1,170 @@
+#include "ckks/poly_eval.h"
+
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace neo::ckks {
+
+PolyEvaluator::PolyEvaluator(const CkksContext &ctx, const Evaluator &ev,
+                             const EvalKey &rlk,
+                             const KlssEvalKey *klss_rlk)
+    : ctx_(ctx), ev_(ev), rlk_(rlk), klss_rlk_(klss_rlk)
+{
+    // Nominal scale ≈ the prime size, so scale²/q ≈ scale and the
+    // post-rescale snap absorbs only the prime's distance from 2^w.
+    nominal_scale_ = static_cast<double>(ctx.q_basis()[1].value());
+}
+
+Ciphertext
+PolyEvaluator::mul_stable(const Ciphertext &a, const Ciphertext &b) const
+{
+    const size_t level = std::min(a.level, b.level);
+    Ciphertext x = ev_.mod_switch_to(a, level);
+    Ciphertext y = ev_.mod_switch_to(b, level);
+    Ciphertext p = ev_.rescale(ev_.mul(x, y, rlk_, klss_rlk_));
+    p.scale = nominal_scale_;
+    return p;
+}
+
+Ciphertext
+PolyEvaluator::combine(std::vector<Ciphertext> terms,
+                       const std::vector<double> &weights,
+                       double constant) const
+{
+    NEO_ASSERT(terms.size() == weights.size(), "weight count mismatch");
+    // Weight each term, then align levels and sum.
+    std::vector<Ciphertext> weighted;
+    const size_t slots = ctx_.encoder().slot_count();
+    for (size_t i = 0; i < terms.size(); ++i) {
+        if (std::abs(weights[i]) < 1e-13)
+            continue;
+        std::vector<Complex> w(slots, Complex(weights[i], 0));
+        Ciphertext t = ev_.rescale(ev_.mul_plain(
+            terms[i], ctx_.encode(w, terms[i].level, nominal_scale_)));
+        t.scale = nominal_scale_;
+        weighted.push_back(std::move(t));
+    }
+    NEO_CHECK(!weighted.empty(), "polynomial has no non-constant terms");
+    size_t min_level = weighted.front().level;
+    for (const auto &t : weighted)
+        min_level = std::min(min_level, t.level);
+    Ciphertext acc = ev_.mod_switch_to(weighted.front(), min_level);
+    for (size_t i = 1; i < weighted.size(); ++i)
+        acc = ev_.add(acc, ev_.mod_switch_to(weighted[i], min_level));
+    if (std::abs(constant) > 1e-13) {
+        std::vector<Complex> c(slots, Complex(constant, 0));
+        acc = ev_.add_plain(acc, ctx_.encode(c, acc.level, acc.scale));
+    }
+    return acc;
+}
+
+Ciphertext
+PolyEvaluator::evaluate_power(const Ciphertext &x,
+                              const std::vector<double> &coeffs) const
+{
+    NEO_CHECK(coeffs.size() >= 2, "need degree >= 1");
+    const size_t deg = coeffs.size() - 1;
+
+    // Build x^k for every k via the balanced binary split
+    // x^k = x^hi · x^{k-hi} (hi = largest power of two below k), which
+    // keeps the multiplicative depth at ceil(log2 deg).
+    std::map<size_t, Ciphertext> pw;
+    pw.emplace(1, x);
+    pw.at(1).scale = nominal_scale_;
+    for (size_t k = 2; k <= deg; ++k) {
+        size_t hi = 1;
+        while (hi * 2 < k)
+            hi <<= 1;
+        pw.emplace(k, mul_stable(pw.at(hi), pw.at(k - hi)));
+    }
+
+    std::vector<Ciphertext> terms;
+    std::vector<double> weights;
+    for (size_t k = 1; k <= deg; ++k) {
+        if (std::abs(coeffs[k]) >= 1e-13) {
+            terms.push_back(pw.at(k));
+            weights.push_back(coeffs[k]);
+        }
+    }
+    return combine(std::move(terms), weights, coeffs[0]);
+}
+
+Ciphertext
+PolyEvaluator::evaluate_chebyshev(const Ciphertext &x,
+                                  const std::vector<double> &coeffs) const
+{
+    NEO_CHECK(coeffs.size() >= 2, "need degree >= 1");
+    const size_t deg = coeffs.size() - 1;
+    const size_t slots = ctx_.encoder().slot_count();
+
+    std::map<size_t, Ciphertext> cheb;
+    cheb.emplace(1, x);
+    cheb.at(1).scale = nominal_scale_;
+
+    // T_{a+b} = 2 T_a T_b - T_{a-b}, built for every needed index.
+    std::function<const Ciphertext &(size_t)> get =
+        [&](size_t k) -> const Ciphertext & {
+        auto it = cheb.find(k);
+        if (it != cheb.end())
+            return it->second;
+        const size_t a = (k + 1) / 2;
+        const size_t b = k / 2;
+        const Ciphertext &ta = get(a);
+        const Ciphertext &tb = get(b);
+        Ciphertext prod = mul_stable(ta, tb);
+        Ciphertext two = ev_.add(prod, prod);
+        if (a == b) {
+            // T_{2a} = 2 T_a² - T_0, T_0 = 1.
+            std::vector<Complex> one(slots, Complex(1, 0));
+            two = ev_.add_plain(
+                two, [&] {
+                    Plaintext p =
+                        ctx_.encode(one, two.level, two.scale);
+                    p.poly.negate_inplace();
+                    return p;
+                }());
+        } else {
+            // a - b = 1: subtract T_1 = x.
+            Ciphertext x1 = ev_.mod_switch_to(cheb.at(1), two.level);
+            x1.scale = two.scale;
+            two = ev_.sub(two, x1);
+        }
+        return cheb.emplace(k, std::move(two)).first->second;
+    };
+
+    std::vector<Ciphertext> terms;
+    std::vector<double> weights;
+    for (size_t k = 1; k <= deg; ++k) {
+        if (std::abs(coeffs[k]) >= 1e-13) {
+            terms.push_back(get(k));
+            weights.push_back(coeffs[k]);
+        }
+    }
+    return combine(std::move(terms), weights, coeffs[0]);
+}
+
+std::vector<double>
+PolyEvaluator::chebyshev_fit(double (*f)(double, void *), void *arg,
+                             int degree)
+{
+    const int m = degree + 1;
+    std::vector<double> fx(m);
+    for (int k = 0; k < m; ++k) {
+        double theta = M_PI * (k + 0.5) / m;
+        fx[k] = f(std::cos(theta), arg);
+    }
+    std::vector<double> c(m);
+    for (int j = 0; j < m; ++j) {
+        double s = 0;
+        for (int k = 0; k < m; ++k)
+            s += fx[k] * std::cos(M_PI * j * (k + 0.5) / m);
+        c[j] = (j == 0 ? 1.0 : 2.0) * s / m;
+    }
+    return c;
+}
+
+} // namespace neo::ckks

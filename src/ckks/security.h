@@ -1,0 +1,29 @@
+/**
+ * @file
+ * RLWE security estimation for Table 4's λ column.
+ *
+ * Uses the homomorphicencryption.org standard's maximum ciphertext
+ * modulus widths for 128-bit classical security with ternary secrets,
+ * linearly interpolated/extrapolated in log Q — the same first-order
+ * rule of thumb parameter tables are built from. λ scales roughly
+ * inversely with log(Q·P) at fixed N.
+ */
+#pragma once
+
+#include "ckks/params.h"
+
+namespace neo::ckks {
+
+/// Total modulus width (bits) of Q·P for a parameter set.
+double total_modulus_bits(const CkksParams &params);
+
+/**
+ * Maximum log2(Q·P) giving 128-bit classical security at ring degree
+ * @p n (ternary secret), per the HE standard table.
+ */
+double max_modulus_bits_128(size_t n);
+
+/// Estimated security level λ for a parameter set.
+double estimate_security(const CkksParams &params);
+
+} // namespace neo::ckks

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Binary serialization of polynomials, ciphertexts and key material —
+ * what a deployment needs to ship evaluation keys to the GPU server
+ * and ciphertexts between client and server.
+ *
+ * Format: little-endian, a 4-byte magic + version per object, with
+ * the modulus chain embedded so a load against a mismatched context
+ * fails loudly instead of corrupting silently.
+ */
+#pragma once
+
+#include <iosfwd>
+
+#include "ckks/context.h"
+#include "ckks/keys.h"
+
+namespace neo::ckks {
+
+void save(std::ostream &os, const RnsPoly &poly);
+RnsPoly load_poly(std::istream &is);
+
+void save(std::ostream &os, const Ciphertext &ct);
+Ciphertext load_ciphertext(std::istream &is);
+
+void save(std::ostream &os, const SecretKey &sk);
+SecretKey load_secret_key(std::istream &is);
+
+void save(std::ostream &os, const EvalKey &evk);
+EvalKey load_eval_key(std::istream &is);
+
+/**
+ * Validate that @p poly's modulus chain is a prefix of (or equal to)
+ * the context's chains; throws std::invalid_argument otherwise.
+ * Called by users after loading material from untrusted storage.
+ */
+void validate_against(const CkksContext &ctx, const RnsPoly &poly);
+
+} // namespace neo::ckks

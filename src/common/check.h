@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error-reporting helpers.
+ *
+ * Following the gem5 fatal()/panic() distinction:
+ *  - NEO_CHECK reports a *user*-caused error (bad parameters, unmet
+ *    preconditions of the public API) and throws std::invalid_argument.
+ *  - NEO_ASSERT reports an *internal* invariant violation (a bug in
+ *    Neo itself) and throws std::logic_error.
+ *
+ * Both are always on (they guard cryptographic correctness); hot inner
+ * loops use plain assert() instead.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace neo {
+
+namespace detail {
+
+[[noreturn]] inline void
+throw_check_failure(const char *kind, const char *expr, const char *file,
+                    int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+    if (!msg.empty())
+        os << " — " << msg;
+    if (kind[0] == 'N' && kind[4] == 'C') // NEO_CHECK
+        throw std::invalid_argument(os.str());
+    throw std::logic_error(os.str());
+}
+
+} // namespace detail
+
+/// Validate a user-facing precondition; throws std::invalid_argument.
+#define NEO_CHECK(cond, msg)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::neo::detail::throw_check_failure("NEO_CHECK", #cond, __FILE__, \
+                                               __LINE__, (msg));             \
+        }                                                                    \
+    } while (0)
+
+/// Validate an internal invariant; throws std::logic_error.
+#define NEO_ASSERT(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::neo::detail::throw_check_failure("NEO_ASSERT", #cond,          \
+                                               __FILE__, __LINE__, (msg));   \
+        }                                                                    \
+    } while (0)
+
+} // namespace neo

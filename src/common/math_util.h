@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Small integer-math helpers: powers of two, bit reversal, ceiling
+ * division, and exact 64-bit modular arithmetic on 128-bit
+ * intermediates.
+ */
+#pragma once
+
+#include <bit>
+#include <cstddef>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace neo {
+
+/// True iff @p x is a power of two (zero is not).
+constexpr bool
+is_pow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Exact log2 of a power of two.
+constexpr int
+log2_exact(u64 x)
+{
+    return std::countr_zero(x);
+}
+
+/// Ceiling of a/b for positive integers.
+constexpr u64
+ceil_div(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/// Number of bits needed to represent @p x (bit_width).
+constexpr int
+bit_size(u64 x)
+{
+    return static_cast<int>(std::bit_width(x));
+}
+
+/// Reverse the low @p bits bits of @p x.
+constexpr u64
+reverse_bits(u64 x, int bits)
+{
+    u64 r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | ((x >> i) & 1);
+    }
+    return r;
+}
+
+/// (a + b) mod q, assuming a,b < q < 2^63.
+constexpr u64
+add_mod(u64 a, u64 b, u64 q)
+{
+    u64 s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/// (a - b) mod q, assuming a,b < q.
+constexpr u64
+sub_mod(u64 a, u64 b, u64 q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/// (a * b) mod q via 128-bit intermediate.
+constexpr u64
+mul_mod(u64 a, u64 b, u64 q)
+{
+    return static_cast<u64>((static_cast<u128>(a) * b) % q);
+}
+
+/// a^e mod q (binary exponentiation).
+constexpr u64
+pow_mod(u64 a, u64 e, u64 q)
+{
+    u64 r = 1 % q;
+    a %= q;
+    while (e > 0) {
+        if (e & 1)
+            r = mul_mod(r, a, q);
+        a = mul_mod(a, a, q);
+        e >>= 1;
+    }
+    return r;
+}
+
+/// Multiplicative inverse of a mod prime q (Fermat).
+constexpr u64
+inv_mod(u64 a, u64 q)
+{
+    return pow_mod(a, q - 2, q);
+}
+
+/// Map a residue in [0,q) to its centered representative in (-q/2, q/2].
+constexpr i64
+to_centered(u64 x, u64 q)
+{
+    return x > q / 2 ? static_cast<i64>(x) - static_cast<i64>(q)
+                     : static_cast<i64>(x);
+}
+
+/// Map a signed value to its residue in [0,q).
+constexpr u64
+from_centered(i64 x, u64 q)
+{
+    i64 r = x % static_cast<i64>(q);
+    if (r < 0)
+        r += static_cast<i64>(q);
+    return static_cast<u64>(r);
+}
+
+} // namespace neo

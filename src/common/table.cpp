@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace neo {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> width;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (width.size() < cells.size())
+            width.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return std::string(buf);
+}
+
+std::string
+format_time(double seconds)
+{
+    if (seconds < 1e-6)
+        return strfmt("%.1f ns", seconds * 1e9);
+    if (seconds < 1e-3)
+        return strfmt("%.2f us", seconds * 1e6);
+    if (seconds < 1.0)
+        return strfmt("%.2f ms", seconds * 1e3);
+    return strfmt("%.3f s", seconds);
+}
+
+std::string
+format_bytes(double bytes)
+{
+    if (bytes < 1024.0)
+        return strfmt("%.0f B", bytes);
+    if (bytes < 1024.0 * 1024)
+        return strfmt("%.1f KB", bytes / 1024.0);
+    if (bytes < 1024.0 * 1024 * 1024)
+        return strfmt("%.1f MB", bytes / (1024.0 * 1024));
+    return strfmt("%.2f GB", bytes / (1024.0 * 1024 * 1024));
+}
+
+} // namespace neo

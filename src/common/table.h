@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal aligned-column table printer used by the benchmark binaries
+ * to emit the rows of each paper table / figure series.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace neo {
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    /// Set the header row.
+    void header(std::vector<std::string> cells);
+
+    /// Append one data row.
+    void row(std::vector<std::string> cells);
+
+    /// Render to a string with column alignment and a separator rule.
+    std::string str() const;
+
+    /// Render and write to stdout.
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format seconds with an auto-selected unit (ns/us/ms/s).
+std::string format_time(double seconds);
+
+/// Format a byte count with an auto-selected unit (B/KB/MB/GB).
+std::string format_bytes(double bytes);
+
+} // namespace neo

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Fixed-width integer aliases used throughout Neo.
+ *
+ * FHE moduli in this project are up to 64 bits wide, so modular
+ * multiplication requires a 128-bit intermediate; we rely on the GCC /
+ * Clang `__int128` extension (enabled via CMAKE_CXX_EXTENSIONS).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace neo {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using i32 = std::int32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+} // namespace neo

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Performance model of the evaluation platform — an NVIDIA A100-40GB
+ * (Table 3 of the paper). This stands in for the physical GPU: every
+ * backend (Neo, TensorFHE, HEonGPU, CPU) prices its kernels against
+ * the *same* device numbers, so cross-backend ratios are produced by
+ * algorithmic and mapping differences only.
+ *
+ * Peak numbers are the A100 datasheet values quoted in §2.3. The
+ * efficiency factors below are the achieved fraction of peak assumed
+ * for well-tuned kernels; they are deliberately coarse, fixed once,
+ * and never tuned per experiment (see DESIGN.md "calibration").
+ */
+#pragma once
+
+#include "common/types.h"
+
+namespace neo::gpusim {
+
+/** Datasheet throughputs and fixed model constants for one GPGPU. */
+struct DeviceSpec
+{
+    const char *name = "NVIDIA A100-40GB";
+
+    // --- Datasheet peaks (§2.3) -------------------------------------
+    double fp64_cuda_flops = 9.7e12;  ///< CUDA-core FP64 peak
+    double fp64_tcu_flops = 19.5e12;  ///< Tensor-core FP64 peak
+    double int8_tcu_ops = 624e12;     ///< Tensor-core INT8 peak
+    double int32_cuda_ops = 19.5e12;  ///< CUDA-core INT32 peak
+    double hbm_bandwidth = 1555e9;    ///< HBM2e bytes/second
+    int num_sms = 108;
+    double vram_bytes = 40e9;
+
+    // --- Achieved-fraction model constants ---------------------------
+    double eff_mem = 0.80;      ///< fraction of peak DRAM bandwidth
+    double eff_cuda = 0.60;     ///< fraction of peak CUDA-core rate
+    double eff_tcu = 0.30;      ///< achieved fraction of FP64 TCU peak
+    /// Achieved fraction of INT8 TCU peak (per-fragment the INT8
+    /// pipes are fast — §3.4: "INT8 performs one matrix
+    /// multiplication much faster"; they lose on plane count and
+    /// merge cost, not on per-GEMM efficiency).
+    double eff_tcu_int8 = 0.15;
+    double kernel_launch_s = 3e-6; ///< per-launch host+dispatch latency
+
+    /**
+     * INT32-op cost of merging one element of one partial product
+     * (shift-scaled accumulation with periodic modular reduction) —
+     * the "merge" step of Fig 3.
+     */
+    double int_ops_per_merge = 12.0;
+
+    /**
+     * Occupancy model for batched pipelines: kernels whose grid is
+     * sized by the ciphertext batch achieve utilisation
+     * batch/(batch + occupancy_half_batch) — the Fig 17 sensitivity.
+     */
+    double occupancy_half_batch = 16.0;
+
+    /**
+     * INT32-op cost of one 64-bit modular multiply on CUDA cores
+     * (three 32x32 partial products for mul.lo, mul.hi, plus the
+     * Barrett/Shoup correction sequence; an IMAD counts as 2 ops).
+     */
+    double int_ops_per_modmul = 20.0;
+    /// INT32-op cost of one 64-bit modular add/sub.
+    double int_ops_per_modadd = 4.0;
+
+    // --- Derived rates ------------------------------------------------
+    /// Achieved 64-bit modular multiplies per second on CUDA cores.
+    double modmul_rate() const
+    {
+        return int32_cuda_ops * eff_cuda / int_ops_per_modmul;
+    }
+
+    /// Achieved 64-bit modular adds per second on CUDA cores.
+    double modadd_rate() const
+    {
+        return int32_cuda_ops * eff_cuda / int_ops_per_modadd;
+    }
+
+    /// Achieved FP64 TCU fused multiply-adds per second.
+    double tcu_fp64_fma_rate() const
+    {
+        return fp64_tcu_flops * eff_tcu / 2.0;
+    }
+
+    /// Achieved INT8 TCU multiply-adds per second.
+    double tcu_int8_mac_rate() const
+    {
+        return int8_tcu_ops * eff_tcu_int8 / 2.0;
+    }
+
+    /// Achieved plain INT32 ops per second (splits, merges, reorders).
+    double int_op_rate() const { return int32_cuda_ops * eff_cuda; }
+
+    /// Achieved DRAM bytes per second.
+    double mem_rate() const { return hbm_bandwidth * eff_mem; }
+
+    /// The device used throughout the paper's evaluation.
+    static DeviceSpec a100() { return DeviceSpec{}; }
+};
+
+} // namespace neo::gpusim

@@ -1,0 +1,128 @@
+#include "gpusim/event_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/check.h"
+
+namespace neo::gpusim {
+
+namespace {
+
+/// Per-resource seconds-of-service a kernel demands at full rate.
+std::array<double, 3>
+demands(const KernelCost &k, const DeviceSpec &d)
+{
+    return {k.cuda_time(d), k.tcu_time(d), k.mem_time(d)};
+}
+
+} // namespace
+
+EventSimulator::Result
+EventSimulator::run(const std::vector<SimKernel> &kernels) const
+{
+    const size_t n = kernels.size();
+    Result res;
+    res.finish.assign(n, 0.0);
+    if (n == 0)
+        return res;
+
+    // Remaining service per resource, plus fixed launch latency served
+    // before the kernel's work begins.
+    std::vector<std::array<double, 3>> remaining(n);
+    std::vector<double> launch_left(n);
+    for (size_t i = 0; i < n; ++i) {
+        remaining[i] = demands(kernels[i].cost, dev_);
+        launch_left[i] = kernels[i].cost.launches * dev_.kernel_launch_s;
+    }
+
+    std::vector<bool> done(n, false);
+    double now = 0.0;
+
+    auto ready = [&](size_t i) {
+        if (done[i])
+            return false;
+        // Stream order: all earlier kernels of the same stream done.
+        for (size_t j = 0; j < i; ++j) {
+            if (kernels[j].stream == kernels[i].stream && !done[j])
+                return false;
+        }
+        for (size_t dep : kernels[i].deps) {
+            NEO_CHECK(dep < n, "dependency index out of range");
+            if (!done[dep])
+                return false;
+        }
+        return true;
+    };
+
+    size_t completed = 0;
+    size_t guard = 0;
+    while (completed < n) {
+        NEO_CHECK(++guard <= 4 * n + 16, "simulation failed to progress");
+        // Active set.
+        std::vector<size_t> active;
+        for (size_t i = 0; i < n; ++i) {
+            if (ready(i))
+                active.push_back(i);
+        }
+        NEO_ASSERT(!active.empty(), "deadlock in kernel dependencies");
+
+        // Resource shares: each resource splits evenly among active
+        // kernels that still demand it.
+        std::array<int, 3> users{0, 0, 0};
+        for (size_t i : active) {
+            for (int r = 0; r < 3; ++r) {
+                if (remaining[i][r] > 0)
+                    ++users[r];
+            }
+        }
+
+        // Completion horizon for each active kernel under the current
+        // shares: launch latency first, then the slowest resource.
+        double dt = std::numeric_limits<double>::infinity();
+        for (size_t i : active) {
+            double t = launch_left[i];
+            for (int r = 0; r < 3; ++r) {
+                if (remaining[i][r] > 0)
+                    t = std::max(t, launch_left[i] +
+                                        remaining[i][r] * users[r]);
+            }
+            dt = std::min(dt, std::max(t, 1e-15));
+        }
+
+        // Advance by dt, serving every active kernel.
+        for (size_t i : active) {
+            double served = dt;
+            double l = std::min(launch_left[i], served);
+            launch_left[i] -= l;
+            served -= l;
+            if (served <= 0)
+                continue;
+            for (int r = 0; r < 3; ++r) {
+                if (remaining[i][r] > 0) {
+                    remaining[i][r] -= served / users[r];
+                    if (remaining[i][r] < 1e-15)
+                        remaining[i][r] = 0;
+                }
+            }
+        }
+        now += dt;
+
+        // Retire finished kernels.
+        for (size_t i : active) {
+            bool fin = launch_left[i] <= 0;
+            for (int r = 0; r < 3 && fin; ++r)
+                fin = remaining[i][r] <= 0;
+            if (fin) {
+                done[i] = true;
+                res.finish[i] = now;
+                ++completed;
+            }
+        }
+    }
+    res.makespan = now;
+    return res;
+}
+
+} // namespace neo::gpusim

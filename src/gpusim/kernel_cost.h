@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Roofline cost of one GPU kernel and schedule-level composition.
+ *
+ * A kernel is summarised by the work it places on each device
+ * resource: CUDA-core modular ops, TCU MACs (already padded and
+ * split-multiplied), and DRAM traffic. Its execution time is
+ *
+ *   time = max(mem_time, compute_time) + launches * launch_overhead
+ *
+ * where compute_time is the sum of CUDA and TCU phase times for an
+ * ordinary kernel, or their max when the multi-stream optimization
+ * (§4.6) lets another stream's CUDA work fill TCU stalls.
+ *
+ * This is the same first-order model the paper itself reasons with in
+ * §3 (memory-transfer proportions, component throughputs, Booth/
+ * padding multipliers), so shapes of the evaluation figures follow
+ * from the modelled algorithms rather than from per-figure tuning.
+ */
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device_spec.h"
+
+namespace neo::gpusim {
+
+/** Work placed on each GPU resource by one kernel (or fused kernel). */
+struct KernelCost
+{
+    double cuda_modmul = 0;  ///< 64-bit modular multiplies on CUDA cores
+    double cuda_modadd = 0;  ///< 64-bit modular adds/subs on CUDA cores
+    double cuda_int_ops = 0; ///< plain INT32 ops (splits/merges/reorders)
+    double tcu_fp64_macs = 0; ///< padded+split FP64 TCU MACs
+    double tcu_int8_macs = 0; ///< padded+split INT8 TCU MACs
+    double bytes_read = 0;    ///< DRAM bytes read
+    double bytes_written = 0; ///< DRAM bytes written
+    double launches = 1;      ///< kernel launches (0 for fused-away steps)
+
+    double bytes() const { return bytes_read + bytes_written; }
+
+    /// Accumulate another kernel's work (used by kernel fusion, which
+    /// also removes the fused kernel's launch and intermediate
+    /// traffic at the call site).
+    KernelCost &operator+=(const KernelCost &o);
+    friend KernelCost operator+(KernelCost a, const KernelCost &b)
+    {
+        a += b;
+        return a;
+    }
+
+    /// Time of the CUDA-core phase alone.
+    double cuda_time(const DeviceSpec &d) const;
+    /// Time of the TCU phase alone.
+    double tcu_time(const DeviceSpec &d) const;
+    /// Time of the memory phase alone.
+    double mem_time(const DeviceSpec &d) const;
+
+    /**
+     * Kernel execution time.
+     * @param overlap_components  true when multi-stream execution
+     *        overlaps the CUDA and TCU phases (§4.6).
+     */
+    double time(const DeviceSpec &d, bool overlap_components = false) const;
+};
+
+/** Totals for a sequence of kernels forming one FHE operation. */
+struct ScheduleResult
+{
+    double seconds = 0;
+    double bytes = 0;
+    double launches = 0;
+};
+
+/**
+ * Execute a kernel sequence under the device model.
+ * @param multistream  overlap CUDA/TCU phases within and across
+ *        kernels (the §4.6 multi-stream optimization).
+ */
+ScheduleResult run_schedule(const std::vector<KernelCost> &kernels,
+                            const DeviceSpec &d, bool multistream);
+
+} // namespace neo::gpusim

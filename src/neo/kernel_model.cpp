@@ -1,0 +1,445 @@
+#include "neo/kernel_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "poly/matrix_ntt.h"
+#include "tensor/bitslice.h"
+
+namespace neo::model {
+
+using gpusim::KernelCost;
+using gpusim::TcuModel;
+
+KernelModel::KernelModel(const ckks::CkksParams &params,
+                         const ModelConfig &cfg)
+    : params_(params), cfg_(cfg)
+{
+    NEO_CHECK(!cfg_.use_klss || params_.klss.enabled(),
+              "KLSS model requires KLSS parameters");
+}
+
+KernelCost
+KernelModel::gemm(size_t m, size_t n, size_t k, int wa, int wb,
+                  MatMulEngine engine) const
+{
+    KernelCost c;
+    c.launches = 0; // priced by the owning kernel
+    const double mn = static_cast<double>(m) * n;
+    switch (engine) {
+      case MatMulEngine::cuda_cores:
+        c.cuda_modmul += mn * k;
+        c.cuda_modadd += mn * k;
+        break;
+      case MatMulEngine::tcu_fp64: {
+        const SplitPlan plan =
+            choose_fp64_split(std::max(wa, 1), std::max(wb, 1), k);
+        const u64 padded =
+            TcuModel::padded_macs(m, n, k, gpusim::kFp64Fragment);
+        c.tcu_fp64_macs += static_cast<double>(padded) * plan.products();
+        // Split (CUDA cores): produce the operand planes.
+        c.cuda_int_ops += 2.0 * (plan.a_planes * static_cast<double>(m) * k +
+                                 plan.b_planes * static_cast<double>(k) * n);
+        // Merge: combine plan.products() partials with shifts + mod.
+        c.cuda_int_ops +=
+            cfg_.device.int_ops_per_merge * plan.products() * mn;
+        break;
+      }
+      case MatMulEngine::tcu_int8: {
+        const SplitPlan plan =
+            choose_int8_split(std::max(wa, 1), std::max(wb, 1), k);
+        u64 best = ~0ULL;
+        for (const auto &f : gpusim::kInt8Fragments)
+            best = std::min(best, TcuModel::padded_macs(m, n, k, f));
+        c.tcu_int8_macs += static_cast<double>(best) * plan.products();
+        c.cuda_int_ops += 2.0 * (plan.a_planes * static_cast<double>(m) * k +
+                                 plan.b_planes * static_cast<double>(k) * n);
+        c.cuda_int_ops +=
+            cfg_.device.int_ops_per_merge * plan.products() * mn;
+        break;
+      }
+    }
+    return c;
+}
+
+KernelCost
+KernelModel::ntt(size_t limbs, int word_bits) const
+{
+    const double batch = static_cast<double>(params_.batch);
+    const double n = static_cast<double>(params_.n);
+    const double lb = static_cast<double>(limbs) * batch;
+    KernelCost c;
+    // Fused implementations stream the data twice (two matmul/butterfly
+    // passes through shared memory), as in 100x / TensorFHE.
+    c.bytes_read = 2.0 * lb * n * 8.0;
+    c.bytes_written = 2.0 * lb * n * 8.0;
+    c.launches = cfg_.kernel_fusion ? 1 : 2;
+
+    if (!cfg_.tcu_ntt) {
+        // Butterfly NTT on CUDA cores.
+        const double stages = std::log2(n);
+        c.cuda_modmul += lb * (n / 2.0) * stages;
+        c.cuda_modadd += lb * n * stages;
+        return c;
+    }
+
+    const size_t radix =
+        cfg_.radix16_ntt ? 16 : static_cast<size_t>(std::sqrt(n));
+    const auto cx = MatrixNtt::complexity_for(params_.n, radix);
+    // Matrix products: one batched GEMM per stage; M is the batched
+    // row count (always fragment-aligned at FHE sizes).
+    const double per_limb_macs = static_cast<double>(cx.matmul_macs);
+    MatMulEngine eng = cfg_.engine;
+    KernelCost g =
+        gemm(static_cast<size_t>(lb * per_limb_macs / (radix * radix)),
+             radix, radix, word_bits, word_bits, eng);
+    c += g;
+    // Twists and reorders run on CUDA cores.
+    c.cuda_modmul += lb * static_cast<double>(cx.twist_muls);
+    c.cuda_int_ops += 2.0 * lb * static_cast<double>(cx.reorder_elems);
+    if (!cfg_.kernel_fusion) {
+        // Unfused stages spill intermediates to DRAM.
+        c.bytes_read += (cx.matmul_stages - 1) * lb * n * 8.0;
+        c.bytes_written += (cx.matmul_stages - 1) * lb * n * 8.0;
+        c.launches += static_cast<double>(cx.matmul_stages) - 1;
+    }
+    return c;
+}
+
+KernelCost
+KernelModel::bconv(size_t in_limbs, size_t out_limbs, int word_in,
+                   int word_out) const
+{
+    const double batch = static_cast<double>(params_.batch);
+    const double n = static_cast<double>(params_.n);
+    const double elems_in = static_cast<double>(in_limbs) * batch * n;
+    const double elems_out = static_cast<double>(out_limbs) * batch * n;
+    KernelCost c;
+
+    if (!cfg_.matmul_dataflow) {
+        // Algorithm 1: every input coefficient is fetched once per
+        // output level.
+        c.bytes_read = elems_in * 8.0 * static_cast<double>(out_limbs);
+        c.bytes_written = elems_out * 8.0;
+        c.cuda_modmul = 2.0 * elems_in * static_cast<double>(out_limbs);
+        c.cuda_modadd = elems_in * static_cast<double>(out_limbs);
+        c.launches = 1;
+        return c;
+    }
+
+    // Algorithm 2: single fetch, reorder, one (BS·N) × α' × α GEMM.
+    c.bytes_read = elems_in * 8.0;
+    c.bytes_written = elems_out * 8.0;
+    c.cuda_modmul = elems_in; // the (B/b_i)^{-1} pre-scaling
+    c.cuda_int_ops = 2.0 * (elems_in + elems_out); // fused reorders
+    c += gemm(static_cast<size_t>(batch * n), out_limbs, in_limbs,
+              word_in, word_out, cfg_.engine);
+    if (cfg_.kernel_fusion) {
+        c.launches = 1;
+    } else {
+        c.launches = 3; // pre, GEMM, post
+        c.bytes_read += 2.0 * elems_in * 8.0;
+        c.bytes_written += elems_in * 8.0 + elems_out * 8.0;
+    }
+    return c;
+}
+
+MatMulEngine
+KernelModel::ip_engine(size_t level) const
+{
+    if (cfg_.engine != MatMulEngine::tcu_fp64 || !cfg_.matmul_dataflow)
+        return cfg_.matmul_dataflow ? cfg_.engine : MatMulEngine::cuda_cores;
+    const size_t beta = params_.beta(level);
+    const size_t beta_tilde = params_.beta_tilde(level);
+    const double valid = TcuModel::valid_proportion_fp64(
+        params_.batch, beta_tilde, beta);
+    return valid > cfg_.ip_tcu_threshold ? MatMulEngine::tcu_fp64
+                                         : MatMulEngine::cuda_cores;
+}
+
+KernelCost
+KernelModel::ip(size_t beta, size_t beta_tilde, size_t limbs,
+                int word_bits) const
+{
+    const double batch = static_cast<double>(params_.batch);
+    const double n = static_cast<double>(params_.n);
+    const double ct_elems =
+        static_cast<double>(beta) * limbs * batch * n; // per component
+    const double key_elems =
+        static_cast<double>(beta_tilde) * beta * limbs * n;
+    const double out_elems = static_cast<double>(beta_tilde) * limbs *
+                             batch * n;
+    KernelCost c;
+
+    if (!cfg_.matmul_dataflow) {
+        // Algorithm 3: ciphertext limbs re-read β̃ times; keys once;
+        // and the accumulators spill to DRAM between the β
+        // independent ModMUL passes.
+        c.bytes_read = 2.0 * (ct_elems * beta_tilde + key_elems) * 8.0 +
+                       2.0 * out_elems * 8.0 * (beta - 1);
+        c.bytes_written = 2.0 * out_elems * 8.0 * beta;
+        c.cuda_modmul = 2.0 * beta_tilde * ct_elems;
+        c.cuda_modadd = 2.0 * beta_tilde * ct_elems;
+        c.launches = beta_tilde * beta; // one ModMUL kernel per pair
+        return c;
+    }
+
+    // Algorithm 4: single fetch of everything; BS × β̃ × β GEMMs at
+    // every (coefficient, limb) site.
+    c.bytes_read = 2.0 * (ct_elems + key_elems) * 8.0;
+    c.bytes_written = 2.0 * out_elems * 8.0;
+    c.cuda_int_ops = 2.0 * 2.0 * (ct_elems + out_elems); // reorders
+    MatMulEngine eng = cfg_.engine;
+    if (eng == MatMulEngine::tcu_fp64) {
+        const double valid = TcuModel::valid_proportion_fp64(
+            params_.batch, beta_tilde, beta);
+        if (valid <= cfg_.ip_tcu_threshold)
+            eng = MatMulEngine::cuda_cores;
+    }
+    KernelCost g = gemm(params_.batch, beta_tilde, beta, word_bits,
+                        word_bits, eng);
+    // One such GEMM per coefficient site per limb, both components.
+    const double sites = 2.0 * n * static_cast<double>(limbs);
+    c.cuda_modmul += g.cuda_modmul * sites;
+    c.cuda_modadd += g.cuda_modadd * sites;
+    c.cuda_int_ops += g.cuda_int_ops * sites;
+    c.tcu_fp64_macs += g.tcu_fp64_macs * sites;
+    c.tcu_int8_macs += g.tcu_int8_macs * sites;
+    c.launches = cfg_.kernel_fusion ? 1 : 3;
+    return c;
+}
+
+KernelCost
+KernelModel::modmul(size_t limbs) const
+{
+    const double elems = static_cast<double>(limbs) * params_.batch *
+                         params_.n;
+    KernelCost c;
+    c.bytes_read = 2.0 * elems * 8.0;
+    c.bytes_written = elems * 8.0;
+    c.cuda_modmul = elems;
+    return c;
+}
+
+KernelCost
+KernelModel::modadd(size_t limbs) const
+{
+    const double elems = static_cast<double>(limbs) * params_.batch *
+                         params_.n;
+    KernelCost c;
+    c.bytes_read = 2.0 * elems * 8.0;
+    c.bytes_written = elems * 8.0;
+    c.cuda_modadd = elems;
+    return c;
+}
+
+KernelCost
+KernelModel::auto_kernel(size_t limbs) const
+{
+    const double elems = static_cast<double>(limbs) * params_.batch *
+                         params_.n;
+    KernelCost c;
+    c.bytes_read = elems * 8.0;
+    c.bytes_written = elems * 8.0;
+    c.cuda_int_ops = 2.0 * elems;
+    return c;
+}
+
+std::vector<KernelCost>
+KernelModel::keyswitch_kernels(size_t level) const
+{
+    const size_t l = level;
+    const size_t alpha = params_.alpha();
+    const size_t k_special = params_.special_primes();
+    const size_t ext = l + 1 + k_special;
+    const size_t beta = params_.beta(l);
+    const int w = params_.word_size;
+    std::vector<KernelCost> ks;
+
+    // INTT of the input (l+1 limbs).
+    ks.push_back(ntt(l + 1, w));
+
+    if (cfg_.use_klss) {
+        const size_t ap = params_.klss_alpha_prime();
+        const size_t bt = params_.beta_tilde(l);
+        const int wt = params_.klss.word_size_t;
+        // Mod Up: β exact BConv(α -> α').
+        for (size_t j = 0; j < beta; ++j)
+            ks.push_back(bconv(alpha, ap, w, wt));
+        // NTT over T.
+        ks.push_back(ntt(beta * ap, wt));
+        // IP over T.
+        ks.push_back(ip(beta, bt, ap, wt));
+        // INTT over T (both components).
+        ks.push_back(ntt(2 * bt * ap, wt));
+        // Recover Limbs: exact BConv(α' -> ext), both components.
+        ks.push_back(bconv(ap, ext, wt, w));
+        ks.push_back(bconv(ap, ext, wt, w));
+    } else {
+        // Hybrid: ModUp per digit (α -> ext-α), NTT, IP over Q·P.
+        for (size_t j = 0; j < beta; ++j)
+            ks.push_back(bconv(alpha, ext - alpha, w, w));
+        ks.push_back(ntt(beta * ext, w));
+        ks.push_back(ip(beta, 1, ext, w));
+        ks.push_back(ntt(2 * ext, w)); // INTT before ModDown
+    }
+
+    // ModDown: BConv(P -> Q) + scalar fix, both components.
+    ks.push_back(bconv(k_special, l + 1, w, w));
+    ks.push_back(bconv(k_special, l + 1, w, w));
+    ks.push_back(modmul(2 * (l + 1)));
+    // Final NTT back to eval form.
+    ks.push_back(ntt(2 * (l + 1), w));
+    return ks;
+}
+
+double
+KernelModel::run(const std::vector<KernelCost> &kernels) const
+{
+    // Kernels process the whole batch; the paper reports the average
+    // time per batched ciphertext ("average time per batch", §6), so
+    // fixed costs amortize across the BatchSize ciphertexts.
+    double seconds =
+        gpusim::run_schedule(kernels, cfg_.device, cfg_.multistream)
+            .seconds;
+    if (cfg_.batched_pipeline) {
+        // Batched pipelines draw their SM occupancy from the batch
+        // dimension (Fig 17): derate at small BatchSize.
+        const double b = static_cast<double>(params_.batch);
+        seconds /= b / (b + cfg_.device.occupancy_half_batch);
+    }
+    return seconds / static_cast<double>(params_.batch);
+}
+
+double
+KernelModel::keyswitch_time(size_t level) const
+{
+    return run(keyswitch_kernels(level));
+}
+
+double
+KernelModel::hmult_time(size_t level) const
+{
+    auto ks = keyswitch_kernels(level);
+    // d0, d1, d2: four limb-wise multiplies and one add, then the
+    // switched d2 folds back with two adds.
+    ks.push_back(modmul(4 * (level + 1)));
+    ks.push_back(modadd(3 * (level + 1)));
+    return run(ks);
+}
+
+double
+KernelModel::hrotate_time(size_t level) const
+{
+    auto ks = keyswitch_kernels(level);
+    ks.push_back(auto_kernel(2 * (level + 1)));
+    ks.push_back(modadd(level + 1));
+    return run(ks);
+}
+
+double
+KernelModel::hrotate_hoisted_time(size_t level, size_t count) const
+{
+    NEO_CHECK(count >= 1, "need at least one rotation");
+    const size_t l = level;
+    const size_t alpha = params_.alpha();
+    const size_t k_special = params_.special_primes();
+    const size_t ext = l + 1 + k_special;
+    const size_t beta = params_.beta(l);
+    const int w = params_.word_size;
+
+    std::vector<gpusim::KernelCost> ks;
+    // Shared half: INTT + ModUp BConv + NTT of the raised digits.
+    ks.push_back(ntt(l + 1, w));
+    for (size_t j = 0; j < beta; ++j)
+        ks.push_back(bconv(alpha, ext - alpha, w, w));
+    ks.push_back(ntt(beta * ext, w));
+    // Per-rotation half: AUTO on the raised digits + IP + ModDown.
+    for (size_t r = 0; r < count; ++r) {
+        ks.push_back(auto_kernel(beta * ext + 2 * (l + 1)));
+        ks.push_back(ip(beta, 1, ext, w));
+        ks.push_back(ntt(2 * ext, w));
+        ks.push_back(bconv(k_special, l + 1, w, w));
+        ks.push_back(bconv(k_special, l + 1, w, w));
+        ks.push_back(modmul(2 * (l + 1)));
+        ks.push_back(ntt(2 * (l + 1), w));
+        ks.push_back(modadd(l + 1));
+    }
+    return run(ks);
+}
+
+double
+KernelModel::pmult_time(size_t level) const
+{
+    return run({modmul(2 * (level + 1))});
+}
+
+double
+KernelModel::hadd_time(size_t level) const
+{
+    return run({modadd(2 * (level + 1))});
+}
+
+double
+KernelModel::padd_time(size_t level) const
+{
+    return run({modadd(level + 1)});
+}
+
+double
+KernelModel::rescale_time(size_t level) const
+{
+    std::vector<KernelCost> ks;
+    ks.push_back(ntt(2 * (level + 1), params_.word_size)); // INTT
+    ks.push_back(modmul(2 * level));                       // scalar fix
+    ks.push_back(ntt(2 * level, params_.word_size));       // NTT
+    return run(ks);
+}
+
+double
+KernelModel::double_rescale_time(size_t level) const
+{
+    std::vector<KernelCost> ks;
+    ks.push_back(ntt(2 * (level + 1), params_.word_size));
+    ks.push_back(modmul(4 * level - 2));
+    ks.push_back(ntt(2 * (level - 1), params_.word_size));
+    return run(ks);
+}
+
+KernelModel::KeySwitchTraffic
+KernelModel::keyswitch_traffic(size_t level) const
+{
+    const size_t l = level;
+    const size_t alpha = params_.alpha();
+    const size_t k_special = params_.special_primes();
+    const size_t ext = l + 1 + k_special;
+    const size_t beta = params_.beta(l);
+    const int w = params_.word_size;
+
+    KeySwitchTraffic t;
+    t.ntt += ntt(l + 1, w).bytes();
+    if (cfg_.use_klss) {
+        const size_t ap = params_.klss_alpha_prime();
+        const size_t bt = params_.beta_tilde(l);
+        const int wt = params_.klss.word_size_t;
+        for (size_t j = 0; j < beta; ++j)
+            t.bconv += bconv(alpha, ap, w, wt).bytes();
+        t.ntt += ntt(beta * ap, wt).bytes();
+        t.ip += ip(beta, bt, ap, wt).bytes();
+        t.ntt += ntt(2 * bt * ap, wt).bytes();
+        t.bconv += 2 * bconv(ap, ext, wt, w).bytes();
+    } else {
+        for (size_t j = 0; j < beta; ++j)
+            t.bconv += bconv(alpha, ext - alpha, w, w).bytes();
+        t.ntt += ntt(beta * ext, w).bytes();
+        t.ip += ip(beta, 1, ext, w).bytes();
+        t.ntt += ntt(2 * ext, w).bytes();
+    }
+    t.bconv += 2 * bconv(k_special, l + 1, w, w).bytes();
+    t.other += modmul(2 * (l + 1)).bytes();
+    t.ntt += ntt(2 * (l + 1), w).bytes();
+    return t;
+}
+
+} // namespace neo::model

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Analytic performance model of Neo's kernels and operations on the
+ * simulated A100.
+ *
+ * Every configuration switch corresponds to one of the paper's
+ * optimizations (the Fig 14 ablation axes) or to a baseline's design
+ * choice, so the same model instance prices Neo, TensorFHE, HEonGPU
+ * and the CPU by flipping flags — never by per-backend constants.
+ *
+ * Sizing conventions: all costs are **per batch** (BatchSize
+ * ciphertexts processed by one kernel, the paper's measurement unit).
+ * A "limb" is one (polynomial, prime) residue vector of N
+ * coefficients; ciphertext-side data scales with the batch, key-side
+ * data does not.
+ */
+#pragma once
+
+#include <vector>
+
+#include "ckks/params.h"
+#include "gpusim/kernel_cost.h"
+#include "gpusim/tcu_model.h"
+
+namespace neo::model {
+
+/** Which execution engine a matrix multiplication is mapped to. */
+enum class MatMulEngine { cuda_cores, tcu_fp64, tcu_int8 };
+
+/** Algorithm/mapping switches (Fig 14 axes + baseline choices). */
+struct ModelConfig
+{
+    gpusim::DeviceSpec device = gpusim::DeviceSpec::a100();
+
+    bool use_klss = true;        ///< KLSS vs Hybrid KeySwitch
+    bool matmul_dataflow = true; ///< BConv/IP as matmul (Algs 2/4)
+    bool radix16_ntt = true;     ///< ten-step NTT vs four-step
+    bool tcu_ntt = true;         ///< NTT matmuls on the TCU at all
+    MatMulEngine engine = MatMulEngine::tcu_fp64; ///< GEMM engine
+    bool kernel_fusion = true;   ///< §4.6 fusion
+    bool multistream = true;     ///< §4.6 multi-stream overlap
+    double ip_tcu_threshold = 0.80; ///< §4.5.3 valid-proportion gate
+    /// Kernel grids sized by the ciphertext batch (TensorFHE/Neo
+    /// style); unbatched systems parallelise within one ciphertext.
+    bool batched_pipeline = true;
+};
+
+/** Per-kernel and per-operation cost calculator. */
+class KernelModel
+{
+  public:
+    KernelModel(const ckks::CkksParams &params, const ModelConfig &cfg);
+
+    const ModelConfig &config() const { return cfg_; }
+    const ckks::CkksParams &params() const { return params_; }
+
+    // ---- Kernel costs (per batch) ------------------------------------
+
+    /// NTT or INTT of @p limbs batched limbs at @p word_bits.
+    gpusim::KernelCost ntt(size_t limbs, int word_bits) const;
+
+    /**
+     * BConv of @p in_limbs batched input limbs to @p out_limbs output
+     * limbs (Alg 1 or Alg 2 per config).
+     */
+    gpusim::KernelCost bconv(size_t in_limbs, size_t out_limbs,
+                             int word_in, int word_out) const;
+
+    /**
+     * IP over @p limbs auxiliary limbs with β input digits and β̃
+     * output digits, for both ciphertext components (Alg 3 or 4).
+     */
+    gpusim::KernelCost ip(size_t beta, size_t beta_tilde, size_t limbs,
+                          int word_bits) const;
+
+    /// Element-wise modular multiply of @p limbs batched limbs.
+    gpusim::KernelCost modmul(size_t limbs) const;
+    /// Element-wise modular add of @p limbs batched limbs.
+    gpusim::KernelCost modadd(size_t limbs) const;
+    /// AUTO (automorphism permutation) of @p limbs batched limbs.
+    gpusim::KernelCost auto_kernel(size_t limbs) const;
+
+    /// The GEMM engine IP actually uses at level @p level (§4.5.3).
+    MatMulEngine ip_engine(size_t level) const;
+
+    // ---- Composite costs ----------------------------------------------
+
+    /// Kernel sequence of one KeySwitch at @p level.
+    std::vector<gpusim::KernelCost> keyswitch_kernels(size_t level) const;
+
+    /// Wall time of one KeySwitch at @p level.
+    double keyswitch_time(size_t level) const;
+
+    /// Operation wall times at @p level (per batch).
+    double hmult_time(size_t level) const;
+    double hrotate_time(size_t level) const;
+
+    /**
+     * Time for @p count rotations of the same ciphertext with a
+     * shared ModUp (Halevi–Shoup hoisting; ckks/hoisting.h is the
+     * functional counterpart). Only the Hybrid path hoists here.
+     */
+    double hrotate_hoisted_time(size_t level, size_t count) const;
+    double pmult_time(size_t level) const;
+    double hadd_time(size_t level) const;
+    double padd_time(size_t level) const;
+    double rescale_time(size_t level) const;
+    double double_rescale_time(size_t level) const;
+
+    /// Total time of a kernel list under this config's scheduling.
+    double run(const std::vector<gpusim::KernelCost> &kernels) const;
+
+    // ---- Traffic introspection (Figs 2 and 15) -------------------------
+
+    /** DRAM traffic of one KeySwitch, split by kernel family. */
+    struct KeySwitchTraffic
+    {
+        double bconv = 0; ///< ModUp + Recover Limbs + ModDown conversions
+        double ip = 0;
+        double ntt = 0;   ///< NTT + INTT
+        double other = 0;
+
+        double total() const { return bconv + ip + ntt + other; }
+    };
+
+    KeySwitchTraffic keyswitch_traffic(size_t level) const;
+
+  private:
+    /// Cost of an integer GEMM on the configured engine.
+    gpusim::KernelCost gemm(size_t m, size_t n, size_t k, int wa, int wb,
+                            MatMulEngine engine) const;
+
+    ckks::CkksParams params_;
+    ModelConfig cfg_;
+};
+
+} // namespace neo::model

@@ -1,0 +1,188 @@
+#include "neo/kernels.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/layout.h"
+
+namespace neo {
+
+BConvKernel::BConvKernel(const RnsBasis &from, const RnsBasis &to)
+    : conv_(from, to)
+{
+    const size_t a = from.size();
+    const size_t ap = to.size();
+    factor_matrix_.resize(a * ap);
+    for (size_t i = 0; i < a; ++i)
+        for (size_t j = 0; j < ap; ++j)
+            factor_matrix_[i * ap + j] = conv_.factor(i, j);
+}
+
+void
+BConvKernel::run_elementwise(const u64 *in, size_t batch, size_t n,
+                             u64 *out) const
+{
+    const size_t a = in_levels();
+    const size_t ap = out_levels();
+    // Algorithm 1: each coefficient of every input limb is re-read for
+    // every output level.
+    for (size_t j = 0; j < ap; ++j) {
+        const Modulus &tj = conv_.to()[j];
+        for (size_t b = 0; b < batch; ++b) {
+            u64 *dst = out + (j * batch + b) * n;
+            std::fill(dst, dst + n, 0);
+            for (size_t i = 0; i < a; ++i) {
+                const Modulus &bi = conv_.from()[i];
+                const u64 inv = conv_.from().punc_inv(i);
+                const u64 f = factor_matrix_[i * ap + j];
+                const u64 *src = in + (i * batch + b) * n;
+                for (size_t l = 0; l < n; ++l) {
+                    u64 scaled = bi.mul(src[l], inv);
+                    dst[l] = tj.add(dst[l], tj.mul(scaled % tj.value(), f));
+                }
+            }
+        }
+    }
+}
+
+void
+BConvKernel::run_matmul(const u64 *in, size_t batch, size_t n, u64 *out,
+                        const ModColMatMulFn &mm) const
+{
+    matmul_common(in, batch, n, out, mm, /*exact=*/false);
+}
+
+void
+BConvKernel::run_matmul_exact(const u64 *in, size_t batch, size_t n,
+                              u64 *out, const ModColMatMulFn &mm) const
+{
+    matmul_common(in, batch, n, out, mm, /*exact=*/true);
+}
+
+void
+BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
+                           const ModColMatMulFn &mm, bool exact) const
+{
+    const size_t a = in_levels();
+    const size_t ap = out_levels();
+    // Step 1 (preprocessing): scalar multiply by (B/b_i)^{-1} and
+    // reorder α×BS×N -> N×BS×α so α is the GEMM K dimension.
+    std::vector<u64> scaled(a * batch * n);
+    for (size_t i = 0; i < a; ++i) {
+        const Modulus &bi = conv_.from()[i];
+        const u64 inv = conv_.from().punc_inv(i);
+        const u64 ws = shoup_precompute(inv, bi.value());
+        const u64 *src = in + i * batch * n;
+        u64 *dst = scaled.data() + i * batch * n;
+        for (size_t x = 0; x < batch * n; ++x)
+            dst[x] = mul_shoup(src[x], inv, ws, bi.value());
+    }
+    // Exact mode: overflow counts r = round(Σ_i y_i / b_i), one per
+    // coefficient site (matches BaseConverter::convert_exact).
+    std::vector<u64> overflow;
+    if (exact) {
+        overflow.resize(batch * n);
+        // double reciprocals with long-double accumulation — the same
+        // precision recipe as BaseConverter::convert_exact, so the two
+        // paths round identically (bit-exactness tests rely on it).
+        std::vector<double> inv_b(a);
+        for (size_t i = 0; i < a; ++i)
+            inv_b[i] = 1.0 / static_cast<double>(conv_.from()[i].value());
+        for (size_t x = 0; x < batch * n; ++x) {
+            long double v = 0.0L;
+            for (size_t i = 0; i < a; ++i)
+                v += static_cast<long double>(scaled[i * batch * n + x]) *
+                     inv_b[i];
+            overflow[x] = static_cast<u64>(std::llroundl(v));
+        }
+    }
+    std::vector<u64> reordered(a * batch * n);
+    reorder_3d_swap02(scaled.data(), a, batch, n, reordered.data());
+
+    // Step 2: one (N·BS) × α' × α GEMM against the factor matrix,
+    // reduced per output column's modulus.
+    std::vector<u64> prod(n * batch * ap);
+    mm(reordered.data(), factor_matrix_.data(), prod.data(), n * batch,
+       ap, a, conv_.to().mods());
+
+    // Exact epilogue: subtract r·B mod t_j per row (rank-1 update).
+    if (exact) {
+        for (size_t l = 0; l < n; ++l) {
+            for (size_t b = 0; b < batch; ++b) {
+                const u64 r = overflow[b * n + l];
+                u64 *row = prod.data() + (l * batch + b) * ap;
+                for (size_t j = 0; j < ap; ++j) {
+                    const Modulus &tj = conv_.to()[j];
+                    u64 corr = tj.mul(r % tj.value(),
+                                      conv_.product_mod_to(j));
+                    row[j] = tj.sub(row[j], corr);
+                }
+            }
+        }
+    }
+
+    // Step 3 (postprocessing): reorder N×BS×α' -> α'×BS×N.
+    reorder_3d_swap02(prod.data(), n, batch, ap, out);
+}
+
+IpKernel::IpKernel(std::vector<Modulus> t_mods, size_t beta,
+                   size_t beta_tilde)
+    : t_mods_(std::move(t_mods)), beta_(beta), beta_tilde_(beta_tilde)
+{
+    NEO_CHECK(!t_mods_.empty() && beta_ > 0 && beta_tilde_ > 0,
+              "bad IP dimensions");
+}
+
+void
+IpKernel::run_elementwise(const u64 *limbs, const u64 *keys, size_t batch,
+                          size_t n, u64 *out) const
+{
+    const size_t ap = t_mods_.size();
+    std::fill(out, out + beta_tilde_ * ap * batch * n, 0);
+    // Algorithm 3: β̃·β element-wise passes; every limb is re-read β̃
+    // times.
+    for (size_t i = 0; i < beta_tilde_; ++i) {
+        for (size_t j = 0; j < beta_; ++j) {
+            for (size_t k = 0; k < ap; ++k) {
+                const Modulus &t = t_mods_[k];
+                const u64 *key = keys + ((i * beta_ + j) * ap + k) * n;
+                for (size_t b = 0; b < batch; ++b) {
+                    const u64 *src =
+                        limbs + ((j * ap + k) * batch + b) * n;
+                    u64 *dst = out + ((i * ap + k) * batch + b) * n;
+                    for (size_t l = 0; l < n; ++l)
+                        dst[l] = t.add(dst[l], t.mul(src[l], key[l]));
+                }
+            }
+        }
+    }
+}
+
+void
+IpKernel::run_matmul(const u64 *limbs, const u64 *keys, size_t batch,
+                     size_t n, u64 *out, const ModMatMulFn &mm) const
+{
+    const size_t ap = t_mods_.size();
+    // Preprocessing: reorder per Fig 8.
+    std::vector<u64> limbs_r(beta_ * ap * batch * n);
+    reorder_4d_swap03(limbs, beta_, ap, batch, n, limbs_r.data());
+    std::vector<u64> keys_r(beta_tilde_ * beta_ * ap * n);
+    reorder_4d_reverse(keys, beta_tilde_, beta_, ap, n, keys_r.data());
+
+    // One BS × β̃ × β GEMM per (coefficient, T-limb) site.
+    std::vector<u64> prod(n * ap * batch * beta_tilde_);
+    for (size_t l = 0; l < n; ++l) {
+        for (size_t k = 0; k < ap; ++k) {
+            const u64 *a = limbs_r.data() + (l * ap + k) * batch * beta_;
+            const u64 *b =
+                keys_r.data() + (l * ap + k) * beta_ * beta_tilde_;
+            u64 *c = prod.data() + (l * ap + k) * batch * beta_tilde_;
+            mm(a, b, c, batch, beta_tilde_, beta_, t_mods_[k]);
+        }
+    }
+
+    // Postprocessing: N×α'×BS×β̃ -> β̃×α'×BS×N.
+    reorder_4d_swap03(prod.data(), n, ap, batch, beta_tilde_, out);
+}
+
+} // namespace neo

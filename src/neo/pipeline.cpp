@@ -1,0 +1,136 @@
+#include "neo/pipeline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "neo/kernels.h"
+#include "poly/matrix_ntt.h"
+
+namespace neo {
+
+using ckks::CkksContext;
+using ckks::KlssEvalKey;
+
+std::pair<RnsPoly, RnsPoly>
+keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
+                        const CkksContext &ctx,
+                        const PipelineEngines &engines)
+{
+    NEO_ASSERT(d2.form() == PolyForm::eval, "expects eval form");
+    const size_t n = d2.n();
+    const size_t level = d2.limbs() - 1;
+    const size_t k_special = ctx.p_basis().size();
+    const size_t alpha_p = ctx.alpha_prime();
+    const auto ext_mods = ctx.extended_mods(level);
+    const auto groups = ctx.digit_partition(level);
+    const auto &key_partition = ctx.klss_key_partition();
+    const size_t beta = groups.size();
+    const size_t beta_tilde =
+        (level + 1 + k_special + ctx.params().klss.alpha_tilde - 1) /
+        ctx.params().klss.alpha_tilde;
+    NEO_CHECK(beta <= evk.beta_max && beta_tilde <= evk.beta_tilde_max,
+              "evaluation key too small for this level");
+
+    // Radix-16 matrix NTTs over the T primes (one per limb position).
+    std::vector<MatrixNtt> t_ntt;
+    t_ntt.reserve(alpha_p);
+    for (size_t k = 0; k < alpha_p; ++k) {
+        t_ntt.emplace_back(
+            ctx.t_tables().for_modulus(ctx.t_basis()[k]),
+            std::min<size_t>(16, n));
+    }
+
+    RnsPoly d2c = d2;
+    ctx.tables().to_coeff(d2c);
+
+    // --- Mod Up: exact matrix-form BConv per digit (Alg 2). ----------
+    std::vector<u64> digits_t(beta * alpha_p * n);
+    for (size_t j = 0; j < beta; ++j) {
+        const auto &g = groups[j];
+        std::vector<u64> digit_primes;
+        for (size_t t = g.first; t < g.first + g.count; ++t)
+            digit_primes.push_back(ctx.q_basis()[t].value());
+        RnsBasis digit_basis(digit_primes);
+        BConvKernel bconv(digit_basis, ctx.t_basis());
+        bconv.run_matmul_exact(d2c.limb(g.first), 1, n,
+                               digits_t.data() + j * alpha_p * n,
+                               engines.per_column);
+        // --- NTT over T (ten-step on the emulated TCU). --------------
+        for (size_t k = 0; k < alpha_p; ++k) {
+            t_ntt[k].forward(digits_t.data() + (j * alpha_p + k) * n,
+                             engines.same_mod);
+        }
+    }
+
+    // --- IP: matrix form (Alg 4) for both components. -----------------
+    IpKernel ip(ctx.t_basis().mods(), beta, beta_tilde);
+    std::vector<u64> s_data[2];
+    for (size_t c = 0; c < 2; ++c) {
+        // Flatten this component's keys to β̃ × β × α' × N.
+        std::vector<u64> keys(beta_tilde * beta * alpha_p * n);
+        for (size_t i = 0; i < beta_tilde; ++i) {
+            for (size_t j = 0; j < beta; ++j) {
+                const RnsPoly &part = evk.part(i, j, c);
+                std::copy(part.data(), part.data() + alpha_p * n,
+                          keys.begin() + (i * beta + j) * alpha_p * n);
+            }
+        }
+        s_data[c].resize(beta_tilde * alpha_p * n);
+        ip.run_matmul(digits_t.data(), keys.data(), 1, n,
+                      s_data[c].data(), engines.same_mod);
+        // --- INTT over T. --------------------------------------------
+        for (size_t i = 0; i < beta_tilde; ++i) {
+            for (size_t k = 0; k < alpha_p; ++k) {
+                t_ntt[k].inverse(
+                    s_data[c].data() + (i * alpha_p + k) * n,
+                    engines.same_mod);
+            }
+        }
+    }
+
+    // --- Recover Limbs: exact matrix-form BConv per key-digit group.
+    RnsPoly acc0(n, ext_mods, PolyForm::coeff);
+    RnsPoly acc1(n, ext_mods, PolyForm::coeff);
+    const size_t active = level + 1 + k_special;
+    for (size_t i = 0; i < beta_tilde; ++i) {
+        const auto &grp = key_partition[i];
+        const size_t last = std::min(grp.first + grp.count, active);
+        if (grp.first >= last)
+            continue;
+        std::vector<u64> grp_primes;
+        for (size_t t = grp.first; t < last; ++t)
+            grp_primes.push_back(ctx.pq_ordered_mod(t).value());
+        RnsBasis grp_basis(grp_primes);
+        BConvKernel recover(ctx.t_basis(), grp_basis);
+        std::vector<u64> out(grp_primes.size() * n);
+        for (size_t c = 0; c < 2; ++c) {
+            recover.run_matmul_exact(
+                s_data[c].data() + i * alpha_p * n, 1, n, out.data(),
+                engines.per_column);
+            RnsPoly &acc = c == 0 ? acc0 : acc1;
+            for (size_t t = grp.first; t < last; ++t) {
+                const size_t store_idx = t < k_special
+                                             ? level + 1 + t
+                                             : t - k_special;
+                std::copy(out.begin() + (t - grp.first) * n,
+                          out.begin() + (t - grp.first + 1) * n,
+                          acc.limb(store_idx));
+            }
+        }
+    }
+
+    // --- Mod Down (shared with the reference), NTT back. --------------
+    RnsPoly k0 = ckks::mod_down(acc0, level, ctx);
+    RnsPoly k1 = ckks::mod_down(acc1, level, ctx);
+    for (RnsPoly *p : {&k0, &k1}) {
+        for (size_t i = 0; i <= level; ++i) {
+            MatrixNtt qntt(ctx.tables().for_modulus(p->modulus(i)),
+                           std::min<size_t>(16, n));
+            qntt.forward(p->limb(i), engines.same_mod);
+        }
+        p->set_form(PolyForm::eval);
+    }
+    return {std::move(k0), std::move(k1)};
+}
+
+} // namespace neo

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Neo execution pipeline: a functional KLSS KeySwitch whose every
+ * stage runs through the paper's optimized kernels —
+ *
+ *   Mod Up        → BConvKernel::run_matmul_exact (Alg 2 + exactness)
+ *   NTT / INTT    → MatrixNtt radix-16 (ten-step, §4.4)
+ *   IP            → IpKernel::run_matmul (Alg 4)
+ *   Recover Limbs → BConvKernel::run_matmul_exact per key-digit group
+ *   Mod Down      → shared with the reference implementation
+ *
+ * with all matrix multiplications executed by the *emulated FP64
+ * tensor core* (bit-sliced double arithmetic). The output is required
+ * to be bit-identical to the reference keyswitch_klss — the strongest
+ * functional statement of the paper's claim that the TCU mapping is
+ * exact, not approximate.
+ */
+#pragma once
+
+#include "ckks/keyswitch.h"
+#include "poly/mat_mul.h"
+#include "tensor/gemm.h"
+
+namespace neo {
+
+/** Which GEMM implementation drives the pipeline's matrix stages. */
+struct PipelineEngines
+{
+    ModMatMulFn same_mod = default_mat_mul();       ///< NTT + IP GEMMs
+    ModColMatMulFn per_column = scalar_col_matmul(); ///< BConv GEMMs
+
+    /// Everything through the emulated FP64 tensor core.
+    static PipelineEngines fp64_tcu()
+    {
+        return {fp64_tcu_matmul(), fp64_tcu_col_matmul()};
+    }
+
+    /// Scalar (CUDA-core analogue) reference engines.
+    static PipelineEngines scalar() { return {}; }
+};
+
+/**
+ * KLSS key switch of @p d2 through the Neo kernel pipeline.
+ * Same contract as ckks::keyswitch_klss; bit-identical output.
+ */
+std::pair<RnsPoly, RnsPoly>
+keyswitch_klss_pipeline(const RnsPoly &d2, const ckks::KlssEvalKey &evk,
+                        const ckks::CkksContext &ctx,
+                        const PipelineEngines &engines =
+                            PipelineEngines::fp64_tcu());
+
+} // namespace neo

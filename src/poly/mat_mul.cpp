@@ -1,0 +1,32 @@
+#include "poly/mat_mul.h"
+
+namespace neo {
+
+void
+scalar_mod_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
+                  size_t k, const Modulus &q)
+{
+    const u64 qv = q.value();
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            u128 acc = 0;
+            // Each product is < 2^126 (q < 2^63); folding every other
+            // iteration keeps the accumulator below 2^128.
+            for (size_t t = 0; t < k; ++t) {
+                acc += static_cast<u128>(a[i * k + t]) * b[t * n + j];
+                if (t & 1)
+                    acc %= qv;
+            }
+            c[i * n + j] = static_cast<u64>(acc % qv);
+        }
+    }
+}
+
+const ModMatMulFn &
+default_mat_mul()
+{
+    static const ModMatMulFn fn = scalar_mod_matmul;
+    return fn;
+}
+
+} // namespace neo

@@ -1,0 +1,149 @@
+#include "poly/matrix_ntt.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace neo {
+
+MatrixNtt::MatrixNtt(const NttTables &tables, size_t radix)
+    : tables_(tables), radix_(radix)
+{
+    NEO_CHECK(is_pow2(radix) && radix >= 2, "radix must be a power of two");
+    NEO_CHECK(radix <= tables.n(), "radix exceeds transform length");
+    const int log_radix = log2_exact(radix);
+    w_fwd_.resize(log_radix + 1);
+    w_inv_.resize(log_radix + 1);
+    const size_t nfull = tables_.n();
+    for (int lg = 1; lg <= log_radix; ++lg) {
+        const size_t len = 1ULL << lg;
+        const size_t step = nfull / len;
+        auto &wf = w_fwd_[lg];
+        auto &wi = w_inv_[lg];
+        wf.resize(len * len);
+        wi.resize(len * len);
+        for (size_t c = 0; c < len; ++c) {
+            for (size_t k = 0; k < len; ++k) {
+                size_t e = (c * k % len) * step;
+                wf[c * len + k] = tables_.omega_pow(e);
+                wi[c * len + k] = tables_.omega_inv_pow(e);
+            }
+        }
+    }
+}
+
+const std::vector<u64> &
+MatrixNtt::twiddle_matrix(size_t len, bool inverse) const
+{
+    const int lg = log2_exact(len);
+    return inverse ? w_inv_[lg] : w_fwd_[lg];
+}
+
+void
+MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
+                        const ModMatMulFn &mm) const
+{
+    const Modulus &q = tables_.modulus();
+    if (len <= radix_) {
+        // Base case: one (rows × len) · (len × len) matrix product.
+        const auto &w = twiddle_matrix(len, inverse);
+        std::vector<u64> out(rows * len);
+        mm(a, w.data(), out.data(), rows, len, len, q);
+        std::copy(out.begin(), out.end(), a);
+        return;
+    }
+
+    const size_t n1 = radix_;
+    const size_t n2 = len / n1;
+    const size_t nfull = tables_.n();
+    const size_t step = nfull / len; // ω_len = ω_full^step
+    const u64 qv = q.value();
+
+    std::vector<u64> at(len);  // n1 × n2 gathered matrix
+    std::vector<u64> out(len); // n1 × n2 result of the left matmul
+    const auto &w1 = twiddle_matrix(n1, inverse);
+
+    for (size_t row = 0; row < rows; ++row) {
+        u64 *x = a + row * len;
+        // Step 1: gather A[r][c] = x[r + n1*c].
+        for (size_t r = 0; r < n1; ++r)
+            for (size_t c = 0; c < n2; ++c)
+                at[r * n2 + c] = x[r + n1 * c];
+        // Step 2: length-n2 transforms on the n1 rows (recursive).
+        cyclic_batch(at.data(), n1, n2, inverse, mm);
+        // Step 3: twisting factors ω_len^{r*k2}.
+        for (size_t r = 1; r < n1; ++r) {
+            for (size_t k2 = 0; k2 < n2; ++k2) {
+                size_t e = (r * k2 % len) * step;
+                u64 w = inverse ? tables_.omega_inv_pow(e)
+                                : tables_.omega_pow(e);
+                at[r * n2 + k2] = mul_mod(at[r * n2 + k2], w, qv);
+            }
+        }
+        // Step 4: left-multiply by the n1×n1 twiddle matrix.
+        mm(w1.data(), at.data(), out.data(), n1, n2, n1, q);
+        // Rows land in natural order: X[k1*n2 + k2] = out[k1][k2].
+        std::copy(out.begin(), out.end(), x);
+    }
+}
+
+void
+MatrixNtt::forward(u64 *a, const ModMatMulFn &mm) const
+{
+    const size_t n = tables_.n();
+    const u64 qv = tables_.modulus().value();
+    for (size_t i = 0; i < n; ++i)
+        a[i] = mul_mod(a[i], tables_.psi_pow(i), qv);
+    cyclic_batch(a, 1, n, false, mm);
+}
+
+void
+MatrixNtt::inverse(u64 *a, const ModMatMulFn &mm) const
+{
+    const size_t n = tables_.n();
+    const Modulus &q = tables_.modulus();
+    const u64 qv = q.value();
+    cyclic_batch(a, 1, n, true, mm);
+    for (size_t i = 0; i < n; ++i) {
+        u64 x = mul_mod(a[i], tables_.n_inv(), qv);
+        a[i] = mul_mod(x, tables_.psi_inv_pow(i), qv);
+    }
+}
+
+void
+MatrixNtt::accumulate(Complexity &c, size_t rows, size_t len, size_t radix)
+{
+    if (len <= radix) {
+        c.matmul_macs += rows * len * len;
+        c.matmul_stages += 1;
+        return;
+    }
+    const size_t n1 = radix;
+    const size_t n2 = len / n1;
+    // Gather + writeback.
+    c.reorder_elems += rows * 2 * len;
+    // Recursive row transforms (batched across rows of all calls).
+    accumulate(c, rows * n1, n2, radix);
+    // Twists.
+    c.twist_muls += rows * (n1 - 1) * n2;
+    // Left matmul.
+    c.matmul_macs += rows * n1 * n2 * n1;
+    c.matmul_stages += 1;
+}
+
+MatrixNtt::Complexity
+MatrixNtt::complexity() const
+{
+    return complexity_for(tables_.n(), radix_);
+}
+
+MatrixNtt::Complexity
+MatrixNtt::complexity_for(size_t n, size_t radix)
+{
+    Complexity c;
+    accumulate(c, 1, n, radix);
+    // ψ twist at entry.
+    c.twist_muls += n;
+    return c;
+}
+
+} // namespace neo

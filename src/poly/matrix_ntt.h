@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Matrix-form NTT: the four-step and radix-16 ("ten-step")
+ * decompositions of §4.4 / Fig 9.
+ *
+ * The length-n cyclic DFT is factored as n = n1 · n2:
+ *   1. view the input as an n1×n2 matrix A[r][c] = x[r + n1·c]
+ *      (a transpose-gather),
+ *   2. transform each row (length n2) — recursively, until the length
+ *      reaches the radix, where it becomes a (rows × n2) · (n2 × n2)
+ *      matrix multiplication with the twiddle matrix,
+ *   3. multiply element (r, k2) by the twisting factor ω^{r·k2}
+ *      ("Mul & Trans" in Fig 9),
+ *   4. multiply by the n1×n1 twiddle matrix on the left.
+ * The result lands in natural order.
+ *
+ * radix = n1 = √n  reproduces the classic four-step NTT; radix = 16
+ * reproduces SHARP/Neo's radix-16 NTT, whose matrix products are all
+ * 16×16 — the shape that maps onto TCU fragments (Fig 10). All matrix
+ * products go through a ModMatMulFn so the TCU emulation can be
+ * substituted.
+ */
+#pragma once
+
+#include <vector>
+
+#include "poly/mat_mul.h"
+#include "poly/ntt.h"
+
+namespace neo {
+
+/** Four-step / radix-r matrix NTT over one modulus. */
+class MatrixNtt
+{
+  public:
+    /**
+     * @param tables  base NTT tables (provides ψ/ω powers).
+     * @param radix   decomposition base; the transform bottoms out in
+     *                radix×radix twiddle matmuls. Use radix == √n for
+     *                the classic four-step, 16 for radix-16.
+     */
+    MatrixNtt(const NttTables &tables, size_t radix);
+
+    size_t n() const { return tables_.n(); }
+    size_t radix() const { return radix_; }
+
+    /// Forward negacyclic NTT; same convention as NttTables::forward.
+    void forward(u64 *a, const ModMatMulFn &mm = default_mat_mul()) const;
+
+    /// Inverse negacyclic NTT.
+    void inverse(u64 *a, const ModMatMulFn &mm = default_mat_mul()) const;
+
+    /** Work counts for the performance model. */
+    struct Complexity
+    {
+        u64 matmul_macs = 0;      ///< multiply-accumulates inside matmuls
+        u64 twist_muls = 0;       ///< scalar twiddle multiplications
+        u64 reorder_elems = 0;    ///< elements moved by gather/transpose
+        u64 matmul_stages = 0;    ///< number of matmul stages
+    };
+
+    /// Analytical complexity of one transform of length n.
+    Complexity complexity() const;
+
+    /// Same computation without building tables (for cost models).
+    static Complexity complexity_for(size_t n, size_t radix);
+
+  private:
+    /// Transform @p rows contiguous vectors of length @p len in place.
+    void cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
+                      const ModMatMulFn &mm) const;
+
+    /// Twiddle matrix W[c][k] = ω_len^{ck} (or inverse) for len ≤ radix.
+    const std::vector<u64> &twiddle_matrix(size_t len, bool inverse) const;
+
+    static void accumulate(Complexity &c, size_t rows, size_t len,
+                           size_t radix);
+
+    const NttTables &tables_;
+    size_t radix_;
+    // Precomputed twiddle matrices for all lengths 2..radix (powers of
+    // two), forward and inverse.
+    mutable std::vector<std::vector<u64>> w_fwd_, w_inv_;
+};
+
+} // namespace neo

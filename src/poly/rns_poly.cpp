@@ -1,0 +1,201 @@
+#include "poly/rns_poly.h"
+
+#include "common/check.h"
+
+namespace neo {
+
+RnsPoly::RnsPoly(size_t n, std::vector<Modulus> mods, PolyForm form)
+    : n_(n), mods_(std::move(mods)), data_(n * mods_.size(), 0), form_(form)
+{
+    NEO_CHECK(is_pow2(n), "degree must be a power of two");
+}
+
+bool
+RnsPoly::same_shape(const RnsPoly &o) const
+{
+    if (n_ != o.n_ || mods_.size() != o.mods_.size())
+        return false;
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        if (mods_[i].value() != o.mods_[i].value())
+            return false;
+    }
+    return true;
+}
+
+void
+RnsPoly::add_inplace(const RnsPoly &o)
+{
+    NEO_ASSERT(same_shape(o) && form_ == o.form_, "shape/form mismatch");
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        const u64 q = mods_[i].value();
+        u64 *a = limb(i);
+        const u64 *b = o.limb(i);
+        for (size_t l = 0; l < n_; ++l)
+            a[l] = add_mod(a[l], b[l], q);
+    }
+}
+
+void
+RnsPoly::sub_inplace(const RnsPoly &o)
+{
+    NEO_ASSERT(same_shape(o) && form_ == o.form_, "shape/form mismatch");
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        const u64 q = mods_[i].value();
+        u64 *a = limb(i);
+        const u64 *b = o.limb(i);
+        for (size_t l = 0; l < n_; ++l)
+            a[l] = sub_mod(a[l], b[l], q);
+    }
+}
+
+void
+RnsPoly::negate_inplace()
+{
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        const u64 q = mods_[i].value();
+        u64 *a = limb(i);
+        for (size_t l = 0; l < n_; ++l)
+            a[l] = a[l] == 0 ? 0 : q - a[l];
+    }
+}
+
+void
+RnsPoly::mul_inplace(const RnsPoly &o)
+{
+    NEO_ASSERT(same_shape(o), "shape mismatch");
+    NEO_ASSERT(form_ == PolyForm::eval && o.form_ == PolyForm::eval,
+               "point-wise multiply requires eval form");
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        const Modulus &m = mods_[i];
+        u64 *a = limb(i);
+        const u64 *b = o.limb(i);
+        for (size_t l = 0; l < n_; ++l)
+            a[l] = m.mul(a[l], b[l]);
+    }
+}
+
+void
+RnsPoly::scalar_mul_inplace(const std::vector<u64> &scalars)
+{
+    NEO_ASSERT(scalars.size() == mods_.size(), "scalar count mismatch");
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        const u64 q = mods_[i].value();
+        const u64 w = scalars[i];
+        const u64 ws = shoup_precompute(w, q);
+        u64 *a = limb(i);
+        for (size_t l = 0; l < n_; ++l)
+            a[l] = mul_shoup(a[l], w, ws, q);
+    }
+}
+
+void
+RnsPoly::add_product(const RnsPoly &b, const RnsPoly &c)
+{
+    NEO_ASSERT(same_shape(b) && same_shape(c), "shape mismatch");
+    NEO_ASSERT(form_ == PolyForm::eval && b.form_ == PolyForm::eval &&
+                   c.form_ == PolyForm::eval,
+               "add_product requires eval form");
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        const Modulus &m = mods_[i];
+        u64 *a = limb(i);
+        const u64 *x = b.limb(i);
+        const u64 *y = c.limb(i);
+        for (size_t l = 0; l < n_; ++l)
+            a[l] = m.add(a[l], m.mul(x[l], y[l]));
+    }
+}
+
+void
+RnsPoly::drop_limbs_to(size_t count)
+{
+    NEO_ASSERT(count <= mods_.size(), "cannot grow via drop_limbs_to");
+    mods_.resize(count);
+    data_.resize(count * n_);
+}
+
+NttTableSet::NttTableSet(size_t n, const std::vector<Modulus> &mods)
+{
+    tables_.reserve(mods.size());
+    for (const auto &m : mods)
+        tables_.emplace_back(n, m);
+}
+
+const NttTables &
+NttTableSet::for_modulus(const Modulus &q) const
+{
+    for (const auto &t : tables_) {
+        if (t.modulus().value() == q.value())
+            return t;
+    }
+    NEO_ASSERT(false, "no NTT tables for modulus");
+    return tables_.front();
+}
+
+void
+NttTableSet::to_eval(RnsPoly &p) const
+{
+    if (p.form() == PolyForm::eval)
+        return;
+    for (size_t i = 0; i < p.limbs(); ++i)
+        for_modulus(p.modulus(i)).forward(p.limb(i));
+    p.set_form(PolyForm::eval);
+}
+
+void
+NttTableSet::to_coeff(RnsPoly &p) const
+{
+    if (p.form() == PolyForm::coeff)
+        return;
+    for (size_t i = 0; i < p.limbs(); ++i)
+        for_modulus(p.modulus(i)).inverse(p.limb(i));
+    p.set_form(PolyForm::coeff);
+}
+
+void
+automorphism_coeff(const u64 *in, u64 *out, size_t n, u64 g,
+                   const Modulus &q)
+{
+    NEO_CHECK(g % 2 == 1, "Galois element must be odd");
+    const u64 two_n = 2 * n;
+    for (size_t i = 0; i < n; ++i) {
+        u64 j = (static_cast<u128>(i) * g) % two_n;
+        if (j < n) {
+            out[j] = in[i];
+        } else {
+            out[j - n] = in[i] == 0 ? 0 : q.value() - in[i];
+        }
+    }
+}
+
+void
+automorphism_eval(const u64 *in, u64 *out, size_t n, u64 g,
+                  const Modulus &)
+{
+    NEO_CHECK(g % 2 == 1, "Galois element must be odd");
+    const u64 two_n = 2 * n;
+    // Slot k holds the evaluation at ψ^{2k+1}; the automorphism sends
+    // it to the evaluation at ψ^{(2k+1)g mod 2n}.
+    for (size_t k = 0; k < n; ++k) {
+        u64 e = (static_cast<u128>(2 * k + 1) * g) % two_n;
+        size_t src = static_cast<size_t>((e - 1) / 2);
+        out[k] = in[src];
+    }
+}
+
+RnsPoly
+automorphism(const RnsPoly &p, u64 g)
+{
+    RnsPoly out(p.n(), p.mods(), p.form());
+    for (size_t i = 0; i < p.limbs(); ++i) {
+        if (p.form() == PolyForm::coeff) {
+            automorphism_coeff(p.limb(i), out.limb(i), p.n(), g,
+                               p.modulus(i));
+        } else {
+            automorphism_eval(p.limb(i), out.limb(i), p.n(), g,
+                              p.modulus(i));
+        }
+    }
+    return out;
+}
+
+} // namespace neo

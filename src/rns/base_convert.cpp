@@ -1,0 +1,106 @@
+#include "rns/base_convert.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace neo {
+
+BaseConverter::BaseConverter(const RnsBasis &from, const RnsBasis &to)
+    : from_(from), to_(to)
+{
+    const size_t k = from_.size();
+    const size_t m = to_.size();
+    punc_mod_to_.resize(k * m);
+    punc_mod_to_shoup_.resize(k * m);
+    b_mod_to_.resize(m);
+    inv_from_.resize(k);
+    for (size_t j = 0; j < m; ++j) {
+        const Modulus &tj = to_[j];
+        for (size_t i = 0; i < k; ++i) {
+            u64 f = from_.punc_prod_mod(i, tj);
+            punc_mod_to_[i * m + j] = f;
+            punc_mod_to_shoup_[i * m + j] = shoup_precompute(f, tj.value());
+        }
+        b_mod_to_[j] = from_.product_mod(tj);
+    }
+    for (size_t i = 0; i < k; ++i)
+        inv_from_[i] = 1.0 / static_cast<double>(from_[i].value());
+}
+
+void
+BaseConverter::scale_inputs(const u64 *in, size_t n, u64 *scaled) const
+{
+    const size_t k = from_.size();
+    for (size_t i = 0; i < k; ++i) {
+        const Modulus &bi = from_[i];
+        const u64 w = from_.punc_inv(i);
+        const u64 ws = shoup_precompute(w, bi.value());
+        const u64 *src = in + i * n;
+        u64 *dst = scaled + i * n;
+        for (size_t l = 0; l < n; ++l)
+            dst[l] = mul_shoup(src[l], w, ws, bi.value());
+    }
+}
+
+void
+BaseConverter::convert_approx(const u64 *in, size_t n, u64 *out) const
+{
+    const size_t k = from_.size();
+    const size_t m = to_.size();
+    std::vector<u64> scaled(k * n);
+    scale_inputs(in, n, scaled.data());
+    for (size_t j = 0; j < m; ++j) {
+        const Modulus &tj = to_[j];
+        const u64 q = tj.value();
+        u64 *dst = out + j * n;
+        for (size_t l = 0; l < n; ++l) {
+            u128 acc = 0;
+            for (size_t i = 0; i < k; ++i) {
+                acc += static_cast<u128>(scaled[i * n + l]) %
+                           q *
+                           punc_mod_to_[i * m + j];
+                // Keep the accumulator bounded (q < 2^63, so at most
+                // ~2 additions fit without reduction at 63-bit q; fold
+                // every iteration for safety).
+                acc %= q;
+            }
+            dst[l] = static_cast<u64>(acc);
+        }
+    }
+}
+
+void
+BaseConverter::convert_exact(const u64 *in, size_t n, u64 *out) const
+{
+    const size_t k = from_.size();
+    const size_t m = to_.size();
+    std::vector<u64> scaled(k * n);
+    scale_inputs(in, n, scaled.data());
+    // Overflow counts r_l = round(Σ_i scaled_i / b_i).
+    std::vector<u64> overflow(n);
+    for (size_t l = 0; l < n; ++l) {
+        long double v = 0.0L;
+        for (size_t i = 0; i < k; ++i)
+            v += static_cast<long double>(scaled[i * n + l]) * inv_from_[i];
+        overflow[l] = static_cast<u64>(llroundl(v));
+    }
+    for (size_t j = 0; j < m; ++j) {
+        const Modulus &tj = to_[j];
+        const u64 q = tj.value();
+        u64 *dst = out + j * n;
+        for (size_t l = 0; l < n; ++l) {
+            u128 acc = 0;
+            for (size_t i = 0; i < k; ++i) {
+                acc += static_cast<u128>(scaled[i * n + l] % q) *
+                       punc_mod_to_[i * m + j];
+                acc %= q;
+            }
+            // Subtract r * B mod t_j.
+            u64 corr = tj.mul(overflow[l] % q, b_mod_to_[j]);
+            dst[l] = tj.sub(static_cast<u64>(acc), corr);
+        }
+    }
+}
+
+} // namespace neo

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * BConv — RNS base conversion, the kernel the paper's §4.2.1
+ * optimizes.
+ *
+ * Two flavours are provided:
+ *
+ *  - convert_approx: the standard "fast base conversion" used by ModUp
+ *    and ModDown in RNS-CKKS. It computes
+ *        y_j = Σ_i [x · (B/b_i)^{-1}]_{b_i} · [B/b_i]_{t_j}  (mod t_j)
+ *    which represents x + u·B for a small unknown 0 ≤ u < |B|. The
+ *    B-multiple is absorbed into ciphertext noise (Halevi–Polyakov–
+ *    Shoup treatment).
+ *
+ *  - convert_exact: adds the floating-point overflow estimate
+ *    r = round(Σ_i y_i / b_i) and subtracts r·B, recovering the
+ *    *centered* representative exactly whenever |x_centered| < B/2 ·
+ *    (1 - ε). KLSS needs this exactness for Mod Up into R_T and for
+ *    Recover Limbs (§2.2): the inner product over R_T is an exact
+ *    integer, so converting it back to the PQ primes must be exact
+ *    CRT reconstruction, not fast conversion.
+ *
+ * Both operate limb-wise on arrays of n coefficients so that the
+ * element-wise and matrix forms of the paper's Algorithms 1 and 2 can
+ * be expressed on top of them.
+ */
+#pragma once
+
+#include <vector>
+
+#include "rns/basis.h"
+
+namespace neo {
+
+/** Precomputed converter from one RNS basis to another. */
+class BaseConverter
+{
+  public:
+    /// Precompute factors for conversions from @p from to @p to.
+    BaseConverter(const RnsBasis &from, const RnsBasis &to);
+
+    const RnsBasis &from() const { return from_; }
+    const RnsBasis &to() const { return to_; }
+
+    /**
+     * Fast (approximate) base conversion of n coefficients.
+     *
+     * @param in   from.size() limbs, limb i at in + i*n, values < b_i.
+     * @param n    coefficients per limb.
+     * @param out  to.size() limbs, limb j at out + j*n.
+     */
+    void convert_approx(const u64 *in, size_t n, u64 *out) const;
+
+    /**
+     * Exact centered base conversion. Requires the centered value of
+     * the input to satisfy |x| < B/2 (B = product of source primes);
+     * output limbs then hold the same centered value mod each target
+     * prime.
+     */
+    void convert_exact(const u64 *in, size_t n, u64 *out) const;
+
+    /**
+     * Scalar-multiplication step shared by both variants (line 1 of
+     * Algorithms 1/2): y_i = [x_i * (B/b_i)^{-1}]_{b_i}. Exposed
+     * separately so the matrix-form BConv can fuse it with the data
+     * reorder.
+     */
+    void scale_inputs(const u64 *in, size_t n, u64 *scaled) const;
+
+    /// [B/b_i] mod t_j — the matrix the paper's Algorithm 2 multiplies by.
+    u64 factor(size_t i, size_t j) const
+    {
+        return punc_mod_to_[i * to_.size() + j];
+    }
+
+    /// [B] mod t_j.
+    u64 product_mod_to(size_t j) const { return b_mod_to_[j]; }
+
+  private:
+    RnsBasis from_;
+    RnsBasis to_;
+    std::vector<u64> punc_mod_to_;       // [i*|to| + j] = (B/b_i) mod t_j
+    std::vector<u64> punc_mod_to_shoup_; // Shoup companions
+    std::vector<u64> b_mod_to_;          // B mod t_j
+    std::vector<double> inv_from_;       // 1.0 / b_i
+};
+
+} // namespace neo

@@ -1,0 +1,80 @@
+#include "rns/basis.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace neo {
+
+RnsBasis::RnsBasis(std::vector<u64> primes)
+{
+    NEO_CHECK(!primes.empty(), "empty RNS basis");
+    mods_.reserve(primes.size());
+    for (u64 p : primes) {
+        for (const auto &m : mods_)
+            NEO_CHECK(m.value() != p, "duplicate prime in RNS basis");
+        mods_.emplace_back(p);
+        log2_product_ += std::log2(static_cast<double>(p));
+    }
+    punc_inv_.resize(mods_.size());
+    for (size_t i = 0; i < mods_.size(); ++i) {
+        const Modulus &bi = mods_[i];
+        u64 prod = 1;
+        for (size_t j = 0; j < mods_.size(); ++j) {
+            if (j != i)
+                prod = bi.mul(prod, bi.reduce(mods_[j].value()));
+        }
+        punc_inv_[i] = bi.inv(prod);
+    }
+}
+
+std::vector<u64>
+RnsBasis::values() const
+{
+    std::vector<u64> v(mods_.size());
+    for (size_t i = 0; i < mods_.size(); ++i)
+        v[i] = mods_[i].value();
+    return v;
+}
+
+u64
+RnsBasis::punc_prod_mod(size_t i, const Modulus &m) const
+{
+    u64 prod = 1;
+    for (size_t j = 0; j < mods_.size(); ++j) {
+        if (j != i)
+            prod = m.mul(prod, m.reduce(mods_[j].value()));
+    }
+    return prod;
+}
+
+u64
+RnsBasis::product_mod(const Modulus &m) const
+{
+    u64 prod = 1;
+    for (const auto &b : mods_)
+        prod = m.mul(prod, m.reduce(b.value()));
+    return prod;
+}
+
+RnsBasis
+RnsBasis::slice(size_t first, size_t count) const
+{
+    NEO_CHECK(first + count <= mods_.size(), "slice out of range");
+    std::vector<u64> v;
+    v.reserve(count);
+    for (size_t i = first; i < first + count; ++i)
+        v.push_back(mods_[i].value());
+    return RnsBasis(std::move(v));
+}
+
+RnsBasis
+RnsBasis::concat(const RnsBasis &other) const
+{
+    std::vector<u64> v = values();
+    for (const auto &m : other.mods())
+        v.push_back(m.value());
+    return RnsBasis(std::move(v));
+}
+
+} // namespace neo

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * An RNS basis: an ordered set of coprime prime moduli whose product
+ * is the ring modulus, plus the punctured-product constants needed by
+ * base conversion.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "rns/modulus.h"
+
+namespace neo {
+
+/**
+ * Ordered list of distinct primes b_0..b_{k-1} with precomputed
+ * punctured products B/b_i and their inverses.
+ */
+class RnsBasis
+{
+  public:
+    RnsBasis() = default;
+
+    /// Build from raw prime values (validated distinct, >1).
+    explicit RnsBasis(std::vector<u64> primes);
+
+    /// Number of primes in the basis.
+    size_t size() const { return mods_.size(); }
+
+    bool empty() const { return mods_.empty(); }
+
+    /// The i-th modulus.
+    const Modulus &operator[](size_t i) const { return mods_[i]; }
+
+    /// All moduli.
+    const std::vector<Modulus> &mods() const { return mods_; }
+
+    /// Raw prime values.
+    std::vector<u64> values() const;
+
+    /// [(B/b_i)^{-1}]_{b_i} — inverse of the punctured product.
+    u64 punc_inv(size_t i) const { return punc_inv_[i]; }
+
+    /// [B/b_i] reduced modulo an arbitrary modulus m.
+    u64 punc_prod_mod(size_t i, const Modulus &m) const;
+
+    /// [B] (the full product) reduced modulo an arbitrary modulus m.
+    u64 product_mod(const Modulus &m) const;
+
+    /// log2 of the product of all primes (for bound analysis).
+    double log2_product() const { return log2_product_; }
+
+    /// Sub-basis formed by primes [first, first+count).
+    RnsBasis slice(size_t first, size_t count) const;
+
+    /// Concatenation of this basis and @p other (must stay disjoint).
+    RnsBasis concat(const RnsBasis &other) const;
+
+  private:
+    std::vector<Modulus> mods_;
+    std::vector<u64> punc_inv_;
+    double log2_product_ = 0.0;
+};
+
+} // namespace neo

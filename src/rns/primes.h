@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Generation of NTT-friendly primes.
+ *
+ * CKKS in RNS form needs chains of distinct primes q ≡ 1 (mod 2N) at a
+ * chosen bit width ("WordSize" in the paper: 36 or 60 for the Q/P
+ * chains, and "WordSize_T" in {36,48,64} for the KLSS auxiliary base
+ * T). Primality is decided with a deterministic Miller–Rabin for
+ * 64-bit inputs.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace neo {
+
+/// Deterministic Miller–Rabin for any 64-bit value.
+bool is_prime(u64 n);
+
+/**
+ * Generate @p count distinct primes of exactly @p bit_size bits with
+ * q ≡ 1 (mod 2 * ntt_size), skipping any prime in @p avoid.
+ * Scans downward from 2^bit_size - 1.
+ *
+ * @throws std::invalid_argument if not enough primes exist in range.
+ */
+std::vector<u64> generate_ntt_primes(int bit_size, int count, u64 ntt_size,
+                                     const std::vector<u64> &avoid = {});
+
+/**
+ * Find an element of exact order 2n in Z_q^* (a primitive 2n-th root
+ * of unity), where 2n is a power of two dividing q-1.
+ */
+u64 find_primitive_root(u64 q, u64 two_n);
+
+} // namespace neo

@@ -1,0 +1,89 @@
+#include "tensor/bitslice.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace neo {
+
+namespace {
+
+int
+accum_bits(size_t k)
+{
+    // ceil(log2 k): accumulating k terms of w bits stays below 2^(w +
+    // ceil(log2 k)) — the paper's 2^36 * 2^12 * 16 = 2^52 < 2^53 bound.
+    return k <= 1 ? 0 : bit_size(k - 1);
+}
+
+} // namespace
+
+SplitPlan
+choose_fp64_split(int wa, int wb, size_t k)
+{
+    NEO_CHECK(wa > 0 && wb > 0 && wa <= 64 && wb <= 64, "bad widths");
+    const int budget = 53 - accum_bits(k);
+    NEO_CHECK(budget >= 2, "K too large for exact FP64 accumulation");
+    SplitPlan best{0, 0, 0, 0};
+    int best_products = 1 << 30;
+    for (int pa = 1; pa <= wa; ++pa) {
+        const int abits = static_cast<int>(ceil_div(wa, pa));
+        if (abits >= budget)
+            continue;
+        const int bbits_max = budget - abits;
+        const int pb = static_cast<int>(ceil_div(wb, bbits_max));
+        if (pa * pb < best_products) {
+            best_products = pa * pb;
+            best = SplitPlan{pa, abits, pb,
+                             static_cast<int>(ceil_div(wb, pb))};
+        }
+    }
+    NEO_CHECK(best_products < (1 << 30), "no feasible FP64 split");
+    return best;
+}
+
+SplitPlan
+choose_int8_split(int wa, int wb, size_t k)
+{
+    NEO_CHECK(wa > 0 && wb > 0 && wa <= 64 && wb <= 64, "bad widths");
+    // 8-bit unsigned planes; products are < 2^16, so INT32 accumulation
+    // is exact for K up to 2^15.
+    NEO_CHECK(16 + accum_bits(k) <= 31, "K too large for INT32 accumulation");
+    const int pa = static_cast<int>(ceil_div(wa, 8));
+    const int pb = static_cast<int>(ceil_div(wb, 8));
+    return SplitPlan{pa, 8, pb, 8};
+}
+
+void
+slice_to_f64(const u64 *in, size_t n, int planes, int plane_bits,
+             double *out)
+{
+    NEO_ASSERT(plane_bits > 0 && plane_bits < 64, "bad plane width");
+    const u64 mask = plane_bits == 63 ? ~0ULL >> 1
+                                      : ((1ULL << plane_bits) - 1);
+    for (int p = 0; p < planes; ++p) {
+        const int shift = p * plane_bits;
+        double *dst = out + static_cast<size_t>(p) * n;
+        for (size_t i = 0; i < n; ++i) {
+            u64 chunk = shift >= 64 ? 0 : ((in[i] >> shift) & mask);
+            dst[i] = static_cast<double>(chunk);
+        }
+    }
+}
+
+void
+slice_to_i32(const u64 *in, size_t n, int planes, int plane_bits,
+             i32 *out)
+{
+    NEO_ASSERT(plane_bits > 0 && plane_bits <= 16, "bad plane width");
+    const u64 mask = (1ULL << plane_bits) - 1;
+    for (int p = 0; p < planes; ++p) {
+        const int shift = p * plane_bits;
+        i32 *dst = out + static_cast<size_t>(p) * n;
+        for (size_t i = 0; i < n; ++i) {
+            u64 chunk = shift >= 64 ? 0 : ((in[i] >> shift) & mask);
+            dst[i] = static_cast<i32>(chunk);
+        }
+    }
+}
+
+} // namespace neo

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bit-slicing of wide integer operands into planes that fit the
+ * Tensor Core datapaths (§3.4 of the paper).
+ *
+ * FP64: an IEEE double carries 53 mantissa bits, so a K-term product
+ * accumulation is exact when  bits(A-plane) + bits(B-plane) +
+ * ceil(log2 K) ≤ 53. For 36-bit words the paper keeps A whole and
+ * slices B into three 12-bit planes (36 + 12 + 4 = 52); for 48-bit
+ * words it slices both sides into two 24-bit planes (2·2 = 4
+ * products). choose_fp64_split generalises this: it minimises the
+ * number of plane-pair products subject to the exactness constraint.
+ *
+ * INT8: both operands are sliced into 8-bit planes (5 planes for
+ * 36-bit words → 25 products; 6 planes for 48-bit → 36 — the "Booth
+ * complexity" of Fig 3).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace neo {
+
+/** A plane decomposition plan for one GEMM operand pair. */
+struct SplitPlan
+{
+    int a_planes;      ///< number of planes for operand A
+    int a_plane_bits;  ///< bits per A plane
+    int b_planes;      ///< number of planes for operand B
+    int b_plane_bits;  ///< bits per B plane
+
+    /// Total plane-pair products ("Booth complexity", Fig 3).
+    int products() const { return a_planes * b_planes; }
+};
+
+/**
+ * Minimal-product FP64 split for wa-bit × wb-bit operands accumulated
+ * over K terms. Guarantees a_plane_bits + b_plane_bits +
+ * ceil(log2 K) ≤ 53 so every per-plane GEMM is exact in doubles.
+ *
+ * @throws std::invalid_argument if no feasible split exists.
+ */
+SplitPlan choose_fp64_split(int wa, int wb, size_t k);
+
+/// INT8 split: 8-bit planes on both sides (accumulation fits INT32).
+SplitPlan choose_int8_split(int wa, int wb, size_t k);
+
+/**
+ * Decompose @p n values into @p planes planes of @p plane_bits bits,
+ * least-significant plane first: in[i] = Σ_p out[p][i] << (p*bits).
+ * Planes are stored contiguously: out must hold planes*n doubles.
+ */
+void slice_to_f64(const u64 *in, size_t n, int planes, int plane_bits,
+                  double *out);
+
+/// Same decomposition into 8-bit unsigned planes stored as u8-in-i32.
+void slice_to_i32(const u64 *in, size_t n, int planes, int plane_bits,
+                  i32 *out);
+
+} // namespace neo

@@ -1,0 +1,267 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace neo {
+
+void
+fp64_sliced_matmul_plan(const u64 *a, const u64 *b, u64 *c, size_t m,
+                        size_t n, size_t k, const Modulus &q,
+                        const SplitPlan &plan)
+{
+    const u64 qv = q.value();
+    // Slice operands into FP64 planes.
+    std::vector<double> ap(static_cast<size_t>(plan.a_planes) * m * k);
+    std::vector<double> bp(static_cast<size_t>(plan.b_planes) * k * n);
+    slice_to_f64(a, m * k, plan.a_planes, plan.a_plane_bits, ap.data());
+    slice_to_f64(b, k * n, plan.b_planes, plan.b_plane_bits, bp.data());
+
+    // Precompute 2^shift mod q for every plane pair.
+    std::vector<u64> pow2(plan.a_planes * plan.b_planes);
+    for (int pa = 0; pa < plan.a_planes; ++pa) {
+        for (int pb = 0; pb < plan.b_planes; ++pb) {
+            int shift = pa * plan.a_plane_bits + pb * plan.b_plane_bits;
+            pow2[pa * plan.b_planes + pb] = pow_mod(2, shift, qv);
+        }
+    }
+
+    std::vector<double> prod(m * n);
+    std::fill(c, c + m * n, 0);
+    for (int pa = 0; pa < plan.a_planes; ++pa) {
+        const double *am = ap.data() + static_cast<size_t>(pa) * m * k;
+        for (int pb = 0; pb < plan.b_planes; ++pb) {
+            const double *bm = bp.data() + static_cast<size_t>(pb) * k * n;
+            // The per-plane GEMM the TCU executes: pure double
+            // arithmetic, exact because every accumulation stays
+            // below 2^53 by construction of the plan.
+            for (size_t i = 0; i < m; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    double acc = 0.0;
+                    for (size_t t = 0; t < k; ++t)
+                        acc += am[i * k + t] * bm[t * n + j];
+                    prod[i * n + j] = acc;
+                }
+            }
+            // Recombine: C += 2^shift * P (mod q).
+            const u64 w = pow2[pa * plan.b_planes + pb];
+            for (size_t i = 0; i < m * n; ++i) {
+                u64 v = static_cast<u64>(prod[i]) % qv;
+                c[i] = add_mod(c[i], q.mul(v, w), qv);
+            }
+        }
+    }
+}
+
+void
+fp64_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
+                   size_t k, const Modulus &q)
+{
+    const SplitPlan plan = choose_fp64_split(q.bits(), q.bits(), k);
+    fp64_sliced_matmul_plan(a, b, c, m, n, k, q, plan);
+}
+
+void
+int8_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
+                   size_t k, const Modulus &q)
+{
+    const u64 qv = q.value();
+    const SplitPlan plan = choose_int8_split(q.bits(), q.bits(), k);
+    std::vector<i32> ap(static_cast<size_t>(plan.a_planes) * m * k);
+    std::vector<i32> bp(static_cast<size_t>(plan.b_planes) * k * n);
+    slice_to_i32(a, m * k, plan.a_planes, plan.a_plane_bits, ap.data());
+    slice_to_i32(b, k * n, plan.b_planes, plan.b_plane_bits, bp.data());
+
+    std::vector<i32> prod(m * n);
+    std::fill(c, c + m * n, 0);
+    for (int pa = 0; pa < plan.a_planes; ++pa) {
+        const i32 *am = ap.data() + static_cast<size_t>(pa) * m * k;
+        for (int pb = 0; pb < plan.b_planes; ++pb) {
+            const i32 *bm = bp.data() + static_cast<size_t>(pb) * k * n;
+            for (size_t i = 0; i < m; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    // INT32 accumulation, as on the INT8 tensor core.
+                    i32 acc = 0;
+                    for (size_t t = 0; t < k; ++t)
+                        acc += am[i * k + t] * bm[t * n + j];
+                    prod[i * n + j] = acc;
+                }
+            }
+            const int shift =
+                pa * plan.a_plane_bits + pb * plan.b_plane_bits;
+            const u64 w = pow_mod(2, shift, qv);
+            for (size_t i = 0; i < m * n; ++i) {
+                u64 v = static_cast<u64>(static_cast<u32>(prod[i])) % qv;
+                c[i] = add_mod(c[i], q.mul(v, w), qv);
+            }
+        }
+    }
+}
+
+namespace {
+
+int
+max_bits(const u64 *v, size_t count)
+{
+    u64 m = 0;
+    for (size_t i = 0; i < count; ++i)
+        m |= v[i];
+    return bit_size(m);
+}
+
+} // namespace
+
+void
+scalar_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
+                   size_t k, const std::vector<Modulus> &col_mods)
+{
+    NEO_CHECK(col_mods.size() == n, "column modulus count mismatch");
+    // Exact integer accumulation: operands are < 2^63 and K is small
+    // (gadget dimensions), so the u128 accumulator cannot overflow for
+    // K ≤ 64 at 60-bit words.
+    NEO_CHECK(k <= 64, "K too large for exact u128 accumulation");
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            u128 acc = 0;
+            for (size_t t = 0; t < k; ++t)
+                acc += static_cast<u128>(a[i * k + t]) * b[t * n + j];
+            c[i * n + j] = static_cast<u64>(acc % col_mods[j].value());
+        }
+    }
+}
+
+void
+fp64_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
+                        size_t n, size_t k,
+                        const std::vector<Modulus> &col_mods)
+{
+    NEO_CHECK(col_mods.size() == n, "column modulus count mismatch");
+    const int wa = max_bits(a, m * k);
+    const int wb = max_bits(b, k * n);
+    const SplitPlan plan = choose_fp64_split(std::max(wa, 1),
+                                             std::max(wb, 1), k);
+    std::vector<double> ap(static_cast<size_t>(plan.a_planes) * m * k);
+    std::vector<double> bp(static_cast<size_t>(plan.b_planes) * k * n);
+    slice_to_f64(a, m * k, plan.a_planes, plan.a_plane_bits, ap.data());
+    slice_to_f64(b, k * n, plan.b_planes, plan.b_plane_bits, bp.data());
+
+    std::vector<double> prod(m * n);
+    std::fill(c, c + m * n, 0);
+    for (int pa = 0; pa < plan.a_planes; ++pa) {
+        const double *am = ap.data() + static_cast<size_t>(pa) * m * k;
+        for (int pb = 0; pb < plan.b_planes; ++pb) {
+            const double *bm = bp.data() + static_cast<size_t>(pb) * k * n;
+            for (size_t i = 0; i < m; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    double acc = 0.0;
+                    for (size_t t = 0; t < k; ++t)
+                        acc += am[i * k + t] * bm[t * n + j];
+                    prod[i * n + j] = acc;
+                }
+            }
+            const int shift =
+                pa * plan.a_plane_bits + pb * plan.b_plane_bits;
+            for (size_t i = 0; i < m; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    const Modulus &q = col_mods[j];
+                    const u64 w = pow_mod(2, shift, q.value());
+                    u64 v = static_cast<u64>(prod[i * n + j]) % q.value();
+                    c[i * n + j] = q.add(c[i * n + j], q.mul(v, w));
+                }
+            }
+        }
+    }
+}
+
+void
+int8_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
+                        size_t n, size_t k,
+                        const std::vector<Modulus> &col_mods)
+{
+    NEO_CHECK(col_mods.size() == n, "column modulus count mismatch");
+    const int wa = max_bits(a, m * k);
+    const int wb = max_bits(b, k * n);
+    const SplitPlan plan =
+        choose_int8_split(std::max(wa, 1), std::max(wb, 1), k);
+    std::vector<i32> ap(static_cast<size_t>(plan.a_planes) * m * k);
+    std::vector<i32> bp(static_cast<size_t>(plan.b_planes) * k * n);
+    slice_to_i32(a, m * k, plan.a_planes, plan.a_plane_bits, ap.data());
+    slice_to_i32(b, k * n, plan.b_planes, plan.b_plane_bits, bp.data());
+
+    std::vector<i32> prod(m * n);
+    std::fill(c, c + m * n, 0);
+    for (int pa = 0; pa < plan.a_planes; ++pa) {
+        const i32 *am = ap.data() + static_cast<size_t>(pa) * m * k;
+        for (int pb = 0; pb < plan.b_planes; ++pb) {
+            const i32 *bm = bp.data() + static_cast<size_t>(pb) * k * n;
+            for (size_t i = 0; i < m; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    i32 acc = 0;
+                    for (size_t t = 0; t < k; ++t)
+                        acc += am[i * k + t] * bm[t * n + j];
+                    prod[i * n + j] = acc;
+                }
+            }
+            const int shift =
+                pa * plan.a_plane_bits + pb * plan.b_plane_bits;
+            for (size_t i = 0; i < m; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    const Modulus &q = col_mods[j];
+                    const u64 w = pow_mod(2, shift, q.value());
+                    u64 v = static_cast<u64>(
+                                static_cast<u32>(prod[i * n + j])) %
+                            q.value();
+                    c[i * n + j] = q.add(c[i * n + j], q.mul(v, w));
+                }
+            }
+        }
+    }
+}
+
+const ModColMatMulFn &
+scalar_col_matmul()
+{
+    static const ModColMatMulFn fn = scalar_matmul_cols;
+    return fn;
+}
+
+const ModColMatMulFn &
+fp64_tcu_col_matmul()
+{
+    static const ModColMatMulFn fn = fp64_sliced_matmul_cols;
+    return fn;
+}
+
+const ModColMatMulFn &
+int8_tcu_col_matmul()
+{
+    static const ModColMatMulFn fn = int8_sliced_matmul_cols;
+    return fn;
+}
+
+const ModMatMulFn &
+fp64_tcu_matmul()
+{
+    static const ModMatMulFn fn = [](const u64 *a, const u64 *b, u64 *c,
+                                     size_t m, size_t n, size_t k,
+                                     const Modulus &q) {
+        fp64_sliced_matmul(a, b, c, m, n, k, q);
+    };
+    return fn;
+}
+
+const ModMatMulFn &
+int8_tcu_matmul()
+{
+    static const ModMatMulFn fn = [](const u64 *a, const u64 *b, u64 *c,
+                                     size_t m, size_t n, size_t k,
+                                     const Modulus &q) {
+        int8_sliced_matmul(a, b, c, m, n, k, q);
+    };
+    return fn;
+}
+
+} // namespace neo

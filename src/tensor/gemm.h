@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bit-exact emulations of the Tensor Core GEMM datapaths.
+ *
+ * fp64_sliced_matmul reproduces, in host IEEE-754 arithmetic, exactly
+ * what the paper executes on the A100's FP64 tensor cores: wide
+ * residues are sliced into planes (tensor/bitslice.h), each plane pair
+ * is multiplied with *double* arithmetic (every intermediate provably
+ * ≤ 2^53, hence exact), and the partial products are recombined with
+ * shifts modulo q. int8_sliced_matmul does the same through the INT8
+ * pipe with INT32 accumulation (TensorFHE's approach).
+ *
+ * Both must agree bit-for-bit with the u128 scalar reference — this is
+ * the functional heart of the paper's §3.4 argument and is enforced by
+ * tests/tensor_test.cpp.
+ */
+#pragma once
+
+#include "poly/mat_mul.h"
+#include "tensor/bitslice.h"
+
+namespace neo {
+
+/**
+ * C = A·B mod q through the FP64-plane path. A is M×K with entries
+ * < q, B is K×N with entries < q, row-major.
+ */
+void fp64_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m,
+                        size_t n, size_t k, const Modulus &q);
+
+/// Same with an explicit plane plan (tests sweep plans).
+void fp64_sliced_matmul_plan(const u64 *a, const u64 *b, u64 *c, size_t m,
+                             size_t n, size_t k, const Modulus &q,
+                             const SplitPlan &plan);
+
+/// C = A·B mod q through the INT8-plane path (INT32 accumulation).
+void int8_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m,
+                        size_t n, size_t k, const Modulus &q);
+
+/// ModMatMulFn adapters for plugging into MatrixNtt / Neo kernels.
+const ModMatMulFn &fp64_tcu_matmul();
+const ModMatMulFn &int8_tcu_matmul();
+
+/**
+ * Per-column-modulus GEMM, as needed by the matrix-form BConv
+ * (Algorithm 2): the TCU accumulates the integer product exactly;
+ * column j of C is then reduced modulo col_mods[j] in the epilogue.
+ * Plane widths are sized for the widest column modulus.
+ */
+using ModColMatMulFn =
+    std::function<void(const u64 *a, const u64 *b, u64 *c, size_t m,
+                       size_t n, size_t k,
+                       const std::vector<Modulus> &col_mods)>;
+
+/// Scalar reference for the per-column variant.
+void scalar_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
+                        size_t n, size_t k,
+                        const std::vector<Modulus> &col_mods);
+
+/// FP64-plane implementation of the per-column variant.
+void fp64_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
+                             size_t n, size_t k,
+                             const std::vector<Modulus> &col_mods);
+
+/// INT8-plane implementation of the per-column variant (TensorFHE's
+/// engine driving the matrix-form BConv, for comparison).
+void int8_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
+                             size_t n, size_t k,
+                             const std::vector<Modulus> &col_mods);
+
+const ModColMatMulFn &scalar_col_matmul();
+const ModColMatMulFn &fp64_tcu_col_matmul();
+const ModColMatMulFn &int8_tcu_col_matmul();
+
+} // namespace neo

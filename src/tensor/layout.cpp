@@ -1,0 +1,38 @@
+#include "tensor/layout.h"
+
+namespace neo {
+
+void
+reorder_3d_swap02(const u64 *in, size_t d0, size_t d1, size_t d2, u64 *out)
+{
+    for (size_t i = 0; i < d0; ++i)
+        for (size_t b = 0; b < d1; ++b)
+            for (size_t l = 0; l < d2; ++l)
+                out[(l * d1 + b) * d0 + i] = in[(i * d1 + b) * d2 + l];
+}
+
+void
+reorder_4d_swap03(const u64 *in, size_t d0, size_t d1, size_t d2, size_t d3,
+                  u64 *out)
+{
+    for (size_t j = 0; j < d0; ++j)
+        for (size_t k = 0; k < d1; ++k)
+            for (size_t b = 0; b < d2; ++b)
+                for (size_t l = 0; l < d3; ++l)
+                    out[((l * d1 + k) * d2 + b) * d0 + j] =
+                        in[((j * d1 + k) * d2 + b) * d3 + l];
+}
+
+void
+reorder_4d_reverse(const u64 *in, size_t d0, size_t d1, size_t d2, size_t d3,
+                   u64 *out)
+{
+    for (size_t i = 0; i < d0; ++i)
+        for (size_t j = 0; j < d1; ++j)
+            for (size_t k = 0; k < d2; ++k)
+                for (size_t l = 0; l < d3; ++l)
+                    out[((l * d2 + k) * d1 + j) * d0 + i] =
+                        in[((i * d1 + j) * d2 + k) * d3 + l];
+}
+
+} // namespace neo

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Data-layout transforms from §4.3 (Figs 6 and 8).
+ *
+ * BConv input is logically an α × BatchSize × N tensor (limb-major);
+ * the optimized kernel wants N × BatchSize × α so that the innermost
+ * dimension is the GEMM K dimension and accesses coalesce. IP input
+ * is β × α' × BatchSize × N, reordered to N × α' × BatchSize × β, and
+ * the evaluation keys β̃ × β × α' × N to N × α' × β × β̃.
+ *
+ * These are pure permutations; the pre/postprocessing cost they add is
+ * what Fig 13 shows to be negligible next to the memory traffic they
+ * save.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace neo {
+
+/**
+ * (d0 × d1 × d2) → (d2 × d1 × d0):
+ * out[l][b][i] = in[i][b][l]. Used by BConv (α×BS×N → N×BS×α) and its
+ * inverse (α'×BS×N ← N×BS×α').
+ */
+void reorder_3d_swap02(const u64 *in, size_t d0, size_t d1, size_t d2,
+                       u64 *out);
+
+/**
+ * (d0 × d1 × d2 × d3) → (d3 × d1 × d2 × d0):
+ * out[l][k][b][j] = in[j][k][b][l]. Used by IP's limb tensor
+ * (β×α'×BS×N → N×α'×BS×β) and back.
+ */
+void reorder_4d_swap03(const u64 *in, size_t d0, size_t d1, size_t d2,
+                       size_t d3, u64 *out);
+
+/**
+ * (d0 × d1 × d2 × d3) → (d3 × d2 × d1 × d0):
+ * out[l][k][j][i] = in[i][j][k][l]. Used by IP's evaluation keys
+ * (β̃×β×α'×N → N×α'×β×β̃).
+ */
+void reorder_4d_reverse(const u64 *in, size_t d0, size_t d1, size_t d2,
+                        size_t d3, u64 *out);
+
+} // namespace neo

@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boot/bootstrapper.h"
+#include "boot/factored_transform.h"
+#include "ckks/encryptor.h"
+#include "common/random.h"
+
+namespace neo::boot {
+namespace {
+
+double
+max_err(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double e = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        e = std::max(e, std::abs(a[i] - b[i]));
+    return e;
+}
+
+// ---------------------------------------------------------------------
+// LinearTransform
+// ---------------------------------------------------------------------
+
+struct LtFixture : public ::testing::Test
+{
+    static void
+    SetUpTestSuite()
+    {
+        params_ = new CkksParams(CkksParams::test_params(64, 5, 2));
+        ctx_ = new CkksContext(*params_);
+        keygen_ = new KeyGenerator(*ctx_, 3);
+        sk_ = new SecretKey(keygen_->secret_key());
+        pk_ = new PublicKey(keygen_->public_key(*sk_));
+        std::vector<i64> steps;
+        for (size_t s = 1; s < ctx_->encoder().slot_count(); ++s)
+            steps.push_back(static_cast<i64>(s));
+        gk_ = new GaloisKeys(keygen_->galois_keys(*sk_, steps, true));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete gk_;
+        delete pk_;
+        delete sk_;
+        delete keygen_;
+        delete ctx_;
+        delete params_;
+    }
+
+    static CkksParams *params_;
+    static CkksContext *ctx_;
+    static KeyGenerator *keygen_;
+    static SecretKey *sk_;
+    static PublicKey *pk_;
+    static GaloisKeys *gk_;
+};
+
+CkksParams *LtFixture::params_ = nullptr;
+CkksContext *LtFixture::ctx_ = nullptr;
+KeyGenerator *LtFixture::keygen_ = nullptr;
+SecretKey *LtFixture::sk_ = nullptr;
+PublicKey *LtFixture::pk_ = nullptr;
+GaloisKeys *LtFixture::gk_ = nullptr;
+
+TEST_F(LtFixture, DiagonalExtraction)
+{
+    const size_t s = 4;
+    std::vector<Complex> m(s * s);
+    for (size_t i = 0; i < s * s; ++i)
+        m[i] = Complex(static_cast<double>(i), 0);
+    LinearTransform lt(m, s);
+    auto d1 = lt.diagonal(1);
+    EXPECT_EQ(d1[0], m[0 * s + 1]);
+    EXPECT_EQ(d1[3], m[3 * s + 0]); // wraps
+}
+
+TEST_F(LtFixture, NaiveAndBsgsMatchPlainReference)
+{
+    const size_t s = ctx_->encoder().slot_count();
+    Rng rng(4);
+    std::vector<Complex> m(s * s);
+    for (auto &x : m)
+        x = Complex(2 * rng.uniform_real() - 1, 2 * rng.uniform_real() - 1) *
+            0.2;
+    LinearTransform lt(m, s);
+
+    std::vector<Complex> z(s);
+    for (auto &x : z)
+        x = Complex(2 * rng.uniform_real() - 1, 0);
+    auto expected = lt.apply_plain(z);
+
+    Encryptor enc(*ctx_);
+    Decryptor dec(*ctx_, *sk_, *keygen_);
+    Evaluator ev(*ctx_);
+    Ciphertext ct = enc.encrypt(ctx_->encode(z, 5), *pk_);
+
+    auto naive = dec.decrypt_decode(lt.apply(ev, *ctx_, ct, *gk_));
+    EXPECT_LT(max_err(naive, expected), 1e-3);
+    auto bsgs = dec.decrypt_decode(lt.apply_bsgs(ev, *ctx_, ct, *gk_));
+    EXPECT_LT(max_err(bsgs, expected), 1e-3);
+    // Hoisted baby rotations: same result to noise precision.
+    auto hoisted = dec.decrypt_decode(
+        lt.apply_bsgs(ev, *ctx_, ct, *gk_, /*hoist=*/true));
+    EXPECT_LT(max_err(hoisted, expected), 1e-3);
+}
+
+TEST_F(LtFixture, SparseDiagonalMatrixNeedsFewRotations)
+{
+    const size_t s = ctx_->encoder().slot_count();
+    // Circulant shift-by-2 matrix: single non-zero diagonal.
+    std::vector<Complex> m(s * s, Complex(0, 0));
+    for (size_t i = 0; i < s; ++i)
+        m[i * s + (i + 2) % s] = Complex(1, 0);
+    LinearTransform lt(m, s);
+    EXPECT_EQ(lt.required_rotations().size(), 1u);
+    EXPECT_EQ(lt.required_rotations()[0], 2);
+}
+
+// ---------------------------------------------------------------------
+// PolyEvaluator
+// ---------------------------------------------------------------------
+
+struct PolyFixture : public ::testing::Test
+{
+    static void
+    SetUpTestSuite()
+    {
+        params_ = new CkksParams(CkksParams::test_params(64, 9, 3));
+        ctx_ = new CkksContext(*params_);
+        keygen_ = new KeyGenerator(*ctx_, 5);
+        sk_ = new SecretKey(keygen_->secret_key());
+        pk_ = new PublicKey(keygen_->public_key(*sk_));
+        rlk_ = new EvalKey(keygen_->relin_key(*sk_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete rlk_;
+        delete pk_;
+        delete sk_;
+        delete keygen_;
+        delete ctx_;
+        delete params_;
+    }
+
+    static CkksParams *params_;
+    static CkksContext *ctx_;
+    static KeyGenerator *keygen_;
+    static SecretKey *sk_;
+    static PublicKey *pk_;
+    static EvalKey *rlk_;
+};
+
+CkksParams *PolyFixture::params_ = nullptr;
+CkksContext *PolyFixture::ctx_ = nullptr;
+KeyGenerator *PolyFixture::keygen_ = nullptr;
+SecretKey *PolyFixture::sk_ = nullptr;
+PublicKey *PolyFixture::pk_ = nullptr;
+EvalKey *PolyFixture::rlk_ = nullptr;
+
+TEST_F(PolyFixture, PowerBasisMatchesPlainEvaluation)
+{
+    Encryptor enc(*ctx_);
+    Decryptor dec(*ctx_, *sk_, *keygen_);
+    Evaluator ev(*ctx_);
+    PolyEvaluator pe(*ctx_, ev, *rlk_);
+
+    Rng rng(6);
+    const size_t slots = ctx_->encoder().slot_count();
+    std::vector<Complex> z(slots);
+    for (auto &x : z)
+        x = Complex(2 * rng.uniform_real() - 1, 0);
+
+    const double nominal =
+        static_cast<double>(ctx_->q_basis()[1].value());
+    Ciphertext ct =
+        enc.encrypt(ctx_->encode(z, ctx_->max_level(), nominal), *pk_);
+
+    // p(x) = 0.3 - 0.5x + 0.25x^3 + 0.1x^5.
+    std::vector<double> coeffs = {0.3, -0.5, 0.0, 0.25, 0.0, 0.1};
+    auto got = dec.decrypt_decode(pe.evaluate_power(ct, coeffs));
+    for (size_t i = 0; i < slots; ++i) {
+        double x = z[i].real();
+        double want = 0.3 - 0.5 * x + 0.25 * x * x * x +
+                      0.1 * std::pow(x, 5);
+        EXPECT_NEAR(got[i].real(), want, 2e-3) << "slot " << i;
+    }
+}
+
+TEST_F(PolyFixture, ChebyshevBasisMatchesPlainEvaluation)
+{
+    Encryptor enc(*ctx_);
+    Decryptor dec(*ctx_, *sk_, *keygen_);
+    Evaluator ev(*ctx_);
+    PolyEvaluator pe(*ctx_, ev, *rlk_);
+
+    Rng rng(7);
+    const size_t slots = ctx_->encoder().slot_count();
+    std::vector<Complex> z(slots);
+    for (auto &x : z)
+        x = Complex(2 * rng.uniform_real() - 1, 0);
+
+    const double nominal =
+        static_cast<double>(ctx_->q_basis()[1].value());
+    Ciphertext ct =
+        enc.encrypt(ctx_->encode(z, ctx_->max_level(), nominal), *pk_);
+
+    // Chebyshev fit of exp(x/2) at degree 7, evaluated homomorphically.
+    auto f = [](double x, void *) { return std::exp(x / 2.0); };
+    auto coeffs = PolyEvaluator::chebyshev_fit(+f, nullptr, 7);
+    auto got = dec.decrypt_decode(pe.evaluate_chebyshev(ct, coeffs));
+    for (size_t i = 0; i < slots; ++i) {
+        double want = std::exp(z[i].real() / 2.0);
+        EXPECT_NEAR(got[i].real(), want, 5e-3) << "slot " << i;
+    }
+}
+
+TEST_F(PolyFixture, ChebyshevFitReproducesFunction)
+{
+    auto f = [](double x, void *) { return std::cos(3.0 * x); };
+    auto c = PolyEvaluator::chebyshev_fit(+f, nullptr, 15);
+    // Evaluate the series at a few points via the recurrence.
+    for (double x : {-0.9, -0.3, 0.0, 0.5, 1.0}) {
+        double t0 = 1, t1 = x, acc = c[0] + c[1] * x;
+        for (size_t k = 2; k < c.size(); ++k) {
+            double t2 = 2 * x * t1 - t0;
+            acc += c[k] * t2;
+            t0 = t1;
+            t1 = t2;
+        }
+        EXPECT_NEAR(acc, std::cos(3.0 * x), 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bootstrapping
+// ---------------------------------------------------------------------
+
+TEST(Bootstrap, RefreshesLevelAndPreservesMessage)
+{
+    CkksParams params = CkksParams::test_params(256, 14, 3);
+    CkksContext ctx(params);
+    KeyGenerator keygen(ctx, 11);
+    SecretKey sk = keygen.secret_key_sparse(8);
+    PublicKey pk = keygen.public_key(sk);
+    EvalKey rlk = keygen.relin_key(sk);
+    GaloisKeys gk = keygen.galois_keys(
+        sk, Bootstrapper::required_rotations(ctx), /*conjugate=*/true);
+    Encryptor enc(ctx);
+    Decryptor dec(ctx, sk, keygen);
+    Evaluator ev(ctx);
+    Bootstrapper boot(ctx, ev, rlk, gk);
+
+    // Small messages: |m| << q0 keeps the sine linearisation sharp.
+    Rng rng(13);
+    const size_t slots = ctx.encoder().slot_count();
+    std::vector<Complex> z(slots);
+    for (auto &x : z)
+        x = Complex(0.04 * (2 * rng.uniform_real() - 1), 0);
+
+    Ciphertext ct = enc.encrypt(ctx.encode(z, /*level=*/0), pk);
+    ASSERT_EQ(ct.level, 0u);
+
+    Ciphertext fresh = boot.bootstrap(ct);
+    EXPECT_GE(fresh.level, 2u) << "bootstrap must refresh levels";
+
+    auto got = dec.decrypt_decode(fresh);
+    EXPECT_LT(max_err(got, z), 2e-3);
+}
+
+TEST(FactoredEmbedding, StagesComposeToDenseEmbedding)
+{
+    // The butterfly factorization must reproduce the encoder's
+    // canonical embedding exactly (plaintext check).
+    for (size_t n : {8u, 64u, 256u}) {
+        FactoredEmbedding fe(n, 2);
+        Rng rng(n);
+        std::vector<double> c(n);
+        for (auto &x : c)
+            x = 2 * rng.uniform_real() - 1;
+        auto z = fe.apply_forward(fe.pack_base(c));
+        // Reference: z_k = Σ c_i ζ^{5^k i}.
+        u64 e = 1;
+        double err = 0;
+        for (size_t k = 0; k < n / 2; ++k) {
+            Complex want(0, 0);
+            for (size_t i = 0; i < n; ++i) {
+                double th = M_PI * static_cast<double>((e * i) % (2 * n)) /
+                            static_cast<double>(n);
+                want += c[i] * Complex(std::cos(th), std::sin(th));
+            }
+            err = std::max(err, std::abs(want - z[k]));
+            e = (e * 5) % (2 * n);
+        }
+        EXPECT_LT(err, 1e-9) << "n=" << n;
+        // Inverse stages undo the forward ones.
+        auto back = fe.apply_inverse(z);
+        auto base = fe.pack_base(c);
+        double rt = 0;
+        for (size_t k = 0; k < n / 2; ++k)
+            rt = std::max(rt, std::abs(back[k] - base[k]));
+        EXPECT_LT(rt, 1e-9);
+    }
+}
+
+TEST(FactoredEmbedding, StagesAreSparse)
+{
+    FactoredEmbedding fe(256, 3); // 7 levels in 3 groups
+    ASSERT_EQ(fe.groups(), 3u);
+    for (const auto &stage : fe.forward()) {
+        // Grouping ≤3 butterfly levels composes offsets from
+        // {0,±D1}+{0,±D2}+{0,±D3}: at most 27 diagonals, far below the
+        // 128 of the dense transform.
+        EXPECT_LE(stage.required_rotations().size() + 1, 27u);
+        EXPECT_LT(stage.required_rotations().size(), 127u);
+    }
+    EXPECT_THROW(FactoredEmbedding(256, 9), std::invalid_argument);
+    EXPECT_THROW(FactoredEmbedding(6, 1), std::invalid_argument);
+}
+
+TEST(Bootstrap, FactoredTransformsRefreshAndPreserve)
+{
+    CkksParams params = CkksParams::test_params(256, 17, 3);
+    CkksContext ctx(params);
+    KeyGenerator keygen(ctx, 19);
+    SecretKey sk = keygen.secret_key_sparse(8);
+    PublicKey pk = keygen.public_key(sk);
+    EvalKey rlk = keygen.relin_key(sk);
+    BootstrapOptions opts;
+    opts.factored_groups = 2; // multi-stage CtS/StC
+    GaloisKeys gk = keygen.galois_keys(
+        sk, Bootstrapper::required_rotations(ctx, opts), true);
+    Encryptor enc(ctx);
+    Decryptor dec(ctx, sk, keygen);
+    Evaluator ev(ctx);
+    Bootstrapper boot(ctx, ev, rlk, gk, opts);
+
+    Rng rng(23);
+    const size_t slots = ctx.encoder().slot_count();
+    std::vector<Complex> z(slots);
+    for (auto &x : z)
+        x = Complex(0.04 * (2 * rng.uniform_real() - 1), 0);
+    Ciphertext ct = enc.encrypt(ctx.encode(z, 0), pk);
+    Ciphertext fresh = boot.bootstrap(ct);
+    EXPECT_GE(fresh.level, 1u);
+    auto got = dec.decrypt_decode(fresh);
+    EXPECT_LT(max_err(got, z), 3e-3);
+}
+
+TEST(Bootstrap, SecretKeySparseHammingWeight)
+{
+    CkksParams params = CkksParams::test_params(256, 5, 2);
+    CkksContext ctx(params);
+    KeyGenerator keygen(ctx, 3);
+    SecretKey sk = keygen.secret_key_sparse(8);
+    int weight = 0;
+    for (i64 c : sk.coeffs) {
+        EXPECT_TRUE(c == -1 || c == 0 || c == 1);
+        weight += (c != 0);
+    }
+    EXPECT_EQ(weight, 8);
+}
+
+} // namespace
+} // namespace neo::boot

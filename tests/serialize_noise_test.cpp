@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/noise.h"
+#include "ckks/serialize.h"
+#include "common/random.h"
+
+namespace neo::ckks {
+namespace {
+
+struct SnFixture : public ::testing::Test
+{
+    static void
+    SetUpTestSuite()
+    {
+        params_ = new CkksParams(CkksParams::test_params(128, 5, 2));
+        ctx_ = new CkksContext(*params_);
+        keygen_ = new KeyGenerator(*ctx_, 41);
+        sk_ = new SecretKey(keygen_->secret_key());
+        pk_ = new PublicKey(keygen_->public_key(*sk_));
+        rlk_ = new EvalKey(keygen_->relin_key(*sk_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete rlk_;
+        delete pk_;
+        delete sk_;
+        delete keygen_;
+        delete ctx_;
+        delete params_;
+    }
+
+    static std::vector<Complex>
+    slots(u64 seed)
+    {
+        Rng rng(seed);
+        std::vector<Complex> z(ctx_->encoder().slot_count());
+        for (auto &x : z)
+            x = Complex(2 * rng.uniform_real() - 1, 0);
+        return z;
+    }
+
+    static CkksParams *params_;
+    static CkksContext *ctx_;
+    static KeyGenerator *keygen_;
+    static SecretKey *sk_;
+    static PublicKey *pk_;
+    static EvalKey *rlk_;
+};
+
+CkksParams *SnFixture::params_ = nullptr;
+CkksContext *SnFixture::ctx_ = nullptr;
+KeyGenerator *SnFixture::keygen_ = nullptr;
+SecretKey *SnFixture::sk_ = nullptr;
+PublicKey *SnFixture::pk_ = nullptr;
+EvalKey *SnFixture::rlk_ = nullptr;
+
+TEST_F(SnFixture, PolyRoundTrip)
+{
+    Rng rng(1);
+    RnsPoly p(ctx_->n(), ctx_->active_mods(3), PolyForm::eval);
+    for (size_t i = 0; i < p.limbs(); ++i)
+        for (size_t l = 0; l < p.n(); ++l)
+            p.limb(i)[l] = rng.uniform(p.modulus(i).value());
+
+    std::stringstream ss;
+    save(ss, p);
+    RnsPoly q = load_poly(ss);
+    EXPECT_TRUE(q.same_shape(p));
+    EXPECT_EQ(q.form(), p.form());
+    EXPECT_TRUE(std::equal(p.data(), p.data() + p.limbs() * p.n(),
+                           q.data()));
+    EXPECT_NO_THROW(validate_against(*ctx_, q));
+}
+
+TEST_F(SnFixture, CiphertextRoundTripStillDecrypts)
+{
+    Encryptor enc(*ctx_);
+    Decryptor dec(*ctx_, *sk_, *keygen_);
+    auto z = slots(2);
+    Ciphertext ct = enc.encrypt(ctx_->encode(z, 5), *pk_);
+
+    std::stringstream ss;
+    save(ss, ct);
+    Ciphertext back = load_ciphertext(ss);
+    EXPECT_EQ(back.level, ct.level);
+    EXPECT_DOUBLE_EQ(back.scale, ct.scale);
+    auto got = dec.decrypt_decode(back);
+    for (size_t i = 0; i < z.size(); ++i)
+        EXPECT_LT(std::abs(got[i] - z[i]), 1e-5);
+}
+
+TEST_F(SnFixture, KeysRoundTripAndStillRelinearize)
+{
+    std::stringstream ks, es;
+    save(ks, *sk_);
+    save(es, *rlk_);
+    SecretKey sk2 = load_secret_key(ks);
+    EvalKey rlk2 = load_eval_key(es);
+    EXPECT_EQ(sk2.coeffs, sk_->coeffs);
+
+    Encryptor enc(*ctx_);
+    Decryptor dec(*ctx_, sk2, *keygen_);
+    Evaluator ev(*ctx_);
+    auto a = slots(3);
+    auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
+    auto prod = ev.rescale(ev.mul(ca, ca, rlk2));
+    auto got = dec.decrypt_decode(prod);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(got[i] - a[i] * a[i]), 1e-4);
+}
+
+TEST_F(SnFixture, TamperedStreamsRejected)
+{
+    std::stringstream ss;
+    save(ss, *sk_);
+    std::string raw = ss.str();
+    // Flip a secret coefficient to an out-of-range value.
+    raw[raw.size() - 3] = 0x7f;
+    std::stringstream bad(raw);
+    EXPECT_THROW(load_secret_key(bad), std::invalid_argument);
+
+    std::stringstream truncated(raw.substr(0, 16));
+    EXPECT_THROW(load_secret_key(truncated), std::invalid_argument);
+
+    std::stringstream wrong_magic(std::string("XXXX") + raw.substr(4));
+    EXPECT_THROW(load_secret_key(wrong_magic), std::invalid_argument);
+}
+
+TEST_F(SnFixture, ValidateAgainstRejectsForeignModuli)
+{
+    std::vector<Modulus> fake = {Modulus(1000003),
+                                 Modulus(1000033)};
+    RnsPoly alien(ctx_->n(), fake);
+    EXPECT_THROW(validate_against(*ctx_, alien), std::invalid_argument);
+}
+
+TEST_F(SnFixture, FreshCiphertextNoiseIsSmall)
+{
+    Encryptor enc(*ctx_);
+    NoiseInspector probe(*ctx_, *sk_, *keygen_);
+    auto z = slots(4);
+    Ciphertext ct = enc.encrypt(ctx_->encode(z, 5), *pk_);
+    // Fresh public-key noise: a few bits above the error width.
+    double bits = probe.noise_bits(ct, z);
+    EXPECT_LT(bits, 20.0);
+    EXPECT_GT(probe.budget_bits(ct, z), 100.0);
+}
+
+TEST_F(SnFixture, NoiseGrowsThroughMultiplication)
+{
+    Encryptor enc(*ctx_);
+    Evaluator ev(*ctx_);
+    NoiseInspector probe(*ctx_, *sk_, *keygen_);
+    auto a = slots(5);
+    auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
+    double fresh = probe.noise_bits(ca, a);
+
+    std::vector<Complex> sq(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        sq[i] = a[i] * a[i];
+    auto prod = ev.mul(ca, ca, *rlk_);
+    double after = probe.noise_bits(prod, sq);
+    EXPECT_GT(after, fresh);
+    // Budget must shrink but stay positive.
+    EXPECT_GT(probe.budget_bits(prod, sq), 0.0);
+    EXPECT_LT(probe.budget_bits(prod, sq), probe.budget_bits(ca, a));
+}
+
+TEST_F(SnFixture, BothKeySwitchMethodsAddComparableNoise)
+{
+    KlssEvalKey krlk = keygen_->to_klss(*rlk_);
+    Encryptor enc(*ctx_);
+    NoiseInspector probe(*ctx_, *sk_, *keygen_);
+    auto a = slots(6);
+    auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
+    std::vector<Complex> sq(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        sq[i] = a[i] * a[i];
+
+    Evaluator ev_h(*ctx_, KeySwitchMethod::hybrid);
+    Evaluator ev_k(*ctx_, KeySwitchMethod::klss);
+    double nh = probe.noise_bits(ev_h.mul(ca, ca, *rlk_), sq);
+    double nk = probe.noise_bits(ev_k.mul(ca, ca, *rlk_, &krlk), sq);
+    EXPECT_LT(std::abs(nh - nk), 4.0) << "hybrid " << nh << " vs klss "
+                                      << nk;
+}
+
+TEST_F(SnFixture, SeededCiphertextExpandsAndDecrypts)
+{
+    Encryptor enc(*ctx_);
+    Decryptor dec(*ctx_, *sk_, *keygen_);
+    auto z = slots(7);
+    SeededCiphertext sct = enc.encrypt_symmetric_seeded(
+        ctx_->encode(z, 5), *sk_, *keygen_, /*a_seed=*/0xfeedULL);
+    EXPECT_EQ(sct.seed, 0xfeedULL);
+
+    Ciphertext full = enc.expand(sct);
+    auto got = dec.decrypt_decode(full);
+    for (size_t i = 0; i < z.size(); ++i)
+        EXPECT_LT(std::abs(got[i] - z[i]), 1e-5);
+
+    // Expansion is deterministic: c1 identical across expansions.
+    Ciphertext again = enc.expand(sct);
+    EXPECT_TRUE(std::equal(full.c1.data(),
+                           full.c1.data() +
+                               full.c1.limbs() * full.c1.n(),
+                           again.c1.data()));
+}
+
+TEST_F(SnFixture, SeededCiphertextHalvesTheBytes)
+{
+    Encryptor enc(*ctx_);
+    auto z = slots(8);
+    SeededCiphertext sct = enc.encrypt_symmetric_seeded(
+        ctx_->encode(z, 5), *sk_, *keygen_, 1);
+    Ciphertext full = enc.expand(sct);
+    const size_t seeded_bytes =
+        sct.c0.limbs() * sct.c0.n() * sizeof(u64) + sizeof(u64);
+    const size_t full_bytes =
+        2 * full.c0.limbs() * full.c0.n() * sizeof(u64);
+    EXPECT_LT(seeded_bytes, full_bytes * 0.51);
+}
+
+} // namespace
+} // namespace neo::ckks

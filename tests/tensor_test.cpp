@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "poly/matrix_ntt.h"
+#include "rns/primes.h"
+#include "tensor/bitslice.h"
+#include "tensor/gemm.h"
+#include "tensor/layout.h"
+
+namespace neo {
+namespace {
+
+TEST(BitSlice, Fp64SplitMatchesPaperExamples)
+{
+    // §3.4: 36-bit operands, K = 16 -> keep A whole, slice B into
+    // three 12-bit planes; 3 FP64 GEMMs total.
+    SplitPlan p36 = choose_fp64_split(36, 36, 16);
+    EXPECT_EQ(p36.products(), 3);
+    EXPECT_EQ(p36.a_planes, 1);
+    EXPECT_EQ(p36.b_planes, 3);
+    EXPECT_LE(p36.a_plane_bits + p36.b_plane_bits + 4, 53);
+
+    // 48-bit operands -> 2 x 2 = 4 GEMMs ("FP64 complexity of 4").
+    SplitPlan p48 = choose_fp64_split(48, 48, 16);
+    EXPECT_EQ(p48.products(), 4);
+    EXPECT_EQ(p48.a_planes, 2);
+    EXPECT_EQ(p48.b_planes, 2);
+    EXPECT_LE(p48.a_plane_bits + p48.b_plane_bits + 4, 53);
+}
+
+TEST(BitSlice, Int8SplitMatchesPaperExamples)
+{
+    // §3.4: 36-bit -> 5 planes each side -> 25 GEMMs; 48-bit -> 36.
+    EXPECT_EQ(choose_int8_split(36, 36, 16).products(), 25);
+    EXPECT_EQ(choose_int8_split(48, 48, 16).products(), 36);
+}
+
+TEST(BitSlice, Fp64SplitAlwaysExact)
+{
+    for (int w : {30, 36, 42, 48, 54, 60, 64}) {
+        for (size_t k : {4u, 8u, 16u, 36u}) {
+            SplitPlan p = choose_fp64_split(w, w, k);
+            int kbits = k <= 1 ? 0 : bit_size(k - 1);
+            EXPECT_LE(p.a_plane_bits + p.b_plane_bits + kbits, 53)
+                << "w=" << w << " k=" << k;
+            EXPECT_GE(p.a_planes * p.a_plane_bits, w);
+            EXPECT_GE(p.b_planes * p.b_plane_bits, w);
+        }
+    }
+}
+
+TEST(BitSlice, PlanesReconstructValue)
+{
+    Rng rng(1);
+    std::vector<u64> in(32);
+    for (auto &x : in)
+        x = rng.next() & ((1ULL << 48) - 1);
+    SplitPlan p = choose_fp64_split(48, 48, 16);
+    std::vector<double> planes(static_cast<size_t>(p.a_planes) * 32);
+    slice_to_f64(in.data(), 32, p.a_planes, p.a_plane_bits, planes.data());
+    for (size_t i = 0; i < 32; ++i) {
+        u64 v = 0;
+        for (int pl = p.a_planes - 1; pl >= 0; --pl) {
+            v <<= p.a_plane_bits;
+            v += static_cast<u64>(planes[static_cast<size_t>(pl) * 32 + i]);
+        }
+        EXPECT_EQ(v, in[i]);
+    }
+}
+
+class SlicedGemmTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SlicedGemmTest, Fp64PathBitExactAgainstScalar)
+{
+    const int bits = GetParam();
+    Modulus q(generate_ntt_primes(bits, 1, 1 << 10)[0]);
+    Rng rng(bits);
+    const size_t m = 24, n = 16, k = 16;
+    auto a = rng.uniform_vec(m * k, q.value());
+    auto b = rng.uniform_vec(k * n, q.value());
+    std::vector<u64> ref(m * n), got(m * n);
+    scalar_mod_matmul(a.data(), b.data(), ref.data(), m, n, k, q);
+    fp64_sliced_matmul(a.data(), b.data(), got.data(), m, n, k, q);
+    EXPECT_EQ(got, ref);
+}
+
+TEST_P(SlicedGemmTest, Int8PathBitExactAgainstScalar)
+{
+    const int bits = GetParam();
+    Modulus q(generate_ntt_primes(bits, 1, 1 << 10)[0]);
+    Rng rng(bits + 100);
+    const size_t m = 8, n = 8, k = 16;
+    auto a = rng.uniform_vec(m * k, q.value());
+    auto b = rng.uniform_vec(k * n, q.value());
+    std::vector<u64> ref(m * n), got(m * n);
+    scalar_mod_matmul(a.data(), b.data(), ref.data(), m, n, k, q);
+    int8_sliced_matmul(a.data(), b.data(), got.data(), m, n, k, q);
+    EXPECT_EQ(got, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordSizes, SlicedGemmTest,
+                         ::testing::Values(30, 36, 48, 60));
+
+TEST(SlicedGemm, MaximalOperandsStayExact)
+{
+    // Adversarial case: all entries q-1, the largest possible values.
+    Modulus q(generate_ntt_primes(48, 1, 1 << 10)[0]);
+    const size_t m = 4, n = 4, k = 16;
+    std::vector<u64> a(m * k, q.value() - 1), b(k * n, q.value() - 1);
+    std::vector<u64> ref(m * n), got(m * n);
+    scalar_mod_matmul(a.data(), b.data(), ref.data(), m, n, k, q);
+    fp64_sliced_matmul(a.data(), b.data(), got.data(), m, n, k, q);
+    EXPECT_EQ(got, ref);
+    int8_sliced_matmul(a.data(), b.data(), got.data(), m, n, k, q);
+    EXPECT_EQ(got, ref);
+}
+
+TEST(SlicedGemm, OddShapes)
+{
+    Modulus q(generate_ntt_primes(36, 1, 1 << 10)[0]);
+    Rng rng(7);
+    for (auto [m, n, k] : {std::tuple<size_t, size_t, size_t>{1, 1, 1},
+                           {3, 5, 7},
+                           {17, 9, 4},
+                           {2, 33, 8}}) {
+        auto a = rng.uniform_vec(m * k, q.value());
+        auto b = rng.uniform_vec(k * n, q.value());
+        std::vector<u64> ref(m * n), got(m * n);
+        scalar_mod_matmul(a.data(), b.data(), ref.data(), m, n, k, q);
+        fp64_sliced_matmul(a.data(), b.data(), got.data(), m, n, k, q);
+        EXPECT_EQ(got, ref) << m << "x" << n << "x" << k;
+    }
+}
+
+TEST(SlicedGemm, MatrixNttThroughFp64TcuMatchesScalar)
+{
+    // The paper's NTT-on-TCU: radix-16 NTT with all matmuls routed
+    // through the FP64-sliced GEMM must equal the radix-2 reference.
+    const size_t n = 1024;
+    Modulus q(generate_ntt_primes(48, 1, n)[0]);
+    NttTables t(n, q);
+    MatrixNtt mntt(t, 16);
+    Rng rng(11);
+    auto a = rng.uniform_vec(n, q.value());
+    auto ref = a;
+    t.forward(ref.data());
+    auto got = a;
+    mntt.forward(got.data(), fp64_tcu_matmul());
+    EXPECT_EQ(got, ref);
+    mntt.inverse(got.data(), fp64_tcu_matmul());
+    EXPECT_EQ(got, a);
+}
+
+TEST(SlicedGemm, MatrixNttThroughInt8TcuMatchesScalar)
+{
+    const size_t n = 256;
+    Modulus q(generate_ntt_primes(36, 1, n)[0]);
+    NttTables t(n, q);
+    MatrixNtt mntt(t, 16);
+    Rng rng(12);
+    auto a = rng.uniform_vec(n, q.value());
+    auto ref = a;
+    t.forward(ref.data());
+    auto got = a;
+    mntt.forward(got.data(), int8_tcu_matmul());
+    EXPECT_EQ(got, ref);
+}
+
+TEST(Layout, Reorder3dRoundTrip)
+{
+    const size_t d0 = 3, d1 = 4, d2 = 5;
+    Rng rng(2);
+    auto in = rng.uniform_vec(d0 * d1 * d2, 1000);
+    std::vector<u64> mid(in.size()), back(in.size());
+    reorder_3d_swap02(in.data(), d0, d1, d2, mid.data());
+    // Element check: out[l][b][i] == in[i][b][l].
+    for (size_t i = 0; i < d0; ++i)
+        for (size_t b = 0; b < d1; ++b)
+            for (size_t l = 0; l < d2; ++l)
+                EXPECT_EQ(mid[(l * d1 + b) * d0 + i],
+                          in[(i * d1 + b) * d2 + l]);
+    reorder_3d_swap02(mid.data(), d2, d1, d0, back.data());
+    EXPECT_EQ(back, in);
+}
+
+TEST(Layout, Reorder4dSwap03RoundTrip)
+{
+    const size_t d0 = 2, d1 = 3, d2 = 4, d3 = 5;
+    Rng rng(3);
+    auto in = rng.uniform_vec(d0 * d1 * d2 * d3, 1000);
+    std::vector<u64> mid(in.size()), back(in.size());
+    reorder_4d_swap03(in.data(), d0, d1, d2, d3, mid.data());
+    reorder_4d_swap03(mid.data(), d3, d1, d2, d0, back.data());
+    EXPECT_EQ(back, in);
+}
+
+TEST(Layout, Reorder4dReverseRoundTrip)
+{
+    const size_t d0 = 2, d1 = 3, d2 = 4, d3 = 5;
+    Rng rng(4);
+    auto in = rng.uniform_vec(d0 * d1 * d2 * d3, 1000);
+    std::vector<u64> mid(in.size()), back(in.size());
+    reorder_4d_reverse(in.data(), d0, d1, d2, d3, mid.data());
+    reorder_4d_reverse(mid.data(), d3, d2, d1, d0, back.data());
+    EXPECT_EQ(back, in);
+}
+
+} // namespace
+} // namespace neo
