@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_keyswitch_traffic.dir/fig02_keyswitch_traffic.cpp.o"
+  "CMakeFiles/fig02_keyswitch_traffic.dir/fig02_keyswitch_traffic.cpp.o.d"
+  "fig02_keyswitch_traffic"
+  "fig02_keyswitch_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_keyswitch_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_int8_vs_fp64.dir/fig03_int8_vs_fp64.cpp.o"
+  "CMakeFiles/fig03_int8_vs_fp64.dir/fig03_int8_vs_fp64.cpp.o.d"
+  "fig03_int8_vs_fp64"
+  "fig03_int8_vs_fp64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_int8_vs_fp64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_int8_vs_fp64.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_valid_proportion.dir/fig12_valid_proportion.cpp.o"
+  "CMakeFiles/fig12_valid_proportion.dir/fig12_valid_proportion.cpp.o.d"
+  "fig12_valid_proportion"
+  "fig12_valid_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_valid_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

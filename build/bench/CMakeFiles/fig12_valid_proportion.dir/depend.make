@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_valid_proportion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_kernel_breakdown.dir/fig13_kernel_breakdown.cpp.o"
+  "CMakeFiles/fig13_kernel_breakdown.dir/fig13_kernel_breakdown.cpp.o.d"
+  "fig13_kernel_breakdown"
+  "fig13_kernel_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_kernel_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_transfer_reduction.dir/fig15_transfer_reduction.cpp.o"
+  "CMakeFiles/fig15_transfer_reduction.dir/fig15_transfer_reduction.cpp.o.d"
+  "fig15_transfer_reduction"
+  "fig15_transfer_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_transfer_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

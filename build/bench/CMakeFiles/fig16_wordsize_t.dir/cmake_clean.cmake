@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_wordsize_t.dir/fig16_wordsize_t.cpp.o"
+  "CMakeFiles/fig16_wordsize_t.dir/fig16_wordsize_t.cpp.o.d"
+  "fig16_wordsize_t"
+  "fig16_wordsize_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_wordsize_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_batchsize.dir/fig17_batchsize.cpp.o"
+  "CMakeFiles/fig17_batchsize.dir/fig17_batchsize.cpp.o.d"
+  "fig17_batchsize"
+  "fig17_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kernels_bench.dir/micro_kernels_bench.cpp.o"
+  "CMakeFiles/micro_kernels_bench.dir/micro_kernels_bench.cpp.o.d"
+  "micro_kernels_bench"
+  "micro_kernels_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kernels_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

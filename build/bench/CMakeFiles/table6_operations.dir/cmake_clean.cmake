@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_operations.dir/table6_operations.cpp.o"
+  "CMakeFiles/table6_operations.dir/table6_operations.cpp.o.d"
+  "table6_operations"
+  "table6_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

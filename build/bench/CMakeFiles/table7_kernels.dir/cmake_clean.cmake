@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_kernels.dir/table7_kernels.cpp.o"
+  "CMakeFiles/table7_kernels.dir/table7_kernels.cpp.o.d"
+  "table7_kernels"
+  "table7_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

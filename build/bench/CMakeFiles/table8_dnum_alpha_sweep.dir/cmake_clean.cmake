@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_dnum_alpha_sweep.dir/table8_dnum_alpha_sweep.cpp.o"
+  "CMakeFiles/table8_dnum_alpha_sweep.dir/table8_dnum_alpha_sweep.cpp.o.d"
+  "table8_dnum_alpha_sweep"
+  "table8_dnum_alpha_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_dnum_alpha_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

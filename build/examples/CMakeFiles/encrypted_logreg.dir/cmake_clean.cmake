@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_logreg.dir/encrypted_logreg.cpp.o"
+  "CMakeFiles/encrypted_logreg.dir/encrypted_logreg.cpp.o.d"
+  "encrypted_logreg"
+  "encrypted_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for encrypted_logreg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_explorer.dir/performance_explorer.cpp.o"
+  "CMakeFiles/performance_explorer.dir/performance_explorer.cpp.o.d"
+  "performance_explorer"
+  "performance_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

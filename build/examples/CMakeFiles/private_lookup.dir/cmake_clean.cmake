@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_lookup.dir/private_lookup.cpp.o"
+  "CMakeFiles/private_lookup.dir/private_lookup.cpp.o.d"
+  "private_lookup"
+  "private_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

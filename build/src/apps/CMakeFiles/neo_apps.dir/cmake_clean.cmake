@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_apps.dir/schedules.cpp.o"
+  "CMakeFiles/neo_apps.dir/schedules.cpp.o.d"
+  "libneo_apps.a"
+  "libneo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_baselines.dir/backends.cpp.o"
+  "CMakeFiles/neo_baselines.dir/backends.cpp.o.d"
+  "libneo_baselines.a"
+  "libneo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_boot.dir/bootstrapper.cpp.o"
+  "CMakeFiles/neo_boot.dir/bootstrapper.cpp.o.d"
+  "CMakeFiles/neo_boot.dir/factored_transform.cpp.o"
+  "CMakeFiles/neo_boot.dir/factored_transform.cpp.o.d"
+  "libneo_boot.a"
+  "libneo_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

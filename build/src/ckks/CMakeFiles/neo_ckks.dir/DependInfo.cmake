@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckks/context.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/context.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/context.cpp.o.d"
+  "/root/repo/src/ckks/encoder.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/encoder.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/encoder.cpp.o.d"
+  "/root/repo/src/ckks/encryptor.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/encryptor.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/encryptor.cpp.o.d"
+  "/root/repo/src/ckks/evaluator.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/evaluator.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/evaluator.cpp.o.d"
+  "/root/repo/src/ckks/hoisting.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/hoisting.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/hoisting.cpp.o.d"
+  "/root/repo/src/ckks/keygen.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/keygen.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/keygen.cpp.o.d"
+  "/root/repo/src/ckks/keyswitch.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/keyswitch.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/keyswitch.cpp.o.d"
+  "/root/repo/src/ckks/linear_transform.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/linear_transform.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/linear_transform.cpp.o.d"
+  "/root/repo/src/ckks/noise.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/noise.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/noise.cpp.o.d"
+  "/root/repo/src/ckks/paper_params.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/paper_params.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/paper_params.cpp.o.d"
+  "/root/repo/src/ckks/params.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/params.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/params.cpp.o.d"
+  "/root/repo/src/ckks/poly_eval.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/poly_eval.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/poly_eval.cpp.o.d"
+  "/root/repo/src/ckks/security.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/security.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/security.cpp.o.d"
+  "/root/repo/src/ckks/serialize.cpp" "src/ckks/CMakeFiles/neo_ckks.dir/serialize.cpp.o" "gcc" "src/ckks/CMakeFiles/neo_ckks.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/neo_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/neo_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_ckks.dir/context.cpp.o"
+  "CMakeFiles/neo_ckks.dir/context.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/encoder.cpp.o"
+  "CMakeFiles/neo_ckks.dir/encoder.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/encryptor.cpp.o"
+  "CMakeFiles/neo_ckks.dir/encryptor.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/evaluator.cpp.o"
+  "CMakeFiles/neo_ckks.dir/evaluator.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/hoisting.cpp.o"
+  "CMakeFiles/neo_ckks.dir/hoisting.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/keygen.cpp.o"
+  "CMakeFiles/neo_ckks.dir/keygen.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/keyswitch.cpp.o"
+  "CMakeFiles/neo_ckks.dir/keyswitch.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/linear_transform.cpp.o"
+  "CMakeFiles/neo_ckks.dir/linear_transform.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/noise.cpp.o"
+  "CMakeFiles/neo_ckks.dir/noise.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/paper_params.cpp.o"
+  "CMakeFiles/neo_ckks.dir/paper_params.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/params.cpp.o"
+  "CMakeFiles/neo_ckks.dir/params.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/poly_eval.cpp.o"
+  "CMakeFiles/neo_ckks.dir/poly_eval.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/security.cpp.o"
+  "CMakeFiles/neo_ckks.dir/security.cpp.o.d"
+  "CMakeFiles/neo_ckks.dir/serialize.cpp.o"
+  "CMakeFiles/neo_ckks.dir/serialize.cpp.o.d"
+  "libneo_ckks.a"
+  "libneo_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

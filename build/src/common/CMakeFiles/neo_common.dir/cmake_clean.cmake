@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_common.dir/random.cpp.o"
+  "CMakeFiles/neo_common.dir/random.cpp.o.d"
+  "CMakeFiles/neo_common.dir/table.cpp.o"
+  "CMakeFiles/neo_common.dir/table.cpp.o.d"
+  "libneo_common.a"
+  "libneo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/event_sim.cpp" "src/gpusim/CMakeFiles/neo_gpusim.dir/event_sim.cpp.o" "gcc" "src/gpusim/CMakeFiles/neo_gpusim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/gpusim/kernel_cost.cpp" "src/gpusim/CMakeFiles/neo_gpusim.dir/kernel_cost.cpp.o" "gcc" "src/gpusim/CMakeFiles/neo_gpusim.dir/kernel_cost.cpp.o.d"
+  "/root/repo/src/gpusim/memory_model.cpp" "src/gpusim/CMakeFiles/neo_gpusim.dir/memory_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/neo_gpusim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/gpusim/tcu_model.cpp" "src/gpusim/CMakeFiles/neo_gpusim.dir/tcu_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/neo_gpusim.dir/tcu_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/neo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/neo_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/neo_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/neo_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

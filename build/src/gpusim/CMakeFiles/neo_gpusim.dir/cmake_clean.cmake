@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_gpusim.dir/event_sim.cpp.o"
+  "CMakeFiles/neo_gpusim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/neo_gpusim.dir/kernel_cost.cpp.o"
+  "CMakeFiles/neo_gpusim.dir/kernel_cost.cpp.o.d"
+  "CMakeFiles/neo_gpusim.dir/memory_model.cpp.o"
+  "CMakeFiles/neo_gpusim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/neo_gpusim.dir/tcu_model.cpp.o"
+  "CMakeFiles/neo_gpusim.dir/tcu_model.cpp.o.d"
+  "libneo_gpusim.a"
+  "libneo_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_core.dir/kernel_model.cpp.o"
+  "CMakeFiles/neo_core.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/neo_core.dir/kernels.cpp.o"
+  "CMakeFiles/neo_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/neo_core.dir/pipeline.cpp.o"
+  "CMakeFiles/neo_core.dir/pipeline.cpp.o.d"
+  "libneo_core.a"
+  "libneo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/mat_mul.cpp" "src/poly/CMakeFiles/neo_poly.dir/mat_mul.cpp.o" "gcc" "src/poly/CMakeFiles/neo_poly.dir/mat_mul.cpp.o.d"
+  "/root/repo/src/poly/matrix_ntt.cpp" "src/poly/CMakeFiles/neo_poly.dir/matrix_ntt.cpp.o" "gcc" "src/poly/CMakeFiles/neo_poly.dir/matrix_ntt.cpp.o.d"
+  "/root/repo/src/poly/ntt.cpp" "src/poly/CMakeFiles/neo_poly.dir/ntt.cpp.o" "gcc" "src/poly/CMakeFiles/neo_poly.dir/ntt.cpp.o.d"
+  "/root/repo/src/poly/rns_poly.cpp" "src/poly/CMakeFiles/neo_poly.dir/rns_poly.cpp.o" "gcc" "src/poly/CMakeFiles/neo_poly.dir/rns_poly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rns/CMakeFiles/neo_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_poly.dir/mat_mul.cpp.o"
+  "CMakeFiles/neo_poly.dir/mat_mul.cpp.o.d"
+  "CMakeFiles/neo_poly.dir/matrix_ntt.cpp.o"
+  "CMakeFiles/neo_poly.dir/matrix_ntt.cpp.o.d"
+  "CMakeFiles/neo_poly.dir/ntt.cpp.o"
+  "CMakeFiles/neo_poly.dir/ntt.cpp.o.d"
+  "CMakeFiles/neo_poly.dir/rns_poly.cpp.o"
+  "CMakeFiles/neo_poly.dir/rns_poly.cpp.o.d"
+  "libneo_poly.a"
+  "libneo_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

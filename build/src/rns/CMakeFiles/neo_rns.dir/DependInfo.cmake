@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rns/base_convert.cpp" "src/rns/CMakeFiles/neo_rns.dir/base_convert.cpp.o" "gcc" "src/rns/CMakeFiles/neo_rns.dir/base_convert.cpp.o.d"
+  "/root/repo/src/rns/basis.cpp" "src/rns/CMakeFiles/neo_rns.dir/basis.cpp.o" "gcc" "src/rns/CMakeFiles/neo_rns.dir/basis.cpp.o.d"
+  "/root/repo/src/rns/primes.cpp" "src/rns/CMakeFiles/neo_rns.dir/primes.cpp.o" "gcc" "src/rns/CMakeFiles/neo_rns.dir/primes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

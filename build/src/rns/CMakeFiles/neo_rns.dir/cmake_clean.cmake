@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_rns.dir/base_convert.cpp.o"
+  "CMakeFiles/neo_rns.dir/base_convert.cpp.o.d"
+  "CMakeFiles/neo_rns.dir/basis.cpp.o"
+  "CMakeFiles/neo_rns.dir/basis.cpp.o.d"
+  "CMakeFiles/neo_rns.dir/primes.cpp.o"
+  "CMakeFiles/neo_rns.dir/primes.cpp.o.d"
+  "libneo_rns.a"
+  "libneo_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/bitslice.cpp" "src/tensor/CMakeFiles/neo_tensor.dir/bitslice.cpp.o" "gcc" "src/tensor/CMakeFiles/neo_tensor.dir/bitslice.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "src/tensor/CMakeFiles/neo_tensor.dir/gemm.cpp.o" "gcc" "src/tensor/CMakeFiles/neo_tensor.dir/gemm.cpp.o.d"
+  "/root/repo/src/tensor/layout.cpp" "src/tensor/CMakeFiles/neo_tensor.dir/layout.cpp.o" "gcc" "src/tensor/CMakeFiles/neo_tensor.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/neo_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/neo_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_tensor.dir/bitslice.cpp.o"
+  "CMakeFiles/neo_tensor.dir/bitslice.cpp.o.d"
+  "CMakeFiles/neo_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/neo_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/neo_tensor.dir/layout.cpp.o"
+  "CMakeFiles/neo_tensor.dir/layout.cpp.o.d"
+  "libneo_tensor.a"
+  "libneo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

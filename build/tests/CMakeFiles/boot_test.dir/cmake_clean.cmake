@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_test.dir/boot_test.cpp.o"
+  "CMakeFiles/boot_test.dir/boot_test.cpp.o.d"
+  "boot_test"
+  "boot_test.pdb"
+  "boot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

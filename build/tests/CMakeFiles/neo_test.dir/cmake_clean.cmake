@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_test.dir/neo_test.cpp.o"
+  "CMakeFiles/neo_test.dir/neo_test.cpp.o.d"
+  "neo_test"
+  "neo_test.pdb"
+  "neo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

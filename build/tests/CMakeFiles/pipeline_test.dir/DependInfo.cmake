@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/neo/CMakeFiles/neo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/neo_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/neo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/neo_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/neo_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

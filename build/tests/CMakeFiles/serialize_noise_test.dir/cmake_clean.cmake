@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_noise_test.dir/serialize_noise_test.cpp.o"
+  "CMakeFiles/serialize_noise_test.dir/serialize_noise_test.cpp.o.d"
+  "serialize_noise_test"
+  "serialize_noise_test.pdb"
+  "serialize_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
