@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace neo::bench {
 
@@ -19,6 +20,20 @@ inline void
 banner(const char *id, const char *what)
 {
     std::printf("=== %s — %s ===\n", id, what);
+}
+
+/**
+ * The benchmark `threads` knob: point the global pool at @p threads
+ * executors (0 = honour NEO_NUM_THREADS / hardware concurrency) and
+ * return the resulting count. Thread-swept benchmarks call this at
+ * the top of each measurement so 1/2/4/8-thread numbers come from one
+ * binary invocation.
+ */
+inline size_t
+use_threads(size_t threads)
+{
+    ThreadPool::set_global_threads(threads);
+    return ThreadPool::global().threads();
 }
 
 /// "x.xx s (paper: y.yy)" cell.

@@ -7,14 +7,26 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "neo/kernels.h"
 #include "poly/matrix_ntt.h"
+#include "poly/rns_poly.h"
 #include "rns/primes.h"
 #include "tensor/gemm.h"
 
 namespace neo {
 namespace {
+
+/// Thread sweep applied to the parallel-engine benchmarks below: the
+/// benchmark's Arg is the pool size, so one run prints 1/2/4/8-thread
+/// numbers side by side (EXPERIMENTS.md records them).
+void
+thread_sweep(benchmark::internal::Benchmark *b)
+{
+    for (int t : {1, 2, 4, 8})
+        b->Arg(t);
+}
 
 void
 BM_NttRadix2(benchmark::State &state)
@@ -124,6 +136,87 @@ BM_BConvMatmul(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BConvMatmul);
+
+// ---------------------------------------------------------------------
+// Thread-scaling benchmarks of the parallel execution engine (Arg =
+// pool size). Shapes follow the paper's KLSS operating point.
+// ---------------------------------------------------------------------
+
+/// Per-limb batch NTT: an α'=8-limb R_T element at N = 2^14, the
+/// batch the pipeline transforms after every ModUp digit.
+void
+BM_BatchNttThreads(benchmark::State &state)
+{
+    const size_t threads = bench::use_threads(state.range(0));
+    const size_t n = 1 << 14, limbs = 8;
+    auto primes = generate_ntt_primes(48, limbs, n);
+    std::vector<Modulus> mods(primes.begin(), primes.end());
+    NttTableSet tables(n, mods);
+    Rng rng(7);
+    RnsPoly p(n, mods, PolyForm::coeff);
+    for (size_t i = 0; i < limbs; ++i)
+        for (size_t l = 0; l < n; ++l)
+            p.limb(i)[l] = rng.uniform(mods[i].value());
+    for (auto _ : state) {
+        tables.to_eval(p);
+        tables.to_coeff(p);
+        benchmark::DoNotOptimize(p.data());
+    }
+    state.SetItemsProcessed(state.iterations() * limbs * n * 2);
+    state.counters["threads"] = static_cast<double>(threads);
+    bench::use_threads(1);
+}
+BENCHMARK(BM_BatchNttThreads)->Apply(thread_sweep)
+    ->Unit(benchmark::kMillisecond);
+
+/// FP64 bit-sliced TCU GEMM at the paper's Fig 3 shape family
+/// (tall-skinny M×16×16, 48-bit words).
+void
+BM_TcuGemmThreads(benchmark::State &state)
+{
+    const size_t threads = bench::use_threads(state.range(0));
+    Modulus q(generate_ntt_primes(48, 1, 1 << 10)[0]);
+    const size_t m = 1 << 15, n = 16, k = 16;
+    Rng rng(8);
+    auto a = rng.uniform_vec(m * k, q.value());
+    auto b = rng.uniform_vec(k * n, q.value());
+    std::vector<u64> c(m * n);
+    for (auto _ : state) {
+        fp64_sliced_matmul(a.data(), b.data(), c.data(), m, n, k, q);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m * n * k);
+    state.counters["threads"] = static_cast<double>(threads);
+    bench::use_threads(1);
+}
+BENCHMARK(BM_TcuGemmThreads)->Apply(thread_sweep)
+    ->Unit(benchmark::kMillisecond);
+
+/// Matrix-form exact BConv (Alg 2) at α=4 → α'=8, N = 2^13.
+void
+BM_BConvMatmulThreads(benchmark::State &state)
+{
+    const size_t threads = bench::use_threads(state.range(0));
+    const size_t n = 1 << 13;
+    auto p1 = generate_ntt_primes(36, 4, n);
+    auto p2 = generate_ntt_primes(48, 8, n);
+    RnsBasis from(p1), to(p2);
+    BConvKernel kernel(from, to);
+    Rng rng(9);
+    std::vector<u64> in(4 * n);
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t x = 0; x < n; ++x)
+            in[i * n + x] = rng.uniform(p1[i]);
+    std::vector<u64> out(8 * n);
+    for (auto _ : state) {
+        kernel.run_matmul_exact(in.data(), 1, n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["threads"] = static_cast<double>(threads);
+    bench::use_threads(1);
+}
+BENCHMARK(BM_BConvMatmulThreads)->Apply(thread_sweep)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace neo

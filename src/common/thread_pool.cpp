@@ -1,0 +1,229 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neo {
+
+namespace {
+
+/// Set for pool workers (permanently) and for a submitting thread
+/// while it participates in chunk execution: any parallel_for issued
+/// from such a thread runs inline instead of re-entering the pool.
+thread_local bool tls_inside_pool = false;
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    /// One parallel_for invocation. Lives on the submitter's stack;
+    /// workers must never touch it after leaving (tracked by
+    /// `active`), because the submitter frees it on return.
+    struct Task
+    {
+        const RangeFn *body = nullptr;
+        size_t begin = 0;
+        size_t end = 0;
+        size_t chunk = 0;   // indices per chunk
+        size_t nchunks = 0; // total chunks
+        std::atomic<size_t> next{0}; // next chunk to claim
+        std::atomic<size_t> done{0}; // chunks completed
+    };
+
+    std::vector<std::thread> workers;
+    std::mutex m;
+    std::condition_variable cv_work; // workers wait for a task
+    std::condition_variable cv_done; // submitter waits for completion
+    Task *task = nullptr;            // guarded by m
+    std::uint64_t generation = 0;    // guarded by m; bumped per task
+    size_t active = 0;               // workers currently inside task
+    bool stop = false;
+    std::mutex submit_m; // serialises concurrent external submitters
+
+    void
+    worker_loop()
+    {
+        tls_inside_pool = true;
+        std::uint64_t seen = 0;
+        for (;;) {
+            Task *t = nullptr;
+            {
+                std::unique_lock<std::mutex> l(m);
+                cv_work.wait(l, [&] {
+                    return stop || (task != nullptr && generation != seen);
+                });
+                if (stop)
+                    return;
+                seen = generation;
+                t = task;
+                ++active;
+            }
+            run_chunks(*t);
+            {
+                std::lock_guard<std::mutex> l(m);
+                --active;
+                if (active == 0)
+                    cv_done.notify_all();
+            }
+        }
+    }
+
+    /// Claim and execute chunks until none remain. Chunk boundaries
+    /// are fixed by (begin, end, chunk) alone, so which thread runs a
+    /// chunk never affects the result.
+    void
+    run_chunks(Task &t)
+    {
+        for (;;) {
+            const size_t i = t.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= t.nchunks)
+                return;
+            const size_t b = t.begin + i * t.chunk;
+            const size_t e = std::min(t.end, b + t.chunk);
+            (*t.body)(b, e);
+            t.done.fetch_add(1, std::memory_order_release);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(size_t threads)
+    : n_threads_(threads == 0 ? env_threads() : threads)
+{
+    if (n_threads_ < 1)
+        n_threads_ = 1;
+    if (n_threads_ == 1)
+        return;
+    impl_ = std::make_unique<Impl>();
+    impl_->workers.reserve(n_threads_ - 1);
+    for (size_t i = 0; i + 1 < n_threads_; ++i)
+        impl_->workers.emplace_back([p = impl_.get()] { p->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (!impl_)
+        return;
+    {
+        std::lock_guard<std::mutex> l(impl_->m);
+        impl_->stop = true;
+    }
+    impl_->cv_work.notify_all();
+    for (auto &w : impl_->workers)
+        w.join();
+}
+
+void
+ThreadPool::parallel_for(size_t begin, size_t end, size_t grain,
+                         const RangeFn &body)
+{
+    if (end <= begin)
+        return;
+    const size_t range = end - begin;
+    if (grain == 0)
+        grain = 1;
+    if (!impl_ || tls_inside_pool || range <= grain) {
+        body(begin, end);
+        return;
+    }
+
+    // Chunk count: enough for load balance (4 per executor), capped so
+    // chunks stay at least `grain` long.
+    size_t nchunks = std::min(range / grain, n_threads_ * 4);
+    if (nchunks <= 1) {
+        body(begin, end);
+        return;
+    }
+    const size_t chunk = (range + nchunks - 1) / nchunks;
+    nchunks = (range + chunk - 1) / chunk;
+
+    Impl::Task t;
+    t.body = &body;
+    t.begin = begin;
+    t.end = end;
+    t.chunk = chunk;
+    t.nchunks = nchunks;
+
+    std::lock_guard<std::mutex> submit(impl_->submit_m);
+    {
+        std::lock_guard<std::mutex> l(impl_->m);
+        impl_->task = &t;
+        ++impl_->generation;
+    }
+    impl_->cv_work.notify_all();
+
+    // The submitter works too; nested parallel_for from inside the
+    // body runs inline.
+    tls_inside_pool = true;
+    impl_->run_chunks(t);
+    tls_inside_pool = false;
+
+    // Wait until every chunk ran AND every worker has left the task —
+    // only then may the stack-allocated Task be destroyed. Worker
+    // writes are published by the mutex they release on exit.
+    std::unique_lock<std::mutex> l(impl_->m);
+    impl_->cv_done.wait(l, [&] {
+        return impl_->active == 0 &&
+               t.done.load(std::memory_order_acquire) == t.nchunks;
+    });
+    impl_->task = nullptr;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static std::mutex g_m;
+    static std::unique_ptr<ThreadPool> g_pool;
+    std::lock_guard<std::mutex> l(g_m);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(0);
+    return *g_pool;
+}
+
+void
+ThreadPool::set_global_threads(size_t threads)
+{
+    static std::mutex g_m; // distinct lock: guards the swap below
+    std::lock_guard<std::mutex> l(g_m);
+    ThreadPool &g = global();
+    const size_t want = threads == 0 ? env_threads() : threads;
+    if (g.n_threads_ == want)
+        return;
+    // Rebuild in place: join old workers, spawn the new complement.
+    ThreadPool fresh(want);
+    std::swap(g.impl_, fresh.impl_);
+    std::swap(g.n_threads_, fresh.n_threads_);
+}
+
+size_t
+ThreadPool::env_threads()
+{
+    if (const char *env = std::getenv("NEO_NUM_THREADS")) {
+        char *endp = nullptr;
+        const long v = std::strtol(env, &endp, 10);
+        if (endp != env && *endp == '\0' && v > 0)
+            return std::min<long>(v, 1024);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+bool
+ThreadPool::parallel_active()
+{
+    return !tls_inside_pool && global().threads() > 1;
+}
+
+void
+parallel_for(size_t begin, size_t end, const ThreadPool::RangeFn &body,
+             size_t grain)
+{
+    ThreadPool::global().parallel_for(begin, end, grain, body);
+}
+
+} // namespace neo

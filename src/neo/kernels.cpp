@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "tensor/layout.h"
 
 namespace neo {
@@ -74,8 +75,13 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
         const u64 ws = shoup_precompute(inv, bi.value());
         const u64 *src = in + i * batch * n;
         u64 *dst = scaled.data() + i * batch * n;
-        for (size_t x = 0; x < batch * n; ++x)
-            dst[x] = mul_shoup(src[x], inv, ws, bi.value());
+        parallel_for(
+            0, batch * n,
+            [&](size_t b, size_t e) {
+                for (size_t x = b; x < e; ++x)
+                    dst[x] = mul_shoup(src[x], inv, ws, bi.value());
+            },
+            8192);
     }
     // Exact mode: overflow counts r = round(Σ_i y_i / b_i), one per
     // coefficient site (matches BaseConverter::convert_exact).
@@ -88,13 +94,21 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
         std::vector<double> inv_b(a);
         for (size_t i = 0; i < a; ++i)
             inv_b[i] = 1.0 / static_cast<double>(conv_.from()[i].value());
-        for (size_t x = 0; x < batch * n; ++x) {
-            long double v = 0.0L;
-            for (size_t i = 0; i < a; ++i)
-                v += static_cast<long double>(scaled[i * batch * n + x]) *
-                     inv_b[i];
-            overflow[x] = static_cast<u64>(std::llroundl(v));
-        }
+        // Per-site accumulation over i is fully inside one index x,
+        // so chunking over x preserves the rounding bit-for-bit.
+        parallel_for(
+            0, batch * n,
+            [&](size_t b, size_t e) {
+                for (size_t x = b; x < e; ++x) {
+                    long double v = 0.0L;
+                    for (size_t i = 0; i < a; ++i)
+                        v += static_cast<long double>(
+                                 scaled[i * batch * n + x]) *
+                             inv_b[i];
+                    overflow[x] = static_cast<u64>(std::llroundl(v));
+                }
+            },
+            4096);
     }
     std::vector<u64> reordered(a * batch * n);
     reorder_3d_swap02(scaled.data(), a, batch, n, reordered.data());
@@ -105,20 +119,26 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
     mm(reordered.data(), factor_matrix_.data(), prod.data(), n * batch,
        ap, a, conv_.to().mods());
 
-    // Exact epilogue: subtract r·B mod t_j per row (rank-1 update).
+    // Exact epilogue: subtract r·B mod t_j per row (rank-1 update);
+    // rows are disjoint.
     if (exact) {
-        for (size_t l = 0; l < n; ++l) {
-            for (size_t b = 0; b < batch; ++b) {
-                const u64 r = overflow[b * n + l];
-                u64 *row = prod.data() + (l * batch + b) * ap;
-                for (size_t j = 0; j < ap; ++j) {
-                    const Modulus &tj = conv_.to()[j];
-                    u64 corr = tj.mul(r % tj.value(),
-                                      conv_.product_mod_to(j));
-                    row[j] = tj.sub(row[j], corr);
+        parallel_for(
+            0, n,
+            [&](size_t lb, size_t le) {
+                for (size_t l = lb; l < le; ++l) {
+                    for (size_t b = 0; b < batch; ++b) {
+                        const u64 r = overflow[b * n + l];
+                        u64 *row = prod.data() + (l * batch + b) * ap;
+                        for (size_t j = 0; j < ap; ++j) {
+                            const Modulus &tj = conv_.to()[j];
+                            u64 corr = tj.mul(r % tj.value(),
+                                              conv_.product_mod_to(j));
+                            row[j] = tj.sub(row[j], corr);
+                        }
+                    }
                 }
-            }
-        }
+            },
+            1024);
     }
 
     // Step 3 (postprocessing): reorder N×BS×α' -> α'×BS×N.
@@ -169,17 +189,22 @@ IpKernel::run_matmul(const u64 *limbs, const u64 *keys, size_t batch,
     std::vector<u64> keys_r(beta_tilde_ * beta_ * ap * n);
     reorder_4d_reverse(keys, beta_tilde_, beta_, ap, n, keys_r.data());
 
-    // One BS × β̃ × β GEMM per (coefficient, T-limb) site.
+    // One BS × β̃ × β GEMM per (coefficient, T-limb) site; every site
+    // reads and writes its own slice, so sites fan out freely.
     std::vector<u64> prod(n * ap * batch * beta_tilde_);
-    for (size_t l = 0; l < n; ++l) {
-        for (size_t k = 0; k < ap; ++k) {
-            const u64 *a = limbs_r.data() + (l * ap + k) * batch * beta_;
-            const u64 *b =
-                keys_r.data() + (l * ap + k) * beta_ * beta_tilde_;
-            u64 *c = prod.data() + (l * ap + k) * batch * beta_tilde_;
-            mm(a, b, c, batch, beta_tilde_, beta_, t_mods_[k]);
-        }
-    }
+    parallel_for(
+        0, n * ap,
+        [&](size_t sb, size_t se) {
+            for (size_t site = sb; site < se; ++site) {
+                const size_t k = site % ap;
+                const u64 *a = limbs_r.data() + site * batch * beta_;
+                const u64 *b =
+                    keys_r.data() + site * beta_ * beta_tilde_;
+                u64 *c = prod.data() + site * batch * beta_tilde_;
+                mm(a, b, c, batch, beta_tilde_, beta_, t_mods_[k]);
+            }
+        },
+        16);
 
     // Postprocessing: N×α'×BS×β̃ -> β̃×α'×BS×N.
     reorder_4d_swap03(prod.data(), n, ap, batch, beta_tilde_, out);

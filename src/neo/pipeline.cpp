@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "neo/kernels.h"
 #include "poly/matrix_ntt.h"
 
@@ -44,23 +45,32 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     ctx.tables().to_coeff(d2c);
 
     // --- Mod Up: exact matrix-form BConv per digit (Alg 2). ----------
+    // Digits are independent: each reads its own Q-limb group and
+    // fills its own α'×N slice of digits_t, so the β digits fan out
+    // across the pool (kernel-internal parallelism runs inline).
     std::vector<u64> digits_t(beta * alpha_p * n);
-    for (size_t j = 0; j < beta; ++j) {
-        const auto &g = groups[j];
-        std::vector<u64> digit_primes;
-        for (size_t t = g.first; t < g.first + g.count; ++t)
-            digit_primes.push_back(ctx.q_basis()[t].value());
-        RnsBasis digit_basis(digit_primes);
-        BConvKernel bconv(digit_basis, ctx.t_basis());
-        bconv.run_matmul_exact(d2c.limb(g.first), 1, n,
-                               digits_t.data() + j * alpha_p * n,
-                               engines.per_column);
-        // --- NTT over T (ten-step on the emulated TCU). --------------
-        for (size_t k = 0; k < alpha_p; ++k) {
-            t_ntt[k].forward(digits_t.data() + (j * alpha_p + k) * n,
-                             engines.same_mod);
-        }
-    }
+    parallel_for(
+        0, beta,
+        [&](size_t jb, size_t je) {
+            for (size_t j = jb; j < je; ++j) {
+                const auto &g = groups[j];
+                std::vector<u64> digit_primes;
+                for (size_t t = g.first; t < g.first + g.count; ++t)
+                    digit_primes.push_back(ctx.q_basis()[t].value());
+                RnsBasis digit_basis(digit_primes);
+                BConvKernel bconv(digit_basis, ctx.t_basis());
+                bconv.run_matmul_exact(d2c.limb(g.first), 1, n,
+                                       digits_t.data() + j * alpha_p * n,
+                                       engines.per_column);
+                // --- NTT over T (ten-step on the emulated TCU). ------
+                for (size_t k = 0; k < alpha_p; ++k) {
+                    t_ntt[k].forward(
+                        digits_t.data() + (j * alpha_p + k) * n,
+                        engines.same_mod);
+                }
+            }
+        },
+        1);
 
     // --- IP: matrix form (Alg 4) for both components. -----------------
     IpKernel ip(ctx.t_basis().mods(), beta, beta_tilde);
@@ -78,56 +88,72 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
         s_data[c].resize(beta_tilde * alpha_p * n);
         ip.run_matmul(digits_t.data(), keys.data(), 1, n,
                       s_data[c].data(), engines.same_mod);
-        // --- INTT over T. --------------------------------------------
-        for (size_t i = 0; i < beta_tilde; ++i) {
-            for (size_t k = 0; k < alpha_p; ++k) {
-                t_ntt[k].inverse(
-                    s_data[c].data() + (i * alpha_p + k) * n,
-                    engines.same_mod);
-            }
-        }
+        // --- INTT over T: one independent transform per (i, k) limb.
+        parallel_for(
+            0, beta_tilde * alpha_p,
+            [&](size_t b, size_t e) {
+                for (size_t s = b; s < e; ++s) {
+                    t_ntt[s % alpha_p].inverse(s_data[c].data() + s * n,
+                                               engines.same_mod);
+                }
+            },
+            1);
     }
 
     // --- Recover Limbs: exact matrix-form BConv per key-digit group.
     RnsPoly acc0(n, ext_mods, PolyForm::coeff);
     RnsPoly acc1(n, ext_mods, PolyForm::coeff);
     const size_t active = level + 1 + k_special;
-    for (size_t i = 0; i < beta_tilde; ++i) {
-        const auto &grp = key_partition[i];
-        const size_t last = std::min(grp.first + grp.count, active);
-        if (grp.first >= last)
-            continue;
-        std::vector<u64> grp_primes;
-        for (size_t t = grp.first; t < last; ++t)
-            grp_primes.push_back(ctx.pq_ordered_mod(t).value());
-        RnsBasis grp_basis(grp_primes);
-        BConvKernel recover(ctx.t_basis(), grp_basis);
-        std::vector<u64> out(grp_primes.size() * n);
-        for (size_t c = 0; c < 2; ++c) {
-            recover.run_matmul_exact(
-                s_data[c].data() + i * alpha_p * n, 1, n, out.data(),
-                engines.per_column);
-            RnsPoly &acc = c == 0 ? acc0 : acc1;
-            for (size_t t = grp.first; t < last; ++t) {
-                const size_t store_idx = t < k_special
-                                             ? level + 1 + t
-                                             : t - k_special;
-                std::copy(out.begin() + (t - grp.first) * n,
-                          out.begin() + (t - grp.first + 1) * n,
-                          acc.limb(store_idx));
+    // Per-digit fan-out: the key partition's groups are disjoint limb
+    // ranges, so each digit writes its own limbs of acc0/acc1.
+    parallel_for(
+        0, beta_tilde,
+        [&](size_t ib, size_t ie) {
+            for (size_t i = ib; i < ie; ++i) {
+                const auto &grp = key_partition[i];
+                const size_t last =
+                    std::min(grp.first + grp.count, active);
+                if (grp.first >= last)
+                    continue;
+                std::vector<u64> grp_primes;
+                for (size_t t = grp.first; t < last; ++t)
+                    grp_primes.push_back(ctx.pq_ordered_mod(t).value());
+                RnsBasis grp_basis(grp_primes);
+                BConvKernel recover(ctx.t_basis(), grp_basis);
+                std::vector<u64> out(grp_primes.size() * n);
+                for (size_t c = 0; c < 2; ++c) {
+                    recover.run_matmul_exact(
+                        s_data[c].data() + i * alpha_p * n, 1, n,
+                        out.data(), engines.per_column);
+                    RnsPoly &acc = c == 0 ? acc0 : acc1;
+                    for (size_t t = grp.first; t < last; ++t) {
+                        const size_t store_idx = t < k_special
+                                                     ? level + 1 + t
+                                                     : t - k_special;
+                        std::copy(out.begin() + (t - grp.first) * n,
+                                  out.begin() + (t - grp.first + 1) * n,
+                                  acc.limb(store_idx));
+                    }
+                }
             }
-        }
-    }
+        },
+        1);
 
     // --- Mod Down (shared with the reference), NTT back. --------------
     RnsPoly k0 = ckks::mod_down(acc0, level, ctx);
     RnsPoly k1 = ckks::mod_down(acc1, level, ctx);
     for (RnsPoly *p : {&k0, &k1}) {
-        for (size_t i = 0; i <= level; ++i) {
-            MatrixNtt qntt(ctx.tables().for_modulus(p->modulus(i)),
-                           std::min<size_t>(16, n));
-            qntt.forward(p->limb(i), engines.same_mod);
-        }
+        parallel_for(
+            0, level + 1,
+            [&](size_t ib, size_t ie) {
+                for (size_t i = ib; i < ie; ++i) {
+                    MatrixNtt qntt(
+                        ctx.tables().for_modulus(p->modulus(i)),
+                        std::min<size_t>(16, n));
+                    qntt.forward(p->limb(i), engines.same_mod);
+                }
+            },
+            1);
         p->set_form(PolyForm::eval);
     }
     return {std::move(k0), std::move(k1)};

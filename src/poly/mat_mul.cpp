@@ -1,5 +1,9 @@
 #include "poly/mat_mul.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
 namespace neo {
 
 void
@@ -7,19 +11,31 @@ scalar_mod_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                   size_t k, const Modulus &q)
 {
     const u64 qv = q.value();
-    for (size_t i = 0; i < m; ++i) {
-        for (size_t j = 0; j < n; ++j) {
-            u128 acc = 0;
-            // Each product is < 2^126 (q < 2^63); folding every other
-            // iteration keeps the accumulator below 2^128.
-            for (size_t t = 0; t < k; ++t) {
-                acc += static_cast<u128>(a[i * k + t]) * b[t * n + j];
-                if (t & 1)
-                    acc %= qv;
+    // Row tiles of C are independent; the k-accumulation (and its
+    // fold points) stays inside one tile, so results are identical
+    // for any thread count.
+    const size_t grain = std::max<size_t>(1, 16384 / std::max<size_t>(
+                                                       1, n * k));
+    parallel_for(
+        0, m,
+        [&](size_t rb, size_t re) {
+            for (size_t i = rb; i < re; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    u128 acc = 0;
+                    // Each product is < 2^126 (q < 2^63); folding
+                    // every other iteration keeps the accumulator
+                    // below 2^128.
+                    for (size_t t = 0; t < k; ++t) {
+                        acc += static_cast<u128>(a[i * k + t]) *
+                               b[t * n + j];
+                        if (t & 1)
+                            acc %= qv;
+                    }
+                    c[i * n + j] = static_cast<u64>(acc % qv);
+                }
             }
-            c[i * n + j] = static_cast<u64>(acc % qv);
-        }
-    }
+        },
+        grain);
 }
 
 const ModMatMulFn &

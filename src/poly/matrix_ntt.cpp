@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace neo {
 
@@ -58,32 +59,42 @@ MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
     const size_t step = nfull / len; // ω_len = ω_full^step
     const u64 qv = q.value();
 
-    std::vector<u64> at(len);  // n1 × n2 gathered matrix
-    std::vector<u64> out(len); // n1 × n2 result of the left matmul
     const auto &w1 = twiddle_matrix(n1, inverse);
 
-    for (size_t row = 0; row < rows; ++row) {
-        u64 *x = a + row * len;
-        // Step 1: gather A[r][c] = x[r + n1*c].
-        for (size_t r = 0; r < n1; ++r)
-            for (size_t c = 0; c < n2; ++c)
-                at[r * n2 + c] = x[r + n1 * c];
-        // Step 2: length-n2 transforms on the n1 rows (recursive).
-        cyclic_batch(at.data(), n1, n2, inverse, mm);
-        // Step 3: twisting factors ω_len^{r*k2}.
-        for (size_t r = 1; r < n1; ++r) {
-            for (size_t k2 = 0; k2 < n2; ++k2) {
-                size_t e = (r * k2 % len) * step;
-                u64 w = inverse ? tables_.omega_inv_pow(e)
-                                : tables_.omega_pow(e);
-                at[r * n2 + k2] = mul_mod(at[r * n2 + k2], w, qv);
+    // Rows are independent length-len transforms over disjoint slices
+    // of `a`; each chunk carries its own scratch. A nested pool call
+    // (from the recursion or from `mm`) runs inline on the worker.
+    parallel_for(
+        0, rows,
+        [&](size_t row_begin, size_t row_end) {
+            std::vector<u64> at(len);  // n1 × n2 gathered matrix
+            std::vector<u64> out(len); // n1 × n2 left-matmul result
+            for (size_t row = row_begin; row < row_end; ++row) {
+                u64 *x = a + row * len;
+                // Step 1: gather A[r][c] = x[r + n1*c].
+                for (size_t r = 0; r < n1; ++r)
+                    for (size_t c = 0; c < n2; ++c)
+                        at[r * n2 + c] = x[r + n1 * c];
+                // Step 2: length-n2 transforms on the n1 rows
+                // (recursive).
+                cyclic_batch(at.data(), n1, n2, inverse, mm);
+                // Step 3: twisting factors ω_len^{r*k2}.
+                for (size_t r = 1; r < n1; ++r) {
+                    for (size_t k2 = 0; k2 < n2; ++k2) {
+                        size_t e = (r * k2 % len) * step;
+                        u64 w = inverse ? tables_.omega_inv_pow(e)
+                                        : tables_.omega_pow(e);
+                        at[r * n2 + k2] = mul_mod(at[r * n2 + k2], w, qv);
+                    }
+                }
+                // Step 4: left-multiply by the n1×n1 twiddle matrix.
+                mm(w1.data(), at.data(), out.data(), n1, n2, n1, q);
+                // Rows land in natural order:
+                // X[k1*n2 + k2] = out[k1][k2].
+                std::copy(out.begin(), out.end(), x);
             }
-        }
-        // Step 4: left-multiply by the n1×n1 twiddle matrix.
-        mm(w1.data(), at.data(), out.data(), n1, n2, n1, q);
-        // Rows land in natural order: X[k1*n2 + k2] = out[k1][k2].
-        std::copy(out.begin(), out.end(), x);
-    }
+        },
+        1);
 }
 
 void
@@ -91,8 +102,13 @@ MatrixNtt::forward(u64 *a, const ModMatMulFn &mm) const
 {
     const size_t n = tables_.n();
     const u64 qv = tables_.modulus().value();
-    for (size_t i = 0; i < n; ++i)
-        a[i] = mul_mod(a[i], tables_.psi_pow(i), qv);
+    parallel_for(
+        0, n,
+        [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                a[i] = mul_mod(a[i], tables_.psi_pow(i), qv);
+        },
+        4096);
     cyclic_batch(a, 1, n, false, mm);
 }
 
@@ -103,10 +119,15 @@ MatrixNtt::inverse(u64 *a, const ModMatMulFn &mm) const
     const Modulus &q = tables_.modulus();
     const u64 qv = q.value();
     cyclic_batch(a, 1, n, true, mm);
-    for (size_t i = 0; i < n; ++i) {
-        u64 x = mul_mod(a[i], tables_.n_inv(), qv);
-        a[i] = mul_mod(x, tables_.psi_inv_pow(i), qv);
-    }
+    parallel_for(
+        0, n,
+        [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) {
+                u64 x = mul_mod(a[i], tables_.n_inv(), qv);
+                a[i] = mul_mod(x, tables_.psi_inv_pow(i), qv);
+            }
+        },
+        4096);
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "rns/primes.h"
 
 namespace neo {
@@ -40,7 +41,14 @@ NttTables::NttTables(size_t n, const Modulus &q) : n_(n), q_(q)
 
 namespace {
 
-/// Iterative Cooley-Tukey over precomputed ω^i tables.
+/// Minimum transform size before a stage is worth fanning out.
+constexpr size_t kParallelNttThreshold = 1 << 12;
+
+/// Iterative Cooley-Tukey over precomputed ω^i tables. Large
+/// transforms run each butterfly stage through the thread pool (the
+/// stage's butterflies touch disjoint index pairs, so any execution
+/// order produces the sequential result bit-for-bit; parallel_for is
+/// the inter-stage barrier).
 void
 cyclic_transform(u64 *a, size_t n, const Modulus &q,
                  const std::vector<u64> &w_pow,
@@ -48,14 +56,51 @@ cyclic_transform(u64 *a, size_t n, const Modulus &q,
                  const std::vector<u32> &bitrev)
 {
     const u64 qv = q.value();
-    for (size_t i = 0; i < n; ++i) {
-        u32 j = bitrev[i];
-        if (i < j)
-            std::swap(a[i], a[j]);
+    const bool fan_out =
+        n >= kParallelNttThreshold && ThreadPool::parallel_active();
+    // Bit-reversal: iteration i swaps (i, bitrev[i]) only when
+    // i < bitrev[i], so each pair is touched by exactly one iteration.
+    if (fan_out) {
+        parallel_for(
+            0, n,
+            [&](size_t b, size_t e) {
+                for (size_t i = b; i < e; ++i) {
+                    u32 j = bitrev[i];
+                    if (i < j)
+                        std::swap(a[i], a[j]);
+                }
+            },
+            4096);
+    } else {
+        for (size_t i = 0; i < n; ++i) {
+            u32 j = bitrev[i];
+            if (i < j)
+                std::swap(a[i], a[j]);
+        }
     }
     for (size_t len = 2; len <= n; len <<= 1) {
         const size_t half = len >> 1;
         const size_t step = n / len;
+        if (fan_out) {
+            // Flatten the (block, j) butterfly grid of this stage.
+            parallel_for(
+                0, n >> 1,
+                [&](size_t b, size_t e) {
+                    for (size_t idx = b; idx < e; ++idx) {
+                        const size_t blk = idx / half;
+                        const size_t j = idx - blk * half;
+                        const size_t start = blk * len;
+                        const size_t tw = step * j;
+                        u64 u = a[start + j];
+                        u64 v = mul_shoup(a[start + j + half], w_pow[tw],
+                                          w_shoup[tw], qv);
+                        a[start + j] = add_mod(u, v, qv);
+                        a[start + j + half] = sub_mod(u, v, qv);
+                    }
+                },
+                2048);
+            continue;
+        }
         for (size_t start = 0; start < n; start += len) {
             for (size_t j = 0; j < half; ++j) {
                 const size_t tw = step * j;
@@ -87,8 +132,13 @@ void
 NttTables::forward(u64 *a) const
 {
     const u64 qv = q_.value();
-    for (size_t i = 0; i < n_; ++i)
-        a[i] = mul_shoup(a[i], psi_pow_[i], psi_pow_shoup_[i], qv);
+    parallel_for(
+        0, n_,
+        [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                a[i] = mul_shoup(a[i], psi_pow_[i], psi_pow_shoup_[i], qv);
+        },
+        4096);
     forward_cyclic(a);
 }
 
@@ -98,10 +148,16 @@ NttTables::inverse(u64 *a) const
     const u64 qv = q_.value();
     inverse_cyclic_unscaled(a);
     const u64 ninv_shoup = shoup_precompute(n_inv_, qv);
-    for (size_t i = 0; i < n_; ++i) {
-        u64 x = mul_shoup(a[i], n_inv_, ninv_shoup, qv);
-        a[i] = mul_shoup(x, psi_inv_pow_[i], psi_inv_pow_shoup_[i], qv);
-    }
+    parallel_for(
+        0, n_,
+        [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) {
+                u64 x = mul_shoup(a[i], n_inv_, ninv_shoup, qv);
+                a[i] = mul_shoup(x, psi_inv_pow_[i], psi_inv_pow_shoup_[i],
+                                 qv);
+            }
+        },
+        4096);
 }
 
 std::vector<u64>

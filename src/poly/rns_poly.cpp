@@ -1,6 +1,7 @@
 #include "poly/rns_poly.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace neo {
 
@@ -136,8 +137,15 @@ NttTableSet::to_eval(RnsPoly &p) const
 {
     if (p.form() == PolyForm::eval)
         return;
-    for (size_t i = 0; i < p.limbs(); ++i)
-        for_modulus(p.modulus(i)).forward(p.limb(i));
+    // Per-limb batch NTT: limbs are independent transforms over
+    // disjoint storage.
+    parallel_for(
+        0, p.limbs(),
+        [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                for_modulus(p.modulus(i)).forward(p.limb(i));
+        },
+        1);
     p.set_form(PolyForm::eval);
 }
 
@@ -146,8 +154,14 @@ NttTableSet::to_coeff(RnsPoly &p) const
 {
     if (p.form() == PolyForm::coeff)
         return;
-    for (size_t i = 0; i < p.limbs(); ++i)
-        for_modulus(p.modulus(i)).inverse(p.limb(i));
+    // Per-limb batch INTT, same disjointness as to_eval.
+    parallel_for(
+        0, p.limbs(),
+        [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                for_modulus(p.modulus(i)).inverse(p.limb(i));
+        },
+        1);
     p.set_form(PolyForm::coeff);
 }
 

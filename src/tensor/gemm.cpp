@@ -5,8 +5,23 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace neo {
+
+namespace {
+
+/// Row-chunk grain so one chunk carries at least ~16k MAC operations;
+/// chunking is over output rows only, so the per-element accumulation
+/// order (and hence the result) is independent of the grain.
+size_t
+row_grain(size_t n, size_t k)
+{
+    const size_t per_row = n * k;
+    return per_row == 0 ? 1 : std::max<size_t>(1, 16384 / per_row);
+}
+
+} // namespace
 
 void
 fp64_sliced_matmul_plan(const u64 *a, const u64 *b, u64 *c, size_t m,
@@ -37,21 +52,34 @@ fp64_sliced_matmul_plan(const u64 *a, const u64 *b, u64 *c, size_t m,
             const double *bm = bp.data() + static_cast<size_t>(pb) * k * n;
             // The per-plane GEMM the TCU executes: pure double
             // arithmetic, exact because every accumulation stays
-            // below 2^53 by construction of the plan.
-            for (size_t i = 0; i < m; ++i) {
-                for (size_t j = 0; j < n; ++j) {
-                    double acc = 0.0;
-                    for (size_t t = 0; t < k; ++t)
-                        acc += am[i * k + t] * bm[t * n + j];
-                    prod[i * n + j] = acc;
-                }
-            }
-            // Recombine: C += 2^shift * P (mod q).
+            // below 2^53 by construction of the plan. Row tiles are
+            // independent; the k-accumulation stays inside a tile.
+            parallel_for(
+                0, m,
+                [&](size_t rb, size_t re) {
+                    for (size_t i = rb; i < re; ++i) {
+                        for (size_t j = 0; j < n; ++j) {
+                            double acc = 0.0;
+                            for (size_t t = 0; t < k; ++t)
+                                acc += am[i * k + t] * bm[t * n + j];
+                            prod[i * n + j] = acc;
+                        }
+                    }
+                },
+                row_grain(n, k));
+            // Recombine: C += 2^shift * P (mod q). The plane loops
+            // stay sequential, so each c[i] accumulates its planes in
+            // the fixed (pa, pb) order.
             const u64 w = pow2[pa * plan.b_planes + pb];
-            for (size_t i = 0; i < m * n; ++i) {
-                u64 v = static_cast<u64>(prod[i]) % qv;
-                c[i] = add_mod(c[i], q.mul(v, w), qv);
-            }
+            parallel_for(
+                0, m * n,
+                [&](size_t b, size_t e) {
+                    for (size_t i = b; i < e; ++i) {
+                        u64 v = static_cast<u64>(prod[i]) % qv;
+                        c[i] = add_mod(c[i], q.mul(v, w), qv);
+                    }
+                },
+                8192);
         }
     }
 }
@@ -81,22 +109,35 @@ int8_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
         const i32 *am = ap.data() + static_cast<size_t>(pa) * m * k;
         for (int pb = 0; pb < plan.b_planes; ++pb) {
             const i32 *bm = bp.data() + static_cast<size_t>(pb) * k * n;
-            for (size_t i = 0; i < m; ++i) {
-                for (size_t j = 0; j < n; ++j) {
-                    // INT32 accumulation, as on the INT8 tensor core.
-                    i32 acc = 0;
-                    for (size_t t = 0; t < k; ++t)
-                        acc += am[i * k + t] * bm[t * n + j];
-                    prod[i * n + j] = acc;
-                }
-            }
+            parallel_for(
+                0, m,
+                [&](size_t rb, size_t re) {
+                    for (size_t i = rb; i < re; ++i) {
+                        for (size_t j = 0; j < n; ++j) {
+                            // INT32 accumulation, as on the INT8
+                            // tensor core.
+                            i32 acc = 0;
+                            for (size_t t = 0; t < k; ++t)
+                                acc += am[i * k + t] * bm[t * n + j];
+                            prod[i * n + j] = acc;
+                        }
+                    }
+                },
+                row_grain(n, k));
             const int shift =
                 pa * plan.a_plane_bits + pb * plan.b_plane_bits;
             const u64 w = pow_mod(2, shift, qv);
-            for (size_t i = 0; i < m * n; ++i) {
-                u64 v = static_cast<u64>(static_cast<u32>(prod[i])) % qv;
-                c[i] = add_mod(c[i], q.mul(v, w), qv);
-            }
+            parallel_for(
+                0, m * n,
+                [&](size_t b, size_t e) {
+                    for (size_t i = b; i < e; ++i) {
+                        u64 v =
+                            static_cast<u64>(static_cast<u32>(prod[i])) %
+                            qv;
+                        c[i] = add_mod(c[i], q.mul(v, w), qv);
+                    }
+                },
+                8192);
         }
     }
 }
@@ -123,14 +164,21 @@ scalar_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
     // (gadget dimensions), so the u128 accumulator cannot overflow for
     // K ≤ 64 at 60-bit words.
     NEO_CHECK(k <= 64, "K too large for exact u128 accumulation");
-    for (size_t i = 0; i < m; ++i) {
-        for (size_t j = 0; j < n; ++j) {
-            u128 acc = 0;
-            for (size_t t = 0; t < k; ++t)
-                acc += static_cast<u128>(a[i * k + t]) * b[t * n + j];
-            c[i * n + j] = static_cast<u64>(acc % col_mods[j].value());
-        }
-    }
+    parallel_for(
+        0, m,
+        [&](size_t rb, size_t re) {
+            for (size_t i = rb; i < re; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    u128 acc = 0;
+                    for (size_t t = 0; t < k; ++t)
+                        acc += static_cast<u128>(a[i * k + t]) *
+                               b[t * n + j];
+                    c[i * n + j] =
+                        static_cast<u64>(acc % col_mods[j].value());
+                }
+            }
+        },
+        row_grain(n, k));
 }
 
 void
@@ -154,24 +202,36 @@ fp64_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
         const double *am = ap.data() + static_cast<size_t>(pa) * m * k;
         for (int pb = 0; pb < plan.b_planes; ++pb) {
             const double *bm = bp.data() + static_cast<size_t>(pb) * k * n;
-            for (size_t i = 0; i < m; ++i) {
-                for (size_t j = 0; j < n; ++j) {
-                    double acc = 0.0;
-                    for (size_t t = 0; t < k; ++t)
-                        acc += am[i * k + t] * bm[t * n + j];
-                    prod[i * n + j] = acc;
-                }
-            }
+            parallel_for(
+                0, m,
+                [&](size_t rb, size_t re) {
+                    for (size_t i = rb; i < re; ++i) {
+                        for (size_t j = 0; j < n; ++j) {
+                            double acc = 0.0;
+                            for (size_t t = 0; t < k; ++t)
+                                acc += am[i * k + t] * bm[t * n + j];
+                            prod[i * n + j] = acc;
+                        }
+                    }
+                },
+                row_grain(n, k));
             const int shift =
                 pa * plan.a_plane_bits + pb * plan.b_plane_bits;
-            for (size_t i = 0; i < m; ++i) {
-                for (size_t j = 0; j < n; ++j) {
-                    const Modulus &q = col_mods[j];
-                    const u64 w = pow_mod(2, shift, q.value());
-                    u64 v = static_cast<u64>(prod[i * n + j]) % q.value();
-                    c[i * n + j] = q.add(c[i * n + j], q.mul(v, w));
-                }
-            }
+            parallel_for(
+                0, m,
+                [&](size_t rb, size_t re) {
+                    for (size_t i = rb; i < re; ++i) {
+                        for (size_t j = 0; j < n; ++j) {
+                            const Modulus &q = col_mods[j];
+                            const u64 w = pow_mod(2, shift, q.value());
+                            u64 v = static_cast<u64>(prod[i * n + j]) %
+                                    q.value();
+                            c[i * n + j] =
+                                q.add(c[i * n + j], q.mul(v, w));
+                        }
+                    }
+                },
+                row_grain(n, 1));
         }
     }
 }
@@ -197,26 +257,37 @@ int8_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
         const i32 *am = ap.data() + static_cast<size_t>(pa) * m * k;
         for (int pb = 0; pb < plan.b_planes; ++pb) {
             const i32 *bm = bp.data() + static_cast<size_t>(pb) * k * n;
-            for (size_t i = 0; i < m; ++i) {
-                for (size_t j = 0; j < n; ++j) {
-                    i32 acc = 0;
-                    for (size_t t = 0; t < k; ++t)
-                        acc += am[i * k + t] * bm[t * n + j];
-                    prod[i * n + j] = acc;
-                }
-            }
+            parallel_for(
+                0, m,
+                [&](size_t rb, size_t re) {
+                    for (size_t i = rb; i < re; ++i) {
+                        for (size_t j = 0; j < n; ++j) {
+                            i32 acc = 0;
+                            for (size_t t = 0; t < k; ++t)
+                                acc += am[i * k + t] * bm[t * n + j];
+                            prod[i * n + j] = acc;
+                        }
+                    }
+                },
+                row_grain(n, k));
             const int shift =
                 pa * plan.a_plane_bits + pb * plan.b_plane_bits;
-            for (size_t i = 0; i < m; ++i) {
-                for (size_t j = 0; j < n; ++j) {
-                    const Modulus &q = col_mods[j];
-                    const u64 w = pow_mod(2, shift, q.value());
-                    u64 v = static_cast<u64>(
-                                static_cast<u32>(prod[i * n + j])) %
-                            q.value();
-                    c[i * n + j] = q.add(c[i * n + j], q.mul(v, w));
-                }
-            }
+            parallel_for(
+                0, m,
+                [&](size_t rb, size_t re) {
+                    for (size_t i = rb; i < re; ++i) {
+                        for (size_t j = 0; j < n; ++j) {
+                            const Modulus &q = col_mods[j];
+                            const u64 w = pow_mod(2, shift, q.value());
+                            u64 v = static_cast<u64>(static_cast<u32>(
+                                        prod[i * n + j])) %
+                                    q.value();
+                            c[i * n + j] =
+                                q.add(c[i * n + j], q.mul(v, w));
+                        }
+                    }
+                },
+                row_grain(n, 1));
         }
     }
 }

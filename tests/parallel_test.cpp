@@ -1,0 +1,267 @@
+/**
+ * Determinism suite for the parallel execution engine.
+ *
+ * The repo's strongest invariant is bit-exactness: the Neo pipeline
+ * must equal the reference keyswitch_klss to the last bit. The thread
+ * pool is only admissible if that invariant survives every thread
+ * count, so this suite runs the full pipeline (scalar and FP64-TCU
+ * engines) under NEO_NUM_THREADS ∈ {1, 2, 7, 16} and requires all
+ * outputs identical to each other and to the sequential reference —
+ * plus direct unit tests of the parallel_for contract itself.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "ckks/keygen.h"
+#include "ckks/keyswitch.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "neo/pipeline.h"
+#include "rns/primes.h"
+#include "tensor/gemm.h"
+
+namespace neo {
+namespace {
+
+using namespace ckks;
+
+/// Point the global pool at @p n executors through the same
+/// environment knob users have, verifying the env parsing on the way.
+void
+use_threads(size_t n)
+{
+    ::setenv("NEO_NUM_THREADS", std::to_string(n).c_str(), 1);
+    ThreadPool::set_global_threads(0); // 0 = re-read NEO_NUM_THREADS
+    ASSERT_EQ(ThreadPool::global().threads(), n);
+}
+
+const size_t kThreadCounts[] = {1, 2, 7, 16};
+
+// ---------------------------------------------------------------------
+// parallel_for contract.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, EnvVariableControlsThreadCount)
+{
+    ::setenv("NEO_NUM_THREADS", "7", 1);
+    EXPECT_EQ(ThreadPool::env_threads(), 7u);
+    ::setenv("NEO_NUM_THREADS", "not-a-number", 1);
+    EXPECT_GE(ThreadPool::env_threads(), 1u); // falls back to hardware
+    ::setenv("NEO_NUM_THREADS", "0", 1);
+    EXPECT_GE(ThreadPool::env_threads(), 1u);
+    ::unsetenv("NEO_NUM_THREADS");
+    EXPECT_GE(ThreadPool::env_threads(), 1u);
+}
+
+TEST(ThreadPool, ChunksTileTheRangeExactlyOnce)
+{
+    for (size_t tc : kThreadCounts) {
+        ThreadPool pool(tc);
+        for (size_t range : {0ul, 1ul, 5ul, 64ul, 1000ul, 4097ul}) {
+            std::vector<std::atomic<int>> hits(range);
+            for (auto &h : hits)
+                h.store(0);
+            pool.parallel_for(0, range, 3, [&](size_t b, size_t e) {
+                ASSERT_LE(b, e);
+                for (size_t i = b; i < e; ++i)
+                    hits[i].fetch_add(1);
+            });
+            for (size_t i = 0; i < range; ++i)
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "threads=" << tc << " range=" << range
+                    << " index=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineAndCompletes)
+{
+    ThreadPool pool(4);
+    constexpr size_t kOuter = 32, kInner = 100;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallel_for(0, kOuter, 1, [&](size_t ob, size_t oe) {
+        for (size_t o = ob; o < oe; ++o) {
+            // Inner call must not re-enter the pool (deadlock) and
+            // must still cover its whole range.
+            pool.parallel_for(0, kInner, 1, [&](size_t b, size_t e) {
+                for (size_t i = b; i < e; ++i)
+                    hits[o * kInner + i].fetch_add(1);
+            });
+        }
+    });
+    for (auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BackToBackLoopsReuseWorkers)
+{
+    ThreadPool pool(7);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.parallel_for(0, 997, 10, [&](size_t b, size_t e) {
+            long s = 0;
+            for (size_t i = b; i < e; ++i)
+                s += static_cast<long>(i);
+            total.fetch_add(s);
+        });
+    }
+    EXPECT_EQ(total.load(), 50L * (996L * 997L / 2));
+}
+
+// ---------------------------------------------------------------------
+// Kernel-level determinism: identical bits for every thread count.
+// ---------------------------------------------------------------------
+
+TEST(ParallelDeterminism, Fp64GemmBitIdenticalAcrossThreadCounts)
+{
+    Modulus q(generate_ntt_primes(48, 1, 1 << 10)[0]);
+    const size_t m = 512, n = 16, k = 16;
+    Rng rng(11);
+    auto a = rng.uniform_vec(m * k, q.value());
+    auto b = rng.uniform_vec(k * n, q.value());
+
+    use_threads(1);
+    std::vector<u64> ref(m * n);
+    fp64_sliced_matmul(a.data(), b.data(), ref.data(), m, n, k, q);
+
+    for (size_t tc : kThreadCounts) {
+        use_threads(tc);
+        std::vector<u64> got(m * n);
+        fp64_sliced_matmul(a.data(), b.data(), got.data(), m, n, k, q);
+        EXPECT_EQ(got, ref) << "threads=" << tc;
+    }
+    use_threads(1);
+}
+
+TEST(ParallelDeterminism, BatchNttBitIdenticalAcrossThreadCounts)
+{
+    const size_t n = 1 << 13;
+    Modulus q(generate_ntt_primes(48, 1, n)[0]);
+    NttTables tables(n, q);
+    Rng rng(12);
+    auto input = rng.uniform_vec(n, q.value());
+
+    use_threads(1);
+    auto ref = input;
+    tables.forward(ref.data());
+
+    for (size_t tc : kThreadCounts) {
+        use_threads(tc);
+        auto got = input;
+        tables.forward(got.data());
+        EXPECT_EQ(got, ref) << "threads=" << tc;
+        tables.inverse(got.data());
+        EXPECT_EQ(got, input) << "roundtrip threads=" << tc;
+    }
+    use_threads(1);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline determinism: the tentpole guarantee.
+// ---------------------------------------------------------------------
+
+struct ParallelPipelineFixture : public ::testing::Test
+{
+    static void
+    SetUpTestSuite()
+    {
+        params_ = new CkksParams(CkksParams::test_params(256, 5, 2));
+        ctx_ = new CkksContext(*params_);
+        keygen_ = new KeyGenerator(*ctx_, 17);
+        sk_ = new SecretKey(keygen_->secret_key());
+        rlk_ = new EvalKey(keygen_->relin_key(*sk_));
+        klss_rlk_ = new KlssEvalKey(keygen_->to_klss(*rlk_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete klss_rlk_;
+        delete rlk_;
+        delete sk_;
+        delete keygen_;
+        delete ctx_;
+        delete params_;
+    }
+
+    static RnsPoly
+    random_eval_poly(size_t level, u64 seed)
+    {
+        Rng rng(seed);
+        RnsPoly p(ctx_->n(), ctx_->active_mods(level), PolyForm::eval);
+        for (size_t i = 0; i < p.limbs(); ++i)
+            for (size_t l = 0; l < p.n(); ++l)
+                p.limb(i)[l] = rng.uniform(p.modulus(i).value());
+        return p;
+    }
+
+    /// Run the pipeline under every thread count and assert the
+    /// outputs are bit-identical to each other and to the sequential
+    /// reference keyswitch.
+    static void
+    check_engine(const PipelineEngines &engines, const char *label)
+    {
+        RnsPoly d2 = random_eval_poly(5, 42);
+
+        use_threads(1);
+        auto [r0, r1] = keyswitch_klss(d2, *klss_rlk_, *ctx_);
+        auto [s0, s1] =
+            keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_, engines);
+        const size_t count0 = r0.limbs() * r0.n();
+        const size_t count1 = r1.limbs() * r1.n();
+        ASSERT_TRUE(std::equal(r0.data(), r0.data() + count0, s0.data()))
+            << label << " single-thread pipeline != reference";
+        ASSERT_TRUE(std::equal(r1.data(), r1.data() + count1, s1.data()))
+            << label << " single-thread pipeline != reference";
+
+        for (size_t tc : kThreadCounts) {
+            use_threads(tc);
+            auto [p0, p1] =
+                keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_, engines);
+            EXPECT_TRUE(
+                std::equal(s0.data(), s0.data() + count0, p0.data()))
+                << label << " c0 differs at threads=" << tc;
+            EXPECT_TRUE(
+                std::equal(s1.data(), s1.data() + count1, p1.data()))
+                << label << " c1 differs at threads=" << tc;
+            EXPECT_TRUE(
+                std::equal(r0.data(), r0.data() + count0, p0.data()))
+                << label << " c0 != reference at threads=" << tc;
+        }
+        use_threads(1);
+    }
+
+    static CkksParams *params_;
+    static CkksContext *ctx_;
+    static KeyGenerator *keygen_;
+    static SecretKey *sk_;
+    static EvalKey *rlk_;
+    static KlssEvalKey *klss_rlk_;
+};
+
+CkksParams *ParallelPipelineFixture::params_ = nullptr;
+CkksContext *ParallelPipelineFixture::ctx_ = nullptr;
+KeyGenerator *ParallelPipelineFixture::keygen_ = nullptr;
+SecretKey *ParallelPipelineFixture::sk_ = nullptr;
+EvalKey *ParallelPipelineFixture::rlk_ = nullptr;
+KlssEvalKey *ParallelPipelineFixture::klss_rlk_ = nullptr;
+
+TEST_F(ParallelPipelineFixture, ScalarEngineDeterministicAcrossThreads)
+{
+    check_engine(PipelineEngines::scalar(), "scalar");
+}
+
+TEST_F(ParallelPipelineFixture, Fp64TcuEngineDeterministicAcrossThreads)
+{
+    check_engine(PipelineEngines::fp64_tcu(), "fp64_tcu");
+}
+
+} // namespace
+} // namespace neo

@@ -11,6 +11,7 @@
 #include "ckks/evaluator.h"
 #include "ckks/keygen.h"
 #include "common/random.h"
+#include "rns/primes.h"
 #include "tensor/gemm.h"
 
 namespace neo::ckks {
@@ -164,6 +165,72 @@ INSTANTIATE_TEST_SUITE_P(
         os << info.param;
         return os.str();
     });
+
+// ---------------------------------------------------------------------
+// Randomized differential test: the scalar and FP64-TCU GEMM engines
+// must agree element-for-element on randomly drawn (N, level, dnum)
+// configurations — engine parity is enforced across the whole
+// parameter space, not only at the paper's operating points. The seed
+// is fixed so failures replay.
+// ---------------------------------------------------------------------
+
+TEST(GemmEngineDifferential, RandomConfigsScalarVsFp64TcuBitExact)
+{
+    Rng rng(0xD1FFE7EA);
+    constexpr int kConfigs = 56; // ≥ 50 random configurations
+    for (int cfg = 0; cfg < kConfigs; ++cfg) {
+        // Draw a KLSS-shaped GEMM: N coefficients per limb, a digit of
+        // alpha = ceil((level+1)/dnum) source limbs (the GEMM K
+        // dimension), alpha' output limbs (the N dimension).
+        const size_t n = 1ull << (4 + rng.uniform(5)); // 16..256
+        const size_t level = 1 + rng.uniform(8);       // 1..8
+        const size_t dnum = 1 + rng.uniform(4);        // 1..4
+        const size_t alpha = (level + 1 + dnum - 1) / dnum;
+        const size_t alpha_p = alpha + 1 + rng.uniform(3);
+        const int wa = 30 + static_cast<int>(rng.uniform(11)); // 30..40
+        const int wb = 36 + static_cast<int>(rng.uniform(13)); // 36..48
+        SCOPED_TRACE(::testing::Message()
+                     << "cfg=" << cfg << " N=" << n << " level=" << level
+                     << " dnum=" << dnum << " alpha=" << alpha
+                     << " alpha'=" << alpha_p << " wa=" << wa
+                     << " wb=" << wb);
+
+        // Same-modulus engine pair (the NTT/IP GEMM path).
+        {
+            Modulus q(generate_ntt_primes(wb, 1, 1 << 10)[0]);
+            auto a = rng.uniform_vec(n * alpha, q.value());
+            auto b = rng.uniform_vec(alpha * alpha_p, q.value());
+            std::vector<u64> want(n * alpha_p), got(n * alpha_p);
+            scalar_mod_matmul(a.data(), b.data(), want.data(), n,
+                              alpha_p, alpha, q);
+            fp64_sliced_matmul(a.data(), b.data(), got.data(), n,
+                               alpha_p, alpha, q);
+            ASSERT_EQ(got, want);
+        }
+
+        // Per-column engine pair (the BConv GEMM path): source limbs
+        // of wa-bit primes against alpha' distinct wb-bit column
+        // moduli.
+        {
+            auto src = generate_ntt_primes(wa, alpha, 1 << 10);
+            auto dst = generate_ntt_primes(wb, alpha_p, 1 << 10);
+            std::vector<Modulus> col_mods(dst.begin(), dst.end());
+            std::vector<u64> a(n * alpha), b(alpha * alpha_p);
+            for (size_t i = 0; i < n; ++i)
+                for (size_t t = 0; t < alpha; ++t)
+                    a[i * alpha + t] = rng.uniform(src[t]);
+            for (size_t t = 0; t < alpha; ++t)
+                for (size_t j = 0; j < alpha_p; ++j)
+                    b[t * alpha_p + j] = rng.uniform(dst[j]);
+            std::vector<u64> want(n * alpha_p), got(n * alpha_p);
+            scalar_matmul_cols(a.data(), b.data(), want.data(), n,
+                               alpha_p, alpha, col_mods);
+            fp64_sliced_matmul_cols(a.data(), b.data(), got.data(), n,
+                                    alpha_p, alpha, col_mods);
+            ASSERT_EQ(got, want);
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // Homomorphism properties as algebraic laws.
