@@ -7,9 +7,12 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "bench_util.h"
 #include "common/random.h"
 #include "neo/kernels.h"
+#include "obs/obs.h"
 #include "poly/matrix_ntt.h"
 #include "poly/rns_poly.h"
 #include "rns/primes.h"
@@ -136,6 +139,33 @@ BM_BConvMatmul(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BConvMatmul);
+
+/// Cost of the neo::obs probes on a hot kernel. Arg 0 = no sink
+/// installed (the production default: each probe is one relaxed
+/// atomic load), 1 = counting sink active, 2 = counting + timeline
+/// events. Arg 0 must match the pre-instrumentation baseline; the
+/// acceptance bar is no measurable slowdown with tracing off.
+void
+BM_ObsProbeOverhead(benchmark::State &state)
+{
+    const size_t n = 1 << 12;
+    Modulus q(generate_ntt_primes(36, 1, n)[0]);
+    NttTables t(n, q);
+    Rng rng(10);
+    auto a = rng.uniform_vec(n, q.value());
+    std::optional<obs::Scope> scope;
+    if (state.range(0) > 0) {
+        obs::Scope::Options so;
+        so.registry.record_events = state.range(0) > 1;
+        scope.emplace(so);
+    }
+    for (auto _ : state) {
+        t.forward(a.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ObsProbeOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 // ---------------------------------------------------------------------
 // Thread-scaling benchmarks of the parallel execution engine (Arg =

@@ -27,8 +27,8 @@ main()
     KeyGenerator keygen(ctx, 9);
     SecretKey sk = keygen.secret_key();
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
-    KlssEvalKey krlk = keygen.to_klss(rlk);
+    EvalKeyBundle keys =
+        keygen.eval_key_bundle(sk, {}, false, /*with_klss=*/true);
     Encryptor enc(ctx);
     NoiseInspector probe(ctx, sk, keygen);
     Evaluator ev_h(ctx, KeySwitchMethod::hybrid);
@@ -57,15 +57,15 @@ main()
     };
     row("fresh (public key)", ca, a);
 
-    Ciphertext mul_h = ev_h.mul(ca, ca, rlk);
+    Ciphertext mul_h = ev_h.mul(ca, ca, keys);
     row("after HMULT (hybrid KS)", mul_h, sq);
-    Ciphertext mul_k = ev_k.mul(ca, ca, rlk, &krlk);
+    Ciphertext mul_k = ev_k.mul(ca, ca, keys);
     row("after HMULT (KLSS KS)", mul_k, sq);
 
     Ciphertext rs = ev_h.rescale(mul_h);
     row("after Rescale", rs, sq);
 
-    Ciphertext mul2 = ev_h.mul(rs, rs, rlk);
+    Ciphertext mul2 = ev_h.mul(rs, rs, keys);
     Ciphertext ds = ev_h.double_rescale(mul2);
     row("after 2nd HMULT + DS", ds, quad);
     t.print();

@@ -47,7 +47,7 @@ main()
                 "exactly the trade the paper's Table 2 describes. The "
                 "counters are asserted against the functional\n"
                 "implementation in ckks_test "
-                "(KeySwitchStatsMatchComplexityFormulas).\n",
+                "(KeySwitchCountersMatchComplexityFormulas).\n",
                 beta * ext, beta * ap, 2 * beta * ext, 2 * bt * beta * ap);
     return 0;
 }

@@ -7,6 +7,7 @@
  */
 #include "baselines/backends.h"
 #include "bench_util.h"
+#include "neo/pipeline.h"
 
 using namespace neo;
 
@@ -63,5 +64,26 @@ main()
     t.print();
     std::printf("\nPaper reference: #BConv 311526 -> 854700; #IP 621762 -> "
                 "1617978; #NTT 25478 -> 95329 per second.\n");
+
+    // Analytic kernel-invocation counts for one functional
+    // keyswitch_klss_pipeline run. A traced run (NEO_TRACE=summary)
+    // records exactly these numbers as span.gemm / span.ntt /
+    // span.bconv / span.ip — tests/obs_test asserts the equality.
+    {
+        ckks::CkksParams fp = ckks::CkksParams::test_params(256, 5, 2);
+        ckks::CkksContext ctx(fp);
+        const size_t lvl = ctx.max_level();
+        auto c = keyswitch_pipeline_kernel_counts(ctx, lvl);
+        std::printf("\nAnalytic kernel invocations per KLSS KeySwitch "
+                    "(functional pipeline, N=%zu, level %zu):\n",
+                    ctx.n(), lvl);
+        TextTable a;
+        a.header({"kernel", "invocations"});
+        a.row({"GEMM", strfmt("%llu", (unsigned long long)c.gemm)});
+        a.row({"NTT", strfmt("%llu", (unsigned long long)c.ntt)});
+        a.row({"BConv", strfmt("%llu", (unsigned long long)c.bconv)});
+        a.row({"IP", strfmt("%llu", (unsigned long long)c.ip)});
+        a.print();
+    }
     return 0;
 }

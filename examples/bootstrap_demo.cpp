@@ -24,13 +24,12 @@ main()
     KeyGenerator keygen(ctx, 21);
     SecretKey sk = keygen.secret_key_sparse(8);
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
-    GaloisKeys gk = keygen.galois_keys(
+    EvalKeyBundle keys = keygen.eval_key_bundle(
         sk, Bootstrapper::required_rotations(ctx), /*conjugate=*/true);
     Encryptor enc(ctx);
     Decryptor dec(ctx, sk, keygen);
     Evaluator ev(ctx);
-    Bootstrapper boot(ctx, ev, rlk, gk);
+    Bootstrapper boot(ctx, ev, keys);
 
     std::printf("Ring degree %zu, %zu levels, bootstrap depth %zu\n\n",
                 ctx.n(), ctx.max_level() + 1, boot.depth());
@@ -60,7 +59,7 @@ main()
         err = std::max(err, std::abs(got[i] - expect[i]));
     std::printf("message error after refresh: %.2e\n", err);
 
-    Ciphertext more = ev.rescale(ev.mul(refreshed, refreshed, rlk));
+    Ciphertext more = ev.rescale(ev.mul(refreshed, refreshed, keys));
     for (auto &x : expect)
         x *= x;
     auto got2 = dec.decrypt_decode(more);

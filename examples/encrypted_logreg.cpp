@@ -27,11 +27,11 @@ namespace {
 /// Rotate-and-sum over a power-of-two block: every slot of a block
 /// ends up holding the block's sum.
 Ciphertext
-block_sum(const Evaluator &ev, const GaloisKeys &gk, Ciphertext ct,
+block_sum(const Evaluator &ev, const EvalKeyBundle &keys, Ciphertext ct,
           size_t block)
 {
     for (size_t step = 1; step < block; step <<= 1)
-        ct = ev.add(ct, ev.rotate(ct, static_cast<i64>(step), gk));
+        ct = ev.add(ct, ev.rotate(ct, static_cast<i64>(step), keys));
     return ct;
 }
 
@@ -59,8 +59,7 @@ main()
     KeyGenerator keygen(ctx, 7);
     SecretKey sk = keygen.secret_key();
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
-    GaloisKeys gk = keygen.galois_keys(sk, {1, 2});
+    EvalKeyBundle keys = keygen.eval_key_bundle(sk, {1, 2});
     Encryptor enc(ctx);
     Decryptor dec(ctx, sk, keygen);
     Evaluator ev(ctx);
@@ -91,15 +90,15 @@ main()
                 wslots[i * block + f] = w[f];
         Ciphertext z = ev.rescale(
             ev.mul_plain(cx, ctx.encode(wslots, cx.level)));
-        z = block_sum(ev, gk, z, block);
+        z = block_sum(ev, keys, z, block);
 
         // Degree-3 sigmoid-gradient core: y * (0.5 - 0.197(yz) +
         // 0.004(yz)^3) — using y in {-1,1} so y² = 1.
         Ciphertext ylev = ev.mod_switch_to(cy, z.level);
-        Ciphertext yz = ev.rescale(ev.mul(z, ylev, rlk));
-        Ciphertext yz2 = ev.rescale(ev.mul(yz, yz, rlk));
+        Ciphertext yz = ev.rescale(ev.mul(z, ylev, keys));
+        Ciphertext yz2 = ev.rescale(ev.mul(yz, yz, keys));
         Ciphertext yz3 = ev.rescale(
-            ev.mul(yz2, ev.mod_switch_to(yz, yz2.level), rlk));
+            ev.mul(yz2, ev.mod_switch_to(yz, yz2.level), keys));
         // g_scalar = 0.5 - 0.197*yz + 0.004*yz^3 (per slot), times y.
         std::vector<Complex> c1(slots, Complex(-0.197, 0));
         std::vector<Complex> c3(slots, Complex(0.004, 0));
@@ -119,10 +118,10 @@ main()
         std::vector<Complex> half(slots, Complex(0.5, 0));
         g = ev.add_plain(g, ctx.encode(half, g.level, g.scale));
         g = ev.rescale(
-            ev.mul(g, ev.mod_switch_to(ylev, g.level), rlk));
+            ev.mul(g, ev.mod_switch_to(ylev, g.level), keys));
         // gradient contribution per feature: sum_i g_i * x_{i,f}.
         Ciphertext gx = ev.rescale(
-            ev.mul(g, ev.mod_switch_to(cx, g.level), rlk));
+            ev.mul(g, ev.mod_switch_to(cx, g.level), keys));
 
         // Decrypt the per-slot gradient (client-side step) and update.
         auto grad = dec.decrypt_decode(gx);

@@ -23,7 +23,6 @@ main()
     KeyGenerator keygen(ctx, 99);
     SecretKey sk = keygen.secret_key();
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
     Encryptor enc(ctx);
     Decryptor dec(ctx, sk, keygen);
     Evaluator ev(ctx);
@@ -33,7 +32,7 @@ main()
     std::vector<i64> steps;
     for (size_t s = 1; s < n; s <<= 1)
         steps.push_back(static_cast<i64>(s));
-    GaloisKeys gk = keygen.galois_keys(sk, steps);
+    EvalKeyBundle keys = keygen.eval_key_bundle(sk, steps);
 
     // Synthetic measurements in [0, 1).
     Rng rng(5);
@@ -60,7 +59,7 @@ main()
     // Rotate-and-sum: slot 0 accumulates the total.
     auto reduce = [&](Ciphertext ct) {
         for (size_t s = 1; s < n; s <<= 1)
-            ct = ev.add(ct, ev.rotate(ct, static_cast<i64>(s), gk));
+            ct = ev.add(ct, ev.rotate(ct, static_cast<i64>(s), keys));
         return ct;
     };
 
@@ -71,7 +70,7 @@ main()
     const double mean = dec.decrypt_decode(mean_ct)[0].real();
 
     // variance = E[x^2] - mean^2 : square homomorphically, reduce.
-    Ciphertext x2 = ev.rescale(ev.mul(cx, cx, rlk));
+    Ciphertext x2 = ev.rescale(ev.mul(cx, cx, keys));
     Ciphertext ex2 = ev.rescale(ev.mul_plain(
         reduce(x2), ctx.encode(inv_n, x2.level)));
     const double var =

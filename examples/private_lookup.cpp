@@ -34,7 +34,7 @@ main()
         steps.push_back(static_cast<i64>(j));
     for (size_t i = 1; i * g < slots; ++i)
         steps.push_back(static_cast<i64>(i * g));
-    GaloisKeys gk = keygen.galois_keys(sk, steps);
+    EvalKeyBundle keys = keygen.eval_key_bundle(sk, steps);
 
     // Server-side table: record r = feature vector spread across the
     // matrix row (here a deterministic "salary/score/rating" triple
@@ -64,7 +64,7 @@ main()
     Ciphertext ct = enc.encrypt(ctx.encode(onehot, 5), pk);
 
     // Server: answer without decrypting.
-    Ciphertext answer = lt.apply_bsgs(ev, ctx, ct, gk);
+    Ciphertext answer = lt.apply_bsgs(ev, ctx, ct, keys);
 
     // Client: decrypt the three response slots.
     auto got = dec.decrypt_decode(answer);

@@ -27,13 +27,14 @@ main()
                 ctx.n(), ctx.max_level(), params.word_size,
                 params.alpha(), ctx.alpha_prime());
 
-    // 2. Keys.
+    // 2. Keys: one bundle carries the relin key, its KLSS form, and
+    //    the Galois key for step 1.
     KeyGenerator keygen(ctx, /*seed=*/42);
     SecretKey sk = keygen.secret_key();
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
-    KlssEvalKey klss_rlk = keygen.to_klss(rlk);
-    GaloisKeys gk = keygen.galois_keys(sk, {1}, false, true);
+    EvalKeyBundle keys =
+        keygen.eval_key_bundle(sk, {1}, /*conjugate=*/false,
+                               /*with_klss=*/true);
 
     // 3. Encode and encrypt two vectors.
     std::vector<Complex> x(ctx.encoder().slot_count());
@@ -52,9 +53,9 @@ main()
     Evaluator klss(ctx, KeySwitchMethod::klss);
 
     Ciphertext sum = hybrid.add(cx, cy);
-    Ciphertext prod_h = hybrid.rescale(hybrid.mul(cx, cy, rlk));
-    Ciphertext prod_k = klss.rescale(klss.mul(cx, cy, rlk, &klss_rlk));
-    Ciphertext rot = hybrid.rotate(cx, 1, gk);
+    Ciphertext prod_h = hybrid.rescale(hybrid.mul(cx, cy, keys));
+    Ciphertext prod_k = klss.rescale(klss.mul(cx, cy, keys));
+    Ciphertext rot = hybrid.rotate(cx, 1, keys);
 
     // 5. Decrypt and check slot 7.
     auto show = [&](const char *label, const Ciphertext &ct,
@@ -72,5 +73,7 @@ main()
 
     std::printf("\nBoth key-switch methods decrypt to the same product — "
                 "the equivalence Neo's KLSS pipeline relies on.\n");
+    std::printf("Tip: rerun with NEO_TRACE=summary (or NEO_TRACE=json) "
+                "for per-kernel counters and a Perfetto trace.\n");
     return 0;
 }

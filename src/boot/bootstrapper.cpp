@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "boot/factored_transform.h"
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace neo::boot {
 
@@ -28,10 +30,10 @@ base_cos(double u, void *arg)
 } // namespace
 
 Bootstrapper::Bootstrapper(const CkksContext &ctx, const Evaluator &ev,
-                           const EvalKey &rlk, const GaloisKeys &gk,
+                           const EvalKeyBundle &keys,
                            const BootstrapOptions &opts)
-    : ctx_(ctx), ev_(ev), rlk_(rlk), gk_(gk), opts_(opts),
-      poly_(ctx, ev, rlk)
+    : ctx_(ctx), ev_(ev), keys_(keys), opts_(opts),
+      poly_(ctx, ev, keys)
 {
     const size_t n = ctx.n();
     const size_t s = n / 2;
@@ -192,7 +194,7 @@ Bootstrapper::eval_mod(const Ciphertext &ct, Complex prefactor) const
     // Base cosine, then r double-angle steps: cos(2θ) = 2cos²θ - 1.
     Ciphertext c = poly_.evaluate_chebyshev(x, cos_coeffs_);
     for (int r = 0; r < opts_.double_angles; ++r) {
-        Ciphertext sq = ev_.rescale(ev_.mul(c, c, rlk_));
+        Ciphertext sq = ev_.rescale(ev_.mul(c, c, keys_));
         sq.scale = nominal;
         c = ev_.add(sq, sq);
         Plaintext minus_one = ctx_.encode(ones, c.level, c.scale);
@@ -210,18 +212,22 @@ Bootstrapper::bootstrap_dense(const Ciphertext &raised) const
 {
     // 2. CoeffToSlot: two transforms + conjugations give the two
     //    coefficient halves as real slot vectors.
-    Ciphertext w0 = cts_lo_->apply_bsgs(ev_, ctx_, raised, gk_);
-    Ciphertext w1 = cts_hi_->apply_bsgs(ev_, ctx_, raised, gk_);
-    Ciphertext u0 = ev_.add(w0, ev_.conjugate(w0, gk_));
-    Ciphertext u1 = ev_.add(w1, ev_.conjugate(w1, gk_));
+    std::optional<obs::Span> stage_span;
+    stage_span.emplace("boot_cts", obs::cat::stage);
+    Ciphertext w0 = cts_lo_->apply_bsgs(ev_, ctx_, raised, keys_);
+    Ciphertext w1 = cts_hi_->apply_bsgs(ev_, ctx_, raised, keys_);
+    Ciphertext u0 = ev_.add(w0, ev_.conjugate(w0, keys_));
+    Ciphertext u1 = ev_.add(w1, ev_.conjugate(w1, keys_));
 
     // 3. EvalMod on both halves.
+    stage_span.emplace("boot_evalmod", obs::cat::stage);
     Ciphertext v0 = eval_mod(u0, Complex(1, 0));
     Ciphertext v1 = eval_mod(u1, Complex(1, 0));
 
     // 4. SlotToCoeff.
-    Ciphertext z0 = stc_lo_->apply_bsgs(ev_, ctx_, v0, gk_);
-    Ciphertext z1 = stc_hi_->apply_bsgs(ev_, ctx_, v1, gk_);
+    stage_span.emplace("boot_stc", obs::cat::stage);
+    Ciphertext z0 = stc_lo_->apply_bsgs(ev_, ctx_, v0, keys_);
+    Ciphertext z1 = stc_hi_->apply_bsgs(ev_, ctx_, v1, keys_);
     return ev_.add(z0, z1);
 }
 
@@ -233,14 +239,17 @@ Bootstrapper::bootstrap_factored(const Ciphertext &raised) const
     // 2. CoeffToSlot: inverse butterfly groups take the slot values z
     //    back to the base vector a + i·b (a, b = coefficient halves
     //    in σ order), then conjugation splits the two real parts.
+    std::optional<obs::Span> stage_span;
+    stage_span.emplace("boot_cts", obs::cat::stage);
     Ciphertext x = raised;
     for (const auto &stage : factored_->inverse())
-        x = stage.apply(ev_, ctx_, x, gk_); // sparse: few diagonals
-    Ciphertext xc = ev_.conjugate(x, gk_);
+        x = stage.apply(ev_, ctx_, x, keys_); // sparse: few diagonals
+    Ciphertext xc = ev_.conjugate(x, keys_);
     Ciphertext u0 = ev_.add(x, xc);      // value 2a
     Ciphertext w1 = ev_.sub(x, xc);      // value 2i·b
 
     // 3. EvalMod; the ±i and 1/2 factors fold into the prefactor.
+    stage_span.emplace("boot_evalmod", obs::cat::stage);
     Ciphertext v0 = eval_mod(u0, Complex(0.5, 0));
     Ciphertext v1 = eval_mod(w1, Complex(0, -0.5));
 
@@ -248,6 +257,7 @@ Bootstrapper::bootstrap_factored(const Ciphertext &raised) const
     //    multiplication), then the forward butterfly groups. Encoding
     //    the constant at exactly the dropped prime's value keeps the
     //    rescaled v1i on v0's scale, so the add needs no fudging.
+    stage_span.emplace("boot_stc", obs::cat::stage);
     std::vector<Complex> eye(slots, Complex(0, 1));
     const double q_drop =
         static_cast<double>(ctx_.q_basis()[v1.level].value());
@@ -257,13 +267,16 @@ Bootstrapper::bootstrap_factored(const Ciphertext &raised) const
     v0m.scale = v1i.scale; // equal up to FP bookkeeping
     Ciphertext base = ev_.add(v0m, v1i);
     for (const auto &stage : factored_->forward())
-        base = stage.apply(ev_, ctx_, base, gk_); // sparse: few diagonals
+        base = stage.apply(ev_, ctx_, base, keys_); // sparse: few diagonals
     return base;
 }
 
 Ciphertext
 Bootstrapper::bootstrap(const Ciphertext &ct) const
 {
+    obs::Span span("bootstrap", obs::cat::stage);
+    if (auto *r = obs::current())
+        r->add("op.bootstrap");
     const double delta_in = ct.scale;
     const u64 q0 = ctx_.q_basis()[0].value();
 

@@ -51,8 +51,13 @@ struct BootstrapOptions
 class Bootstrapper
 {
   public:
+    /**
+     * @param keys bundle with the relin key and Galois keys for
+     *        required_rotations() (+ conjugation). Must outlive this
+     *        object.
+     */
     Bootstrapper(const CkksContext &ctx, const Evaluator &ev,
-                 const EvalKey &rlk, const GaloisKeys &gk,
+                 const EvalKeyBundle &keys,
                  const BootstrapOptions &opts = {});
     ~Bootstrapper();
 
@@ -81,8 +86,7 @@ class Bootstrapper
 
     const CkksContext &ctx_;
     const Evaluator &ev_;
-    const EvalKey &rlk_;
-    const GaloisKeys &gk_;
+    const EvalKeyBundle &keys_;
     BootstrapOptions opts_;
     PolyEvaluator poly_;
     std::vector<double> cos_coeffs_; // Chebyshev fit of the base cosine

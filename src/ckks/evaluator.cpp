@@ -3,11 +3,13 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace neo::ckks {
 
-Evaluator::Evaluator(const CkksContext &ctx, KeySwitchMethod method)
-    : ctx_(ctx), method_(method)
+Evaluator::Evaluator(const CkksContext &ctx, KeySwitchMethod method,
+                     obs::Scope *scope)
+    : ctx_(ctx), method_(method), scope_(scope)
 {
     if (method_ == KeySwitchMethod::klss)
         NEO_CHECK(ctx.params().klss.enabled(),
@@ -25,11 +27,39 @@ check_compatible(const Ciphertext &a, const Ciphertext &b)
               "ciphertext scale mismatch");
 }
 
+/// Per-op counter in the ambient sink (one relaxed load when off).
+void
+op_count(std::string_view name)
+{
+    if (auto *r = obs::current())
+        r->add(name);
+}
+
+/// Back-fill the legacy out-param from the `ks.*` counters a scoped
+/// run accumulated (grace-period overloads only).
+void
+fill_stats(KeySwitchStats *stats, const obs::Scope &scope)
+{
+    stats->bconv_products += scope.counter("ks.bconv_products");
+    stats->ntt_limbs += scope.counter("ks.ntt_limbs");
+    stats->intt_limbs += scope.counter("ks.intt_limbs");
+    stats->ip_mul_limbs += scope.counter("ks.ip_mul_limbs");
+    stats->recover_products += scope.counter("ks.recover_products");
+    stats->moddown_products += scope.counter("ks.moddown_products");
+}
+
 } // namespace
+
+/// Routes this evaluator's records into its bound scope, if any.
+#define NEO_EVAL_SINK()                                                   \
+    obs::Activate neo_eval_sink_(                                         \
+        scope_ != nullptr ? &scope_->registry() : nullptr)
 
 Ciphertext
 Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
 {
+    NEO_EVAL_SINK();
+    op_count("op.hadd");
     check_compatible(a, b);
     Ciphertext out = a;
     out.c0.add_inplace(b.c0);
@@ -40,6 +70,8 @@ Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
 Ciphertext
 Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
 {
+    NEO_EVAL_SINK();
+    op_count("op.hsub");
     check_compatible(a, b);
     Ciphertext out = a;
     out.c0.sub_inplace(b.c0);
@@ -59,6 +91,8 @@ Evaluator::negate(const Ciphertext &a) const
 Ciphertext
 Evaluator::add_plain(const Ciphertext &a, const Plaintext &pt) const
 {
+    NEO_EVAL_SINK();
+    op_count("op.padd");
     NEO_CHECK(pt.poly.limbs() == a.level + 1, "plaintext level mismatch");
     NEO_CHECK(std::abs(a.scale - pt.scale) <=
                   1e-9 * std::max(a.scale, pt.scale),
@@ -71,6 +105,8 @@ Evaluator::add_plain(const Ciphertext &a, const Plaintext &pt) const
 Ciphertext
 Evaluator::mul_plain(const Ciphertext &a, const Plaintext &pt) const
 {
+    NEO_EVAL_SINK();
+    op_count("op.pmult");
     NEO_CHECK(pt.poly.limbs() == a.level + 1, "plaintext level mismatch");
     Ciphertext out = a;
     out.c0.mul_inplace(pt.poly);
@@ -81,20 +117,22 @@ Evaluator::mul_plain(const Ciphertext &a, const Plaintext &pt) const
 
 std::pair<RnsPoly, RnsPoly>
 Evaluator::keyswitch(const RnsPoly &d2, const EvalKey *evk,
-                     const KlssEvalKey *kevk, KeySwitchStats *stats) const
+                     const KlssEvalKey *kevk) const
 {
     if (method_ == KeySwitchMethod::klss) {
         NEO_CHECK(kevk != nullptr, "KLSS key required");
-        return keyswitch_klss(d2, *kevk, ctx_, stats);
+        return keyswitch_klss(d2, *kevk, ctx_);
     }
     NEO_CHECK(evk != nullptr, "hybrid key required");
-    return keyswitch_hybrid(d2, *evk, ctx_, stats);
+    return keyswitch_hybrid(d2, *evk, ctx_);
 }
 
 Ciphertext
-Evaluator::mul(const Ciphertext &a, const Ciphertext &b, const EvalKey &rlk,
-               const KlssEvalKey *klss_rlk, KeySwitchStats *stats) const
+Evaluator::mul_impl(const Ciphertext &a, const Ciphertext &b,
+                    const EvalKey *rlk, const KlssEvalKey *klss_rlk) const
 {
+    obs::Span span("hmult", obs::cat::op);
+    op_count("op.hmult");
     // Multiplication only needs matching levels: the scales multiply.
     NEO_CHECK(a.level == b.level, "ciphertext level mismatch");
     // d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1.
@@ -110,8 +148,7 @@ Evaluator::mul(const Ciphertext &a, const Ciphertext &b, const EvalKey &rlk,
     RnsPoly d2 = a.c1;
     d2.mul_inplace(b.c1);
 
-    auto [k0, k1] = keyswitch(
-        d2, &rlk, klss_rlk != nullptr ? klss_rlk : nullptr, stats);
+    auto [k0, k1] = keyswitch(d2, rlk, klss_rlk);
     d0.add_inplace(k0);
     d1.add_inplace(k1);
     return Ciphertext{std::move(d0), std::move(d1), a.level,
@@ -119,9 +156,19 @@ Evaluator::mul(const Ciphertext &a, const Ciphertext &b, const EvalKey &rlk,
 }
 
 Ciphertext
-Evaluator::rotate(const Ciphertext &a, i64 steps, const GaloisKeys &gk,
-                  KeySwitchStats *stats) const
+Evaluator::mul(const Ciphertext &a, const Ciphertext &b,
+               const EvalKeyBundle &keys) const
 {
+    NEO_EVAL_SINK();
+    return mul_impl(a, b, &keys.rlk, keys.klss());
+}
+
+Ciphertext
+Evaluator::rotate_impl(const Ciphertext &a, i64 steps,
+                       const GaloisKeys &gk) const
+{
+    obs::Span span("hrotate", obs::cat::op);
+    op_count("op.hrotate");
     const u64 g = ctx_.encoder().galois_element(steps);
     RnsPoly r0 = automorphism(a.c0, g);
     RnsPoly r1 = automorphism(a.c1, g);
@@ -131,15 +178,24 @@ Evaluator::rotate(const Ciphertext &a, i64 steps, const GaloisKeys &gk,
         evk = &it->second;
     if (auto it = gk.klss.find(g); it != gk.klss.end())
         kevk = &it->second;
-    auto [k0, k1] = keyswitch(r1, evk, kevk, stats);
+    auto [k0, k1] = keyswitch(r1, evk, kevk);
     k0.add_inplace(r0);
     return Ciphertext{std::move(k0), std::move(k1), a.level, a.scale};
 }
 
 Ciphertext
-Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gk,
-                     KeySwitchStats *stats) const
+Evaluator::rotate(const Ciphertext &a, i64 steps,
+                  const EvalKeyBundle &keys) const
 {
+    NEO_EVAL_SINK();
+    return rotate_impl(a, steps, keys.galois);
+}
+
+Ciphertext
+Evaluator::conjugate_impl(const Ciphertext &a, const GaloisKeys &gk) const
+{
+    obs::Span span("hconj", obs::cat::op);
+    op_count("op.hconj");
     const u64 g = ctx_.encoder().galois_element(0, true);
     RnsPoly r0 = automorphism(a.c0, g);
     RnsPoly r1 = automorphism(a.c1, g);
@@ -149,14 +205,71 @@ Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gk,
         evk = &it->second;
     if (auto it = gk.klss.find(g); it != gk.klss.end())
         kevk = &it->second;
-    auto [k0, k1] = keyswitch(r1, evk, kevk, stats);
+    auto [k0, k1] = keyswitch(r1, evk, kevk);
     k0.add_inplace(r0);
     return Ciphertext{std::move(k0), std::move(k1), a.level, a.scale};
 }
 
 Ciphertext
+Evaluator::conjugate(const Ciphertext &a, const EvalKeyBundle &keys) const
+{
+    NEO_EVAL_SINK();
+    return conjugate_impl(a, keys.galois);
+}
+
+// ---- Grace-period overloads ------------------------------------------
+// Implemented by running the impl under a private obs::Scope and
+// back-filling the stats struct from the `ks.*` counters; without a
+// stats out-param they record into the evaluator's usual sink.
+
+Ciphertext
+Evaluator::mul(const Ciphertext &a, const Ciphertext &b, const EvalKey &rlk,
+               const KlssEvalKey *klss_rlk, KeySwitchStats *stats) const
+{
+    if (stats == nullptr) {
+        NEO_EVAL_SINK();
+        return mul_impl(a, b, &rlk, klss_rlk);
+    }
+    obs::Scope scope;
+    Ciphertext out = mul_impl(a, b, &rlk, klss_rlk);
+    fill_stats(stats, scope);
+    return out;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext &a, i64 steps, const GaloisKeys &gk,
+                  KeySwitchStats *stats) const
+{
+    if (stats == nullptr) {
+        NEO_EVAL_SINK();
+        return rotate_impl(a, steps, gk);
+    }
+    obs::Scope scope;
+    Ciphertext out = rotate_impl(a, steps, gk);
+    fill_stats(stats, scope);
+    return out;
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gk,
+                     KeySwitchStats *stats) const
+{
+    if (stats == nullptr) {
+        NEO_EVAL_SINK();
+        return conjugate_impl(a, gk);
+    }
+    obs::Scope scope;
+    Ciphertext out = conjugate_impl(a, gk);
+    fill_stats(stats, scope);
+    return out;
+}
+
+Ciphertext
 Evaluator::rescale_by(const Ciphertext &a, size_t count) const
 {
+    NEO_EVAL_SINK();
+    obs::Span span("rescale", obs::cat::op);
+    op_count("op.rescale");
     NEO_CHECK(a.level >= count, "not enough levels to rescale");
     Ciphertext out = a;
     for (size_t step = 0; step < count; ++step) {

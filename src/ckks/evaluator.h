@@ -3,12 +3,22 @@
  * The CKKS evaluator: the primitive operations of §2.1 (HADD, PADD,
  * HMULT, PMULT, HROTATE, Rescale, Double Rescale) built on either
  * key-switch method.
+ *
+ * Key material flows in as an EvalKeyBundle (relin key + optional
+ * KLSS form + Galois keys); work counts flow out through neo::obs
+ * counters (`ks.*`, `op.*`). The pre-bundle overloads taking loose
+ * keys and a KeySwitchStats out-param remain for one release, marked
+ * deprecated.
  */
 #pragma once
 
 #include "ckks/context.h"
 #include "ckks/keys.h"
 #include "ckks/keyswitch.h"
+
+namespace neo::obs {
+class Scope;
+} // namespace neo::obs
 
 namespace neo::ckks {
 
@@ -19,8 +29,16 @@ enum class KeySwitchMethod { hybrid, klss };
 class Evaluator
 {
   public:
+    /**
+     * @param scope  optional observability sink: when set, every
+     *               operation on this evaluator records its spans and
+     *               counters into @p scope's registry (activated for
+     *               the duration of the call) instead of the ambient
+     *               one. The scope must outlive the evaluator's use.
+     */
     Evaluator(const CkksContext &ctx,
-              KeySwitchMethod method = KeySwitchMethod::hybrid);
+              KeySwitchMethod method = KeySwitchMethod::hybrid,
+              obs::Scope *scope = nullptr);
 
     KeySwitchMethod method() const { return method_; }
 
@@ -41,19 +59,34 @@ class Evaluator
 
     /**
      * HMULT: ciphertext × ciphertext with relinearization via the
-     * configured KeySwitch. Does NOT rescale; callers follow with
-     * rescale() (or double_rescale), as in Fig 5.
+     * configured KeySwitch (`keys.klss_rlk` must be set for a KLSS
+     * evaluator). Does NOT rescale; callers follow with rescale()
+     * (or double_rescale), as in Fig 5.
      */
+    Ciphertext mul(const Ciphertext &a, const Ciphertext &b,
+                   const EvalKeyBundle &keys) const;
+
+    /// HROTATE by @p steps slots (Galois key required for the element).
+    Ciphertext rotate(const Ciphertext &a, i64 steps,
+                      const EvalKeyBundle &keys) const;
+
+    /// Complex conjugation of all slots.
+    Ciphertext conjugate(const Ciphertext &a,
+                         const EvalKeyBundle &keys) const;
+
+    // ---- Grace-period overloads (pre-EvalKeyBundle API) --------------
+
+    [[deprecated("pass an EvalKeyBundle; read stats from an obs::Scope")]]
     Ciphertext mul(const Ciphertext &a, const Ciphertext &b,
                    const EvalKey &rlk,
                    const KlssEvalKey *klss_rlk = nullptr,
                    KeySwitchStats *stats = nullptr) const;
 
-    /// HROTATE by @p steps slots (Galois key required for the element).
+    [[deprecated("pass an EvalKeyBundle; read stats from an obs::Scope")]]
     Ciphertext rotate(const Ciphertext &a, i64 steps, const GaloisKeys &gk,
                       KeySwitchStats *stats = nullptr) const;
 
-    /// Complex conjugation of all slots.
+    [[deprecated("pass an EvalKeyBundle; read stats from an obs::Scope")]]
     Ciphertext conjugate(const Ciphertext &a, const GaloisKeys &gk,
                          KeySwitchStats *stats = nullptr) const;
 
@@ -69,12 +102,21 @@ class Evaluator
   private:
     std::pair<RnsPoly, RnsPoly>
     keyswitch(const RnsPoly &d2, const EvalKey *evk,
-              const KlssEvalKey *kevk, KeySwitchStats *stats) const;
+              const KlssEvalKey *kevk) const;
+
+    Ciphertext mul_impl(const Ciphertext &a, const Ciphertext &b,
+                        const EvalKey *rlk,
+                        const KlssEvalKey *klss_rlk) const;
+    Ciphertext rotate_impl(const Ciphertext &a, i64 steps,
+                           const GaloisKeys &gk) const;
+    Ciphertext conjugate_impl(const Ciphertext &a,
+                              const GaloisKeys &gk) const;
 
     Ciphertext rescale_by(const Ciphertext &a, size_t count) const;
 
     const CkksContext &ctx_;
     KeySwitchMethod method_;
+    obs::Scope *scope_;
 };
 
 } // namespace neo::ckks

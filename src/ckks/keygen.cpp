@@ -183,6 +183,19 @@ KeyGenerator::galois_keys(const SecretKey &sk, const std::vector<i64> &steps,
     return keys;
 }
 
+EvalKeyBundle
+KeyGenerator::eval_key_bundle(const SecretKey &sk,
+                              const std::vector<i64> &steps, bool conjugate,
+                              bool with_klss)
+{
+    EvalKeyBundle bundle;
+    bundle.rlk = relin_key(sk);
+    if (with_klss)
+        bundle.klss_rlk = to_klss(bundle.rlk);
+    bundle.galois = galois_keys(sk, steps, conjugate, with_klss);
+    return bundle;
+}
+
 KlssEvalKey
 KeyGenerator::to_klss(const EvalKey &evk) const
 {

@@ -45,6 +45,16 @@ class KeyGenerator
                            bool conjugate = false, bool with_klss = false);
 
     /**
+     * One-call bundle: relin key (plus its KLSS form when
+     * @p with_klss), and Galois keys for @p steps / @p conjugate.
+     * The natural input to Evaluator::mul/rotate/conjugate.
+     */
+    EvalKeyBundle eval_key_bundle(const SecretKey &sk,
+                                  const std::vector<i64> &steps = {},
+                                  bool conjugate = false,
+                                  bool with_klss = false);
+
+    /**
      * Decompose a hybrid key into the KLSS form: every digit pair is
      * INTT'd, reordered to the [P, Q] prime order, split into β̃
      * groups of α̃ primes, and each group's centered value is lifted

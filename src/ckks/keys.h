@@ -17,6 +17,7 @@
 
 #include <array>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "poly/rns_poly.h"
@@ -69,6 +70,28 @@ struct GaloisKeys
 {
     std::map<u64, EvalKey> hybrid;
     std::map<u64, KlssEvalKey> klss;
+};
+
+/**
+ * All evaluation-key material one Evaluator needs, owned together:
+ * the relinearization key, its optional KLSS form, and the Galois
+ * keys. Evaluator::mul/rotate/conjugate take this bundle instead of
+ * loose (rlk, klss_rlk*, gk) arguments, so the KLSS pointer plumbing
+ * disappears and key ownership has one home. Build one with
+ * KeyGenerator::eval_key_bundle.
+ */
+struct EvalKeyBundle
+{
+    EvalKey rlk;                        ///< relinearization key
+    std::optional<KlssEvalKey> klss_rlk;///< set when KLSS mul is wanted
+    GaloisKeys galois;                  ///< rotation/conjugation keys
+
+    /// KLSS relin key or nullptr, in the pointer form keyswitch takes.
+    const KlssEvalKey *
+    klss() const
+    {
+        return klss_rlk.has_value() ? &*klss_rlk : nullptr;
+    }
 };
 
 /** A CKKS ciphertext (c0, c1) in eval form over q_0..q_level. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace neo::ckks {
 
@@ -27,14 +28,23 @@ slice_key_part(const RnsPoly &full, size_t level, size_t max_level,
     return out;
 }
 
+/// Table 2 accounting counter ("ks.*" namespace): one relaxed load
+/// when observability is off.
+void
+ks_count(std::string_view name, u64 delta)
+{
+    if (auto *r = obs::current())
+        r->add(name, delta);
+}
+
 } // namespace
 
 RnsPoly
-mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
-         KeySwitchStats *stats)
+mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx)
 {
     NEO_ASSERT(ext_poly.form() == PolyForm::coeff,
                "mod_down expects coefficient form");
+    obs::Span span("mod_down", obs::cat::stage);
     const size_t n = ext_poly.n();
     const size_t k_special = ctx.p_basis().size();
     NEO_ASSERT(ext_poly.limbs() == level + 1 + k_special,
@@ -57,8 +67,7 @@ mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
                   p_part.begin() + k * n);
     std::vector<u64> corr((level + 1) * n);
     conv.convert_approx(p_part.data(), n, corr.data());
-    if (stats)
-        stats->moddown_products += k_special * (level + 1);
+    ks_count("ks.moddown_products", k_special * (level + 1));
 
     // (c - corr) * P^{-1} mod q_i.
     RnsPoly out(n, active, PolyForm::coeff);
@@ -78,9 +87,10 @@ mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
 
 std::pair<RnsPoly, RnsPoly>
 keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
-                 const CkksContext &ctx, KeySwitchStats *stats)
+                 const CkksContext &ctx)
 {
     NEO_ASSERT(d2.form() == PolyForm::eval, "expects eval form");
+    obs::Span span("keyswitch_hybrid", obs::cat::op);
     const size_t n = d2.n();
     const size_t level = d2.limbs() - 1;
     const auto ext_mods = ctx.extended_mods(level);
@@ -90,8 +100,7 @@ keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
 
     RnsPoly d2c = d2;
     ctx.tables().to_coeff(d2c);
-    if (stats)
-        stats->intt_limbs += level + 1;
+    ks_count("ks.intt_limbs", level + 1);
 
     RnsPoly acc0(n, ext_mods, PolyForm::eval);
     RnsPoly acc1(n, ext_mods, PolyForm::eval);
@@ -114,8 +123,7 @@ keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
 
         std::vector<u64> converted(other_primes.size() * n);
         conv.convert_approx(d2c.limb(g.first), n, converted.data());
-        if (stats)
-            stats->bconv_products += g.count * other_primes.size();
+        ks_count("ks.bconv_products", g.count * other_primes.size());
 
         RnsPoly up(n, ext_mods, PolyForm::coeff);
         size_t src = 0;
@@ -129,8 +137,7 @@ keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
             }
         }
         ctx.tables().to_eval(up);
-        if (stats)
-            stats->ntt_limbs += ext_mods.size();
+        ks_count("ks.ntt_limbs", ext_mods.size());
 
         // --- Inner product with this digit's key.
         RnsPoly key_b =
@@ -141,29 +148,27 @@ keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
                            ext_mods);
         acc0.add_product(up, key_b);
         acc1.add_product(up, key_a);
-        if (stats)
-            stats->ip_mul_limbs += 2 * ext_mods.size();
+        ks_count("ks.ip_mul_limbs", 2 * ext_mods.size());
     }
 
     // --- ModDown.
     ctx.tables().to_coeff(acc0);
     ctx.tables().to_coeff(acc1);
-    if (stats)
-        stats->intt_limbs += 2 * ext_mods.size();
-    RnsPoly k0 = mod_down(acc0, level, ctx, stats);
-    RnsPoly k1 = mod_down(acc1, level, ctx, stats);
+    ks_count("ks.intt_limbs", 2 * ext_mods.size());
+    RnsPoly k0 = mod_down(acc0, level, ctx);
+    RnsPoly k1 = mod_down(acc1, level, ctx);
     ctx.tables().to_eval(k0);
     ctx.tables().to_eval(k1);
-    if (stats)
-        stats->ntt_limbs += 2 * (level + 1);
+    ks_count("ks.ntt_limbs", 2 * (level + 1));
     return {std::move(k0), std::move(k1)};
 }
 
 std::pair<RnsPoly, RnsPoly>
 keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
-               const CkksContext &ctx, KeySwitchStats *stats)
+               const CkksContext &ctx)
 {
     NEO_ASSERT(d2.form() == PolyForm::eval, "expects eval form");
+    obs::Span span("keyswitch_klss", obs::cat::op);
     const size_t n = d2.n();
     const size_t level = d2.limbs() - 1;
     const size_t k_special = ctx.p_basis().size();
@@ -181,8 +186,7 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
 
     RnsPoly d2c = d2;
     ctx.tables().to_coeff(d2c);
-    if (stats)
-        stats->intt_limbs += level + 1;
+    ks_count("ks.intt_limbs", level + 1);
 
     // --- Mod Up: exact lift of each ciphertext digit into T.
     std::vector<RnsPoly> digits_t;
@@ -196,12 +200,10 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
 
         RnsPoly dt(n, ctx.t_basis().mods(), PolyForm::coeff);
         conv.convert_exact(d2c.limb(g.first), n, dt.data());
-        if (stats)
-            stats->bconv_products += g.count * alpha_p;
+        ks_count("ks.bconv_products", g.count * alpha_p);
         // --- NTT over T.
         ctx.t_tables().to_eval(dt);
-        if (stats)
-            stats->ntt_limbs += alpha_p;
+        ks_count("ks.ntt_limbs", alpha_p);
         digits_t.push_back(std::move(dt));
     }
 
@@ -212,8 +214,7 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
             s[i][c] = RnsPoly(n, ctx.t_basis().mods(), PolyForm::eval);
             for (size_t j = 0; j < groups.size(); ++j) {
                 s[i][c].add_product(digits_t[j], evk.part(i, j, c));
-                if (stats)
-                    stats->ip_mul_limbs += alpha_p;
+                ks_count("ks.ip_mul_limbs", alpha_p);
             }
         }
     }
@@ -222,8 +223,7 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
     for (size_t i = 0; i < beta_tilde; ++i) {
         for (size_t c = 0; c < 2; ++c) {
             ctx.t_tables().to_coeff(s[i][c]);
-            if (stats)
-                stats->intt_limbs += alpha_p;
+            ks_count("ks.intt_limbs", alpha_p);
         }
     }
 
@@ -243,17 +243,15 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
         BaseConverter conv(ctx.t_basis(), single);
         conv.convert_exact(s[grp][0].data(), n, acc0.limb(store_idx));
         conv.convert_exact(s[grp][1].data(), n, acc1.limb(store_idx));
-        if (stats)
-            stats->recover_products += 2 * alpha_p;
+        ks_count("ks.recover_products", 2 * alpha_p);
     }
 
     // --- NTT over Q·P, then ModDown (shared with hybrid).
-    RnsPoly k0 = mod_down(acc0, level, ctx, stats);
-    RnsPoly k1 = mod_down(acc1, level, ctx, stats);
+    RnsPoly k0 = mod_down(acc0, level, ctx);
+    RnsPoly k1 = mod_down(acc1, level, ctx);
     ctx.tables().to_eval(k0);
     ctx.tables().to_eval(k1);
-    if (stats)
-        stats->ntt_limbs += 2 * (level + 1);
+    ks_count("ks.ntt_limbs", 2 * (level + 1));
     return {std::move(k0), std::move(k1)};
 }
 

@@ -23,7 +23,12 @@
 
 namespace neo::ckks {
 
-/** Operation counters for validating Table 2's complexity formulas. */
+/**
+ * Table 2 operation counters, filled by the deprecated stats-taking
+ * Evaluator overloads from the `ks.*` obs counters. New code should
+ * read the counters from an obs::Scope directly; this struct leaves
+ * with the grace-period overloads.
+ */
 struct KeySwitchStats
 {
     u64 bconv_products = 0;  ///< (input-limb, output-limb) pairs in ModUp
@@ -37,25 +42,23 @@ struct KeySwitchStats
 /**
  * Hybrid key switch of @p d2 (eval form over q_0..q_level) under
  * @p evk. Returns (k0, k1) in eval form at the same level with
- * k0 + k1·s ≈ d2·s'.
+ * k0 + k1·s ≈ d2·s'. Work counts flow to the active neo::obs sink
+ * under the `ks.*` counter names.
  */
 std::pair<RnsPoly, RnsPoly> keyswitch_hybrid(const RnsPoly &d2,
                                              const EvalKey &evk,
-                                             const CkksContext &ctx,
-                                             KeySwitchStats *stats =
-                                                 nullptr);
+                                             const CkksContext &ctx);
 
 /** KLSS key switch; same contract as keyswitch_hybrid. */
 std::pair<RnsPoly, RnsPoly> keyswitch_klss(const RnsPoly &d2,
                                            const KlssEvalKey &evk,
-                                           const CkksContext &ctx,
-                                           KeySwitchStats *stats = nullptr);
+                                           const CkksContext &ctx);
 
 /**
  * ModDown: divide a (coeff-form) polynomial over q_0..q_level ∪ P by
  * P, returning a coeff-form polynomial over q_0..q_level.
  */
 RnsPoly mod_down(const RnsPoly &ext_poly, size_t level,
-                 const CkksContext &ctx, KeySwitchStats *stats = nullptr);
+                 const CkksContext &ctx);
 
 } // namespace neo::ckks

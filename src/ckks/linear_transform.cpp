@@ -61,7 +61,7 @@ LinearTransform::required_rotations_bsgs() const
 
 Ciphertext
 LinearTransform::apply(const Evaluator &ev, const CkksContext &ctx,
-                       const Ciphertext &ct, const GaloisKeys &gk) const
+                       const Ciphertext &ct, const EvalKeyBundle &keys) const
 {
     NEO_CHECK(slots_ == ctx.encoder().slot_count(), "slot count mismatch");
     Ciphertext acc;
@@ -70,7 +70,7 @@ LinearTransform::apply(const Evaluator &ev, const CkksContext &ctx,
         if (!diagonal_nonzero(d))
             continue;
         Ciphertext rotated =
-            d == 0 ? ct : ev.rotate(ct, static_cast<i64>(d), gk);
+            d == 0 ? ct : ev.rotate(ct, static_cast<i64>(d), keys);
         Plaintext diag = ctx.encode(diagonal(d), ct.level);
         Ciphertext term = ev.mul_plain(rotated, diag);
         if (first) {
@@ -86,7 +86,7 @@ LinearTransform::apply(const Evaluator &ev, const CkksContext &ctx,
 
 Ciphertext
 LinearTransform::apply_bsgs(const Evaluator &ev, const CkksContext &ctx,
-                            const Ciphertext &ct, const GaloisKeys &gk,
+                            const Ciphertext &ct, const EvalKeyBundle &keys,
                             bool hoist) const
 {
     NEO_CHECK(slots_ == ctx.encoder().slot_count(), "slot count mismatch");
@@ -101,12 +101,12 @@ LinearTransform::apply_bsgs(const Evaluator &ev, const CkksContext &ctx,
         std::vector<i64> steps;
         for (size_t j = 1; j < g; ++j)
             steps.push_back(static_cast<i64>(j));
-        auto rotated = rotate_hoisted(ct, steps, gk, ctx);
+        auto rotated = rotate_hoisted(ct, steps, keys.galois, ctx);
         for (size_t j = 1; j < g; ++j)
             baby[j] = std::move(rotated[j - 1]);
     } else {
         for (size_t j = 1; j < g; ++j)
-            baby[j] = ev.rotate(ct, static_cast<i64>(j), gk);
+            baby[j] = ev.rotate(ct, static_cast<i64>(j), keys);
     }
 
     Ciphertext acc;
@@ -137,7 +137,7 @@ LinearTransform::apply_bsgs(const Evaluator &ev, const CkksContext &ctx,
         if (inner_first)
             continue;
         if (i != 0)
-            inner = ev.rotate(inner, static_cast<i64>(i * g), gk);
+            inner = ev.rotate(inner, static_cast<i64>(i * g), keys);
         if (first) {
             acc = std::move(inner);
             first = false;

@@ -42,9 +42,11 @@ class LinearTransform
     /**
      * y = M·z homomorphically, one rotation per non-zero diagonal.
      * The result is rescaled once (consumes one level).
+     * @p keys must hold Galois keys for required_rotations().
      */
     Ciphertext apply(const Evaluator &ev, const CkksContext &ctx,
-                     const Ciphertext &ct, const GaloisKeys &gk) const;
+                     const Ciphertext &ct,
+                     const EvalKeyBundle &keys) const;
 
     /**
      * Baby-step/giant-step variant (~2√D rotations).
@@ -52,7 +54,7 @@ class LinearTransform
      *        (ckks/hoisting.h); requires hybrid Galois keys.
      */
     Ciphertext apply_bsgs(const Evaluator &ev, const CkksContext &ctx,
-                          const Ciphertext &ct, const GaloisKeys &gk,
+                          const Ciphertext &ct, const EvalKeyBundle &keys,
                           bool hoist = false) const;
 
     /// Plaintext reference for tests: y = M·z.

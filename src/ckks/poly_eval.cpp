@@ -10,9 +10,8 @@
 namespace neo::ckks {
 
 PolyEvaluator::PolyEvaluator(const CkksContext &ctx, const Evaluator &ev,
-                             const EvalKey &rlk,
-                             const KlssEvalKey *klss_rlk)
-    : ctx_(ctx), ev_(ev), rlk_(rlk), klss_rlk_(klss_rlk)
+                             const EvalKeyBundle &keys)
+    : ctx_(ctx), ev_(ev), keys_(keys)
 {
     // Nominal scale ≈ the prime size, so scale²/q ≈ scale and the
     // post-rescale snap absorbs only the prime's distance from 2^w.
@@ -25,7 +24,7 @@ PolyEvaluator::mul_stable(const Ciphertext &a, const Ciphertext &b) const
     const size_t level = std::min(a.level, b.level);
     Ciphertext x = ev_.mod_switch_to(a, level);
     Ciphertext y = ev_.mod_switch_to(b, level);
-    Ciphertext p = ev_.rescale(ev_.mul(x, y, rlk_, klss_rlk_));
+    Ciphertext p = ev_.rescale(ev_.mul(x, y, keys_));
     p.scale = nominal_scale_;
     return p;
 }

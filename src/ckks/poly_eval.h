@@ -27,12 +27,12 @@ class PolyEvaluator
 {
   public:
     /**
-     * @param klss_rlk optional KLSS relinearization key; used when
-     *        the evaluator's method is KeySwitchMethod::klss.
+     * @param keys bundle whose relin key (and KLSS form, when the
+     *        evaluator's method is KeySwitchMethod::klss) backs every
+     *        ciphertext-ciphertext multiply. Must outlive this object.
      */
     PolyEvaluator(const CkksContext &ctx, const Evaluator &ev,
-                  const EvalKey &rlk,
-                  const KlssEvalKey *klss_rlk = nullptr);
+                  const EvalKeyBundle &keys);
 
     /**
      * Evaluate Σ_k coeffs[k] · x^k. Multiplicative depth is
@@ -66,8 +66,7 @@ class PolyEvaluator
 
     const CkksContext &ctx_;
     const Evaluator &ev_;
-    const EvalKey &rlk_;
-    const KlssEvalKey *klss_rlk_;
+    const EvalKeyBundle &keys_;
     double nominal_scale_;
 };
 

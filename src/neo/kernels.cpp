@@ -4,9 +4,49 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 #include "tensor/layout.h"
 
 namespace neo {
+
+namespace {
+
+/// Per-kernel accounting shared by both BConv algorithms: one kernel
+/// launch, α·α'·BS limb products, and the limb traffic (inputs read
+/// once, outputs written once — the matrix form's whole point; the
+/// element-wise form re-reads inputs α' times but we charge the
+/// algorithmic minimum so the two variants compare on work done).
+void
+note_bconv(size_t a, size_t ap, size_t batch, size_t n)
+{
+    if (auto *r = obs::current()) {
+        r->add("bconv.kernels");
+        r->add("bconv.products", static_cast<u64>(a) * ap * batch);
+        r->add_value("bconv.bytes",
+                     static_cast<double>((a + ap) * batch * n) *
+                         sizeof(u64));
+    }
+}
+
+/// IP accounting: one kernel launch, β̃·β·α'·BS limb multiplications
+/// (Table 2's ββ̃α' per ciphertext component), and the traffic of the
+/// matrix form — limbs and keys read once, β̃·α'·BS limbs written.
+void
+note_ip(size_t beta, size_t beta_tilde, size_t ap, size_t batch, size_t n)
+{
+    if (auto *r = obs::current()) {
+        r->add("ip.kernels");
+        r->add("ip.mul_limbs",
+               static_cast<u64>(beta_tilde) * beta * ap * batch);
+        const double rd =
+            static_cast<double>(beta * ap * batch * n) +      // limbs
+            static_cast<double>(beta_tilde * beta * ap * n);  // keys
+        const double wr = static_cast<double>(beta_tilde * ap * batch * n);
+        r->add_value("ip.bytes", (rd + wr) * sizeof(u64));
+    }
+}
+
+} // namespace
 
 BConvKernel::BConvKernel(const RnsBasis &from, const RnsBasis &to)
     : conv_(from, to)
@@ -23,8 +63,10 @@ void
 BConvKernel::run_elementwise(const u64 *in, size_t batch, size_t n,
                              u64 *out) const
 {
+    obs::Span span("bconv_ew", obs::cat::bconv);
     const size_t a = in_levels();
     const size_t ap = out_levels();
+    note_bconv(a, ap, batch, n);
     // Algorithm 1: each coefficient of every input limb is re-read for
     // every output level.
     for (size_t j = 0; j < ap; ++j) {
@@ -64,8 +106,10 @@ void
 BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
                            const ModColMatMulFn &mm, bool exact) const
 {
+    obs::Span span("bconv_mm", obs::cat::bconv);
     const size_t a = in_levels();
     const size_t ap = out_levels();
+    note_bconv(a, ap, batch, n);
     // Step 1 (preprocessing): scalar multiply by (B/b_i)^{-1} and
     // reorder α×BS×N -> N×BS×α so α is the GEMM K dimension.
     std::vector<u64> scaled(a * batch * n);
@@ -157,7 +201,9 @@ void
 IpKernel::run_elementwise(const u64 *limbs, const u64 *keys, size_t batch,
                           size_t n, u64 *out) const
 {
+    obs::Span span("ip_ew", obs::cat::ip);
     const size_t ap = t_mods_.size();
+    note_ip(beta_, beta_tilde_, ap, batch, n);
     std::fill(out, out + beta_tilde_ * ap * batch * n, 0);
     // Algorithm 3: β̃·β element-wise passes; every limb is re-read β̃
     // times.
@@ -182,7 +228,9 @@ void
 IpKernel::run_matmul(const u64 *limbs, const u64 *keys, size_t batch,
                      size_t n, u64 *out, const ModMatMulFn &mm) const
 {
+    obs::Span span("ip_mm", obs::cat::ip);
     const size_t ap = t_mods_.size();
+    note_ip(beta_, beta_tilde_, ap, batch, n);
     // Preprocessing: reorder per Fig 8.
     std::vector<u64> limbs_r(beta_ * ap * batch * n);
     reorder_4d_swap03(limbs, beta_, ap, batch, n, limbs_r.data());

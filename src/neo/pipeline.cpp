@@ -1,10 +1,15 @@
 #include "neo/pipeline.h"
 
 #include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "neo/kernel_model.h"
 #include "neo/kernels.h"
+#include "obs/obs.h"
 #include "poly/matrix_ntt.h"
 
 namespace neo {
@@ -12,12 +17,84 @@ namespace neo {
 using ckks::CkksContext;
 using ckks::KlssEvalKey;
 
+PipelineEngines
+PipelineEngines::from_name(std::string_view name)
+{
+    if (name == "fp64_tcu")
+        return fp64_tcu();
+    if (name == "scalar")
+        return scalar();
+    if (name == "int8_tcu")
+        return int8_tcu();
+    std::string msg = "unknown pipeline engine '";
+    msg += name;
+    msg += "' (valid:";
+    for (auto n : names()) {
+        msg += ' ';
+        msg += n;
+    }
+    msg += ')';
+    throw std::invalid_argument(msg);
+}
+
+const std::vector<std::string_view> &
+PipelineEngines::names()
+{
+    static const std::vector<std::string_view> n = {"fp64_tcu", "scalar",
+                                                    "int8_tcu"};
+    return n;
+}
+
+PipelineKernelCounts
+keyswitch_pipeline_kernel_counts(const CkksContext &ctx, size_t level)
+{
+    const size_t n = ctx.n();
+    const size_t k_special = ctx.p_basis().size();
+    const size_t alpha_p = ctx.alpha_prime();
+    const size_t beta = ctx.digit_partition(level).size();
+    const size_t alpha_tilde = ctx.params().klss.alpha_tilde;
+    const size_t beta_tilde =
+        (level + 1 + k_special + alpha_tilde - 1) / alpha_tilde;
+
+    // MatrixNtt transforms: ModUp forwards over T (β·α'), IP inverses
+    // over T (2·β̃·α'), final forwards over Q (2·(l+1)). The input INTT
+    // over Q uses the radix-2 tables, not MatrixNtt.
+    const u64 mntt = static_cast<u64>(beta * alpha_p +
+                                      2 * beta_tilde * alpha_p +
+                                      2 * (level + 1));
+    const u64 gemms_per_mntt =
+        MatrixNtt::matmul_calls_for(n, std::min<size_t>(16, n));
+
+    PipelineKernelCounts c;
+    c.ntt = static_cast<u64>(level + 1) + mntt;
+    // ModUp's per-digit exact BConv, Recover's per-key-digit BConv for
+    // both components, plus ModDown's two approximate conversions.
+    c.bconv = static_cast<u64>(beta + 2 * beta_tilde + 2);
+    c.ip = 2; // one matrix IP per ciphertext component
+    // GEMM engine calls: MatrixNtt tiles, one multiply per BConv
+    // factor matrix, and one per (coefficient, T-limb) IP site.
+    c.gemm = mntt * gemms_per_mntt +
+             static_cast<u64>(beta + 2 * beta_tilde) +
+             static_cast<u64>(2 * n * alpha_p);
+    return c;
+}
+
 std::pair<RnsPoly, RnsPoly>
 keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
                         const CkksContext &ctx,
                         const PipelineEngines &engines)
 {
     NEO_ASSERT(d2.form() == PolyForm::eval, "expects eval form");
+    obs::Span pipeline_span("keyswitch_klss_pipeline", obs::cat::stage);
+    if (auto *r = obs::current()) {
+        r->add("pipeline.keyswitch");
+        // Modeled device time of the same KeySwitch on the simulated
+        // A100, accumulated next to the wall-clock span so exporters
+        // can report modeled-vs-measured side by side.
+        model::KernelModel model(ctx.params(), model::ModelConfig{});
+        r->add_value("modeled.keyswitch.s",
+                     model.keyswitch_time(d2.limbs() - 1));
+    }
     const size_t n = d2.n();
     const size_t level = d2.limbs() - 1;
     const size_t k_special = ctx.p_basis().size();
@@ -42,13 +119,20 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     }
 
     RnsPoly d2c = d2;
-    ctx.tables().to_coeff(d2c);
+    {
+        obs::Span intt_span("pipeline_intt_q", obs::cat::stage);
+        ctx.tables().to_coeff(d2c);
+    }
 
     // --- Mod Up: exact matrix-form BConv per digit (Alg 2). ----------
     // Digits are independent: each reads its own Q-limb group and
     // fills its own α'×N slice of digits_t, so the β digits fan out
     // across the pool (kernel-internal parallelism runs inline).
     std::vector<u64> digits_t(beta * alpha_p * n);
+    // One span per pipeline stage; emplace/reset brackets each stage
+    // without pushing the stage bodies into nested blocks.
+    std::optional<obs::Span> stage_span;
+    stage_span.emplace("pipeline_modup", obs::cat::stage);
     parallel_for(
         0, beta,
         [&](size_t jb, size_t je) {
@@ -73,6 +157,7 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
         1);
 
     // --- IP: matrix form (Alg 4) for both components. -----------------
+    stage_span.emplace("pipeline_ip", obs::cat::stage);
     IpKernel ip(ctx.t_basis().mods(), beta, beta_tilde);
     std::vector<u64> s_data[2];
     for (size_t c = 0; c < 2; ++c) {
@@ -101,6 +186,7 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     }
 
     // --- Recover Limbs: exact matrix-form BConv per key-digit group.
+    stage_span.emplace("pipeline_recover", obs::cat::stage);
     RnsPoly acc0(n, ext_mods, PolyForm::coeff);
     RnsPoly acc1(n, ext_mods, PolyForm::coeff);
     const size_t active = level + 1 + k_special;
@@ -140,6 +226,7 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
         1);
 
     // --- Mod Down (shared with the reference), NTT back. --------------
+    stage_span.emplace("pipeline_moddown", obs::cat::stage);
     RnsPoly k0 = ckks::mod_down(acc0, level, ctx);
     RnsPoly k1 = ckks::mod_down(acc1, level, ctx);
     for (RnsPoly *p : {&k0, &k1}) {
@@ -156,6 +243,7 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
             1);
         p->set_form(PolyForm::eval);
     }
+    stage_span.reset();
     return {std::move(k0), std::move(k1)};
 }
 

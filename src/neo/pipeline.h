@@ -17,6 +17,9 @@
  */
 #pragma once
 
+#include <string_view>
+#include <vector>
+
 #include "ckks/keyswitch.h"
 #include "poly/mat_mul.h"
 #include "tensor/gemm.h"
@@ -37,6 +40,23 @@ struct PipelineEngines
 
     /// Scalar (CUDA-core analogue) reference engines.
     static PipelineEngines scalar() { return {}; }
+
+    /// Everything through the emulated INT8 tensor core.
+    static PipelineEngines int8_tcu()
+    {
+        return {int8_tcu_matmul(), int8_tcu_col_matmul()};
+    }
+
+    /**
+     * Named-registry constructor: "fp64_tcu", "scalar" or "int8_tcu".
+     * Throws std::invalid_argument on an unknown name, listing the
+     * valid ones. Lets benches/examples/configs select an engine by
+     * string instead of hand-wiring function pointers.
+     */
+    static PipelineEngines from_name(std::string_view name);
+
+    /// The names from_name accepts, for help text.
+    static const std::vector<std::string_view> &names();
 };
 
 /**
@@ -48,5 +68,25 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const ckks::KlssEvalKey &evk,
                         const ckks::CkksContext &ctx,
                         const PipelineEngines &engines =
                             PipelineEngines::fp64_tcu());
+
+/**
+ * Analytic kernel-invocation counts for ONE keyswitch_klss_pipeline
+ * run. These are closed-form predictions of the obs span counters
+ * ("span.gemm", "span.ntt", "span.bconv", "span.ip") a traced run
+ * records — bench/table7_kernels prints them and tests/obs_test
+ * asserts the traced pipeline matches them exactly.
+ */
+struct PipelineKernelCounts
+{
+    u64 gemm = 0;  ///< GEMM engine calls (MatrixNtt tiles + BConv + IP)
+    u64 ntt = 0;   ///< NTT/INTT transform invocations
+    u64 bconv = 0; ///< base-conversion kernel invocations
+    u64 ip = 0;    ///< inner-product kernel invocations
+};
+
+/// Counts for a keyswitch at @p level in @p ctx.
+PipelineKernelCounts
+keyswitch_pipeline_kernel_counts(const ckks::CkksContext &ctx,
+                                 size_t level);
 
 } // namespace neo

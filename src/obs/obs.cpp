@@ -1,0 +1,433 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace neo::obs {
+
+namespace detail {
+std::atomic<Registry *> g_current{nullptr};
+} // namespace detail
+
+static i64
+steady_ns()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+u32
+thread_index()
+{
+    static std::atomic<u32> next{0};
+    thread_local u32 idx = next.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+Registry::Registry() : Registry(Options{}) {}
+
+Registry::Registry(Options opts) : opts_(opts), epoch_ns_(steady_ns()) {}
+
+i64
+Registry::now_ns() const
+{
+    return steady_ns() - epoch_ns_;
+}
+
+void
+Registry::add(std::string_view name, u64 delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        counters_.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void
+Registry::add_value(std::string_view name, double delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = values_.find(name);
+    if (it == values_.end())
+        values_.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void
+Registry::add_gemm(size_t m, size_t n, size_t k)
+{
+    const u64 flops = 2ull * m * n * k;
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_["gemm.calls"] += 1;
+    counters_["gemm.flops"] += flops;
+    gemm_shapes_[GemmShape{m, n, k}] += 1;
+}
+
+void
+Registry::record_event(std::string_view name, const char *cat, u32 tid,
+                       i64 ts_ns, i64 dur_ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+        std::string key = "span.";
+        key += cat;
+        counters_[key] += 1;
+        key += ".ns";
+        key.replace(0, 4, "wall");
+        values_[key] += static_cast<double>(dur_ns);
+    }
+    if (!opts_.record_events)
+        return;
+    if (events_.size() >= opts_.max_events) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(TraceEvent{std::string(name), cat, tid, ts_ns, dur_ns});
+}
+
+u64
+Registry::counter(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+Registry::value(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, u64, std::less<>>
+Registry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+std::map<std::string, double, std::less<>>
+Registry::values() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+}
+
+std::map<GemmShape, u64>
+Registry::gemm_shapes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gemm_shapes_;
+}
+
+std::vector<TraceEvent>
+Registry::events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+u64
+Registry::dropped_events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+// ---------------------------------------------------------------------
+// Activation
+// ---------------------------------------------------------------------
+
+Activate::Activate(Registry *r)
+{
+    if (r == nullptr)
+        return;
+    prev_ = detail::g_current.exchange(r, std::memory_order_acq_rel);
+    active_ = true;
+}
+
+Activate::~Activate()
+{
+    if (active_)
+        detail::g_current.store(prev_, std::memory_order_release);
+}
+
+Scope::Scope() : Scope(Options{}) {}
+
+Scope::Scope(Options opts) : reg_(opts.registry)
+{
+    if (!opts.activate)
+        return;
+    prev_ = detail::g_current.exchange(&reg_, std::memory_order_acq_rel);
+    active_ = true;
+}
+
+Scope::~Scope()
+{
+    if (active_)
+        detail::g_current.store(prev_, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+/// JSON string escape (control chars, quote, backslash).
+static void
+json_escape(std::ostream &out, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out << "\\\"";
+            break;
+        case '\\':
+            out << "\\\\";
+            break;
+        case '\n':
+            out << "\\n";
+            break;
+        case '\t':
+            out << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out << strfmt("\\u%04x", c);
+            else
+                out << c;
+        }
+    }
+}
+
+void
+export_chrome_json(const Registry &reg, std::ostream &out)
+{
+    auto events = reg.events();
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.ts_ns != b.ts_ns)
+                      return a.ts_ns < b.ts_ns;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.name < b.name;
+              });
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &e : events) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n{\"name\":\"";
+        json_escape(out, e.name);
+        out << "\",\"cat\":\"" << e.cat << "\",\"ph\":\"X\",\"pid\":1"
+            << ",\"tid\":" << e.tid
+            << strfmt(",\"ts\":%.3f,\"dur\":%.3f}",
+                      static_cast<double>(e.ts_ns) / 1e3,
+                      static_cast<double>(e.dur_ns) / 1e3);
+    }
+    out << "\n],\n\"displayTimeUnit\":\"ns\",\n\"neoCounters\":{";
+    first = true;
+    for (const auto &[name, v] : reg.counters()) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n\"";
+        json_escape(out, name);
+        out << "\":" << v;
+    }
+    out << "},\n\"neoValues\":{";
+    first = true;
+    for (const auto &[name, v] : reg.values()) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n\"";
+        json_escape(out, name);
+        out << strfmt("\":%.6g", v);
+    }
+    out << "},\n\"neoGemmShapes\":{";
+    first = true;
+    for (const auto &[shape, count] : reg.gemm_shapes()) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << strfmt("\n\"%llux%llux%llu\":%llu",
+                      static_cast<unsigned long long>(shape.m),
+                      static_cast<unsigned long long>(shape.n),
+                      static_cast<unsigned long long>(shape.k),
+                      static_cast<unsigned long long>(count));
+    }
+    out << strfmt("},\n\"neoDroppedEvents\":%llu\n}\n",
+                  static_cast<unsigned long long>(reg.dropped_events()));
+}
+
+void
+export_summary(const Registry &reg, std::ostream &out)
+{
+    out << "== neo::obs summary ==\n";
+    TextTable counters;
+    counters.header({"counter", "total"});
+    for (const auto &[name, v] : reg.counters())
+        counters.row({name, strfmt("%llu", static_cast<unsigned long long>(v))});
+    out << counters.str();
+
+    auto values = reg.values();
+    if (!values.empty()) {
+        TextTable vt;
+        vt.header({"value", "total"});
+        for (const auto &[name, v] : values) {
+            std::string shown;
+            if (name.size() > 3 && name.compare(name.size() - 3, 3, ".ns") == 0)
+                shown = format_time(v / 1e9);
+            else if (name.find("bytes") != std::string::npos)
+                shown = format_bytes(v);
+            else if (name.size() > 2 &&
+                     name.compare(name.size() - 2, 2, ".s") == 0)
+                shown = format_time(v);
+            else
+                shown = strfmt("%.6g", v);
+            vt.row({name, shown});
+        }
+        out << "\n" << vt.str();
+    }
+
+    auto shapes = reg.gemm_shapes();
+    if (!shapes.empty()) {
+        TextTable st;
+        st.header({"gemm shape (MxNxK)", "calls"});
+        for (const auto &[shape, count] : shapes)
+            st.row({strfmt("%llux%llux%llu",
+                           static_cast<unsigned long long>(shape.m),
+                           static_cast<unsigned long long>(shape.n),
+                           static_cast<unsigned long long>(shape.k)),
+                    strfmt("%llu", static_cast<unsigned long long>(count))});
+        out << "\n" << st.str();
+    }
+    if (reg.dropped_events() != 0)
+        out << strfmt("\ndropped events: %llu\n",
+                      static_cast<unsigned long long>(reg.dropped_events()));
+}
+
+// ---------------------------------------------------------------------
+// NEO_TRACE bootstrap
+// ---------------------------------------------------------------------
+
+namespace {
+
+enum class TraceMode { off, summary, json };
+
+struct GlobalTrace {
+    TraceMode mode = TraceMode::off;
+    std::string path;         // empty: summary→stderr, json→neo_trace.json
+    Registry *registry = nullptr; // leaked: must outlive atexit handlers
+};
+
+GlobalTrace &
+global_trace()
+{
+    static GlobalTrace g;
+    return g;
+}
+
+void
+export_global_at_exit()
+{
+    auto &g = global_trace();
+    if (g.registry == nullptr || g.mode == TraceMode::off)
+        return;
+    if (g.mode == TraceMode::json) {
+        std::string path = g.path.empty() ? "neo_trace.json" : g.path;
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "neo::obs: cannot write trace to %s\n",
+                         path.c_str());
+            return;
+        }
+        export_chrome_json(*g.registry, out);
+        std::fprintf(stderr, "neo::obs: wrote chrome trace to %s\n",
+                     path.c_str());
+    } else if (g.path.empty()) {
+        std::ostringstream out;
+        export_summary(*g.registry, out);
+        std::fputs(out.str().c_str(), stderr);
+    } else {
+        std::ofstream out(g.path);
+        if (out)
+            export_summary(*g.registry, out);
+        else
+            std::fprintf(stderr, "neo::obs: cannot write summary to %s\n",
+                         g.path.c_str());
+    }
+}
+
+/// Runs init_from_env() before main() so NEO_TRACE needs no code hook.
+struct EnvBootstrap {
+    EnvBootstrap() { init_from_env(); }
+} env_bootstrap;
+
+} // namespace
+
+void
+init_from_env()
+{
+#ifdef NEO_OBS_DISABLE
+    return;
+#else
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    const char *spec = std::getenv("NEO_TRACE");
+    if (spec == nullptr || *spec == '\0')
+        return;
+    std::string s(spec);
+    auto &g = global_trace();
+    std::string mode = s;
+    auto colon = s.find(':');
+    if (colon != std::string::npos) {
+        mode = s.substr(0, colon);
+        g.path = s.substr(colon + 1);
+    }
+    if (const char *f = std::getenv("NEO_TRACE_FILE"); f != nullptr && *f)
+        g.path = f;
+
+    if (mode == "summary")
+        g.mode = TraceMode::summary;
+    else if (mode == "json")
+        g.mode = TraceMode::json;
+    else {
+        std::fprintf(stderr,
+                     "neo::obs: unknown NEO_TRACE mode '%s' "
+                     "(want summary|json[:path])\n",
+                     mode.c_str());
+        return;
+    }
+
+    Registry::Options opts;
+    opts.record_events = (g.mode == TraceMode::json);
+    g.registry = new Registry(opts); // leaked by design (see GlobalTrace)
+    detail::g_current.store(g.registry, std::memory_order_release);
+    std::atexit(export_global_at_exit);
+#endif
+}
+
+} // namespace neo::obs

@@ -1,0 +1,264 @@
+#pragma once
+/**
+ * neo::obs — low-overhead tracing + metrics layer.
+ *
+ * The layer is built around a Registry: a sink for named monotonic
+ * counters, accumulated values (bytes, modeled seconds), a GEMM shape
+ * histogram and (optionally) timestamped trace events. A process-wide
+ * "current" registry pointer selects the active sink:
+ *
+ *  - When no registry is installed (the default), every probe —
+ *    Span construction, counter adds — reduces to one relaxed atomic
+ *    load and a branch, so instrumented hot paths run at full speed.
+ *  - `NEO_TRACE=summary|json[:path]` installs a process-global
+ *    registry at startup and exports it at exit (plain-text summary
+ *    table or chrome://tracing JSON loadable in Perfetto).
+ *  - Tests install a Scope, which owns a private registry, makes it
+ *    current for the scope's lifetime and restores the previous sink
+ *    on destruction, so counter assertions stay deterministic even
+ *    when the suite runs under an ambient NEO_TRACE.
+ *
+ * Counter totals are deterministic across thread counts: every probe
+ * increments exactly once per kernel invocation and addition is
+ * commutative, so `NEO_NUM_THREADS` only reorders, never changes,
+ * the totals. Trace-event ordering is not deterministic (events carry
+ * wall-clock timestamps); exporters sort by timestamp.
+ *
+ * Activation (Scope construction / Activate) is a process-global
+ * switch intended for top-level phases — install from the driving
+ * thread before fanning out, not concurrently from workers. Worker
+ * threads only read the pointer.
+ *
+ * Compile-time kill switch: configure with -DNEO_OBS=OFF to define
+ * NEO_OBS_DISABLE, which turns every probe into a no-op (current()
+ * returns nullptr unconditionally).
+ */
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace neo::obs {
+
+/// Span categories used by the built-in instrumentation. Exporters
+/// and tests key on these strings; keep them in sync with DESIGN.md.
+namespace cat {
+inline constexpr const char *gemm = "gemm";   ///< one modular GEMM call
+inline constexpr const char *ntt = "ntt";     ///< one per-limb (I)NTT
+inline constexpr const char *bconv = "bconv"; ///< one BConv kernel/convert
+inline constexpr const char *ip = "ip";       ///< one inner-product kernel
+inline constexpr const char *stage = "stage"; ///< pipeline/keyswitch stage
+inline constexpr const char *op = "op";       ///< CKKS evaluator operation
+} // namespace cat
+
+/// One completed span, chrome://tracing "X" (complete) event.
+struct TraceEvent {
+    std::string name;
+    const char *cat; ///< static string, one of obs::cat::*
+    u32 tid;         ///< small per-thread index (0 = first thread seen)
+    i64 ts_ns;       ///< start, ns since the registry's epoch
+    i64 dur_ns;
+};
+
+/// GEMM shape key for the shape histogram.
+struct GemmShape {
+    u64 m, n, k;
+    bool
+    operator<(const GemmShape &o) const
+    {
+        if (m != o.m)
+            return m < o.m;
+        if (n != o.n)
+            return n < o.n;
+        return k < o.k;
+    }
+};
+
+/**
+ * Metrics + trace sink. All mutating methods are thread-safe; reads
+ * taken while workers are still recording see a consistent snapshot.
+ */
+class Registry
+{
+  public:
+    struct Options {
+        /// Record TraceEvents (timeline). Counters are always on.
+        bool record_events = false;
+        /// Cap on stored events; overflow increments dropped_events().
+        size_t max_events = 1u << 20;
+    };
+
+    Registry();
+    explicit Registry(Options opts);
+
+    // -- recording -----------------------------------------------------
+    void add(std::string_view name, u64 delta = 1);
+    void add_value(std::string_view name, double delta);
+    /// One modular GEMM call of shape m×n×k: bumps gemm.calls,
+    /// gemm.flops (2mnk) and the shape histogram.
+    void add_gemm(size_t m, size_t n, size_t k);
+    /// Record a finished span: bumps `span.<cat>` and `wall.<cat>.ns`
+    /// and (when events are on) appends a TraceEvent. Exposed so the
+    /// golden-file test can inject fixed-timestamp events.
+    void record_event(std::string_view name, const char *cat, u32 tid,
+                      i64 ts_ns, i64 dur_ns);
+
+    // -- reading -------------------------------------------------------
+    u64 counter(std::string_view name) const;
+    double value(std::string_view name) const;
+    std::map<std::string, u64, std::less<>> counters() const;
+    std::map<std::string, double, std::less<>> values() const;
+    std::map<GemmShape, u64> gemm_shapes() const;
+    std::vector<TraceEvent> events() const;
+    u64 dropped_events() const;
+    bool
+    recording_events() const
+    {
+        return opts_.record_events;
+    }
+
+    /// ns since this registry's construction (steady clock).
+    i64 now_ns() const;
+
+  private:
+    Options opts_;
+    i64 epoch_ns_; ///< steady_clock ns at construction
+    mutable std::mutex mu_;
+    std::map<std::string, u64, std::less<>> counters_;
+    std::map<std::string, double, std::less<>> values_;
+    std::map<GemmShape, u64> gemm_shapes_;
+    std::vector<TraceEvent> events_;
+    u64 dropped_ = 0;
+};
+
+namespace detail {
+extern std::atomic<Registry *> g_current;
+} // namespace detail
+
+/// The active sink, or nullptr when observability is off. This is the
+/// only check on the hot path.
+inline Registry *
+current()
+{
+#ifdef NEO_OBS_DISABLE
+    return nullptr;
+#else
+    return detail::g_current.load(std::memory_order_acquire);
+#endif
+}
+
+/// Small dense index for the calling thread (0 = first thread that
+/// asked). Used as the chrome-trace tid so lanes stay readable.
+u32 thread_index();
+
+/**
+ * RAII: make `r` the current sink, restore the previous one on
+ * destruction. Activate(nullptr) is a no-op (keeps the ambient sink).
+ */
+class Activate
+{
+  public:
+    explicit Activate(Registry *r);
+    ~Activate();
+    Activate(const Activate &) = delete;
+    Activate &operator=(const Activate &) = delete;
+
+  private:
+    Registry *prev_ = nullptr;
+    bool active_ = false;
+};
+
+/**
+ * RAII test/phase sink: owns a Registry and (by default) installs it
+ * as current for the scope's lifetime. Destroying a Scope restores
+ * whatever sink was current before, so scopes nest.
+ */
+class Scope
+{
+  public:
+    struct Options {
+        Registry::Options registry;
+        bool activate = true;
+    };
+
+    Scope();
+    explicit Scope(Options opts);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+    Registry &
+    registry()
+    {
+        return reg_;
+    }
+    const Registry &
+    registry() const
+    {
+        return reg_;
+    }
+    u64
+    counter(std::string_view name) const
+    {
+        return reg_.counter(name);
+    }
+
+  private:
+    Registry reg_;
+    Registry *prev_ = nullptr;
+    bool active_ = false;
+};
+
+/**
+ * RAII timed span. Captures the current sink at construction so the
+ * record goes to the sink that was active when the work started, even
+ * if a nested Scope is installed meanwhile. `name` and `cat` must be
+ * string literals (stored by pointer until the span closes).
+ */
+class Span
+{
+  public:
+    Span(const char *name, const char *cat)
+        : reg_(current()), name_(name), cat_(cat)
+    {
+        if (reg_ != nullptr)
+            start_ns_ = reg_->now_ns();
+    }
+    ~Span()
+    {
+        if (reg_ != nullptr)
+            reg_->record_event(name_, cat_, thread_index(), start_ns_,
+                               reg_->now_ns() - start_ns_);
+    }
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    Registry *reg_;
+    const char *name_;
+    const char *cat_;
+    i64 start_ns_ = 0;
+};
+
+// -- exporters ---------------------------------------------------------
+
+/// chrome://tracing JSON (object form). Extra top-level keys carry the
+/// counters/values/shape histogram; Perfetto ignores them.
+void export_chrome_json(const Registry &reg, std::ostream &out);
+/// Plain-text summary table: counters, values, GEMM shape histogram.
+void export_summary(const Registry &reg, std::ostream &out);
+
+/// Parse NEO_TRACE ("summary", "json", "summary:PATH", "json:PATH"),
+/// install a process-global registry and register an atexit exporter.
+/// Called once from a static initializer; safe to call again (no-op).
+/// NEO_TRACE_FILE overrides the output path (default: stderr for
+/// summary, neo_trace.json for json).
+void init_from_env();
+
+} // namespace neo::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace neo {
 
@@ -10,6 +11,9 @@ void
 scalar_mod_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                   size_t k, const Modulus &q)
 {
+    obs::Span span("scalar_gemm", obs::cat::gemm);
+    if (auto *r = obs::current())
+        r->add_gemm(m, n, k);
     const u64 qv = q.value();
     // Row tiles of C are independent; the k-accumulation (and its
     // fold points) stays inside one tile, so results are identical

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace neo {
 
@@ -100,6 +101,7 @@ MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
 void
 MatrixNtt::forward(u64 *a, const ModMatMulFn &mm) const
 {
+    obs::Span span("mntt_fwd", obs::cat::ntt);
     const size_t n = tables_.n();
     const u64 qv = tables_.modulus().value();
     parallel_for(
@@ -115,6 +117,7 @@ MatrixNtt::forward(u64 *a, const ModMatMulFn &mm) const
 void
 MatrixNtt::inverse(u64 *a, const ModMatMulFn &mm) const
 {
+    obs::Span span("mntt_inv", obs::cat::ntt);
     const size_t n = tables_.n();
     const Modulus &q = tables_.modulus();
     const u64 qv = q.value();
@@ -165,6 +168,24 @@ MatrixNtt::complexity_for(size_t n, size_t radix)
     // ψ twist at entry.
     c.twist_muls += n;
     return c;
+}
+
+namespace {
+
+u64
+matmul_calls_rec(u64 rows, size_t len, size_t radix)
+{
+    if (len <= radix)
+        return 1;
+    return rows * (matmul_calls_rec(radix, len / radix, radix) + 1);
+}
+
+} // namespace
+
+u64
+MatrixNtt::matmul_calls_for(size_t n, size_t radix)
+{
+    return matmul_calls_rec(1, n, radix);
 }
 
 } // namespace neo

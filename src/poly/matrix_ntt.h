@@ -65,6 +65,17 @@ class MatrixNtt
     /// Same computation without building tables (for cost models).
     static Complexity complexity_for(size_t n, size_t radix);
 
+    /**
+     * Number of ModMatMulFn invocations one transform actually makes.
+     * Differs from complexity().matmul_stages, which models the
+     * batched (per-stage) execution a GPU would launch: the CPU
+     * recursion issues one matmul per row at each level, i.e.
+     * calls(rows, len) = 1 if len ≤ radix, else
+     * rows · (calls(radix, len/radix) + 1). This is the number of
+     * `gemm` spans a traced run records per transform.
+     */
+    static u64 matmul_calls_for(size_t n, size_t radix);
+
   private:
     /// Transform @p rows contiguous vectors of length @p len in place.
     void cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 #include "rns/primes.h"
 
 namespace neo {
@@ -131,6 +132,7 @@ NttTables::inverse_cyclic_unscaled(u64 *a) const
 void
 NttTables::forward(u64 *a) const
 {
+    obs::Span span("ntt_r2_fwd", obs::cat::ntt);
     const u64 qv = q_.value();
     parallel_for(
         0, n_,
@@ -145,6 +147,7 @@ NttTables::forward(u64 *a) const
 void
 NttTables::inverse(u64 *a) const
 {
+    obs::Span span("ntt_r2_inv", obs::cat::ntt);
     const u64 qv = q_.value();
     inverse_cyclic_unscaled(a);
     const u64 ninv_shoup = shoup_precompute(n_inv_, qv);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace neo {
 
@@ -46,8 +47,15 @@ BaseConverter::scale_inputs(const u64 *in, size_t n, u64 *scaled) const
 void
 BaseConverter::convert_approx(const u64 *in, size_t n, u64 *out) const
 {
+    obs::Span span("bconv_approx", obs::cat::bconv);
     const size_t k = from_.size();
     const size_t m = to_.size();
+    if (auto *r = obs::current()) {
+        r->add("bconv.converts");
+        r->add("bconv.products", static_cast<u64>(k) * m);
+        r->add_value("bconv.bytes",
+                     static_cast<double>((k + m) * n) * sizeof(u64));
+    }
     std::vector<u64> scaled(k * n);
     scale_inputs(in, n, scaled.data());
     for (size_t j = 0; j < m; ++j) {
@@ -73,8 +81,15 @@ BaseConverter::convert_approx(const u64 *in, size_t n, u64 *out) const
 void
 BaseConverter::convert_exact(const u64 *in, size_t n, u64 *out) const
 {
+    obs::Span span("bconv_exact", obs::cat::bconv);
     const size_t k = from_.size();
     const size_t m = to_.size();
+    if (auto *r = obs::current()) {
+        r->add("bconv.converts");
+        r->add("bconv.products", static_cast<u64>(k) * m);
+        r->add_value("bconv.bytes",
+                     static_cast<double>((k + m) * n) * sizeof(u64));
+    }
     std::vector<u64> scaled(k * n);
     scale_inputs(in, n, scaled.data());
     // Overflow counts r_l = round(Σ_i scaled_i / b_i).

@@ -6,10 +6,21 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace neo {
 
 namespace {
+
+/// One probe per public GEMM entry point: a timed span plus the call /
+/// flop / shape accounting. Plane sub-GEMMs inside an entry are part
+/// of the same logical modular matmul and are not counted separately.
+void
+note_gemm(size_t m, size_t n, size_t k)
+{
+    if (auto *r = obs::current())
+        r->add_gemm(m, n, k);
+}
 
 /// Row-chunk grain so one chunk carries at least ~16k MAC operations;
 /// chunking is over output rows only, so the per-element accumulation
@@ -28,6 +39,8 @@ fp64_sliced_matmul_plan(const u64 *a, const u64 *b, u64 *c, size_t m,
                         size_t n, size_t k, const Modulus &q,
                         const SplitPlan &plan)
 {
+    obs::Span span("fp64_gemm", obs::cat::gemm);
+    note_gemm(m, n, k);
     const u64 qv = q.value();
     // Slice operands into FP64 planes.
     std::vector<double> ap(static_cast<size_t>(plan.a_planes) * m * k);
@@ -96,6 +109,8 @@ void
 int8_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                    size_t k, const Modulus &q)
 {
+    obs::Span span("int8_gemm", obs::cat::gemm);
+    note_gemm(m, n, k);
     const u64 qv = q.value();
     const SplitPlan plan = choose_int8_split(q.bits(), q.bits(), k);
     std::vector<i32> ap(static_cast<size_t>(plan.a_planes) * m * k);
@@ -159,6 +174,8 @@ void
 scalar_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                    size_t k, const std::vector<Modulus> &col_mods)
 {
+    obs::Span span("scalar_gemm_cols", obs::cat::gemm);
+    note_gemm(m, n, k);
     NEO_CHECK(col_mods.size() == n, "column modulus count mismatch");
     // Exact integer accumulation: operands are < 2^63 and K is small
     // (gadget dimensions), so the u128 accumulator cannot overflow for
@@ -186,6 +203,8 @@ fp64_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
                         size_t n, size_t k,
                         const std::vector<Modulus> &col_mods)
 {
+    obs::Span span("fp64_gemm_cols", obs::cat::gemm);
+    note_gemm(m, n, k);
     NEO_CHECK(col_mods.size() == n, "column modulus count mismatch");
     const int wa = max_bits(a, m * k);
     const int wb = max_bits(b, k * n);
@@ -241,6 +260,8 @@ int8_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
                         size_t n, size_t k,
                         const std::vector<Modulus> &col_mods)
 {
+    obs::Span span("int8_gemm_cols", obs::cat::gemm);
+    note_gemm(m, n, k);
     NEO_CHECK(col_mods.size() == n, "column modulus count mismatch");
     const int wa = max_bits(a, m * k);
     const int wb = max_bits(b, k * n);

@@ -36,13 +36,14 @@ struct LtFixture : public ::testing::Test
         std::vector<i64> steps;
         for (size_t s = 1; s < ctx_->encoder().slot_count(); ++s)
             steps.push_back(static_cast<i64>(s));
-        gk_ = new GaloisKeys(keygen_->galois_keys(*sk_, steps, true));
+        keys_ = new EvalKeyBundle;
+        keys_->galois = keygen_->galois_keys(*sk_, steps, true);
     }
 
     static void
     TearDownTestSuite()
     {
-        delete gk_;
+        delete keys_;
         delete pk_;
         delete sk_;
         delete keygen_;
@@ -55,7 +56,7 @@ struct LtFixture : public ::testing::Test
     static KeyGenerator *keygen_;
     static SecretKey *sk_;
     static PublicKey *pk_;
-    static GaloisKeys *gk_;
+    static EvalKeyBundle *keys_;
 };
 
 CkksParams *LtFixture::params_ = nullptr;
@@ -63,7 +64,7 @@ CkksContext *LtFixture::ctx_ = nullptr;
 KeyGenerator *LtFixture::keygen_ = nullptr;
 SecretKey *LtFixture::sk_ = nullptr;
 PublicKey *LtFixture::pk_ = nullptr;
-GaloisKeys *LtFixture::gk_ = nullptr;
+EvalKeyBundle *LtFixture::keys_ = nullptr;
 
 TEST_F(LtFixture, DiagonalExtraction)
 {
@@ -97,13 +98,13 @@ TEST_F(LtFixture, NaiveAndBsgsMatchPlainReference)
     Evaluator ev(*ctx_);
     Ciphertext ct = enc.encrypt(ctx_->encode(z, 5), *pk_);
 
-    auto naive = dec.decrypt_decode(lt.apply(ev, *ctx_, ct, *gk_));
+    auto naive = dec.decrypt_decode(lt.apply(ev, *ctx_, ct, *keys_));
     EXPECT_LT(max_err(naive, expected), 1e-3);
-    auto bsgs = dec.decrypt_decode(lt.apply_bsgs(ev, *ctx_, ct, *gk_));
+    auto bsgs = dec.decrypt_decode(lt.apply_bsgs(ev, *ctx_, ct, *keys_));
     EXPECT_LT(max_err(bsgs, expected), 1e-3);
     // Hoisted baby rotations: same result to noise precision.
     auto hoisted = dec.decrypt_decode(
-        lt.apply_bsgs(ev, *ctx_, ct, *gk_, /*hoist=*/true));
+        lt.apply_bsgs(ev, *ctx_, ct, *keys_, /*hoist=*/true));
     EXPECT_LT(max_err(hoisted, expected), 1e-3);
 }
 
@@ -133,13 +134,14 @@ struct PolyFixture : public ::testing::Test
         keygen_ = new KeyGenerator(*ctx_, 5);
         sk_ = new SecretKey(keygen_->secret_key());
         pk_ = new PublicKey(keygen_->public_key(*sk_));
-        rlk_ = new EvalKey(keygen_->relin_key(*sk_));
+        keys_ = new EvalKeyBundle;
+        keys_->rlk = keygen_->relin_key(*sk_);
     }
 
     static void
     TearDownTestSuite()
     {
-        delete rlk_;
+        delete keys_;
         delete pk_;
         delete sk_;
         delete keygen_;
@@ -152,7 +154,7 @@ struct PolyFixture : public ::testing::Test
     static KeyGenerator *keygen_;
     static SecretKey *sk_;
     static PublicKey *pk_;
-    static EvalKey *rlk_;
+    static EvalKeyBundle *keys_;
 };
 
 CkksParams *PolyFixture::params_ = nullptr;
@@ -160,14 +162,14 @@ CkksContext *PolyFixture::ctx_ = nullptr;
 KeyGenerator *PolyFixture::keygen_ = nullptr;
 SecretKey *PolyFixture::sk_ = nullptr;
 PublicKey *PolyFixture::pk_ = nullptr;
-EvalKey *PolyFixture::rlk_ = nullptr;
+EvalKeyBundle *PolyFixture::keys_ = nullptr;
 
 TEST_F(PolyFixture, PowerBasisMatchesPlainEvaluation)
 {
     Encryptor enc(*ctx_);
     Decryptor dec(*ctx_, *sk_, *keygen_);
     Evaluator ev(*ctx_);
-    PolyEvaluator pe(*ctx_, ev, *rlk_);
+    PolyEvaluator pe(*ctx_, ev, *keys_);
 
     Rng rng(6);
     const size_t slots = ctx_->encoder().slot_count();
@@ -196,7 +198,7 @@ TEST_F(PolyFixture, ChebyshevBasisMatchesPlainEvaluation)
     Encryptor enc(*ctx_);
     Decryptor dec(*ctx_, *sk_, *keygen_);
     Evaluator ev(*ctx_);
-    PolyEvaluator pe(*ctx_, ev, *rlk_);
+    PolyEvaluator pe(*ctx_, ev, *keys_);
 
     Rng rng(7);
     const size_t slots = ctx_->encoder().slot_count();
@@ -247,13 +249,12 @@ TEST(Bootstrap, RefreshesLevelAndPreservesMessage)
     KeyGenerator keygen(ctx, 11);
     SecretKey sk = keygen.secret_key_sparse(8);
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
-    GaloisKeys gk = keygen.galois_keys(
+    EvalKeyBundle keys = keygen.eval_key_bundle(
         sk, Bootstrapper::required_rotations(ctx), /*conjugate=*/true);
     Encryptor enc(ctx);
     Decryptor dec(ctx, sk, keygen);
     Evaluator ev(ctx);
-    Bootstrapper boot(ctx, ev, rlk, gk);
+    Bootstrapper boot(ctx, ev, keys);
 
     // Small messages: |m| << q0 keeps the sine linearisation sharp.
     Rng rng(13);
@@ -329,15 +330,14 @@ TEST(Bootstrap, FactoredTransformsRefreshAndPreserve)
     KeyGenerator keygen(ctx, 19);
     SecretKey sk = keygen.secret_key_sparse(8);
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
     BootstrapOptions opts;
     opts.factored_groups = 2; // multi-stage CtS/StC
-    GaloisKeys gk = keygen.galois_keys(
+    EvalKeyBundle keys = keygen.eval_key_bundle(
         sk, Bootstrapper::required_rotations(ctx, opts), true);
     Encryptor enc(ctx);
     Decryptor dec(ctx, sk, keygen);
     Evaluator ev(ctx);
-    Bootstrapper boot(ctx, ev, rlk, gk, opts);
+    Bootstrapper boot(ctx, ev, keys, opts);
 
     Rng rng(23);
     const size_t slots = ctx.encoder().slot_count();

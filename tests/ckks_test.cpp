@@ -6,6 +6,7 @@
 #include "ckks/evaluator.h"
 #include "ckks/keygen.h"
 #include "common/random.h"
+#include "obs/obs.h"
 
 namespace neo::ckks {
 namespace {
@@ -22,15 +23,14 @@ class CkksFixture : public ::testing::Test
         keygen_ = new KeyGenerator(*ctx_, 7);
         sk_ = new SecretKey(keygen_->secret_key());
         pk_ = new PublicKey(keygen_->public_key(*sk_));
-        rlk_ = new EvalKey(keygen_->relin_key(*sk_));
-        klss_rlk_ = new KlssEvalKey(keygen_->to_klss(*rlk_));
+        keys_ = new EvalKeyBundle(
+            keygen_->eval_key_bundle(*sk_, {}, false, /*with_klss=*/true));
     }
 
     static void
     TearDownTestSuite()
     {
-        delete klss_rlk_;
-        delete rlk_;
+        delete keys_;
         delete pk_;
         delete sk_;
         delete keygen_;
@@ -63,8 +63,7 @@ class CkksFixture : public ::testing::Test
     static KeyGenerator *keygen_;
     static SecretKey *sk_;
     static PublicKey *pk_;
-    static EvalKey *rlk_;
-    static KlssEvalKey *klss_rlk_;
+    static EvalKeyBundle *keys_;
 };
 
 CkksParams *CkksFixture::params_ = nullptr;
@@ -72,8 +71,7 @@ CkksContext *CkksFixture::ctx_ = nullptr;
 KeyGenerator *CkksFixture::keygen_ = nullptr;
 SecretKey *CkksFixture::sk_ = nullptr;
 PublicKey *CkksFixture::pk_ = nullptr;
-EvalKey *CkksFixture::rlk_ = nullptr;
-KlssEvalKey *CkksFixture::klss_rlk_ = nullptr;
+EvalKeyBundle *CkksFixture::keys_ = nullptr;
 
 TEST_F(CkksFixture, EncoderRoundTrip)
 {
@@ -161,7 +159,7 @@ TEST_F(CkksFixture, HMultHybrid)
     auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
     auto cb = enc.encrypt(ctx_->encode(b, 5), *pk_);
 
-    auto prod = ev.rescale(ev.mul(ca, cb, *rlk_));
+    auto prod = ev.rescale(ev.mul(ca, cb, *keys_));
     EXPECT_EQ(prod.level, 4u);
     auto got = dec.decrypt_decode(prod);
     for (size_t i = 0; i < a.size(); ++i)
@@ -178,7 +176,7 @@ TEST_F(CkksFixture, HMultKlss)
     auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
     auto cb = enc.encrypt(ctx_->encode(b, 5), *pk_);
 
-    auto prod = ev.rescale(ev.mul(ca, cb, *rlk_, klss_rlk_));
+    auto prod = ev.rescale(ev.mul(ca, cb, *keys_));
     auto got = dec.decrypt_decode(prod);
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_LT(std::abs(got[i] - a[i] * b[i]), 1e-4) << "slot " << i;
@@ -197,9 +195,9 @@ TEST_F(CkksFixture, HybridAndKlssKeySwitchAgree)
     auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
     auto cb = enc.encrypt(ctx_->encode(b, 5), *pk_);
 
-    auto ph = dec.decrypt_decode(ev_h.rescale(ev_h.mul(ca, cb, *rlk_)));
+    auto ph = dec.decrypt_decode(ev_h.rescale(ev_h.mul(ca, cb, *keys_)));
     auto pk = dec.decrypt_decode(
-        ev_k.rescale(ev_k.mul(ca, cb, *rlk_, klss_rlk_)));
+        ev_k.rescale(ev_k.mul(ca, cb, *keys_)));
     EXPECT_LT(max_error(ph, pk), 1e-5);
 }
 
@@ -216,7 +214,7 @@ TEST_F(CkksFixture, MultiplicationDepth)
     for (int d = 0; d < 3; ++d) {
         auto m = random_slots(slots, 20 + d);
         auto cm = enc.encrypt(ctx_->encode(m, acc.level, acc.scale), *pk_);
-        acc = ev.rescale(ev.mul(acc, cm, *rlk_));
+        acc = ev.rescale(ev.mul(acc, cm, *keys_));
         for (size_t i = 0; i < slots; ++i)
             expected[i] *= m[i];
     }
@@ -237,7 +235,7 @@ TEST_F(CkksFixture, DoubleRescaleDropsTwoLevels)
     auto ones = std::vector<Complex>(ctx_->encoder().slot_count(),
                                      Complex(1.0, 0.0));
     auto c1 = enc.encrypt(ctx_->encode(ones, 5), *pk_);
-    auto prod = ev.mul(ca, c1, *rlk_); // scale = Δ²
+    auto prod = ev.mul(ca, c1, *keys_); // scale = Δ²
     // PMULT against a Δ-scale plaintext of ones reaches Δ³; DS then
     // burns the two levels in one step, as in Bootstrapping.
     auto ds = ev.double_rescale(
@@ -257,17 +255,18 @@ TEST_F(CkksFixture, HRotateHybridAndKlss)
     auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
 
     for (i64 steps : {1, 3, 7}) {
-        GaloisKeys gk = keygen_->galois_keys(*sk_, {steps}, false, true);
+        EvalKeyBundle keys;
+        keys.galois = keygen_->galois_keys(*sk_, {steps}, false, true);
         std::vector<Complex> expected(slots);
         for (size_t i = 0; i < slots; ++i)
             expected[i] = a[(i + static_cast<size_t>(steps)) % slots];
 
         Evaluator ev_h(*ctx_, KeySwitchMethod::hybrid);
-        auto rh = dec.decrypt_decode(ev_h.rotate(ca, steps, gk));
+        auto rh = dec.decrypt_decode(ev_h.rotate(ca, steps, keys));
         EXPECT_LT(max_error(rh, expected), 1e-4) << "hybrid steps=" << steps;
 
         Evaluator ev_k(*ctx_, KeySwitchMethod::klss);
-        auto rk = dec.decrypt_decode(ev_k.rotate(ca, steps, gk));
+        auto rk = dec.decrypt_decode(ev_k.rotate(ca, steps, keys));
         EXPECT_LT(max_error(rk, expected), 1e-4) << "klss steps=" << steps;
     }
 }
@@ -279,8 +278,9 @@ TEST_F(CkksFixture, ConjugateFlipsImaginaryPart)
     Evaluator ev(*ctx_);
     auto a = random_slots(ctx_->encoder().slot_count(), 18);
     auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
-    GaloisKeys gk = keygen_->galois_keys(*sk_, {}, true);
-    auto got = dec.decrypt_decode(ev.conjugate(ca, gk));
+    EvalKeyBundle keys;
+    keys.galois = keygen_->galois_keys(*sk_, {}, true);
+    auto got = dec.decrypt_decode(ev.conjugate(ca, keys));
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_LT(std::abs(got[i] - std::conj(a[i])), 1e-4);
 }
@@ -293,19 +293,19 @@ TEST_F(CkksFixture, RotationComposition)
     Evaluator ev(*ctx_);
     auto a = random_slots(ctx_->encoder().slot_count(), 19);
     auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
-    GaloisKeys gk = keygen_->galois_keys(*sk_, {1, 2, 3});
-    auto r12 = ev.rotate(ev.rotate(ca, 1, gk), 2, gk);
-    auto r3 = ev.rotate(ca, 3, gk);
+    EvalKeyBundle keys;
+    keys.galois = keygen_->galois_keys(*sk_, {1, 2, 3});
+    auto r12 = ev.rotate(ev.rotate(ca, 1, keys), 2, keys);
+    auto r3 = ev.rotate(ca, 3, keys);
     EXPECT_LT(max_error(dec.decrypt_decode(r12), dec.decrypt_decode(r3)),
               1e-4);
 }
 
-TEST_F(CkksFixture, KeySwitchStatsMatchComplexityFormulas)
+TEST_F(CkksFixture, KeySwitchCountersMatchComplexityFormulas)
 {
-    // Table 2 accounting at the top level.
+    // Table 2 accounting at the top level, read back from the `ks.*`
+    // obs counters an Evaluator-bound Scope accumulates.
     Encryptor enc(*ctx_, 23);
-    Evaluator ev_h(*ctx_, KeySwitchMethod::hybrid);
-    Evaluator ev_k(*ctx_, KeySwitchMethod::klss);
     auto a = random_slots(ctx_->encoder().slot_count(), 20);
     auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
     auto cb = enc.encrypt(ctx_->encode(a, 5), *pk_);
@@ -316,28 +316,73 @@ TEST_F(CkksFixture, KeySwitchStatsMatchComplexityFormulas)
     const size_t k_special = alpha;
     const size_t ext = l + 1 + k_special;        // l + 1 + α
 
-    KeySwitchStats hs;
-    (void)ev_h.mul(ca, cb, *rlk_, nullptr, &hs);
-    // ModUp: each digit converts its α limbs to the other ext-α limbs.
-    EXPECT_EQ(hs.bconv_products, beta * alpha * (ext - alpha));
-    EXPECT_EQ(hs.ntt_limbs, beta * ext + 2 * (l + 1));
-    EXPECT_EQ(hs.ip_mul_limbs, 2 * beta * ext);
-    EXPECT_EQ(hs.moddown_products, 2 * k_special * (l + 1));
+    {
+        obs::Scope scope;
+        Evaluator ev_h(*ctx_, KeySwitchMethod::hybrid, &scope);
+        (void)ev_h.mul(ca, cb, *keys_);
+        // ModUp: each digit converts its α limbs to the other ext-α
+        // limbs.
+        EXPECT_EQ(scope.counter("ks.bconv_products"),
+                  beta * alpha * (ext - alpha));
+        EXPECT_EQ(scope.counter("ks.ntt_limbs"),
+                  beta * ext + 2 * (l + 1));
+        EXPECT_EQ(scope.counter("ks.ip_mul_limbs"), 2 * beta * ext);
+        EXPECT_EQ(scope.counter("ks.moddown_products"),
+                  2 * k_special * (l + 1));
+        EXPECT_EQ(scope.counter("op.hmult"), 1u);
+    }
 
-    KeySwitchStats ks;
-    (void)ev_k.mul(ca, cb, *rlk_, klss_rlk_, &ks);
-    const size_t alpha_p = ctx_->alpha_prime();
-    const size_t beta_tilde = params_->beta_tilde(l);
-    // Mod Up: β digits × α limbs × α' outputs (Table 2: βαα').
-    EXPECT_EQ(ks.bconv_products, beta * alpha * alpha_p);
-    // NTT over T: β·α'; plus final 2(l+1) over Q.
-    EXPECT_EQ(ks.ntt_limbs, beta * alpha_p + 2 * (l + 1));
-    // IP: 2·β̃·β·α' (Table 2: ββ̃α' per component).
-    EXPECT_EQ(ks.ip_mul_limbs, 2 * beta_tilde * beta * alpha_p);
-    // Recover Limbs: 2·α'·(l+1+α) (Table 2: 2α'(l+α)).
-    EXPECT_EQ(ks.recover_products, 2 * alpha_p * ext);
-    EXPECT_EQ(ks.moddown_products, 2 * k_special * (l + 1));
+    {
+        obs::Scope scope;
+        Evaluator ev_k(*ctx_, KeySwitchMethod::klss, &scope);
+        (void)ev_k.mul(ca, cb, *keys_);
+        const size_t alpha_p = ctx_->alpha_prime();
+        const size_t beta_tilde = params_->beta_tilde(l);
+        // Mod Up: β digits × α limbs × α' outputs (Table 2: βαα').
+        EXPECT_EQ(scope.counter("ks.bconv_products"),
+                  beta * alpha * alpha_p);
+        // NTT over T: β·α'; plus final 2(l+1) over Q.
+        EXPECT_EQ(scope.counter("ks.ntt_limbs"),
+                  beta * alpha_p + 2 * (l + 1));
+        // IP: 2·β̃·β·α' (Table 2: ββ̃α' per component).
+        EXPECT_EQ(scope.counter("ks.ip_mul_limbs"),
+                  2 * beta_tilde * beta * alpha_p);
+        // Recover Limbs: 2·α'·(l+1+α) (Table 2: 2α'(l+α)).
+        EXPECT_EQ(scope.counter("ks.recover_products"),
+                  2 * alpha_p * ext);
+        EXPECT_EQ(scope.counter("ks.moddown_products"),
+                  2 * k_special * (l + 1));
+    }
 }
+
+// Grace-period coverage: the deprecated loose-key overloads must keep
+// the old KeySwitchStats contract until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(CkksFixture, DeprecatedStatsOverloadStillFillsStats)
+{
+    Encryptor enc(*ctx_, 23);
+    auto a = random_slots(ctx_->encoder().slot_count(), 20);
+    auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
+    auto cb = enc.encrypt(ctx_->encode(a, 5), *pk_);
+
+    const size_t l = 5;
+    const size_t alpha = params_->alpha();
+    const size_t beta = params_->beta(l);
+    const size_t ext = l + 1 + alpha;
+
+    Evaluator ev_h(*ctx_, KeySwitchMethod::hybrid);
+    KeySwitchStats hs;
+    Ciphertext old_api = ev_h.mul(ca, cb, keys_->rlk, nullptr, &hs);
+    EXPECT_EQ(hs.bconv_products, beta * alpha * (ext - alpha));
+    EXPECT_EQ(hs.ip_mul_limbs, 2 * beta * ext);
+
+    // Same result as the bundle API.
+    Ciphertext new_api = ev_h.mul(ca, cb, *keys_);
+    EXPECT_EQ(old_api.level, new_api.level);
+    EXPECT_DOUBLE_EQ(old_api.scale, new_api.scale);
+}
+#pragma GCC diagnostic pop
 
 TEST_F(CkksFixture, KlssInnerProductStaysBelowBound)
 {

@@ -22,7 +22,8 @@ TEST(Hoisting, MatchesIndividualRotationsUpToModUpSlack)
     KeyGenerator keygen(ctx, 31);
     SecretKey sk = keygen.secret_key();
     PublicKey pk = keygen.public_key(sk);
-    GaloisKeys gk = keygen.galois_keys(sk, {1, 3, 5, 7});
+    EvalKeyBundle keys;
+    keys.galois = keygen.galois_keys(sk, {1, 3, 5, 7});
     Encryptor enc(ctx);
     Decryptor dec(ctx, sk, keygen);
     Evaluator ev(ctx);
@@ -34,13 +35,13 @@ TEST(Hoisting, MatchesIndividualRotationsUpToModUpSlack)
     Ciphertext ct = enc.encrypt(ctx.encode(z, 5), pk);
 
     const std::vector<i64> steps = {1, 3, 5, 7};
-    auto hoisted = rotate_hoisted(ct, steps, gk, ctx);
+    auto hoisted = rotate_hoisted(ct, steps, keys.galois, ctx);
     ASSERT_EQ(hoisted.size(), steps.size());
     for (size_t s = 0; s < steps.size(); ++s) {
         // The hoisted path differs from per-rotation switching only by
         // the approximate-BConv digit-modulus slack, which lands in
         // the noise: decryptions must agree to fresh-noise precision.
-        auto ref = dec.decrypt_decode(ev.rotate(ct, steps[s], gk));
+        auto ref = dec.decrypt_decode(ev.rotate(ct, steps[s], keys));
         auto got = dec.decrypt_decode(hoisted[s]);
         for (size_t i = 0; i < ref.size(); ++i)
             EXPECT_LT(std::abs(ref[i] - got[i]), 1e-5)

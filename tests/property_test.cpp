@@ -54,9 +54,8 @@ TEST_P(CkksSweep, FullOperationRoundTripBothKeySwitchMethods)
     KeyGenerator keygen(ctx, sp.n + sp.d_num);
     SecretKey sk = keygen.secret_key();
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
-    KlssEvalKey krlk = keygen.to_klss(rlk);
-    GaloisKeys gk = keygen.galois_keys(sk, {1}, false, true);
+    EvalKeyBundle keys =
+        keygen.eval_key_bundle(sk, {1}, false, /*with_klss=*/true);
     Encryptor enc(ctx, 2);
     Decryptor dec(ctx, sk, keygen);
 
@@ -73,8 +72,8 @@ TEST_P(CkksSweep, FullOperationRoundTripBothKeySwitchMethods)
 
     for (auto method : {KeySwitchMethod::hybrid, KeySwitchMethod::klss}) {
         Evaluator ev(ctx, method);
-        auto prod = ev.rescale(ev.mul(ca, cb, rlk, &krlk));
-        auto rot = ev.rotate(ca, 1, gk);
+        auto prod = ev.rescale(ev.mul(ca, cb, keys));
+        auto rot = ev.rotate(ca, 1, keys);
         auto pm = dec.decrypt_decode(prod);
         auto rm = dec.decrypt_decode(rot);
         for (size_t i = 0; i < slots; ++i) {
@@ -139,8 +138,8 @@ TEST_P(KlssSweep, KeySwitchCorrectAcrossHyperparameters)
     KeyGenerator keygen(ctx, 50 + sp.alpha_tilde);
     SecretKey sk = keygen.secret_key();
     PublicKey pk = keygen.public_key(sk);
-    EvalKey rlk = keygen.relin_key(sk);
-    KlssEvalKey krlk = keygen.to_klss(rlk);
+    EvalKeyBundle keys =
+        keygen.eval_key_bundle(sk, {}, false, /*with_klss=*/true);
     Encryptor enc(ctx, 4);
     Decryptor dec(ctx, sk, keygen);
     Evaluator ev(ctx, KeySwitchMethod::klss);
@@ -150,7 +149,7 @@ TEST_P(KlssSweep, KeySwitchCorrectAcrossHyperparameters)
     for (auto &x : a)
         x = Complex(2 * rng.uniform_real() - 1, 0);
     auto ca = enc.encrypt(ctx.encode(a, 5), pk);
-    auto got = dec.decrypt_decode(ev.rescale(ev.mul(ca, ca, rlk, &krlk)));
+    auto got = dec.decrypt_decode(ev.rescale(ev.mul(ca, ca, keys)));
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_LT(std::abs(got[i] - a[i] * a[i]), 1e-3) << "slot " << i;
 }
@@ -247,7 +246,7 @@ class CkksLaws : public ::testing::Test
         keygen = std::make_unique<KeyGenerator>(*ctx, 77);
         sk = keygen->secret_key();
         pk = keygen->public_key(sk);
-        rlk = keygen->relin_key(sk);
+        keys.rlk = keygen->relin_key(sk);
         enc = std::make_unique<Encryptor>(*ctx, 3);
         dec = std::make_unique<Decryptor>(*ctx, sk, *keygen);
         ev = std::make_unique<Evaluator>(*ctx);
@@ -280,7 +279,7 @@ class CkksLaws : public ::testing::Test
     std::unique_ptr<KeyGenerator> keygen;
     SecretKey sk;
     PublicKey pk;
-    EvalKey rlk;
+    EvalKeyBundle keys;
     std::unique_ptr<Encryptor> enc;
     std::unique_ptr<Decryptor> dec;
     std::unique_ptr<Evaluator> ev;
@@ -304,8 +303,8 @@ TEST_F(CkksLaws, MultiplicationCommutes)
     std::vector<Complex> want(x.size());
     for (size_t i = 0; i < x.size(); ++i)
         want[i] = x[i] * y[i];
-    auto ab = ev->rescale(ev->mul(cx, cy, rlk));
-    auto ba = ev->rescale(ev->mul(cy, cx, rlk));
+    auto ab = ev->rescale(ev->mul(cx, cy, keys));
+    auto ba = ev->rescale(ev->mul(cy, cx, keys));
     EXPECT_LT(err(ab, want), 1e-4);
     EXPECT_LT(err(ba, want), 1e-4);
 }
@@ -315,9 +314,9 @@ TEST_F(CkksLaws, MultiplicationDistributesOverAddition)
     std::vector<Complex> want(x.size());
     for (size_t i = 0; i < x.size(); ++i)
         want[i] = x[i] * (y[i] + w[i]);
-    auto lhs = ev->rescale(ev->mul(cx, ev->add(cy, cw), rlk));
-    auto rhs = ev->add(ev->rescale(ev->mul(cx, cy, rlk)),
-                       ev->rescale(ev->mul(cx, cw, rlk)));
+    auto lhs = ev->rescale(ev->mul(cx, ev->add(cy, cw), keys));
+    auto rhs = ev->add(ev->rescale(ev->mul(cx, cy, keys)),
+                       ev->rescale(ev->mul(cx, cw, keys)));
     EXPECT_LT(err(lhs, want), 1e-4);
     EXPECT_LT(err(rhs, want), 1e-4);
 }
@@ -335,12 +334,14 @@ TEST_F(CkksLaws, SubtractionIsAdditionOfNegation)
 
 TEST_F(CkksLaws, RotationIsLinear)
 {
-    GaloisKeys gk = keygen->galois_keys(sk, {3});
+    EvalKeyBundle rot_keys;
+    rot_keys.galois = keygen->galois_keys(sk, {3});
     std::vector<Complex> want(x.size());
     for (size_t i = 0; i < x.size(); ++i)
         want[i] = x[(i + 3) % x.size()] + y[(i + 3) % x.size()];
-    auto rot_sum = ev->rotate(ev->add(cx, cy), 3, gk);
-    auto sum_rot = ev->add(ev->rotate(cx, 3, gk), ev->rotate(cy, 3, gk));
+    auto rot_sum = ev->rotate(ev->add(cx, cy), 3, rot_keys);
+    auto sum_rot = ev->add(ev->rotate(cx, 3, rot_keys),
+                           ev->rotate(cy, 3, rot_keys));
     EXPECT_LT(err(rot_sum, want), 1e-4);
     EXPECT_LT(err(sum_rot, want), 1e-4);
 }
@@ -353,7 +354,7 @@ TEST_F(CkksLaws, RejectsMismatchedLevels)
 {
     auto dropped = ev->mod_switch_to(cy, 3);
     EXPECT_THROW(ev->add(cx, dropped), std::invalid_argument);
-    EXPECT_THROW(ev->mul(cx, dropped, rlk), std::invalid_argument);
+    EXPECT_THROW(ev->mul(cx, dropped, keys), std::invalid_argument);
 }
 
 TEST_F(CkksLaws, RejectsRescaleBelowZero)
@@ -366,8 +367,9 @@ TEST_F(CkksLaws, RejectsRescaleBelowZero)
 
 TEST_F(CkksLaws, RejectsRotationWithoutKey)
 {
-    GaloisKeys gk = keygen->galois_keys(sk, {1});
-    EXPECT_THROW(ev->rotate(cx, 2, gk), std::invalid_argument);
+    EvalKeyBundle rot_keys;
+    rot_keys.galois = keygen->galois_keys(sk, {1});
+    EXPECT_THROW(ev->rotate(cx, 2, rot_keys), std::invalid_argument);
 }
 
 TEST_F(CkksLaws, RejectsKlssWithoutConfiguration)

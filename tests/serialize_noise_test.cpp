@@ -101,7 +101,8 @@ TEST_F(SnFixture, KeysRoundTripAndStillRelinearize)
     save(ks, *sk_);
     save(es, *rlk_);
     SecretKey sk2 = load_secret_key(ks);
-    EvalKey rlk2 = load_eval_key(es);
+    EvalKeyBundle keys2;
+    keys2.rlk = load_eval_key(es);
     EXPECT_EQ(sk2.coeffs, sk_->coeffs);
 
     Encryptor enc(*ctx_);
@@ -109,7 +110,7 @@ TEST_F(SnFixture, KeysRoundTripAndStillRelinearize)
     Evaluator ev(*ctx_);
     auto a = slots(3);
     auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
-    auto prod = ev.rescale(ev.mul(ca, ca, rlk2));
+    auto prod = ev.rescale(ev.mul(ca, ca, keys2));
     auto got = dec.decrypt_decode(prod);
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_LT(std::abs(got[i] - a[i] * a[i]), 1e-4);
@@ -164,7 +165,9 @@ TEST_F(SnFixture, NoiseGrowsThroughMultiplication)
     std::vector<Complex> sq(a.size());
     for (size_t i = 0; i < a.size(); ++i)
         sq[i] = a[i] * a[i];
-    auto prod = ev.mul(ca, ca, *rlk_);
+    EvalKeyBundle keys;
+    keys.rlk = *rlk_;
+    auto prod = ev.mul(ca, ca, keys);
     double after = probe.noise_bits(prod, sq);
     EXPECT_GT(after, fresh);
     // Budget must shrink but stay positive.
@@ -174,7 +177,9 @@ TEST_F(SnFixture, NoiseGrowsThroughMultiplication)
 
 TEST_F(SnFixture, BothKeySwitchMethodsAddComparableNoise)
 {
-    KlssEvalKey krlk = keygen_->to_klss(*rlk_);
+    EvalKeyBundle keys;
+    keys.rlk = *rlk_;
+    keys.klss_rlk = keygen_->to_klss(*rlk_);
     Encryptor enc(*ctx_);
     NoiseInspector probe(*ctx_, *sk_, *keygen_);
     auto a = slots(6);
@@ -185,8 +190,8 @@ TEST_F(SnFixture, BothKeySwitchMethodsAddComparableNoise)
 
     Evaluator ev_h(*ctx_, KeySwitchMethod::hybrid);
     Evaluator ev_k(*ctx_, KeySwitchMethod::klss);
-    double nh = probe.noise_bits(ev_h.mul(ca, ca, *rlk_), sq);
-    double nk = probe.noise_bits(ev_k.mul(ca, ca, *rlk_, &krlk), sq);
+    double nh = probe.noise_bits(ev_h.mul(ca, ca, keys), sq);
+    double nk = probe.noise_bits(ev_k.mul(ca, ca, keys), sq);
     EXPECT_LT(std::abs(nh - nk), 4.0) << "hybrid " << nh << " vs klss "
                                       << nk;
 }
