@@ -12,8 +12,11 @@
 using namespace neo;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "ablation",
+                         "kernel fusion / multi-stream / IP gate");
     bench::banner("Ablation", "kernel fusion / multi-stream / IP gate");
     auto base = baselines::make_neo('C');
 
@@ -61,8 +64,12 @@ main()
         const double hm = m.hmult_time(base.params.max_level);
         const double boot =
             apps::run_schedule(apps::pack_bootstrap(base.params), m);
-        if (base_time == 0)
+        if (base_time == 0) {
             base_time = boot;
+            report.metric("neo.keyswitch_s", ks);
+            report.metric("neo.hmult_s", hm);
+            report.metric("neo.bootstrap_s", boot);
+        }
         t.row({v.name, format_time(ks), format_time(hm),
                format_time(boot), strfmt("%.3fx", boot / base_time)});
     }
@@ -78,6 +85,7 @@ main()
                 "hoisted %s (%.2fx)\n",
                 l, format_time(individual).c_str(),
                 format_time(hoisted).c_str(), individual / hoisted);
+    report.metric("hoisted16.total_s", hoisted);
 
     // Fluid event simulation of two batch-halves issued on two
     // streams: cross-checks the aggregate multi-stream model on the
@@ -97,11 +105,13 @@ main()
                     "streams): %s vs %s serial (%.2fx overlap gain)\n",
                     format_time(fluid).c_str(),
                     format_time(serial).c_str(), serial / fluid);
+        report.metric("fluid.two_stream_s", fluid);
     }
 
     std::printf("\nPaper reference (§4.6/§4.5.3): fusion removes "
                 "intermediate traffic and launches; multi-stream fills "
                 "TCU stalls with CUDA work; the 80%% valid-proportion "
                 "gate picks IP's engine per level.\n");
+    report.write();
     return 0;
 }

@@ -15,7 +15,7 @@ namespace {
 
 void
 characterize(const char *name, const Schedule &s,
-             const model::KernelModel &m)
+             const model::KernelModel &m, bench::Report &report)
 {
     std::printf("%s (embedded bootstraps: %.0f)\n", name, s.bootstraps);
     struct Kind
@@ -70,20 +70,25 @@ characterize(const char *name, const Schedule &s,
     }
     t.print();
     std::printf("total: %s\n\n", format_time(total).c_str());
+    report.metric(strfmt("%s.total_s", name), total);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "app_characterization",
+                         "application op mixes (Neo/Set-C)");
     bench::banner("Characterization", "application op mixes (Neo/Set-C)");
     auto b = baselines::make_neo('C');
     auto m = b.model();
-    characterize("PackBootstrap", pack_bootstrap(b.params), m);
-    characterize("HELR iteration", helr_iteration(b.params), m);
-    characterize("ResNet-20", resnet(b.params, 20), m);
+    characterize("PackBootstrap", pack_bootstrap(b.params), m, report);
+    characterize("HELR", helr_iteration(b.params), m, report);
+    characterize("ResNet-20", resnet(b.params, 20), m, report);
     std::printf("Note: KeySwitch-bearing ops (HMULT/HROTATE) dominate — "
                 "the premise of the paper's optimization focus.\n");
+    report.write();
     return 0;
 }

@@ -1,26 +1,25 @@
 /**
  * @file
- * Shared helpers for the per-figure/table benchmark binaries: each
- * binary regenerates one table or figure of the paper and prints the
- * paper's published values next to the model's, so EXPERIMENTS.md can
- * be checked against the binary output directly.
+ * Shared library for the per-figure/table benchmark binaries: each
+ * binary regenerates one table or figure of the paper, prints the
+ * paper's published values next to the model's, and (with `--json
+ * <path>`) writes a schema-versioned `neo.bench/1` artifact whose
+ * flat `metrics` map the `neo-prof --baseline` compare mode can gate
+ * on — the same machinery CI uses for the profiler artifacts.
  */
 #pragma once
 
-#include <cstdio>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/table.h"
-#include "common/thread_pool.h"
+#include "common/types.h"
 
 namespace neo::bench {
 
 /// Standard banner naming the experiment being regenerated.
-inline void
-banner(const char *id, const char *what)
-{
-    std::printf("=== %s — %s ===\n", id, what);
-}
+void banner(const char *id, const char *what);
 
 /**
  * The benchmark `threads` knob: point the global pool at @p threads
@@ -29,18 +28,58 @@ banner(const char *id, const char *what)
  * the top of each measurement so 1/2/4/8-thread numbers come from one
  * binary invocation.
  */
-inline size_t
-use_threads(size_t threads)
-{
-    ThreadPool::set_global_threads(threads);
-    return ThreadPool::global().threads();
-}
+size_t use_threads(size_t threads);
 
 /// "x.xx s (paper: y.yy)" cell.
-inline std::string
-vs_paper(double ours, double paper)
+std::string vs_paper(double ours, double paper);
+
+/**
+ * Command-line options shared by every figure/table binary:
+ *   --json PATH    write the neo.bench/1 artifact to PATH
+ *   --threads N    size the global thread pool
+ * parse() exits 2 on unknown arguments (and 0 after --help).
+ */
+struct Options
 {
-    return strfmt("%8.3f (paper %7.3f)", ours, paper);
-}
+    std::string json_path;
+    size_t threads = 0;
+
+    static Options parse(int argc, char **argv);
+};
+
+/**
+ * Machine-readable artifact accumulator. The binary records its
+ * headline numbers as flat metrics while printing its usual tables;
+ * write() emits
+ *
+ *   { "schema": "neo.bench/1", "kind": "bench", "id": ..,
+ *     "title": .., "notes": {..}, "metrics": {..} }
+ *
+ * to the --json path (no-op when none was given), so every benchmark
+ * gains a gate-able artifact without touching its stdout format.
+ */
+class Report
+{
+  public:
+    Report(const Options &opts, const char *id, const char *title);
+
+    /// Record one gate-able number (flat key, higher = worse for
+    /// gating purposes; wall-clock metrics should embed "wall" in the
+    /// key so the default compare skips them).
+    void metric(std::string_view name, double value);
+    /// Free-form context (parameter set, units) carried in `notes`.
+    void note(std::string_view key, std::string_view value);
+
+    /// Write the artifact if --json was given. Returns the path
+    /// written, or empty.
+    std::string write() const;
+
+  private:
+    std::string json_path_;
+    std::string id_;
+    std::string title_;
+    std::vector<std::pair<std::string, std::string>> notes_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 } // namespace neo::bench

@@ -15,7 +15,8 @@ using namespace neo;
 namespace {
 
 void
-print_method(const char *label, const ckks::CkksParams &params, bool klss)
+print_method(const char *label, const ckks::CkksParams &params, bool klss,
+             bench::Report &report)
 {
     model::ModelConfig cfg;
     cfg.use_klss = klss;
@@ -35,6 +36,14 @@ print_method(const char *label, const ckks::CkksParams &params, bool klss)
                strfmt("%5.1f%%", 100 * tr.other / tot),
                format_bytes(tot)});
     }
+    {
+        const auto tr = m.keyswitch_traffic(params.max_level);
+        const std::string key = klss ? "klss" : "hybrid";
+        report.metric(key + ".l35.bytes.total", tr.total());
+        report.metric(key + ".l35.bytes.bconv", tr.bconv);
+        report.metric(key + ".l35.bytes.ip", tr.ip);
+        report.metric(key + ".l35.bytes.ntt", tr.ntt);
+    }
     std::printf("%s\n", label);
     t.print();
     std::printf("\n");
@@ -43,12 +52,18 @@ print_method(const char *label, const ckks::CkksParams &params, bool klss)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "fig02",
+                         "KeySwitch data-transfer proportions by kernel");
     bench::banner("Fig 2", "KeySwitch data-transfer proportions by kernel");
-    print_method("Hybrid method (Set-B):", ckks::paper_set('B'), false);
-    print_method("KLSS method (Set-C):", ckks::paper_set('C'), true);
+    print_method("Hybrid method (Set-B):", ckks::paper_set('B'), false,
+                 report);
+    print_method("KLSS method (Set-C):", ckks::paper_set('C'), true,
+                 report);
     std::printf("Paper reference: BConv+IP together dominate — 43.4%% "
                 "(BConv) and 41.8%% (IP) at l=35 under KLSS.\n");
+    report.write();
     return 0;
 }

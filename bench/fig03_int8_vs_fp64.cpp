@@ -63,8 +63,11 @@ int8_steps(const gpusim::DeviceSpec &d, size_t m, size_t n, size_t k,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "fig03",
+                         "INT8 vs FP64 wide-word GEMM (2^19 x 16 x 16)");
     bench::banner("Fig 3",
                   "INT8 vs FP64 wide-word GEMM (2^19 x 16 x 16)");
     const auto dev = gpusim::DeviceSpec::a100();
@@ -86,9 +89,12 @@ main()
                format_time(i.merge), format_time(i.total())});
         std::printf("WS=%d: INT8/FP64 total ratio = %.2fx (paper: %.2fx)\n",
                     word, i.total() / f.total(), word == 36 ? 1.65 : 1.74);
+        report.metric(strfmt("ws%d.fp64.total_s", word), f.total());
+        report.metric(strfmt("ws%d.int8.total_s", word), i.total());
     }
     t.print();
     std::printf("\nPaper reference: 36-bit needs 3 FP64 GEMMs vs 25 INT8 "
                 "GEMMs; 48-bit needs 4 vs 36.\n");
+    report.write();
     return 0;
 }

@@ -19,8 +19,11 @@ using namespace neo;
 using gpusim::TcuModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "fig12",
+                         "Tensor-core fragment utilisation");
     bench::banner("Fig 11", "BConv fragment utilisation, INT8 vs FP64");
     const auto params = ckks::paper_set('C');
     const size_t alpha = params.alpha();          // 4
@@ -54,5 +57,16 @@ main()
     t.print();
     std::printf("\nPaper reference: NTT and BConv pin at 100%%; IP varies "
                 "with l and maps to the TCU only above the 80%% gate.\n");
+    // Valid proportions are "higher is better": gate on the wasted
+    // fraction instead so an increase means a regression.
+    report.metric("bconv.fp64.invalid",
+                  1.0 - TcuModel::valid_proportion_fp64(m, alpha_p, alpha));
+    report.metric("bconv.int8.invalid",
+                  1.0 - TcuModel::valid_proportion_int8(m, alpha_p, alpha));
+    report.metric("ip.l35.invalid",
+                  1.0 - TcuModel::valid_proportion_fp64(
+                            params.batch, params.beta_tilde(35),
+                            params.beta(35)));
+    report.write();
     return 0;
 }

@@ -12,8 +12,11 @@
 using namespace neo;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "fig13",
+                         "Optimized BConv/IP step breakdown (Set-C)");
     bench::banner("Fig 13", "Optimized BConv/IP step breakdown (Set-C)");
     const auto params = ckks::paper_set('C');
     const auto dev = gpusim::DeviceSpec::a100();
@@ -53,6 +56,8 @@ main()
                format_time(opt_c.time(dev, true)),
                strfmt("%.2fx", orig_c.time(dev, false) /
                                    opt_c.time(dev, true))});
+        report.metric("bconv.opt.total_s", opt_c.time(dev, true));
+        report.metric("bconv.orig.total_s", orig_c.time(dev, false));
     }
     {
         auto orig_c = m_orig.ip(beta, bt, ap, wt);
@@ -66,9 +71,12 @@ main()
                format_time(opt_c.time(dev, true)),
                strfmt("%.2fx", orig_c.time(dev, false) /
                                    opt_c.time(dev, true))});
+        report.metric("ip.opt.total_s", opt_c.time(dev, true));
+        report.metric("ip.orig.total_s", orig_c.time(dev, false));
     }
     t.print();
     std::printf("\nPaper reference: optimized kernels win despite the added "
                 "pre/postprocessing, which is a negligible share.\n");
+    report.write();
     return 0;
 }

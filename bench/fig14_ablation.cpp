@@ -10,8 +10,10 @@
 using namespace neo;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "fig14", "Optimization ablation (normalised)");
     bench::banner("Fig 14", "Optimization ablation (normalised)");
     auto ladder = baselines::ablation_ladder();
 
@@ -34,7 +36,8 @@ main()
     t.header(head);
 
     std::vector<double> base;
-    for (const auto &rung : ladder) {
+    for (size_t r = 0; r < ladder.size(); ++r) {
+        const auto &rung = ladder[r];
         auto m = rung.model();
         std::vector<std::string> row = {rung.name};
         for (size_t i = 0; i < std::size(apps_list); ++i) {
@@ -44,11 +47,16 @@ main()
                 base.push_back(s);
             row.push_back(strfmt("%.3f (%s)", s / base[i],
                                  format_time(s).c_str()));
+            // Gate on the final (fully-optimized) rung — that is Neo.
+            if (r + 1 == ladder.size())
+                report.metric(strfmt("neo.%s.total_s", apps_list[i].name),
+                              s);
         }
         t.row(row);
     }
     t.print();
     std::printf("\nPaper reference: each step lowers relative time; the "
                 "final configuration is Neo.\n");
+    report.write();
     return 0;
 }

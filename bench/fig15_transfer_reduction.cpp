@@ -10,8 +10,11 @@
 using namespace neo;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "fig15",
+                         "BConv/IP data transfer, original vs optimized");
     bench::banner("Fig 15", "BConv/IP data transfer, original vs optimized");
     const auto params = ckks::paper_set('C');
     const size_t alpha = params.alpha();
@@ -48,9 +51,14 @@ main()
                format_bytes(b_opt), strfmt("%.2fx", b_orig / b_opt),
                format_bytes(i_orig), format_bytes(i_opt),
                strfmt("%.2fx", i_orig / i_opt)});
+        if (static_cast<size_t>(l) == params.max_level) {
+            report.metric("bconv.opt.l35.bytes", b_opt);
+            report.metric("ip.opt.l35.bytes", i_opt);
+        }
     }
     t.print();
     std::printf("\nPaper reference: the upper (optimized) bars shrink "
                 "several-fold relative to the original kernels.\n");
+    report.write();
     return 0;
 }

@@ -10,8 +10,11 @@
 using namespace neo;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "fig16",
+                         "Hybrid vs KLSS across WordSize_T (Set-B base)");
     bench::banner("Fig 16", "Hybrid vs KLSS across WordSize_T (Set-B base)");
     model::ModelConfig neo_cfg; // all Neo optimizations on
 
@@ -28,6 +31,7 @@ main()
     model::KernelModel hybrid(base, hybrid_cfg);
     const double t_hybrid = hybrid.keyswitch_time(base.max_level);
     t.row({"Hybrid", "-", "-", format_time(t_hybrid), "1.00x"});
+    report.metric("hybrid.keyswitch_s", t_hybrid);
 
     for (int wst : {36, 48, 64}) {
         ckks::CkksParams p = base;
@@ -38,9 +42,11 @@ main()
         t.row({"KLSS", strfmt("%d", wst),
                strfmt("%zu", p.klss_alpha_prime()), format_time(s),
                strfmt("%.2fx", t_hybrid / s)});
+        report.metric(strfmt("klss.ws%d.keyswitch_s", wst), s);
     }
     t.print();
     std::printf("\nPaper reference: WordSize_T = 48 is optimal; 36 pays in "
                 "alpha', 64 pays in TCU split complexity.\n");
+    report.write();
     return 0;
 }

@@ -11,8 +11,11 @@
 using namespace neo;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "fig17",
+                         "BatchSize sensitivity (normalised to 128)");
     bench::banner("Fig 17", "BatchSize sensitivity (normalised to 128)");
     TextTable t;
     t.header({"app", "BS=8", "BS=16", "BS=32", "BS=64", "BS=128"});
@@ -41,9 +44,11 @@ main()
         for (size_t bs : {8u, 16u, 32u, 64u, 128u})
             row.push_back(strfmt("%.2f", make_time(bs) / ref));
         t.row(row);
+        report.metric(strfmt("%s.bs128.total_s", app.name), ref);
     }
     t.print();
     std::printf("\nPaper reference: per-batch time decreases monotonically "
                 "with BatchSize; 128 is the default (VRAM limit).\n");
+    report.write();
     return 0;
 }

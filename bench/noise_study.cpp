@@ -19,8 +19,11 @@ using namespace neo;
 using namespace neo::ckks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "noise_study",
+                         "measured noise bits (N=256, 36-bit)");
     bench::banner("Noise study", "measured noise bits (N=256, 36-bit)");
     CkksParams params = CkksParams::test_params(256, 7, 2);
     CkksContext ctx(params);
@@ -57,10 +60,14 @@ main()
     };
     row("fresh (public key)", ca, a);
 
+    report.metric("fresh.noise_bits", probe.noise_bits(ca, a));
+
     Ciphertext mul_h = ev_h.mul(ca, ca, keys);
     row("after HMULT (hybrid KS)", mul_h, sq);
     Ciphertext mul_k = ev_k.mul(ca, ca, keys);
     row("after HMULT (KLSS KS)", mul_k, sq);
+    report.metric("hmult.hybrid.noise_bits", probe.noise_bits(mul_h, sq));
+    report.metric("hmult.klss.noise_bits", probe.noise_bits(mul_k, sq));
 
     Ciphertext rs = ev_h.rescale(mul_h);
     row("after Rescale", rs, sq);
@@ -69,10 +76,12 @@ main()
     Ciphertext ds = ev_h.double_rescale(mul2);
     row("after 2nd HMULT + DS", ds, quad);
     t.print();
+    report.metric("chain.final.noise_bits", probe.noise_bits(ds, quad));
 
     std::printf("\nObservations: both key-switch methods add noise of "
                 "the same order; Rescale trades modulus bits for noise "
                 "bits; DS burns two levels to keep the scale in range "
                 "at WordSize 36 — the discipline §2.1 describes.\n");
+    report.write();
     return 0;
 }

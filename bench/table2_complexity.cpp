@@ -10,8 +10,11 @@ using namespace neo;
 using namespace neo::ckks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "table2",
+                         "KeySwitch complexity (measured counters)");
     bench::banner("Table 2", "KeySwitch complexity (measured counters)");
     // Symbolic evaluation at Set-C-shaped parameters, l = L.
     auto p = paper_set('C');
@@ -49,5 +52,12 @@ main()
                 "implementation in ckks_test "
                 "(KeySwitchCountersMatchComplexityFormulas).\n",
                 beta * ext, beta * ap, 2 * beta * ext, 2 * bt * beta * ap);
+    report.metric("klss.ntt_limbs", static_cast<double>(beta * ap));
+    report.metric("klss.ip_limb_macs",
+                  static_cast<double>(2 * bt * beta * ap));
+    report.metric("hybrid.ntt_limbs", static_cast<double>(beta * ext));
+    report.metric("hybrid.ip_limb_macs",
+                  static_cast<double>(2 * beta * ext));
+    report.write();
     return 0;
 }

@@ -41,8 +41,11 @@ add_row(TextTable &t, const baselines::Backend &b, const PaperRow *paper)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "table5",
+                         "Application performance across schemes");
     bench::banner("Table 5", "Application performance, seconds "
                              "(paper values in parentheses)");
     TextTable t;
@@ -84,13 +87,23 @@ main()
     }
     {
         auto m = neo.model();
-        neo_total =
-            apps::run_schedule(apps::pack_bootstrap(neo.params), m) +
-            apps::run_schedule(apps::helr_iteration(neo.params), m) +
+        const double boot =
+            apps::run_schedule(apps::pack_bootstrap(neo.params), m);
+        const double helr =
+            apps::run_schedule(apps::helr_iteration(neo.params), m);
+        const double r20 =
             apps::run_schedule(apps::resnet(neo.params, 20), m);
+        neo_total = boot + helr + r20;
+        report.metric("neo_c.bootstrap_s", boot);
+        report.metric("neo_c.helr_s", helr);
+        report.metric("neo_c.resnet20_s", r20);
     }
     std::printf("\nNeo speedup over best TensorFHE config: %.2fx "
                 "(paper: 3.28x vs optimal TensorFHE).\n",
                 tfhe_total / neo_total);
+    // Speedup is higher-is-better; gate on its reciprocal.
+    report.metric("neo_c.vs_tensorfhe.inverse_speedup",
+                  neo_total / tfhe_total);
+    report.write();
     return 0;
 }

@@ -23,8 +23,11 @@ add_row(TextTable &t, const baselines::Backend &b, size_t level)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "table6",
+                         "Operation times at l=35");
     bench::banner("Table 6", "Operation times at l=35, microseconds");
     TextTable t;
     t.header({"scheme", "HMult", "HRotate", "PMult", "HAdd", "PAdd",
@@ -39,5 +42,12 @@ main()
     std::printf(
         "\nPaper reference (us): TensorFHE A/B/C HMult = 15304.6 / 18689.4 "
         "/ 32523.6; HEonGPU = 8172.6; Neo = 3472.5; CPU HMult = 2.6 s.\n");
+    {
+        auto m = baselines::make_neo('C').model();
+        report.metric("neo_c.hmult_s", m.hmult_time(35));
+        report.metric("neo_c.hrotate_s", m.hrotate_time(35));
+        report.metric("neo_c.rescale_s", m.rescale_time(35));
+    }
+    report.write();
     return 0;
 }

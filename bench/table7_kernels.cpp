@@ -12,8 +12,11 @@
 using namespace neo;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "table7",
+                         "Kernel throughput under Set-B shapes");
     bench::banner("Table 7", "Kernel throughput under Set-B shapes");
     const auto params = ckks::paper_set('B');
     const size_t l = params.max_level;
@@ -46,6 +49,7 @@ main()
         double rt = rate(kt, false), rn = rate(kn, true);
         t.row({"BConv", strfmt("%.0f", rt), strfmt("%.0f", rn),
                strfmt("%.2fx", rn / rt), "2.74x"});
+        report.metric("neo.bconv.kernel_s", kn.time(dev, true));
     }
     {
         auto kt = m_t.ip(beta, 1, ext, params.word_size);
@@ -53,6 +57,7 @@ main()
         double rt = rate(kt, false), rn = rate(kn, true);
         t.row({"IP", strfmt("%.0f", rt), strfmt("%.0f", rn),
                strfmt("%.2fx", rn / rt), "2.60x"});
+        report.metric("neo.ip.kernel_s", kn.time(dev, true));
     }
     {
         auto kt = m_t.ntt(1, params.word_size);
@@ -60,6 +65,7 @@ main()
         double rt = rate(kt, false), rn = rate(kn, true);
         t.row({"NTT", strfmt("%.0f", rt), strfmt("%.0f", rn),
                strfmt("%.2fx", rn / rt), "3.74x"});
+        report.metric("neo.ntt.kernel_s", kn.time(dev, true));
     }
     t.print();
     std::printf("\nPaper reference: #BConv 311526 -> 854700; #IP 621762 -> "
@@ -84,6 +90,12 @@ main()
         a.row({"BConv", strfmt("%llu", (unsigned long long)c.bconv)});
         a.row({"IP", strfmt("%llu", (unsigned long long)c.ip)});
         a.print();
+        report.metric("keyswitch.spans.gemm", static_cast<double>(c.gemm));
+        report.metric("keyswitch.spans.ntt", static_cast<double>(c.ntt));
+        report.metric("keyswitch.spans.bconv",
+                      static_cast<double>(c.bconv));
+        report.metric("keyswitch.spans.ip", static_cast<double>(c.ip));
     }
+    report.write();
     return 0;
 }

@@ -9,8 +9,11 @@
 using namespace neo;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::Report report(opts, "table8",
+                         "KeySwitch time across d_num and alpha~");
     bench::banner("Table 8", "KeySwitch time (ms) across d_num and alpha~");
     model::ModelConfig cfg; // Neo full configuration
 
@@ -45,5 +48,9 @@ main()
     std::printf("\nModel optimum: d_num=%zu, alpha~=%zu at %.3f ms "
                 "(paper optimum: d_num=9, alpha~=5 at 3.22 ms).\n",
                 best_d, best_a, best);
+    report.metric("best.keyswitch_s", best * 1e-3);
+    report.note("best.d_num", strfmt("%zu", best_d));
+    report.note("best.alpha_tilde", strfmt("%zu", best_a));
+    report.write();
     return 0;
 }

@@ -35,19 +35,6 @@ op_count(std::string_view name)
         r->add(name);
 }
 
-/// Back-fill the legacy out-param from the `ks.*` counters a scoped
-/// run accumulated (grace-period overloads only).
-void
-fill_stats(KeySwitchStats *stats, const obs::Scope &scope)
-{
-    stats->bconv_products += scope.counter("ks.bconv_products");
-    stats->ntt_limbs += scope.counter("ks.ntt_limbs");
-    stats->intt_limbs += scope.counter("ks.intt_limbs");
-    stats->ip_mul_limbs += scope.counter("ks.ip_mul_limbs");
-    stats->recover_products += scope.counter("ks.recover_products");
-    stats->moddown_products += scope.counter("ks.moddown_products");
-}
-
 } // namespace
 
 /// Routes this evaluator's records into its bound scope, if any.
@@ -215,53 +202,6 @@ Evaluator::conjugate(const Ciphertext &a, const EvalKeyBundle &keys) const
 {
     NEO_EVAL_SINK();
     return conjugate_impl(a, keys.galois);
-}
-
-// ---- Grace-period overloads ------------------------------------------
-// Implemented by running the impl under a private obs::Scope and
-// back-filling the stats struct from the `ks.*` counters; without a
-// stats out-param they record into the evaluator's usual sink.
-
-Ciphertext
-Evaluator::mul(const Ciphertext &a, const Ciphertext &b, const EvalKey &rlk,
-               const KlssEvalKey *klss_rlk, KeySwitchStats *stats) const
-{
-    if (stats == nullptr) {
-        NEO_EVAL_SINK();
-        return mul_impl(a, b, &rlk, klss_rlk);
-    }
-    obs::Scope scope;
-    Ciphertext out = mul_impl(a, b, &rlk, klss_rlk);
-    fill_stats(stats, scope);
-    return out;
-}
-
-Ciphertext
-Evaluator::rotate(const Ciphertext &a, i64 steps, const GaloisKeys &gk,
-                  KeySwitchStats *stats) const
-{
-    if (stats == nullptr) {
-        NEO_EVAL_SINK();
-        return rotate_impl(a, steps, gk);
-    }
-    obs::Scope scope;
-    Ciphertext out = rotate_impl(a, steps, gk);
-    fill_stats(stats, scope);
-    return out;
-}
-
-Ciphertext
-Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gk,
-                     KeySwitchStats *stats) const
-{
-    if (stats == nullptr) {
-        NEO_EVAL_SINK();
-        return conjugate_impl(a, gk);
-    }
-    obs::Scope scope;
-    Ciphertext out = conjugate_impl(a, gk);
-    fill_stats(stats, scope);
-    return out;
 }
 
 Ciphertext

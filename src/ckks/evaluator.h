@@ -6,9 +6,7 @@
  *
  * Key material flows in as an EvalKeyBundle (relin key + optional
  * KLSS form + Galois keys); work counts flow out through neo::obs
- * counters (`ks.*`, `op.*`). The pre-bundle overloads taking loose
- * keys and a KeySwitchStats out-param remain for one release, marked
- * deprecated.
+ * counters (`ks.*`, `op.*`).
  */
 #pragma once
 
@@ -73,22 +71,6 @@ class Evaluator
     /// Complex conjugation of all slots.
     Ciphertext conjugate(const Ciphertext &a,
                          const EvalKeyBundle &keys) const;
-
-    // ---- Grace-period overloads (pre-EvalKeyBundle API) --------------
-
-    [[deprecated("pass an EvalKeyBundle; read stats from an obs::Scope")]]
-    Ciphertext mul(const Ciphertext &a, const Ciphertext &b,
-                   const EvalKey &rlk,
-                   const KlssEvalKey *klss_rlk = nullptr,
-                   KeySwitchStats *stats = nullptr) const;
-
-    [[deprecated("pass an EvalKeyBundle; read stats from an obs::Scope")]]
-    Ciphertext rotate(const Ciphertext &a, i64 steps, const GaloisKeys &gk,
-                      KeySwitchStats *stats = nullptr) const;
-
-    [[deprecated("pass an EvalKeyBundle; read stats from an obs::Scope")]]
-    Ciphertext conjugate(const Ciphertext &a, const GaloisKeys &gk,
-                         KeySwitchStats *stats = nullptr) const;
 
     /// Rescale: drop the last prime, dividing the scale by it.
     Ciphertext rescale(const Ciphertext &a) const;

@@ -24,22 +24,6 @@
 namespace neo::ckks {
 
 /**
- * Table 2 operation counters, filled by the deprecated stats-taking
- * Evaluator overloads from the `ks.*` obs counters. New code should
- * read the counters from an obs::Scope directly; this struct leaves
- * with the grace-period overloads.
- */
-struct KeySwitchStats
-{
-    u64 bconv_products = 0;  ///< (input-limb, output-limb) pairs in ModUp
-    u64 ntt_limbs = 0;       ///< forward NTT limb transforms
-    u64 intt_limbs = 0;      ///< inverse NTT limb transforms
-    u64 ip_mul_limbs = 0;    ///< limb multiply-accumulates in IP
-    u64 recover_products = 0;///< limb pairs in Recover Limbs
-    u64 moddown_products = 0;///< limb pairs in ModDown's BConv
-};
-
-/**
  * Hybrid key switch of @p d2 (eval form over q_0..q_level) under
  * @p evk. Returns (k0, k1) in eval form at the same level with
  * k0 + k1·s ≈ d2·s'. Work counts flow to the active neo::obs sink

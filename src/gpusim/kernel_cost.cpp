@@ -4,6 +4,26 @@
 
 namespace neo::gpusim {
 
+const char *
+bound_name(Bound b)
+{
+    switch (b) {
+    case Bound::compute: return "compute";
+    case Bound::memory: return "memory";
+    case Bound::launch: return "launch";
+    }
+    return "?";
+}
+
+Bound
+CostBreakdown::bound() const
+{
+    const double roof = std::max(compute_s, memory_s);
+    if (launch_s > roof)
+        return Bound::launch;
+    return compute_s >= memory_s ? Bound::compute : Bound::memory;
+}
+
 KernelCost &
 KernelCost::operator+=(const KernelCost &o)
 {
@@ -18,34 +38,64 @@ KernelCost::operator+=(const KernelCost &o)
     return *this;
 }
 
+namespace {
+double
+clamp0(double v)
+{
+    return v > 0 ? v : 0;
+}
+} // namespace
+
 double
 KernelCost::cuda_time(const DeviceSpec &d) const
 {
-    return cuda_modmul / d.modmul_rate() + cuda_modadd / d.modadd_rate() +
-           cuda_int_ops / d.int_op_rate();
+    return clamp0(cuda_modmul) / d.modmul_rate() +
+           clamp0(cuda_modadd) / d.modadd_rate() +
+           clamp0(cuda_int_ops) / d.int_op_rate();
 }
 
 double
 KernelCost::tcu_time(const DeviceSpec &d) const
 {
-    return tcu_fp64_macs / d.tcu_fp64_fma_rate() +
-           tcu_int8_macs / d.tcu_int8_mac_rate();
+    return clamp0(tcu_fp64_macs) / d.tcu_fp64_fma_rate() +
+           clamp0(tcu_int8_macs) / d.tcu_int8_mac_rate();
 }
 
 double
 KernelCost::mem_time(const DeviceSpec &d) const
 {
-    return bytes() / d.mem_rate();
+    return (clamp0(bytes_read) + clamp0(bytes_written)) / d.mem_rate();
+}
+
+CostBreakdown
+KernelCost::breakdown(const DeviceSpec &d, bool overlap_components) const
+{
+    const double cuda = cuda_time(d);
+    const double tcu = tcu_time(d);
+    CostBreakdown b;
+    b.compute_s = overlap_components ? std::max(cuda, tcu) : cuda + tcu;
+    b.memory_s = mem_time(d);
+    b.launch_s = clamp0(launches) * d.kernel_launch_s;
+    b.bytes = clamp0(bytes_read) + clamp0(bytes_written);
+    b.macs = clamp0(tcu_fp64_macs) + clamp0(tcu_int8_macs);
+    b.mod_ops = clamp0(cuda_modmul) + clamp0(cuda_modadd);
+    b.int_ops = clamp0(cuda_int_ops);
+    return b;
 }
 
 double
 KernelCost::time(const DeviceSpec &d, bool overlap_components) const
 {
-    const double cuda = cuda_time(d);
-    const double tcu = tcu_time(d);
-    const double compute =
-        overlap_components ? std::max(cuda, tcu) : cuda + tcu;
-    return std::max(mem_time(d), compute) + launches * d.kernel_launch_s;
+    return breakdown(d, overlap_components).total_s();
+}
+
+Bound
+ScheduleResult::bound() const
+{
+    const double roof = std::max(compute_s, memory_s);
+    if (launch_s > roof)
+        return Bound::launch;
+    return compute_s >= memory_s ? Bound::compute : Bound::memory;
 }
 
 ScheduleResult
@@ -67,14 +117,19 @@ run_schedule(const std::vector<KernelCost> &kernels, const DeviceSpec &d,
             r.bytes += k.bytes();
             r.launches += k.launches;
         }
-        r.seconds = std::max({cuda + tcu == 0 ? 0 : std::max(cuda, tcu),
-                              mem}) +
-                    r.launches * d.kernel_launch_s * 0.5;
+        r.compute_s = cuda + tcu == 0 ? 0 : std::max(cuda, tcu);
+        r.memory_s = mem;
+        r.launch_s = r.launches * d.kernel_launch_s * 0.5;
+        r.seconds = std::max(r.compute_s, r.memory_s) + r.launch_s;
     } else {
         for (const auto &k : kernels) {
-            r.seconds += k.time(d, false);
+            const CostBreakdown b = k.breakdown(d, false);
+            r.seconds += b.total_s();
             r.bytes += k.bytes();
             r.launches += k.launches;
+            r.compute_s += b.compute_s;
+            r.memory_s += b.memory_s;
+            r.launch_s += b.launch_s;
         }
     }
     return r;

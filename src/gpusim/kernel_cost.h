@@ -6,11 +6,15 @@
  * resource: CUDA-core modular ops, TCU MACs (already padded and
  * split-multiplied), and DRAM traffic. Its execution time is
  *
- *   time = max(mem_time, compute_time) + launches * launch_overhead
+ *   time = max(memory_s, compute_s) + launch_s
  *
- * where compute_time is the sum of CUDA and TCU phase times for an
+ * where compute_s is the sum of CUDA and TCU phase times for an
  * ordinary kernel, or their max when the multi-stream optimization
- * (§4.6) lets another stream's CUDA work fill TCU stalls.
+ * (§4.6) lets another stream's CUDA work fill TCU stalls, and
+ * launch_s = launches * launch_overhead. The full decomposition —
+ * not just the scalar total — is exposed as a CostBreakdown so
+ * profilers can attribute every kernel to its bottleneck resource
+ * (compute / memory / launch bound, the Fig 13 lens).
  *
  * This is the same first-order model the paper itself reasons with in
  * §3 (memory-transfer proportions, component throughputs, Booth/
@@ -24,6 +28,45 @@
 #include "gpusim/device_spec.h"
 
 namespace neo::gpusim {
+
+/** Which roofline term bounds a kernel's execution time. */
+enum class Bound { compute, memory, launch };
+
+/// Stable lowercase name ("compute" / "memory" / "launch") for
+/// reports and JSON artifacts.
+const char *bound_name(Bound b);
+
+/**
+ * Full roofline decomposition of one kernel (or one schedule) under a
+ * DeviceSpec. All fields are non-negative; the invariant
+ *
+ *   total_s() == max(compute_s, memory_s) + launch_s
+ *
+ * holds by construction and is locked in tests/gpusim_cost_test.cpp.
+ */
+struct CostBreakdown
+{
+    double compute_s = 0; ///< CUDA + TCU phase seconds (max if overlapped)
+    double memory_s = 0;  ///< DRAM transfer seconds
+    double launch_s = 0;  ///< launches * per-launch overhead
+    double bytes = 0;     ///< DRAM bytes moved (read + written)
+    double macs = 0;      ///< TCU MACs (FP64 + INT8, padded + split)
+    double mod_ops = 0;   ///< CUDA-core modular mul/add limb ops
+    double int_ops = 0;   ///< plain INT32 ops (splits/merges/reorders)
+
+    /// Kernel execution time under the roofline identity.
+    double total_s() const
+    {
+        return (compute_s > memory_s ? compute_s : memory_s) + launch_s;
+    }
+
+    /**
+     * The resource that bounds total_s(): `launch` when the fixed
+     * overhead exceeds both roofline terms, else whichever of
+     * compute/memory forms the max (ties break to compute).
+     */
+    Bound bound() const;
+};
 
 /** Work placed on each GPU resource by one kernel (or fused kernel). */
 struct KernelCost
@@ -57,9 +100,18 @@ struct KernelCost
     double mem_time(const DeviceSpec &d) const;
 
     /**
-     * Kernel execution time.
+     * Full roofline decomposition. Negative work fields (a modelling
+     * bug) are clamped to zero so downstream attribution stays sane;
+     * the clamp is observable via the non-negativity tests.
      * @param overlap_components  true when multi-stream execution
      *        overlaps the CUDA and TCU phases (§4.6).
+     */
+    CostBreakdown breakdown(const DeviceSpec &d,
+                            bool overlap_components = false) const;
+
+    /**
+     * Kernel execution time; exactly breakdown().total_s(), so the
+     * scalar and the decomposition can never disagree.
      */
     double time(const DeviceSpec &d, bool overlap_components = false) const;
 };
@@ -70,6 +122,21 @@ struct ScheduleResult
     double seconds = 0;
     double bytes = 0;
     double launches = 0;
+    /**
+     * Phase attribution of `seconds`. Under multistream scheduling
+     * the roofline identity seconds == max(compute_s, memory_s) +
+     * launch_s holds for the schedule as a whole; under serial
+     * scheduling it holds per kernel and the fields below are the
+     * per-phase sums (sum-of-max >= max-of-sum, so seconds >=
+     * max(compute_s, memory_s) + launch_s).
+     */
+    double compute_s = 0;
+    double memory_s = 0;
+    double launch_s = 0;
+
+    /// Dominant resource across the schedule (same rule as
+    /// CostBreakdown::bound()).
+    Bound bound() const;
 };
 
 /**

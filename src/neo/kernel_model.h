@@ -85,8 +85,65 @@ class KernelModel
 
     // ---- Composite costs ----------------------------------------------
 
+    /**
+     * One kernel of a composite operation, tagged with the stage name
+     * used by the profiler and the obs attribution sink ("intt_q",
+     * "modup_bconv", "ip", ...). Names are stable across engines so
+     * baselines compare like-for-like.
+     */
+    struct NamedKernel
+    {
+        const char *name;
+        gpusim::KernelCost cost;
+    };
+
+    /**
+     * One row of an attributed schedule: all invocations of one named
+     * kernel, with its share of the schedule time. Time fields are
+     * scaled so that summing `modeled_s` over all rows reproduces the
+     * schedule total exactly (overlap gains and the occupancy derate
+     * are distributed proportionally); bytes/op fields are raw work
+     * sums for the whole batch.
+     */
+    struct KernelAttribution
+    {
+        std::string name;
+        u64 calls = 0;
+        double modeled_s = 0;  ///< scaled share of the schedule total
+        double fraction = 0;   ///< modeled_s / schedule total
+        double compute_s = 0;  ///< scaled compute phase
+        double memory_s = 0;   ///< scaled memory phase
+        double launch_s = 0;   ///< scaled launch overhead
+        double bytes = 0;      ///< DRAM bytes (whole batch)
+        double macs = 0;       ///< TCU MACs (whole batch)
+        double mod_ops = 0;    ///< CUDA modular ops (whole batch)
+        double int_ops = 0;    ///< plain INT32 ops (whole batch)
+
+        /// Bottleneck class of this row (largest scaled phase).
+        gpusim::Bound bound() const;
+    };
+
+    /** run() result with its per-kernel roofline attribution. */
+    struct AttributedSchedule
+    {
+        /// Per-batched-ciphertext schedule time; == run(same kernels).
+        double seconds = 0;
+        /// Raw whole-batch schedule totals (before occupancy/batch).
+        gpusim::ScheduleResult schedule;
+        /// One row per distinct kernel name, first-appearance order.
+        std::vector<KernelAttribution> kernels;
+    };
+
     /// Kernel sequence of one KeySwitch at @p level.
     std::vector<gpusim::KernelCost> keyswitch_kernels(size_t level) const;
+
+    /// KeySwitch kernels with stage names (superset of
+    /// keyswitch_kernels: same costs, same order).
+    std::vector<NamedKernel> keyswitch_kernels_named(size_t level) const;
+    /// HMULT = KeySwitch + tensor-product fixups.
+    std::vector<NamedKernel> hmult_kernels_named(size_t level) const;
+    /// HROTATE = KeySwitch + automorphism + accumulate.
+    std::vector<NamedKernel> hrotate_kernels_named(size_t level) const;
 
     /// Wall time of one KeySwitch at @p level.
     double keyswitch_time(size_t level) const;
@@ -109,6 +166,14 @@ class KernelModel
 
     /// Total time of a kernel list under this config's scheduling.
     double run(const std::vector<gpusim::KernelCost> &kernels) const;
+
+    /**
+     * run() plus per-kernel roofline attribution. The invariant
+     * `sum(row.modeled_s) == result.seconds == run(costs)` is the
+     * contract the profiler's JSON artifact is tested against.
+     */
+    AttributedSchedule
+    run_attributed(const std::vector<NamedKernel> &kernels) const;
 
     // ---- Traffic introspection (Figs 2 and 15) -------------------------
 

@@ -90,10 +90,16 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
         r->add("pipeline.keyswitch");
         // Modeled device time of the same KeySwitch on the simulated
         // A100, accumulated next to the wall-clock span so exporters
-        // can report modeled-vs-measured side by side.
+        // can report modeled-vs-measured side by side — total plus the
+        // per-kernel roofline attribution (modeled.kernel.*).
         model::KernelModel model(ctx.params(), model::ModelConfig{});
-        r->add_value("modeled.keyswitch.s",
-                     model.keyswitch_time(d2.limbs() - 1));
+        const auto att = model.run_attributed(
+            model.keyswitch_kernels_named(d2.limbs() - 1));
+        r->add_value("modeled.keyswitch.s", att.seconds);
+        for (const auto &row : att.kernels)
+            r->add_modeled_cost(row.name, row.modeled_s, row.compute_s,
+                                row.memory_s, row.launch_s, row.bytes,
+                                row.calls);
     }
     const size_t n = d2.n();
     const size_t level = d2.limbs() - 1;

@@ -1,0 +1,457 @@
+#include "prof/prof.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "apps/schedules.h"
+#include "baselines/backends.h"
+#include "ckks/keygen.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "gpusim/tcu_model.h"
+#include "neo/kernel_model.h"
+#include "neo/pipeline.h"
+#include "obs/obs.h"
+
+namespace neo::prof {
+
+using ckks::CkksContext;
+using ckks::CkksParams;
+using model::KernelModel;
+using model::ModelConfig;
+
+namespace {
+
+ModelConfig
+config_for_engine(const std::string &engine)
+{
+    ModelConfig cfg;
+    if (engine == "fp64_tcu") {
+        // the default: every §4 optimization on
+    } else if (engine == "scalar") {
+        // Same algorithms (matrix dataflow, ten-step NTT), GEMMs
+        // priced on CUDA cores — the functional scalar engine's twin.
+        cfg.engine = model::MatMulEngine::cuda_cores;
+    } else if (engine == "int8_tcu") {
+        cfg.engine = model::MatMulEngine::tcu_int8;
+    } else {
+        throw std::invalid_argument(
+            "unknown engine '" + engine +
+            "' (valid: fp64_tcu scalar int8_tcu)");
+    }
+    return cfg;
+}
+
+/// Fold one attributed schedule, weighted by @p mult invocations,
+/// into the result's kernel rows.
+void
+accumulate_rows(Result &r, const KernelModel::AttributedSchedule &att,
+                double mult)
+{
+    for (const auto &row : att.kernels) {
+        KernelRow *dst = nullptr;
+        for (auto &k : r.kernels)
+            if (k.name == row.name)
+                dst = &k;
+        if (dst == nullptr) {
+            r.kernels.emplace_back();
+            dst = &r.kernels.back();
+            dst->name = row.name;
+        }
+        dst->calls += static_cast<u64>(
+            std::llround(mult * static_cast<double>(row.calls)));
+        dst->modeled_s += row.modeled_s * mult;
+        dst->compute_s += row.compute_s * mult;
+        dst->memory_s += row.memory_s * mult;
+        dst->launch_s += row.launch_s * mult;
+        dst->bytes += row.bytes * mult;
+    }
+    r.bytes += att.schedule.bytes * mult;
+    r.launches += att.schedule.launches * mult;
+}
+
+/// Re-derive fractions and bound strings once all rows are in.
+void
+finalize_rows(Result &r)
+{
+    for (auto &k : r.kernels) {
+        k.fraction = r.modeled_total_s > 0 ? k.modeled_s / r.modeled_total_s
+                                           : 0;
+        const double roof = std::max(k.compute_s, k.memory_s);
+        k.bound = k.launch_s > roof
+                      ? "launch"
+                      : (k.compute_s >= k.memory_s ? "compute" : "memory");
+    }
+    // Schedule-level bound from the summed phases.
+    double c = 0, m = 0, l = 0;
+    for (const auto &k : r.kernels) {
+        c += k.compute_s;
+        m += k.memory_s;
+        l += k.launch_s;
+    }
+    r.bound = l > std::max(c, m) ? "launch"
+                                 : (c >= m ? "compute" : "memory");
+}
+
+void
+fill_metrics(Result &r)
+{
+    r.metrics["modeled.total_s"] = r.modeled_total_s;
+    r.metrics["bytes.total"] = r.bytes;
+    r.metrics["launches.total"] = r.launches;
+    for (const auto &k : r.kernels)
+        r.metrics["modeled.kernel." + k.name + ".s"] = k.modeled_s;
+    for (const auto &[name, count] : r.spans)
+        r.metrics[name] = static_cast<double>(count);
+    if (r.wall_s > 0)
+        r.metrics["wall.total_s"] = r.wall_s;
+}
+
+/// The primitive workloads run at functional-test scale so the
+/// keyswitch can execute end to end in a ctest-friendly time.
+CkksParams
+primitive_params()
+{
+    return CkksParams::test_params(256, 5, 2);
+}
+
+Result
+profile_keyswitch(const std::string &engine, size_t level)
+{
+    CkksParams params = primitive_params();
+    if (level == 0)
+        level = params.max_level;
+    NEO_CHECK(level <= params.max_level, "level above parameter set's L");
+
+    Result r;
+    r.workload = "keyswitch";
+    r.engine = engine;
+    r.mode = "functional";
+    r.level = level;
+
+    CkksContext ctx(params);
+    ckks::KeyGenerator keygen(ctx, 17);
+    ckks::SecretKey sk = keygen.secret_key();
+    ckks::KlssEvalKey rlk = keygen.to_klss(keygen.relin_key(sk));
+
+    Rng rng(40 + level);
+    RnsPoly d2(ctx.n(), ctx.active_mods(level), PolyForm::eval);
+    for (size_t i = 0; i < d2.limbs(); ++i)
+        for (size_t j = 0; j < d2.n(); ++j)
+            d2.limb(i)[j] = rng.uniform(d2.modulus(i).value());
+
+    const PipelineEngines engines = PipelineEngines::from_name(engine);
+    obs::Scope scope;
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)keyswitch_klss_pipeline(d2, rlk, ctx, engines);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+    for (const auto &[name, count] : scope.registry().counters()) {
+        if (name.rfind("span.", 0) == 0 || name == "gemm.calls" ||
+            name == "pipeline.keyswitch")
+            r.spans[name] = count;
+    }
+    const auto want = keyswitch_pipeline_kernel_counts(ctx, level);
+    r.expected_spans["gemm"] = want.gemm;
+    r.expected_spans["ntt"] = want.ntt;
+    r.expected_spans["bconv"] = want.bconv;
+    r.expected_spans["ip"] = want.ip;
+
+    KernelModel model(params, config_for_engine(engine));
+    const auto att =
+        model.run_attributed(model.keyswitch_kernels_named(level));
+    r.modeled_total_s = att.seconds;
+    accumulate_rows(r, att, 1.0);
+    r.ip_valid_proportion = gpusim::TcuModel::valid_proportion_fp64(
+        params.batch, params.beta_tilde(level), params.beta(level));
+    finalize_rows(r);
+    fill_metrics(r);
+    return r;
+}
+
+Result
+profile_primitive(const std::string &workload, const std::string &engine,
+                  size_t level)
+{
+    CkksParams params = primitive_params();
+    if (level == 0)
+        level = params.max_level;
+    NEO_CHECK(level <= params.max_level, "level above parameter set's L");
+
+    Result r;
+    r.workload = workload;
+    r.engine = engine;
+    r.mode = "modeled";
+    r.level = level;
+
+    KernelModel model(params, config_for_engine(engine));
+    const auto kernels = workload == "mul"
+                             ? model.hmult_kernels_named(level)
+                             : model.hrotate_kernels_named(level);
+    const auto att = model.run_attributed(kernels);
+    r.modeled_total_s = att.seconds;
+    accumulate_rows(r, att, 1.0);
+    r.ip_valid_proportion = gpusim::TcuModel::valid_proportion_fp64(
+        params.batch, params.beta_tilde(level), params.beta(level));
+    finalize_rows(r);
+    fill_metrics(r);
+    return r;
+}
+
+/// Mirror of apps::run_schedule with per-kernel attribution: each
+/// op's named kernel list reprices to exactly the op's *_time(), so
+/// the accumulated total matches run_schedule bit for bit.
+double
+accumulate_schedule(Result &r, const apps::Schedule &s,
+                    const KernelModel &m, double mult)
+{
+    double total = 0;
+    for (const auto &o : s.ops) {
+        std::vector<KernelModel::NamedKernel> ks;
+        const size_t l = o.level;
+        switch (o.op) {
+        case apps::OpKind::hmult: ks = m.hmult_kernels_named(l); break;
+        case apps::OpKind::hrotate: ks = m.hrotate_kernels_named(l); break;
+        case apps::OpKind::pmult:
+            ks.push_back({"pmult", m.modmul(2 * (l + 1))});
+            break;
+        case apps::OpKind::hadd:
+            ks.push_back({"hadd", m.modadd(2 * (l + 1))});
+            break;
+        case apps::OpKind::padd:
+            ks.push_back({"padd", m.modadd(l + 1)});
+            break;
+        case apps::OpKind::rescale:
+            ks.push_back({"rescale_intt",
+                          m.ntt(2 * (l + 1), m.params().word_size)});
+            ks.push_back({"rescale_fix", m.modmul(2 * l)});
+            ks.push_back({"rescale_ntt",
+                          m.ntt(2 * l, m.params().word_size)});
+            break;
+        case apps::OpKind::double_rescale:
+            ks.push_back({"rescale_intt",
+                          m.ntt(2 * (l + 1), m.params().word_size)});
+            ks.push_back({"rescale_fix", m.modmul(4 * l - 2)});
+            ks.push_back({"rescale_ntt",
+                          m.ntt(2 * (l - 1), m.params().word_size)});
+            break;
+        }
+        const auto att = m.run_attributed(ks);
+        accumulate_rows(r, att, mult * o.count);
+        total += att.seconds * o.count;
+    }
+    if (s.bootstraps > 0) {
+        const apps::Schedule bs = apps::pack_bootstrap(m.params());
+        total += s.bootstraps *
+                 accumulate_schedule(r, bs, m, mult * s.bootstraps);
+    }
+    return total;
+}
+
+Result
+profile_app(const std::string &workload, const std::string &engine)
+{
+    baselines::Backend neo = baselines::make_neo('C');
+    ModelConfig cfg = config_for_engine(engine);
+    cfg.device = neo.cfg.device; // same A100 either way
+
+    Result r;
+    r.workload = workload;
+    r.engine = engine;
+    r.mode = "modeled";
+    r.level = neo.params.max_level;
+
+    KernelModel model(neo.params, cfg);
+    apps::Schedule sched;
+    if (workload == "bootstrap")
+        sched = apps::pack_bootstrap(neo.params);
+    else if (workload == "helr")
+        sched = apps::helr_iteration(neo.params);
+    else if (workload == "resnet20")
+        sched = apps::resnet(neo.params, 20);
+    else if (workload == "resnet32")
+        sched = apps::resnet(neo.params, 32);
+    else
+        sched = apps::resnet(neo.params, 56);
+
+    r.modeled_total_s = accumulate_schedule(r, sched, model, 1.0);
+    r.ip_valid_proportion = gpusim::TcuModel::valid_proportion_fp64(
+        neo.params.batch, neo.params.beta_tilde(r.level),
+        neo.params.beta(r.level));
+    finalize_rows(r);
+    fill_metrics(r);
+    return r;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+workload_names()
+{
+    static const std::vector<std::string> names = {
+        "keyswitch", "mul",      "rotate",   "bootstrap",
+        "helr",      "resnet20", "resnet32", "resnet56"};
+    return names;
+}
+
+Result
+profile(const std::string &workload, const std::string &engine,
+        size_t level)
+{
+    (void)config_for_engine(engine); // validate the name up front
+    if (workload == "keyswitch")
+        return profile_keyswitch(engine, level);
+    if (workload == "mul" || workload == "rotate")
+        return profile_primitive(workload, engine, level);
+    for (const auto &n : workload_names())
+        if (n == workload)
+            return profile_app(workload, engine);
+    std::string msg = "unknown workload '" + workload + "' (valid:";
+    for (const auto &n : workload_names()) {
+        msg += ' ';
+        msg += n;
+    }
+    msg += ')';
+    throw std::invalid_argument(msg);
+}
+
+void
+print_report(const Result &r, std::ostream &out)
+{
+    out << "neo-prof — workload '" << r.workload << "', engine '"
+        << r.engine << "' (" << r.mode << ", level " << r.level << ")\n";
+    out << "  modeled total: " << format_time(r.modeled_total_s);
+    if (r.wall_s > 0)
+        out << "   wall: " << format_time(r.wall_s);
+    out << "   traffic: " << format_bytes(r.bytes)
+        << "   launches: " << strfmt("%.0f", r.launches)
+        << "   bound: " << r.bound
+        << "   ip_valid: " << strfmt("%.3f", r.ip_valid_proportion)
+        << "\n\n";
+
+    TextTable t;
+    t.header({"kernel", "calls", "modeled", "% total", "compute",
+              "memory", "launch", "bytes", "bound"});
+    for (const auto &k : r.kernels) {
+        t.row({k.name, strfmt("%llu", (unsigned long long)k.calls),
+               format_time(k.modeled_s),
+               strfmt("%6.2f%%", 100.0 * k.fraction),
+               format_time(k.compute_s), format_time(k.memory_s),
+               format_time(k.launch_s), format_bytes(k.bytes), k.bound});
+    }
+    out << t.str();
+
+    if (!r.spans.empty()) {
+        out << "\ntraced spans";
+        if (!r.expected_spans.empty())
+            out << " (expected: analytic kernel counts)";
+        out << ":\n";
+        for (const auto &[name, count] : r.spans)
+            out << "  " << name << " = " << count << "\n";
+        for (const auto &[name, count] : r.expected_spans)
+            out << "  expect." << name << " = " << count << "\n";
+    }
+}
+
+std::string
+to_json(const Result &r)
+{
+    json::Writer w;
+    w.begin_object();
+    w.key("schema").value(kSchema);
+    w.key("kind").value("profile");
+    w.key("workload").value(r.workload);
+    w.key("engine").value(r.engine);
+    w.key("mode").value(r.mode);
+    w.key("level").value(static_cast<u64>(r.level));
+
+    w.key("totals").begin_object();
+    w.key("modeled_s").value(r.modeled_total_s);
+    w.key("wall_s").value(r.wall_s);
+    w.key("bytes").value(r.bytes);
+    w.key("launches").value(r.launches);
+    w.key("bound").value(r.bound);
+    w.key("ip_valid_proportion").value(r.ip_valid_proportion);
+    w.end_object();
+
+    w.key("kernels").begin_array();
+    for (const auto &k : r.kernels) {
+        w.begin_object();
+        w.key("name").value(k.name);
+        w.key("calls").value(k.calls);
+        w.key("modeled_s").value(k.modeled_s);
+        w.key("fraction").value(k.fraction);
+        w.key("compute_s").value(k.compute_s);
+        w.key("memory_s").value(k.memory_s);
+        w.key("launch_s").value(k.launch_s);
+        w.key("bytes").value(k.bytes);
+        w.key("bound").value(k.bound);
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("spans").begin_object();
+    for (const auto &[name, count] : r.spans)
+        w.key(name).value(count);
+    w.end_object();
+
+    w.key("expected_spans").begin_object();
+    for (const auto &[name, count] : r.expected_spans)
+        w.key(name).value(count);
+    w.end_object();
+
+    w.key("metrics").begin_object();
+    for (const auto &[name, v] : r.metrics)
+        w.key(name).value(v);
+    w.end_object();
+
+    w.end_object();
+    return w.str();
+}
+
+void
+write_json(const Result &r, const std::string &path)
+{
+    std::ofstream f(path);
+    NEO_CHECK(f.good(), "cannot open " + path + " for writing");
+    f << to_json(r) << '\n';
+}
+
+std::vector<Regression>
+compare(const json::Value &baseline, const json::Value &current,
+        const CompareOptions &opts)
+{
+    NEO_CHECK(baseline.at("schema").as_string() == kSchema,
+              "baseline artifact has wrong schema");
+    NEO_CHECK(current.at("schema").as_string() == kSchema,
+              "current artifact has wrong schema");
+    std::vector<Regression> out;
+    const auto &base_metrics = baseline.at("metrics").as_object();
+    const json::Value &cur_metrics = current.at("metrics");
+    for (const auto &[name, bval] : base_metrics) {
+        if (!opts.gate_wall && name.find("wall") != std::string::npos)
+            continue;
+        const double b = bval.as_number();
+        const json::Value *cval = cur_metrics.find(name);
+        if (cval == nullptr) {
+            out.push_back({name, b, 0, 0}); // dropped metric
+            continue;
+        }
+        const double c = cval->as_number();
+        if (c > b * (1.0 + opts.threshold) + 1e-12) {
+            out.push_back(
+                {name, b, c, b > 0 ? c / b
+                                   : std::numeric_limits<double>::infinity()});
+        }
+    }
+    return out;
+}
+
+} // namespace neo::prof

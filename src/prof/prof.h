@@ -1,0 +1,140 @@
+/**
+ * @file
+ * neo::prof — modeled-GPU roofline profiler and benchmark harness.
+ *
+ * Layered on neo::obs and the analytic kernel model: a profile run
+ * executes one named workload under a chosen GEMM engine, joins every
+ * traced span with its modeled cost, and produces
+ *
+ *  - a per-kernel roofline attribution report (modeled vs. wall time,
+ *    bytes, bottleneck class, % of total — the Fig 13 lens applied to
+ *    any workload), and
+ *  - a schema-versioned JSON artifact (`neo.bench/1`, written as
+ *    BENCH_<workload>.json) whose flat `metrics` map a baseline
+ *    compare can gate on with per-metric relative thresholds.
+ *
+ * Workloads come in two modes:
+ *  - functional ("keyswitch"): actually runs keyswitch_klss_pipeline
+ *    on the emulated TCU under an obs::Scope, so the artifact carries
+ *    real span counts (asserted equal to
+ *    keyswitch_pipeline_kernel_counts) and wall time next to the
+ *    modeled numbers;
+ *  - modeled ("mul", "rotate", "bootstrap", "helr", "resnet20/32/56"):
+ *    prices the operation/application schedule on the A100 model at
+ *    paper-scale parameters (Set-C), where a functional run would be
+ *    prohibitively slow on a CPU emulation.
+ *
+ * The invariant the artifact is tested against: the per-kernel
+ * `modeled_s` rows sum to `totals.modeled_s` (run_attributed's
+ * contract), so "% of total" is an exact decomposition.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/types.h"
+
+namespace neo::prof {
+
+/// Artifact schema identifier; bump on breaking layout changes.
+inline constexpr const char *kSchema = "neo.bench/1";
+
+/** One aggregated kernel row of the attribution report. */
+struct KernelRow
+{
+    std::string name;
+    u64 calls = 0;
+    double modeled_s = 0; ///< share of totals.modeled_s (rows sum to it)
+    double fraction = 0;  ///< modeled_s / totals.modeled_s
+    double compute_s = 0;
+    double memory_s = 0;
+    double launch_s = 0;
+    double bytes = 0;
+    std::string bound; ///< "compute" | "memory" | "launch"
+};
+
+/** Complete result of one profile run. */
+struct Result
+{
+    std::string workload;
+    std::string engine; ///< "fp64_tcu" | "scalar" | "int8_tcu"
+    std::string mode;   ///< "functional" | "modeled"
+    size_t level = 0;   ///< ciphertext level the workload ran at
+
+    double modeled_total_s = 0; ///< per-batched-ciphertext model time
+    double wall_s = 0;          ///< functional runs only, else 0
+    double bytes = 0;           ///< whole-batch DRAM traffic
+    double launches = 0;
+    std::string bound;            ///< schedule-level bottleneck class
+    double ip_valid_proportion = 0; ///< §4.5.3 gate input at this level
+
+    std::vector<KernelRow> kernels;
+    /// span.* / gemm.calls counters from the run's obs::Scope
+    /// (functional mode only).
+    std::map<std::string, u64> spans;
+    /// Analytic counts the spans must equal (keyswitch only).
+    std::map<std::string, u64> expected_spans;
+    /// Flat gate-able metrics (all "higher is worse"); keys containing
+    /// "wall" are machine-dependent and skipped by compare() unless
+    /// gate_wall is set.
+    std::map<std::string, double> metrics;
+};
+
+/// Workloads profile() accepts, in display order.
+const std::vector<std::string> &workload_names();
+
+/**
+ * Run @p workload under @p engine and collect the attribution.
+ * @p level selects the ciphertext level for the primitive workloads
+ * (keyswitch/mul/rotate); 0 means "the parameter set's top level".
+ * Application workloads price their full schedule and ignore @p level.
+ * Throws std::invalid_argument for unknown names.
+ */
+Result profile(const std::string &workload, const std::string &engine,
+               size_t level = 0);
+
+/// Human-readable attribution report (stdout form of the artifact).
+void print_report(const Result &r, std::ostream &out);
+
+/// The artifact as a JSON document (schema kSchema).
+std::string to_json(const Result &r);
+/// to_json + write to @p path (with trailing newline).
+void write_json(const Result &r, const std::string &path);
+
+// ---------------------------------------------------------------- gating
+
+struct CompareOptions
+{
+    /// Relative threshold: metric m regresses when
+    /// current > baseline * (1 + threshold) (absolute slack 1e-12
+    /// covers exact-zero baselines).
+    double threshold = 0.10;
+    /// Gate wall-clock metrics too (off by default: machine-dependent).
+    bool gate_wall = false;
+};
+
+/** One metric that moved past its threshold. */
+struct Regression
+{
+    std::string metric;
+    double baseline = 0;
+    double current = 0;
+    double ratio = 0; ///< current / baseline (inf for 0 baselines)
+};
+
+/**
+ * Compare two artifacts' `metrics` maps (baseline first). Returns the
+ * regressed metrics; empty means "no regression". A metric present in
+ * the baseline but missing from the current artifact is reported as a
+ * regression (ratio 0), so renames can't silently drop coverage.
+ * Both documents must carry schema kSchema.
+ */
+std::vector<Regression> compare(const json::Value &baseline,
+                                const json::Value &current,
+                                const CompareOptions &opts = {});
+
+} // namespace neo::prof

@@ -355,35 +355,6 @@ TEST_F(CkksFixture, KeySwitchCountersMatchComplexityFormulas)
     }
 }
 
-// Grace-period coverage: the deprecated loose-key overloads must keep
-// the old KeySwitchStats contract until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(CkksFixture, DeprecatedStatsOverloadStillFillsStats)
-{
-    Encryptor enc(*ctx_, 23);
-    auto a = random_slots(ctx_->encoder().slot_count(), 20);
-    auto ca = enc.encrypt(ctx_->encode(a, 5), *pk_);
-    auto cb = enc.encrypt(ctx_->encode(a, 5), *pk_);
-
-    const size_t l = 5;
-    const size_t alpha = params_->alpha();
-    const size_t beta = params_->beta(l);
-    const size_t ext = l + 1 + alpha;
-
-    Evaluator ev_h(*ctx_, KeySwitchMethod::hybrid);
-    KeySwitchStats hs;
-    Ciphertext old_api = ev_h.mul(ca, cb, keys_->rlk, nullptr, &hs);
-    EXPECT_EQ(hs.bconv_products, beta * alpha * (ext - alpha));
-    EXPECT_EQ(hs.ip_mul_limbs, 2 * beta * ext);
-
-    // Same result as the bundle API.
-    Ciphertext new_api = ev_h.mul(ca, cb, *keys_);
-    EXPECT_EQ(old_api.level, new_api.level);
-    EXPECT_DOUBLE_EQ(old_api.scale, new_api.scale);
-}
-#pragma GCC diagnostic pop
-
 TEST_F(CkksFixture, KlssInnerProductStaysBelowBound)
 {
     // Eq. 4 instantiation: the T base must exceed the worst-case IP

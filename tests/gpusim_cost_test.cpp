@@ -1,0 +1,205 @@
+/**
+ * Invariants of the roofline cost decomposition (gpusim/kernel_cost):
+ * the scalar time() can never disagree with its CostBreakdown, the
+ * breakdown obeys the roofline identity, negative work is clamped,
+ * and schedule-level composition preserves the same structure.
+ */
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpusim/kernel_cost.h"
+
+using namespace neo;
+using gpusim::Bound;
+using gpusim::CostBreakdown;
+using gpusim::KernelCost;
+
+namespace {
+
+gpusim::DeviceSpec
+dev()
+{
+    return gpusim::DeviceSpec::a100();
+}
+
+KernelCost
+sample_kernel(double scale = 1.0)
+{
+    KernelCost k;
+    k.cuda_modmul = 1e6 * scale;
+    k.cuda_modadd = 3e5 * scale;
+    k.cuda_int_ops = 2e5 * scale;
+    k.tcu_fp64_macs = 4e6 * scale;
+    k.tcu_int8_macs = 1e5 * scale;
+    k.bytes_read = 6e6 * scale;
+    k.bytes_written = 2e6 * scale;
+    k.launches = 3;
+    return k;
+}
+
+} // namespace
+
+TEST(CostBreakdown, RooflineIdentityHoldsByConstruction)
+{
+    const auto d = dev();
+    for (double scale : {1e-3, 1.0, 1e3}) {
+        for (bool overlap : {false, true}) {
+            const CostBreakdown b =
+                sample_kernel(scale).breakdown(d, overlap);
+            EXPECT_DOUBLE_EQ(b.total_s(),
+                             std::max(b.compute_s, b.memory_s) +
+                                 b.launch_s);
+        }
+    }
+}
+
+TEST(CostBreakdown, TimeEqualsBreakdownTotal)
+{
+    const auto d = dev();
+    const KernelCost k = sample_kernel();
+    EXPECT_DOUBLE_EQ(k.time(d, false), k.breakdown(d, false).total_s());
+    EXPECT_DOUBLE_EQ(k.time(d, true), k.breakdown(d, true).total_s());
+}
+
+TEST(CostBreakdown, OverlapTakesMaxOfComponentPhases)
+{
+    const auto d = dev();
+    const KernelCost k = sample_kernel();
+    const double cuda = k.cuda_time(d);
+    const double tcu = k.tcu_time(d);
+    EXPECT_DOUBLE_EQ(k.breakdown(d, false).compute_s, cuda + tcu);
+    EXPECT_DOUBLE_EQ(k.breakdown(d, true).compute_s,
+                     std::max(cuda, tcu));
+    EXPECT_LE(k.time(d, true), k.time(d, false));
+}
+
+TEST(CostBreakdown, NegativeWorkIsClampedToZero)
+{
+    const auto d = dev();
+    KernelCost k;
+    k.cuda_modmul = -1e9;
+    k.tcu_fp64_macs = -1e9;
+    k.bytes_read = -5;
+    k.bytes_written = -7;
+    k.launches = -2;
+    const CostBreakdown b = k.breakdown(d, false);
+    EXPECT_EQ(b.compute_s, 0.0);
+    EXPECT_EQ(b.memory_s, 0.0);
+    EXPECT_EQ(b.launch_s, 0.0);
+    EXPECT_EQ(b.bytes, 0.0);
+    EXPECT_EQ(b.macs, 0.0);
+    EXPECT_EQ(b.mod_ops, 0.0);
+    EXPECT_EQ(b.int_ops, 0.0);
+    EXPECT_EQ(b.total_s(), 0.0);
+}
+
+TEST(CostBreakdown, BoundClassification)
+{
+    CostBreakdown b;
+    b.compute_s = 2;
+    b.memory_s = 1;
+    b.launch_s = 0;
+    EXPECT_EQ(b.bound(), Bound::compute);
+
+    b.compute_s = 1;
+    b.memory_s = 2;
+    EXPECT_EQ(b.bound(), Bound::memory);
+
+    b.launch_s = 5; // exceeds both roofline terms
+    EXPECT_EQ(b.bound(), Bound::launch);
+
+    b.launch_s = 2; // equal to the roof: roofline term wins
+    EXPECT_EQ(b.bound(), Bound::memory);
+
+    b.compute_s = b.memory_s = 1; // tie breaks to compute
+    b.launch_s = 0;
+    EXPECT_EQ(b.bound(), Bound::compute);
+}
+
+TEST(CostBreakdown, BoundNamesAreStable)
+{
+    EXPECT_STREQ(gpusim::bound_name(Bound::compute), "compute");
+    EXPECT_STREQ(gpusim::bound_name(Bound::memory), "memory");
+    EXPECT_STREQ(gpusim::bound_name(Bound::launch), "launch");
+}
+
+TEST(CostBreakdown, LaunchBoundKernelDetected)
+{
+    const auto d = dev();
+    KernelCost k; // almost no work, one launch
+    k.cuda_modadd = 1;
+    k.launches = 1;
+    const CostBreakdown b = k.breakdown(d, false);
+    EXPECT_EQ(b.bound(), Bound::launch);
+    EXPECT_GT(b.launch_s, std::max(b.compute_s, b.memory_s));
+}
+
+TEST(KernelCostAccumulate, OperatorPlusSumsAllFields)
+{
+    const KernelCost a = sample_kernel(1.0);
+    const KernelCost b = sample_kernel(2.0);
+    const KernelCost s = a + b;
+    EXPECT_DOUBLE_EQ(s.cuda_modmul, a.cuda_modmul + b.cuda_modmul);
+    EXPECT_DOUBLE_EQ(s.tcu_fp64_macs, a.tcu_fp64_macs + b.tcu_fp64_macs);
+    EXPECT_DOUBLE_EQ(s.bytes(), a.bytes() + b.bytes());
+    EXPECT_DOUBLE_EQ(s.launches, a.launches + b.launches);
+}
+
+TEST(RunSchedule, SerialSecondsAreSumOfPerKernelTimes)
+{
+    const auto d = dev();
+    std::vector<KernelCost> ks = {sample_kernel(1), sample_kernel(2),
+                                  sample_kernel(0.5)};
+    const auto r = gpusim::run_schedule(ks, d, false);
+    double expect = 0, bytes = 0, launches = 0;
+    for (const auto &k : ks) {
+        expect += k.time(d, false);
+        bytes += k.bytes();
+        launches += k.launches;
+    }
+    EXPECT_DOUBLE_EQ(r.seconds, expect);
+    EXPECT_DOUBLE_EQ(r.bytes, bytes);
+    EXPECT_DOUBLE_EQ(r.launches, launches);
+    // Serial: sum-of-max >= max-of-sum, so the phase fields only bound
+    // seconds from below.
+    EXPECT_GE(r.seconds,
+              std::max(r.compute_s, r.memory_s) + r.launch_s - 1e-15);
+}
+
+TEST(RunSchedule, MultistreamObeysScheduleLevelRoofline)
+{
+    const auto d = dev();
+    std::vector<KernelCost> ks = {sample_kernel(1), sample_kernel(3)};
+    const auto r = gpusim::run_schedule(ks, d, true);
+    EXPECT_DOUBLE_EQ(r.seconds,
+                     std::max(r.compute_s, r.memory_s) + r.launch_s);
+    // Launch overhead is amortised across the two streams.
+    EXPECT_DOUBLE_EQ(r.launch_s, r.launches * d.kernel_launch_s * 0.5);
+    // Overlap can only help.
+    EXPECT_LE(r.seconds, gpusim::run_schedule(ks, d, false).seconds);
+}
+
+TEST(RunSchedule, EmptyScheduleIsFree)
+{
+    const auto d = dev();
+    for (bool ms : {false, true}) {
+        const auto r = gpusim::run_schedule({}, d, ms);
+        EXPECT_EQ(r.seconds, 0.0);
+        EXPECT_EQ(r.bytes, 0.0);
+        EXPECT_EQ(r.launches, 0.0);
+    }
+}
+
+TEST(RunSchedule, ScheduleBoundMatchesBreakdownRule)
+{
+    const auto d = dev();
+    std::vector<KernelCost> ks = {sample_kernel(1)};
+    const auto r = gpusim::run_schedule(ks, d, true);
+    CostBreakdown b;
+    b.compute_s = r.compute_s;
+    b.memory_s = r.memory_s;
+    b.launch_s = r.launch_s;
+    EXPECT_EQ(r.bound(), b.bound());
+}

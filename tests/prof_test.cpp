@@ -1,0 +1,248 @@
+/**
+ * neo::prof — the roofline profiler's contracts:
+ *  - per-kernel rows decompose the modeled total exactly,
+ *  - the functional keyswitch run's traced spans equal the analytic
+ *    kernel counts (JSON totals == obs counters),
+ *  - the artifact matches the committed golden file
+ *    (tests/data/prof_report_golden.json),
+ *  - compare() gates regressions / dropped metrics and skips wall
+ *    time, and
+ *  - the neo-prof CLI exits nonzero against a perturbed baseline.
+ */
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "prof/prof.h"
+
+using namespace neo;
+
+namespace {
+
+double
+rows_sum(const prof::Result &r)
+{
+    double s = 0;
+    for (const auto &k : r.kernels)
+        s += k.modeled_s;
+    return s;
+}
+
+json::Value
+artifact(const prof::Result &r)
+{
+    return json::Value::parse(prof::to_json(r));
+}
+
+/// metrics object -> flat map for test-side diffing.
+std::map<std::string, double>
+metric_map(const json::Value &doc)
+{
+    std::map<std::string, double> m;
+    for (const auto &[k, v] : doc.at("metrics").as_object())
+        m[k] = v.as_number();
+    return m;
+}
+
+} // namespace
+
+TEST(ProfModel, RowsSumToModeledTotal)
+{
+    for (const char *workload : {"mul", "rotate", "bootstrap"}) {
+        for (const char *engine : {"fp64_tcu", "scalar", "int8_tcu"}) {
+            const auto r = prof::profile(workload, engine);
+            ASSERT_FALSE(r.kernels.empty()) << workload << "/" << engine;
+            EXPECT_NEAR(rows_sum(r), r.modeled_total_s,
+                        1e-9 * r.modeled_total_s)
+                << workload << "/" << engine;
+            double frac = 0;
+            for (const auto &k : r.kernels) {
+                frac += k.fraction;
+                EXPECT_TRUE(k.bound == "compute" || k.bound == "memory" ||
+                            k.bound == "launch")
+                    << k.name;
+            }
+            EXPECT_NEAR(frac, 1.0, 1e-9);
+        }
+    }
+}
+
+TEST(ProfModel, EnginesProduceDistinctTotals)
+{
+    const auto fp64 = prof::profile("mul", "fp64_tcu");
+    const auto scalar = prof::profile("mul", "scalar");
+    const auto int8 = prof::profile("mul", "int8_tcu");
+    EXPECT_NE(fp64.modeled_total_s, scalar.modeled_total_s);
+    EXPECT_NE(fp64.modeled_total_s, int8.modeled_total_s);
+}
+
+TEST(ProfModel, UnknownNamesThrow)
+{
+    EXPECT_THROW(prof::profile("nope", "fp64_tcu"),
+                 std::invalid_argument);
+    EXPECT_THROW(prof::profile("mul", "warp_tcu"), std::invalid_argument);
+}
+
+TEST(ProfKeyswitch, SpansMatchAnalyticCountsAndObsCounters)
+{
+    const auto r = prof::profile("keyswitch", "fp64_tcu");
+    EXPECT_EQ(r.mode, "functional");
+    ASSERT_FALSE(r.expected_spans.empty());
+    for (const auto &[name, want] : r.expected_spans) {
+        const auto it = r.spans.find("span." + name);
+        ASSERT_NE(it, r.spans.end()) << "span." << name;
+        EXPECT_EQ(it->second, want) << "span." << name;
+    }
+    // The GEMM counter (bumped per emulated matmul) agrees with the
+    // span count, tying the artifact to the obs registry totals.
+    ASSERT_TRUE(r.spans.count("gemm.calls"));
+    EXPECT_EQ(r.spans.at("gemm.calls"), r.expected_spans.at("gemm"));
+    EXPECT_GT(r.wall_s, 0.0);
+    EXPECT_NEAR(rows_sum(r), r.modeled_total_s,
+                1e-9 * r.modeled_total_s);
+}
+
+TEST(ProfArtifact, JsonCarriesSchemaAndTotals)
+{
+    const auto r = prof::profile("mul", "fp64_tcu");
+    const auto doc = artifact(r);
+    EXPECT_EQ(doc.at("schema").as_string(), prof::kSchema);
+    EXPECT_EQ(doc.at("kind").as_string(), "profile");
+    EXPECT_EQ(doc.at("workload").as_string(), "mul");
+    EXPECT_EQ(doc.at("engine").as_string(), "fp64_tcu");
+    EXPECT_DOUBLE_EQ(doc.at("totals").at("modeled_s").as_number(),
+                     r.modeled_total_s);
+    const auto &kernels = doc.at("kernels").as_array();
+    ASSERT_EQ(kernels.size(), r.kernels.size());
+    double sum = 0;
+    for (const auto &k : kernels)
+        sum += k.at("modeled_s").as_number();
+    EXPECT_NEAR(sum, doc.at("totals").at("modeled_s").as_number(),
+                1e-9 * r.modeled_total_s);
+    // The flat metrics mirror the structured totals.
+    const auto m = metric_map(doc);
+    EXPECT_DOUBLE_EQ(m.at("modeled.total_s"), r.modeled_total_s);
+    EXPECT_DOUBLE_EQ(m.at("bytes.total"), r.bytes);
+}
+
+TEST(ProfArtifact, MatchesGoldenFile)
+{
+    const auto golden = json::Value::parse_file(
+        std::string(NEO_TEST_DATA_DIR) + "/prof_report_golden.json");
+    const auto cur = artifact(prof::profile("mul", "fp64_tcu"));
+    EXPECT_EQ(cur.at("schema").as_string(),
+              golden.at("schema").as_string());
+    EXPECT_EQ(cur.at("workload").as_string(),
+              golden.at("workload").as_string());
+    const auto want = metric_map(golden);
+    const auto got = metric_map(cur);
+    ASSERT_EQ(got.size(), want.size());
+    for (const auto &[k, v] : want) {
+        ASSERT_TRUE(got.count(k)) << k;
+        EXPECT_NEAR(got.at(k), v, 1e-9 * std::abs(v) + 1e-15) << k;
+    }
+}
+
+TEST(ProfCompare, SelfCompareIsClean)
+{
+    const auto doc = artifact(prof::profile("mul", "fp64_tcu"));
+    EXPECT_TRUE(prof::compare(doc, doc).empty());
+}
+
+TEST(ProfCompare, DetectsInjectedRegression)
+{
+    const auto r = prof::profile("mul", "fp64_tcu");
+    const auto cur = artifact(r);
+    // Baseline with every metric 20% lower than current -> everything
+    // regresses past the default 10% threshold.
+    auto shrunk = r;
+    for (auto &[k, v] : shrunk.metrics)
+        v /= 1.2;
+    const auto base = artifact(shrunk);
+    const auto regs = prof::compare(base, cur);
+    EXPECT_EQ(regs.size(), shrunk.metrics.size());
+    for (const auto &reg : regs)
+        EXPECT_NEAR(reg.ratio, 1.2, 1e-9);
+    // A 20% threshold tolerates the same delta.
+    prof::CompareOptions loose;
+    loose.threshold = 0.25;
+    EXPECT_TRUE(prof::compare(base, cur, loose).empty());
+}
+
+TEST(ProfCompare, MissingMetricIsARegression)
+{
+    auto r = prof::profile("mul", "fp64_tcu");
+    const auto base = artifact(r);
+    r.metrics.erase("bytes.total");
+    const auto cur = artifact(r);
+    const auto regs = prof::compare(base, cur);
+    ASSERT_EQ(regs.size(), 1u);
+    EXPECT_EQ(regs[0].metric, "bytes.total");
+    EXPECT_EQ(regs[0].ratio, 0.0);
+}
+
+TEST(ProfCompare, WallTimeSkippedUnlessGated)
+{
+    auto slow = prof::profile("keyswitch", "fp64_tcu");
+    auto fast = slow;
+    fast.wall_s = slow.wall_s / 100.0;
+    fast.metrics["wall.total_s"] = fast.wall_s;
+    // Machine noise on the wall clock must not gate by default...
+    EXPECT_TRUE(prof::compare(artifact(fast), artifact(slow)).empty());
+    // ...but can be opted into.
+    prof::CompareOptions gated;
+    gated.gate_wall = true;
+    const auto regs = prof::compare(artifact(fast), artifact(slow), gated);
+    ASSERT_EQ(regs.size(), 1u);
+    EXPECT_EQ(regs[0].metric, "wall.total_s");
+}
+
+#ifdef NEO_PROF_BIN
+namespace {
+
+int
+run_cli(const std::string &args)
+{
+    const int status =
+        std::system((std::string(NEO_PROF_BIN) + " " + args).c_str());
+    return WEXITSTATUS(status);
+}
+
+} // namespace
+
+TEST(ProfCli, BaselineGateExitsNonzeroOnRegression)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string cur_path = dir + "/prof_cli_current.json";
+    const std::string base_path = dir + "/prof_cli_baseline.json";
+
+    ASSERT_EQ(run_cli("mul --engine fp64_tcu --json " + cur_path +
+                      " >/dev/null"),
+              0);
+
+    // Self-compare: clean.
+    EXPECT_EQ(run_cli("mul --engine fp64_tcu --baseline " + cur_path +
+                      " >/dev/null"),
+              0);
+
+    // Perturb the baseline 20% downward: the live run now reads as a
+    // >=10% regression and the gate must fail the build.
+    auto r = prof::profile("mul", "fp64_tcu");
+    for (auto &[k, v] : r.metrics)
+        v /= 1.2;
+    prof::write_json(r, base_path);
+    EXPECT_EQ(run_cli("mul --engine fp64_tcu --baseline " + base_path +
+                      " >/dev/null"),
+              1);
+
+    // Usage errors are distinct from regressions.
+    EXPECT_EQ(run_cli("definitely-not-a-workload >/dev/null 2>&1"), 2);
+}
+#endif

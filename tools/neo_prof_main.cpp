@@ -1,0 +1,135 @@
+/**
+ * neo-prof — modeled-GPU roofline profiler CLI.
+ *
+ *   neo-prof <workload> [--engine E] [--level N] [--json PATH]
+ *            [--baseline PATH] [--threshold F] [--gate-wall]
+ *   neo-prof --list
+ *
+ * Runs one named workload under the chosen engine, prints the
+ * per-kernel roofline attribution report, optionally writes the
+ * schema-versioned artifact (BENCH_<workload>.json by convention) and
+ * optionally compares the run against a baseline artifact.
+ *
+ * Exit codes: 0 ok, 1 at least one metric regressed past the
+ * threshold, 2 usage / runtime error — so CI can gate on the result.
+ */
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "prof/prof.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <workload> [options]\n"
+        "       %s --list\n"
+        "options:\n"
+        "  --engine E      GEMM engine: fp64_tcu (default) | scalar |"
+        " int8_tcu\n"
+        "  --level N       ciphertext level (primitive workloads;"
+        " default: top)\n"
+        "  --json PATH     write the neo.bench/1 artifact to PATH\n"
+        "  --baseline B    compare against artifact B; exit 1 on"
+        " regression\n"
+        "  --threshold F   relative regression threshold (default"
+        " 0.10)\n"
+        "  --gate-wall     also gate machine-dependent wall-clock"
+        " metrics\n",
+        argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload, engine = "fp64_tcu", json_path, baseline_path;
+    size_t level = 0;
+    neo::prof::CompareOptions copts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--list") {
+            for (const auto &n : neo::prof::workload_names())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else if (a == "--engine") {
+            engine = next("--engine");
+        } else if (a == "--level") {
+            level = static_cast<size_t>(std::atoll(next("--level")));
+        } else if (a == "--json") {
+            json_path = next("--json");
+        } else if (a == "--baseline") {
+            baseline_path = next("--baseline");
+        } else if (a == "--threshold") {
+            copts.threshold = std::atof(next("--threshold"));
+        } else if (a == "--gate-wall") {
+            copts.gate_wall = true;
+        } else if (a == "--help" || a == "-h") {
+            return usage(argv[0]);
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            return usage(argv[0]);
+        } else if (workload.empty()) {
+            workload = a;
+        } else {
+            std::fprintf(stderr, "extra argument %s\n", a.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (workload.empty())
+        return usage(argv[0]);
+
+    try {
+        const neo::prof::Result r =
+            neo::prof::profile(workload, engine, level);
+        neo::prof::print_report(r, std::cout);
+        if (!json_path.empty()) {
+            neo::prof::write_json(r, json_path);
+            std::printf("\nwrote %s\n", json_path.c_str());
+        }
+        if (!baseline_path.empty()) {
+            const neo::json::Value base =
+                neo::json::Value::parse_file(baseline_path);
+            const neo::json::Value cur =
+                neo::json::Value::parse(neo::prof::to_json(r));
+            const auto regressions = neo::prof::compare(base, cur, copts);
+            if (regressions.empty()) {
+                std::printf("\nbaseline compare vs %s: OK "
+                            "(threshold %.0f%%)\n",
+                            baseline_path.c_str(),
+                            100.0 * copts.threshold);
+                return 0;
+            }
+            std::printf("\nbaseline compare vs %s: %zu metric(s) "
+                        "regressed past %.0f%%:\n",
+                        baseline_path.c_str(), regressions.size(),
+                        100.0 * copts.threshold);
+            for (const auto &reg : regressions) {
+                std::printf("  %-36s %12g -> %-12g (%.2fx)\n",
+                            reg.metric.c_str(), reg.baseline,
+                            reg.current, reg.ratio);
+            }
+            return 1;
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "neo-prof: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}
