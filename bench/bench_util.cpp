@@ -46,9 +46,15 @@ Options::parse(int argc, char **argv)
         } else if (std::strcmp(a, "--threads") == 0) {
             o.threads = static_cast<size_t>(
                 std::atoll(next("--threads")));
+        } else if (std::strcmp(a, "--repeat") == 0) {
+            o.repeat = static_cast<size_t>(
+                std::atoll(next("--repeat")));
+            if (o.repeat == 0)
+                o.repeat = 1;
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
-            std::printf("usage: %s [--json PATH] [--threads N]\n",
+            std::printf("usage: %s [--json PATH] [--threads N]"
+                        " [--repeat N]\n",
                         argv[0]);
             std::exit(0);
         } else {

@@ -37,12 +37,16 @@ std::string vs_paper(double ours, double paper);
  * Command-line options shared by every figure/table binary:
  *   --json PATH    write the neo.bench/1 artifact to PATH
  *   --threads N    size the global thread pool
+ *   --repeat N     warmup once, then report the median of N timed
+ *                  runs (benchmarks that measure wall time honour it;
+ *                  purely modeled ones ignore it)
  * parse() exits 2 on unknown arguments (and 0 after --help).
  */
 struct Options
 {
     std::string json_path;
     size_t threads = 0;
+    size_t repeat = 1;
 
     static Options parse(int argc, char **argv);
 };

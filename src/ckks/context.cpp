@@ -1,7 +1,9 @@
 #include "ckks/context.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "ckks/ks_precomp.h"
 #include "common/check.h"
 #include "rns/primes.h"
 
@@ -64,7 +66,13 @@ CkksContext::CkksContext(const CkksParams &params)
     }
 
     decode_basis_ = RnsBasis(generate_decode_primes(2, avoid));
+
+    static std::atomic<u64> next_uid{1};
+    uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+    precomp_ = std::make_unique<KeySwitchPrecomp>(*this);
 }
+
+CkksContext::~CkksContext() = default;
 
 const RnsBasis &
 CkksContext::t_basis() const

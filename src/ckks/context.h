@@ -28,6 +28,8 @@
 
 namespace neo::ckks {
 
+class KeySwitchPrecomp;
+
 /** A plaintext polynomial with its scale. */
 struct Plaintext
 {
@@ -40,6 +42,20 @@ class CkksContext
 {
   public:
     explicit CkksContext(const CkksParams &params);
+    ~CkksContext();
+    CkksContext(const CkksContext &) = delete;
+    CkksContext &operator=(const CkksContext &) = delete;
+
+    /**
+     * Process-unique id of this context instance (monotonic counter).
+     * Caches outside the ckks layer (e.g. the pipeline's kernel cache)
+     * key on it instead of the address, so a context reallocated at a
+     * freed context's address can never alias its cached state.
+     */
+    u64 uid() const { return uid_; }
+
+    /// Cached per-level key-switch invariants (bases, converters).
+    const KeySwitchPrecomp &precomp() const { return *precomp_; }
 
     const CkksParams &params() const { return params_; }
     const Encoder &encoder() const { return encoder_; }
@@ -112,6 +128,8 @@ class CkksContext
     NttTableSet t_tables_;
     size_t alpha_prime_ = 0;
     std::vector<DigitGroup> klss_key_partition_;
+    u64 uid_ = 0;
+    std::unique_ptr<KeySwitchPrecomp> precomp_;
 };
 
 } // namespace neo::ckks

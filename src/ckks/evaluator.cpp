@@ -108,6 +108,8 @@ Evaluator::keyswitch(const RnsPoly &d2, const EvalKey *evk,
 {
     if (method_ == KeySwitchMethod::klss) {
         NEO_CHECK(kevk != nullptr, "KLSS key required");
+        if (klss_keyswitch_)
+            return klss_keyswitch_(d2, *kevk, ctx_);
         return keyswitch_klss(d2, *kevk, ctx_);
     }
     NEO_CHECK(evk != nullptr, "hybrid key required");

@@ -10,6 +10,9 @@
  */
 #pragma once
 
+#include <functional>
+#include <utility>
+
 #include "ckks/context.h"
 #include "ckks/keys.h"
 #include "ckks/keyswitch.h"
@@ -39,6 +42,21 @@ class Evaluator
               obs::Scope *scope = nullptr);
 
     KeySwitchMethod method() const { return method_; }
+
+    /**
+     * Pluggable KLSS key-switch implementation. When set, every KLSS
+     * key switch issued by this evaluator (mul / rotate / conjugate)
+     * routes through @p fn instead of ckks::keyswitch_klss — e.g.
+     * neo::keyswitch_klss_pipeline with a chosen GEMM engine, which
+     * is bit-exact with the reference and exercises the hot-path
+     * caches. Pass an empty function to restore the default.
+     */
+    using KlssKeySwitchFn = std::function<std::pair<RnsPoly, RnsPoly>(
+        const RnsPoly &, const KlssEvalKey &, const CkksContext &)>;
+    void set_klss_keyswitch(KlssKeySwitchFn fn)
+    {
+        klss_keyswitch_ = std::move(fn);
+    }
 
     /// HADD: ciphertext + ciphertext (matching level and scale).
     Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
@@ -99,6 +117,7 @@ class Evaluator
     const CkksContext &ctx_;
     KeySwitchMethod method_;
     obs::Scope *scope_;
+    KlssKeySwitchFn klss_keyswitch_;
 };
 
 } // namespace neo::ckks

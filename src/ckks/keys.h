@@ -17,12 +17,48 @@
 
 #include <array>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/static_operand.h"
 #include "poly/rns_poly.h"
 
 namespace neo::ckks {
+
+namespace detail {
+
+/**
+ * Thread-safe lazy map level → V with stable references (std::map
+ * nodes never move). Copying a key copies its material but not the
+ * cache — the copy rebuilds lazily, which keeps serialization
+ * round-trips and container reallocation correct for free.
+ */
+template <class V> class PerLevelCache
+{
+  public:
+    PerLevelCache() = default;
+    PerLevelCache(const PerLevelCache &) {}
+    PerLevelCache &operator=(const PerLevelCache &) { return *this; }
+
+    /// Return the cached value for @p level, building it on first use.
+    template <class Build>
+    const V &
+    get(size_t level, Build &&build) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(level);
+        if (it == map_.end())
+            it = map_.emplace(level, build()).first;
+        return it->second;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    mutable std::map<size_t, V> map_;
+};
+
+} // namespace detail
 
 /** Ternary secret key, stored as signed integer coefficients. */
 struct SecretKey
@@ -42,6 +78,23 @@ struct EvalKey
     std::vector<std::array<RnsPoly, 2>> parts;
 
     size_t digit_count() const { return parts.size(); }
+
+    /// Key parts restricted to the limbs active at one level, one
+    /// pair per ciphertext digit. Built once per (key, level) by the
+    /// key-switch path instead of copied out on every call.
+    struct LevelSlices
+    {
+        std::vector<std::array<RnsPoly, 2>> parts;
+    };
+
+    detail::PerLevelCache<LevelSlices> &
+    level_slices() const
+    {
+        return slices_;
+    }
+
+  private:
+    mutable detail::PerLevelCache<LevelSlices> slices_;
 };
 
 /** KLSS key-switching key: key digits lifted into R_T (NTT form). */
@@ -63,6 +116,27 @@ struct KlssEvalKey
     {
         return parts[(i * beta_max + j) * 2 + c];
     }
+
+    /// Flattened, reordered IP key tensors for one level — the exact
+    /// B-operand layout the pipeline's IpKernel consumes. Pinned as
+    /// static operands so the GEMM plane cache may slice them once.
+    struct IpOperands
+    {
+        size_t beta = 0;       ///< ciphertext digits at this level
+        size_t beta_tilde = 0; ///< key digits at this level
+        /// reordered[c]: [k][l][i][j] over (T limb, coeff, i, j).
+        std::array<std::vector<u64>, 2> reordered;
+        std::array<StaticPin, 2> pins;
+    };
+
+    detail::PerLevelCache<IpOperands> &
+    ip_operands() const
+    {
+        return ip_cache_;
+    }
+
+  private:
+    mutable detail::PerLevelCache<IpOperands> ip_cache_;
 };
 
 /** Rotation / conjugation keys indexed by Galois element. */

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "ckks/ks_precomp.h"
 #include "common/check.h"
+#include "common/workspace.h"
 #include "obs/obs.h"
 
 namespace neo::ckks {
@@ -49,34 +51,26 @@ mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx)
     const size_t k_special = ctx.p_basis().size();
     NEO_ASSERT(ext_poly.limbs() == level + 1 + k_special,
                "mod_down shape mismatch");
+    const auto &lv = ctx.precomp().level(level);
 
-    // BConv the P-part down to the q primes.
-    const auto active = ctx.active_mods(level);
-    RnsBasis q_active(
-        [&] {
-            std::vector<u64> v;
-            for (const auto &m : active)
-                v.push_back(m.value());
-            return v;
-        }());
-    BaseConverter conv(ctx.p_basis(), q_active);
-    std::vector<u64> p_part(k_special * n);
+    // BConv the P-part down to the q primes (cached converter).
+    Workspace::Frame frame;
+    u64 *p_part = frame.alloc<u64>(k_special * n);
     for (size_t k = 0; k < k_special; ++k)
         std::copy(ext_poly.limb(level + 1 + k),
-                  ext_poly.limb(level + 1 + k) + n,
-                  p_part.begin() + k * n);
-    std::vector<u64> corr((level + 1) * n);
-    conv.convert_approx(p_part.data(), n, corr.data());
+                  ext_poly.limb(level + 1 + k) + n, p_part + k * n);
+    u64 *corr = frame.alloc<u64>((level + 1) * n);
+    lv.p_to_q->convert_approx(p_part, n, corr);
     ks_count("ks.moddown_products", k_special * (level + 1));
 
     // (c - corr) * P^{-1} mod q_i.
-    RnsPoly out(n, active, PolyForm::coeff);
+    RnsPoly out(n, lv.active, PolyForm::coeff);
     for (size_t i = 0; i <= level; ++i) {
-        const Modulus &qi = active[i];
-        const u64 p_inv = qi.inv(ctx.p_basis().product_mod(qi));
-        const u64 ps = shoup_precompute(p_inv, qi.value());
+        const Modulus &qi = lv.active[i];
+        const u64 p_inv = lv.p_inv[i];
+        const u64 ps = lv.p_inv_shoup[i];
         const u64 *src = ext_poly.limb(i);
-        const u64 *cr = corr.data() + i * n;
+        const u64 *cr = corr + i * n;
         u64 *dst = out.limb(i);
         for (size_t l = 0; l < n; ++l)
             dst[l] = mul_shoup(qi.sub(src[l], cr[l]), p_inv, ps,
@@ -93,10 +87,24 @@ keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
     obs::Span span("keyswitch_hybrid", obs::cat::op);
     const size_t n = d2.n();
     const size_t level = d2.limbs() - 1;
-    const auto ext_mods = ctx.extended_mods(level);
-    const auto groups = ctx.digit_partition(level);
+    const auto &lv = ctx.precomp().level(level);
+    const auto &ext_mods = lv.extended;
+    const auto &groups = lv.groups;
     NEO_CHECK(groups.size() <= evk.digit_count(),
               "evaluation key has too few digits");
+
+    // Level-restricted key parts, sliced once per (key, level).
+    const auto &slices = evk.level_slices().get(level, [&] {
+        EvalKey::LevelSlices s;
+        s.parts.reserve(groups.size());
+        for (size_t j = 0; j < groups.size(); ++j)
+            s.parts.push_back(
+                {slice_key_part(evk.parts[j][0], level, ctx.max_level(),
+                                ext_mods),
+                 slice_key_part(evk.parts[j][1], level, ctx.max_level(),
+                                ext_mods)});
+        return s;
+    });
 
     RnsPoly d2c = d2;
     ctx.tables().to_coeff(d2c);
@@ -108,22 +116,13 @@ keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
     for (size_t j = 0; j < groups.size(); ++j) {
         const auto &g = groups[j];
         // --- ModUp: approximate BConv of digit j to the other primes.
-        std::vector<u64> digit_primes;
-        for (size_t t = g.first; t < g.first + g.count; ++t)
-            digit_primes.push_back(ctx.q_basis()[t].value());
-        RnsBasis digit_basis(digit_primes);
-
-        std::vector<u64> other_primes;
-        for (size_t t = 0; t < ext_mods.size(); ++t) {
-            if (t < g.first || t >= g.first + g.count)
-                other_primes.push_back(ext_mods[t].value());
-        }
-        RnsBasis other_basis(other_primes);
-        BaseConverter conv(digit_basis, other_basis);
-
-        std::vector<u64> converted(other_primes.size() * n);
-        conv.convert_approx(d2c.limb(g.first), n, converted.data());
-        ks_count("ks.bconv_products", g.count * other_primes.size());
+        // Per-digit frame so every digit reuses the same scratch block.
+        Workspace::Frame frame;
+        const size_t other_count = ext_mods.size() - g.count;
+        u64 *converted = frame.alloc<u64>(other_count * n);
+        lv.digits[j].to_other->convert_approx(d2c.limb(g.first), n,
+                                              converted);
+        ks_count("ks.bconv_products", g.count * other_count);
 
         RnsPoly up(n, ext_mods, PolyForm::coeff);
         size_t src = 0;
@@ -131,23 +130,17 @@ keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
             if (t >= g.first && t < g.first + g.count) {
                 std::copy(d2c.limb(t), d2c.limb(t) + n, up.limb(t));
             } else {
-                std::copy(converted.begin() + src * n,
-                          converted.begin() + (src + 1) * n, up.limb(t));
+                std::copy(converted + src * n, converted + (src + 1) * n,
+                          up.limb(t));
                 ++src;
             }
         }
         ctx.tables().to_eval(up);
         ks_count("ks.ntt_limbs", ext_mods.size());
 
-        // --- Inner product with this digit's key.
-        RnsPoly key_b =
-            slice_key_part(evk.parts[j][0], level, ctx.max_level(),
-                           ext_mods);
-        RnsPoly key_a =
-            slice_key_part(evk.parts[j][1], level, ctx.max_level(),
-                           ext_mods);
-        acc0.add_product(up, key_b);
-        acc1.add_product(up, key_a);
+        // --- Inner product with this digit's (cached) key slice.
+        acc0.add_product(up, slices.parts[j][0]);
+        acc1.add_product(up, slices.parts[j][1]);
         ks_count("ks.ip_mul_limbs", 2 * ext_mods.size());
     }
 
@@ -173,13 +166,12 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
     const size_t level = d2.limbs() - 1;
     const size_t k_special = ctx.p_basis().size();
     const size_t alpha_p = ctx.alpha_prime();
-    const auto ext_mods = ctx.extended_mods(level);
-    const auto groups = ctx.digit_partition(level);
+    const auto &lv = ctx.precomp().level(level);
+    const auto &ext_mods = lv.extended;
+    const auto &groups = lv.groups;
     const auto &key_partition = ctx.klss_key_partition();
     // Key digits covering the active [P, q_0..q_l] prefix.
-    const size_t beta_tilde =
-        (level + 1 + k_special + ctx.params().klss.alpha_tilde - 1) /
-        ctx.params().klss.alpha_tilde;
+    const size_t beta_tilde = lv.beta_tilde;
     NEO_ASSERT(beta_tilde <= evk.beta_tilde_max, "key digit overflow");
     NEO_CHECK(groups.size() <= evk.beta_max,
               "evaluation key has too few digits");
@@ -191,15 +183,11 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
     // --- Mod Up: exact lift of each ciphertext digit into T.
     std::vector<RnsPoly> digits_t;
     digits_t.reserve(groups.size());
-    for (const auto &g : groups) {
-        std::vector<u64> digit_primes;
-        for (size_t t = g.first; t < g.first + g.count; ++t)
-            digit_primes.push_back(ctx.q_basis()[t].value());
-        RnsBasis digit_basis(digit_primes);
-        BaseConverter conv(digit_basis, ctx.t_basis());
-
+    for (size_t j = 0; j < groups.size(); ++j) {
+        const auto &g = groups[j];
         RnsPoly dt(n, ctx.t_basis().mods(), PolyForm::coeff);
-        conv.convert_exact(d2c.limb(g.first), n, dt.data());
+        lv.digits[j].to_t->convert_exact(d2c.limb(g.first), n,
+                                         dt.data());
         ks_count("ks.bconv_products", g.count * alpha_p);
         // --- NTT over T.
         ctx.t_tables().to_eval(dt);
@@ -232,15 +220,13 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
     RnsPoly acc0(n, ext_mods, PolyForm::coeff);
     RnsPoly acc1(n, ext_mods, PolyForm::coeff);
     for (size_t pq_idx = 0; pq_idx < level + 1 + k_special; ++pq_idx) {
-        const Modulus &m = ctx.pq_ordered_mod(pq_idx);
         // Storage index in [q_0..q_l, P] layout.
         const size_t store_idx = pq_idx < k_special
                                      ? level + 1 + pq_idx
                                      : pq_idx - k_special;
         const size_t grp = group_of(key_partition, pq_idx);
         NEO_ASSERT(grp < beta_tilde, "recover group out of range");
-        RnsBasis single({m.value()});
-        BaseConverter conv(ctx.t_basis(), single);
+        const BaseConverter &conv = ctx.precomp().t_to_pq(pq_idx);
         conv.convert_exact(s[grp][0].data(), n, acc0.limb(store_idx));
         conv.convert_exact(s[grp][1].data(), n, acc1.limb(store_idx));
         ks_count("ks.recover_products", 2 * alpha_p);

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ckks::KeySwitchPrecomp — per-context cache of everything the
+ * key-switch hot path used to rebuild on every call.
+ *
+ * keyswitch_hybrid / keyswitch_klss / mod_down are invariant in
+ * everything but the ciphertext: the active and extended modulus
+ * lists, the RnsBasis objects for the active chain and each digit
+ * group, every BaseConverter (digit→rest for hybrid ModUp, digit→T
+ * for KLSS ModUp, T→single-prime for Recover Limbs, P→Q for ModDown)
+ * and the P^{-1} mod q_i constants depend only on (context, level).
+ * Constructing a BaseConverter is O(|from|·|to|) modular
+ * exponentiations — doing it per keyswitch dominated small-ring runs.
+ *
+ * One KeySwitchPrecomp is owned by each CkksContext; levels are built
+ * lazily (first keyswitch at a level pays the construction once) and
+ * returned by stable reference, guarded by a mutex so concurrent
+ * evaluators share one copy.
+ */
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rns/base_convert.h"
+#include "rns/basis.h"
+#include "rns/partition.h"
+
+namespace neo::ckks {
+
+class CkksContext;
+
+class KeySwitchPrecomp
+{
+  public:
+    /** Per-(level, ciphertext-digit) invariants. */
+    struct Digit
+    {
+        RnsBasis basis; ///< this digit's q primes
+        /// Hybrid ModUp: digit → (extended \ digit).
+        std::unique_ptr<BaseConverter> to_other;
+        /// KLSS ModUp: digit → T (null when KLSS is disabled).
+        std::unique_ptr<BaseConverter> to_t;
+    };
+
+    /** Everything invariant at one ciphertext level. */
+    struct Level
+    {
+        std::vector<Modulus> active;   ///< q_0..q_l
+        std::vector<Modulus> extended; ///< q_0..q_l, P
+        RnsBasis q_active;
+        /// ModDown: P → active q chain.
+        std::unique_ptr<BaseConverter> p_to_q;
+        /// P^{-1} mod q_i and Shoup companions, one per active limb.
+        std::vector<u64> p_inv, p_inv_shoup;
+        std::vector<DigitGroup> groups; ///< ciphertext digit partition
+        std::vector<Digit> digits;      ///< one per group
+        size_t beta_tilde = 0; ///< KLSS key digits touched at this level
+    };
+
+    explicit KeySwitchPrecomp(const CkksContext &ctx);
+    ~KeySwitchPrecomp();
+    KeySwitchPrecomp(const KeySwitchPrecomp &) = delete;
+    KeySwitchPrecomp &operator=(const KeySwitchPrecomp &) = delete;
+
+    /// The (lazily built) invariants for @p level; stable reference.
+    const Level &level(size_t level) const;
+
+    /**
+     * Recover-Limbs converter T → {pq_ordered_mod(idx)} (KLSS only).
+     * Level-independent: the [P, Q] ordering never changes.
+     */
+    const BaseConverter &t_to_pq(size_t idx) const;
+
+  private:
+    const CkksContext &ctx_;
+    mutable std::mutex mu_;
+    mutable std::vector<std::unique_ptr<Level>> levels_;
+    mutable std::vector<std::unique_ptr<BaseConverter>> t_single_;
+};
+
+} // namespace neo::ckks

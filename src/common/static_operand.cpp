@@ -1,0 +1,95 @@
+#include "common/static_operand.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+namespace neo {
+
+namespace {
+
+struct Range
+{
+    size_t bytes = 0;
+    u64 gen = 0;
+};
+
+struct Registry
+{
+    mutable std::shared_mutex mu;
+    std::map<uintptr_t, Range> ranges; // keyed by start address
+    std::atomic<u64> next_gen{1};
+    std::atomic<size_t> count{0};
+};
+
+Registry &
+reg()
+{
+    // Intentionally leaked: StaticPins live inside static-lifetime
+    // caches (pipeline kernel registry, pinned key operands) whose
+    // destructors run during exit in an unspecified order relative to
+    // this TU's statics. A heap registry that is never destroyed keeps
+    // pin/unpin/generation safe at any point of shutdown.
+    static Registry *r = new Registry;
+    return *r;
+}
+
+} // namespace
+
+StaticOperands &
+StaticOperands::instance()
+{
+    static StaticOperands s;
+    return s;
+}
+
+u64
+StaticOperands::pin(const void *p, size_t bytes)
+{
+    if (p == nullptr || bytes == 0)
+        return 0;
+    Registry &r = reg();
+    const u64 gen = r.next_gen.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock lock(r.mu);
+    auto [it, inserted] = r.ranges.insert_or_assign(
+        reinterpret_cast<uintptr_t>(p), Range{bytes, gen});
+    (void)it;
+    if (inserted)
+        r.count.fetch_add(1, std::memory_order_relaxed);
+    return gen;
+}
+
+void
+StaticOperands::unpin(const void *p)
+{
+    if (p == nullptr)
+        return;
+    Registry &r = reg();
+    std::unique_lock lock(r.mu);
+    if (r.ranges.erase(reinterpret_cast<uintptr_t>(p)) > 0)
+        r.count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+u64
+StaticOperands::generation(const void *p) const
+{
+    Registry &r = reg();
+    if (r.count.load(std::memory_order_relaxed) == 0)
+        return 0;
+    const uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+    std::shared_lock lock(r.mu);
+    auto it = r.ranges.upper_bound(addr);
+    if (it == r.ranges.begin())
+        return 0;
+    --it;
+    return addr < it->first + it->second.bytes ? it->second.gen : 0;
+}
+
+size_t
+StaticOperands::pins() const
+{
+    return reg().count.load(std::memory_order_relaxed);
+}
+
+} // namespace neo

@@ -100,4 +100,26 @@ class ThreadPool
 void parallel_for(size_t begin, size_t end, const ThreadPool::RangeFn &body,
                   size_t grain = 1);
 
+/**
+ * Grain for row-parallel GEMM-like loops over @p rows rows of
+ * @p work_per_row operations each. Guarantees at least @p min_work
+ * operations per chunk and at most ~4 chunks per pool executor; a
+ * 1-executor pool gets exactly one chunk (zero chunking overhead).
+ * Chunk boundaries split disjoint output rows only — every element's
+ * accumulation lives inside one chunk — so the grain affects
+ * scheduling, never results.
+ */
+inline size_t
+row_chunk_grain(size_t rows, size_t work_per_row, size_t min_work = 16384)
+{
+    const size_t per_row = work_per_row == 0 ? 1 : work_per_row;
+    const size_t grain = min_work / per_row == 0 ? 1 : min_work / per_row;
+    const size_t threads = ThreadPool::global().threads();
+    if (threads <= 1)
+        return grain > rows ? grain : (rows == 0 ? 1 : rows);
+    const size_t cap = (rows + 4 * threads - 1) / (4 * threads);
+    const size_t lo = cap == 0 ? 1 : cap;
+    return grain > lo ? grain : lo;
+}
+
 } // namespace neo

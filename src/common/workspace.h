@@ -1,0 +1,128 @@
+/**
+ * @file
+ * neo::Workspace — per-thread bump-allocated scratch memory for the
+ * hot kernels.
+ *
+ * Every GEMM / BConv / NTT / KeySwitch invocation used to heap-allocate
+ * its scratch (`std::vector` plane buffers, reorder buffers, overflow
+ * tables) and free it on return, so steady-state evaluation spent a
+ * measurable slice of its time in the allocator and touched cold pages
+ * every call. The Workspace replaces that with a per-thread arena:
+ *
+ *   Workspace::Frame f;                  // mark
+ *   double *ap = f.alloc<double>(m * k); // bump
+ *   ...                                  // frame dtor rewinds the mark
+ *
+ * Frames are strictly LIFO per thread (enforced by scoping them as
+ * locals) and the arena's blocks are retained across frames, so after
+ * the first call at a given size every allocation is a pointer bump
+ * into warm memory.
+ *
+ * Thread-safety model: the arena is `thread_local`. Kernel call sites
+ * open a Frame on the thread that runs the kernel body; `parallel_for`
+ * workers that need scratch open their own Frame inside the loop body,
+ * so arenas are never shared. A frame's memory may be *written* by
+ * worker threads (e.g. row tiles of a GEMM scratch buffer allocated by
+ * the submitting thread) — that is safe because the frame outlives the
+ * parallel_for join.
+ *
+ * Allocation requirements: T must be trivially copyable and trivially
+ * destructible (the arena never runs constructors or destructors), and
+ * returned memory is uninitialised — callers must fully overwrite it,
+ * exactly as they had to with the `std::vector` + overwrite pattern
+ * this replaces. All allocations are 64-byte aligned.
+ *
+ * Observability: `ws.bytes_reused` counts bytes served from already-
+ * allocated blocks (the steady-state win), `ws.fresh_bytes` counts
+ * bytes that required a new block, and `ws.high_water_bytes` records
+ * the arena's live-byte high-water mark (max semantics).
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace neo {
+
+/**
+ * Stats sink for arena activity, installed by the obs layer (common/
+ * cannot link obs). Arguments are (bytes served from existing blocks,
+ * bytes that required a new block, new live-byte high-water mark or 0
+ * if unchanged). Called on the allocating thread.
+ */
+using WorkspaceStatsFn = void (*)(size_t reused_bytes, size_t fresh_bytes,
+                                  size_t high_water_bytes);
+void set_workspace_stats_hook(WorkspaceStatsFn fn);
+
+class Workspace
+{
+  public:
+    /// This thread's arena (created on first use, lives for the
+    /// thread's lifetime).
+    static Workspace &tls();
+
+    /// Total bytes of blocks held by this arena.
+    size_t capacity() const { return capacity_; }
+    /// Largest number of simultaneously live bytes ever reached.
+    size_t high_water() const { return high_water_; }
+
+    /**
+     * RAII allocation scope. All memory obtained through a Frame is
+     * reclaimed (made reusable, not freed) when the Frame is
+     * destroyed. Frames nest; destroy in reverse order of creation
+     * (automatic for block-scoped locals).
+     */
+    class Frame
+    {
+      public:
+        Frame() : ws_(tls()), mark_(ws_.mark()) {}
+        ~Frame() { ws_.release(mark_); }
+        Frame(const Frame &) = delete;
+        Frame &operator=(const Frame &) = delete;
+
+        /// Uninitialised storage for @p count objects of T.
+        template <class T>
+        T *
+        alloc(size_t count)
+        {
+            static_assert(std::is_trivially_copyable_v<T> &&
+                              std::is_trivially_destructible_v<T>,
+                          "Workspace only holds trivial types");
+            return static_cast<T *>(ws_.raw_alloc(count * sizeof(T)));
+        }
+
+      private:
+        struct Mark
+        {
+            size_t block;
+            size_t used;
+            size_t live;
+        };
+
+        Workspace &ws_;
+        Mark mark_;
+        friend class Workspace;
+    };
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<unsigned char[]> data;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    void *raw_alloc(size_t bytes);
+    Frame::Mark mark() const;
+    void release(const Frame::Mark &m);
+
+    std::vector<Block> blocks_;
+    size_t active_ = 0;     ///< block currently being bumped
+    size_t live_ = 0;       ///< live bytes across all frames
+    size_t capacity_ = 0;   ///< sum of block sizes
+    size_t high_water_ = 0; ///< max of live_
+};
+
+} // namespace neo

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/workspace.h"
 #include "obs/obs.h"
 #include "tensor/layout.h"
 
@@ -57,6 +58,8 @@ BConvKernel::BConvKernel(const RnsBasis &from, const RnsBasis &to)
     for (size_t i = 0; i < a; ++i)
         for (size_t j = 0; j < ap; ++j)
             factor_matrix_[i * ap + j] = conv_.factor(i, j);
+    factor_pin_ = StaticPin(factor_matrix_.data(),
+                            factor_matrix_.size() * sizeof(u64));
 }
 
 void
@@ -112,13 +115,14 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
     note_bconv(a, ap, batch, n);
     // Step 1 (preprocessing): scalar multiply by (B/b_i)^{-1} and
     // reorder α×BS×N -> N×BS×α so α is the GEMM K dimension.
-    std::vector<u64> scaled(a * batch * n);
+    Workspace::Frame frame;
+    u64 *scaled = frame.alloc<u64>(a * batch * n);
     for (size_t i = 0; i < a; ++i) {
         const Modulus &bi = conv_.from()[i];
         const u64 inv = conv_.from().punc_inv(i);
         const u64 ws = shoup_precompute(inv, bi.value());
         const u64 *src = in + i * batch * n;
-        u64 *dst = scaled.data() + i * batch * n;
+        u64 *dst = scaled + i * batch * n;
         parallel_for(
             0, batch * n,
             [&](size_t b, size_t e) {
@@ -129,13 +133,13 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
     }
     // Exact mode: overflow counts r = round(Σ_i y_i / b_i), one per
     // coefficient site (matches BaseConverter::convert_exact).
-    std::vector<u64> overflow;
+    u64 *overflow = nullptr;
     if (exact) {
-        overflow.resize(batch * n);
+        overflow = frame.alloc<u64>(batch * n);
         // double reciprocals with long-double accumulation — the same
         // precision recipe as BaseConverter::convert_exact, so the two
         // paths round identically (bit-exactness tests rely on it).
-        std::vector<double> inv_b(a);
+        double *inv_b = frame.alloc<double>(a);
         for (size_t i = 0; i < a; ++i)
             inv_b[i] = 1.0 / static_cast<double>(conv_.from()[i].value());
         // Per-site accumulation over i is fully inside one index x,
@@ -154,14 +158,14 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
             },
             4096);
     }
-    std::vector<u64> reordered(a * batch * n);
-    reorder_3d_swap02(scaled.data(), a, batch, n, reordered.data());
+    u64 *reordered = frame.alloc<u64>(a * batch * n);
+    reorder_3d_swap02(scaled, a, batch, n, reordered);
 
     // Step 2: one (N·BS) × α' × α GEMM against the factor matrix,
     // reduced per output column's modulus.
-    std::vector<u64> prod(n * batch * ap);
-    mm(reordered.data(), factor_matrix_.data(), prod.data(), n * batch,
-       ap, a, conv_.to().mods());
+    u64 *prod = frame.alloc<u64>(n * batch * ap);
+    mm(reordered, factor_matrix_.data(), prod, n * batch, ap, a,
+       conv_.to().mods());
 
     // Exact epilogue: subtract r·B mod t_j per row (rank-1 update);
     // rows are disjoint.
@@ -172,7 +176,7 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
                 for (size_t l = lb; l < le; ++l) {
                     for (size_t b = 0; b < batch; ++b) {
                         const u64 r = overflow[b * n + l];
-                        u64 *row = prod.data() + (l * batch + b) * ap;
+                        u64 *row = prod + (l * batch + b) * ap;
                         for (size_t j = 0; j < ap; ++j) {
                             const Modulus &tj = conv_.to()[j];
                             u64 corr = tj.mul(r % tj.value(),
@@ -186,7 +190,7 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
     }
 
     // Step 3 (postprocessing): reorder N×BS×α' -> α'×BS×N.
-    reorder_3d_swap02(prod.data(), n, batch, ap, out);
+    reorder_3d_swap02(prod, n, batch, ap, out);
 }
 
 IpKernel::IpKernel(std::vector<Modulus> t_mods, size_t beta,
@@ -226,36 +230,47 @@ IpKernel::run_elementwise(const u64 *limbs, const u64 *keys, size_t batch,
 
 void
 IpKernel::run_matmul(const u64 *limbs, const u64 *keys, size_t batch,
-                     size_t n, u64 *out, const ModMatMulFn &mm) const
+                     size_t n, u64 *out, const ModSiteMatMulFn &mm) const
 {
     obs::Span span("ip_mm", obs::cat::ip);
     const size_t ap = t_mods_.size();
     note_ip(beta_, beta_tilde_, ap, batch, n);
-    // Preprocessing: reorder per Fig 8.
-    std::vector<u64> limbs_r(beta_ * ap * batch * n);
-    reorder_4d_swap03(limbs, beta_, ap, batch, n, limbs_r.data());
-    std::vector<u64> keys_r(beta_tilde_ * beta_ * ap * n);
-    reorder_4d_reverse(keys, beta_tilde_, beta_, ap, n, keys_r.data());
+    // Preprocessing: reorder the key tensor per Fig 8, then share the
+    // rest with the cached-key path.
+    Workspace::Frame frame;
+    u64 *keys_r = frame.alloc<u64>(beta_tilde_ * beta_ * ap * n);
+    reorder_4d_reverse(keys, beta_tilde_, beta_, ap, n, keys_r);
+    matmul_impl(limbs, keys_r, batch, n, out, mm);
+}
 
-    // One BS × β̃ × β GEMM per (coefficient, T-limb) site; every site
-    // reads and writes its own slice, so sites fan out freely.
-    std::vector<u64> prod(n * ap * batch * beta_tilde_);
-    parallel_for(
-        0, n * ap,
-        [&](size_t sb, size_t se) {
-            for (size_t site = sb; site < se; ++site) {
-                const size_t k = site % ap;
-                const u64 *a = limbs_r.data() + site * batch * beta_;
-                const u64 *b =
-                    keys_r.data() + site * beta_ * beta_tilde_;
-                u64 *c = prod.data() + site * batch * beta_tilde_;
-                mm(a, b, c, batch, beta_tilde_, beta_, t_mods_[k]);
-            }
-        },
-        16);
+void
+IpKernel::run_matmul_reordered(const u64 *limbs, const u64 *keys_r,
+                               size_t batch, size_t n, u64 *out,
+                               const ModSiteMatMulFn &mm) const
+{
+    obs::Span span("ip_mm", obs::cat::ip);
+    note_ip(beta_, beta_tilde_, t_mods_.size(), batch, n);
+    matmul_impl(limbs, keys_r, batch, n, out, mm);
+}
+
+void
+IpKernel::matmul_impl(const u64 *limbs, const u64 *keys_r, size_t batch,
+                      size_t n, u64 *out, const ModSiteMatMulFn &mm) const
+{
+    const size_t ap = t_mods_.size();
+    // Preprocessing: reorder the limb tensor per Fig 8.
+    Workspace::Frame frame;
+    u64 *limbs_r = frame.alloc<u64>(beta_ * ap * batch * n);
+    reorder_4d_swap03(limbs, beta_, ap, batch, n, limbs_r);
+
+    // One BS × β̃ × β product per (coefficient, T-limb) site, issued as
+    // a single batched engine call; site l·α'+k reduces mod t_k, which
+    // is exactly the mods-cycle contract of ModSiteMatMulFn.
+    u64 *prod = frame.alloc<u64>(n * ap * batch * beta_tilde_);
+    mm(limbs_r, keys_r, prod, n * ap, batch, beta_tilde_, beta_, t_mods_);
 
     // Postprocessing: N×α'×BS×β̃ -> β̃×α'×BS×N.
-    reorder_4d_swap03(prod.data(), n, ap, batch, beta_tilde_, out);
+    reorder_4d_swap03(prod, n, ap, batch, beta_tilde_, out);
 }
 
 } // namespace neo

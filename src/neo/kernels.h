@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "common/static_operand.h"
 #include "rns/base_convert.h"
 #include "tensor/gemm.h"
 
@@ -64,6 +65,11 @@ class BConvKernel
 
     BaseConverter conv_;
     std::vector<u64> factor_matrix_; // α × α': (B/b_i) mod t_j
+    // The factor matrix is the static B operand of every BConv GEMM;
+    // pinning it lets the tensor layer's plane cache slice it once per
+    // (kernel, engine). Makes the kernel move-only (vector moves keep
+    // the heap buffer, so the pin stays valid).
+    StaticPin factor_pin_;
 };
 
 /**
@@ -82,12 +88,31 @@ class IpKernel
     void run_elementwise(const u64 *limbs, const u64 *keys, size_t batch,
                          size_t n, u64 *out) const;
 
-    /// Algorithm 4: reorder both tensors, one GEMM per (l, k) site.
+    /**
+     * Algorithm 4: reorder both tensors, then ONE batched engine call
+     * covering every (l, k) site — a site is a BS×β̃×β product reduced
+     * mod t_k, and issuing all N·α' of them together amortises the
+     * engine's per-call fixed costs across the whole inner product.
+     */
     void run_matmul(const u64 *limbs, const u64 *keys, size_t batch,
                     size_t n, u64 *out,
-                    const ModMatMulFn &mm = default_mat_mul()) const;
+                    const ModSiteMatMulFn &mm = scalar_site_matmul()) const;
+
+    /**
+     * Algorithm 4 with the key tensor already in the Fig 8 layout
+     * (β̃×β×α'×N reversed to N×α'×β×β̃). Key material is static per
+     * (key, level), so callers cache the reorder — and pin the buffer
+     * as a static operand — instead of paying it on every keyswitch.
+     */
+    void run_matmul_reordered(const u64 *limbs, const u64 *keys_r,
+                              size_t batch, size_t n, u64 *out,
+                              const ModSiteMatMulFn &mm =
+                                  scalar_site_matmul()) const;
 
   private:
+    void matmul_impl(const u64 *limbs, const u64 *keys_r, size_t batch,
+                     size_t n, u64 *out, const ModSiteMatMulFn &mm) const;
+
     std::vector<Modulus> t_mods_;
     size_t beta_;
     size_t beta_tilde_;

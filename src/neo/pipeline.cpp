@@ -1,21 +1,140 @@
 #include "neo/pipeline.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "ckks/ks_precomp.h"
 #include "common/check.h"
+#include "common/static_operand.h"
 #include "common/thread_pool.h"
+#include "common/workspace.h"
 #include "neo/kernel_model.h"
 #include "neo/kernels.h"
 #include "obs/obs.h"
 #include "poly/matrix_ntt.h"
+#include "tensor/layout.h"
 
 namespace neo {
 
 using ckks::CkksContext;
 using ckks::KlssEvalKey;
+
+namespace {
+
+/**
+ * Kernels and transforms that depend only on (context, level), cached
+ * across keyswitch calls. Every one of these used to be rebuilt per
+ * call — a MatrixNtt construction fills two twiddle matrices and a
+ * BConvKernel construction is O(α·α') modular exponentiations, which
+ * together dominated small-ring pipeline runs. Cached MatrixNtt and
+ * BConvKernel instances also pin their static GEMM operands, so the
+ * tensor layer's plane cache can reuse bit-sliced forms across calls.
+ */
+struct LevelKernels
+{
+    std::vector<BConvKernel> modup; ///< one per ciphertext digit
+    /// One per key digit; null when the group is empty at this level.
+    std::vector<std::unique_ptr<BConvKernel>> recover;
+};
+
+struct PipelineCache
+{
+    std::mutex mu;
+    std::vector<MatrixNtt> t_ntt; ///< per T limb (level-independent)
+    std::vector<std::unique_ptr<MatrixNtt>> qntt; ///< per q limb, lazy
+    std::vector<std::unique_ptr<LevelKernels>> levels;
+    u64 last_use = 0;
+};
+
+/**
+ * Registry of pipeline caches keyed by CkksContext::uid() (never the
+ * address — a context reallocated at a freed context's address must
+ * not see its predecessor's kernels). Bounded to a small working set;
+ * eviction is safe because callers hold a shared_ptr for the duration
+ * of the call and all pinned operands release via RAII.
+ */
+std::shared_ptr<PipelineCache>
+pipeline_cache_for(const CkksContext &ctx)
+{
+    static std::mutex reg_mu;
+    static u64 tick = 0;
+    static std::map<u64, std::shared_ptr<PipelineCache>> reg;
+    constexpr size_t kMaxContexts = 4;
+
+    std::lock_guard<std::mutex> lock(reg_mu);
+    auto &slot = reg[ctx.uid()];
+    if (slot == nullptr) {
+        slot = std::make_shared<PipelineCache>();
+        slot->qntt.resize(ctx.max_level() + 1);
+        slot->levels.resize(ctx.max_level() + 1);
+    }
+    slot->last_use = ++tick;
+    auto out = slot;
+    while (reg.size() > kMaxContexts) {
+        auto victim = reg.begin();
+        for (auto it = reg.begin(); it != reg.end(); ++it)
+            if (it->second->last_use < victim->second->last_use)
+                victim = it;
+        reg.erase(victim);
+    }
+    return out;
+}
+
+/// Build (on first use) everything this keyswitch level needs.
+LevelKernels &
+ensure_level(PipelineCache &pc, const CkksContext &ctx, size_t level)
+{
+    const size_t n = ctx.n();
+    const size_t k_special = ctx.p_basis().size();
+    const size_t alpha_p = ctx.alpha_prime();
+    const auto &lv = ctx.precomp().level(level);
+
+    std::lock_guard<std::mutex> lock(pc.mu);
+    if (pc.t_ntt.empty()) {
+        pc.t_ntt.reserve(alpha_p);
+        for (size_t k = 0; k < alpha_p; ++k) {
+            pc.t_ntt.emplace_back(
+                ctx.t_tables().for_modulus(ctx.t_basis()[k]),
+                std::min<size_t>(16, n));
+        }
+    }
+    for (size_t i = 0; i <= level; ++i) {
+        if (pc.qntt[i] == nullptr)
+            pc.qntt[i] = std::make_unique<MatrixNtt>(
+                ctx.tables().for_modulus(ctx.q_basis()[i]),
+                std::min<size_t>(16, n));
+    }
+    if (pc.levels[level] == nullptr) {
+        auto lk = std::make_unique<LevelKernels>();
+        lk->modup.reserve(lv.groups.size());
+        for (const auto &g : lv.groups)
+            lk->modup.emplace_back(ctx.q_basis().slice(g.first, g.count),
+                                   ctx.t_basis());
+        const auto &key_partition = ctx.klss_key_partition();
+        const size_t active = level + 1 + k_special;
+        lk->recover.resize(lv.beta_tilde);
+        for (size_t i = 0; i < lv.beta_tilde; ++i) {
+            const auto &grp = key_partition[i];
+            const size_t last = std::min(grp.first + grp.count, active);
+            if (grp.first >= last)
+                continue;
+            std::vector<u64> grp_primes;
+            for (size_t t = grp.first; t < last; ++t)
+                grp_primes.push_back(ctx.pq_ordered_mod(t).value());
+            lk->recover[i] = std::make_unique<BConvKernel>(
+                ctx.t_basis(), RnsBasis(grp_primes));
+        }
+        pc.levels[level] = std::move(lk);
+    }
+    return *pc.levels[level];
+}
+
+} // namespace
 
 PipelineEngines
 PipelineEngines::from_name(std::string_view name)
@@ -72,10 +191,10 @@ keyswitch_pipeline_kernel_counts(const CkksContext &ctx, size_t level)
     c.bconv = static_cast<u64>(beta + 2 * beta_tilde + 2);
     c.ip = 2; // one matrix IP per ciphertext component
     // GEMM engine calls: MatrixNtt tiles, one multiply per BConv
-    // factor matrix, and one per (coefficient, T-limb) IP site.
+    // factor matrix, and one *batched* site GEMM per IP (all N·α'
+    // sites of a component ride in a single engine call).
     c.gemm = mntt * gemms_per_mntt +
-             static_cast<u64>(beta + 2 * beta_tilde) +
-             static_cast<u64>(2 * n * alpha_p);
+             static_cast<u64>(beta + 2 * beta_tilde) + 2;
     return c;
 }
 
@@ -105,24 +224,22 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     const size_t level = d2.limbs() - 1;
     const size_t k_special = ctx.p_basis().size();
     const size_t alpha_p = ctx.alpha_prime();
-    const auto ext_mods = ctx.extended_mods(level);
-    const auto groups = ctx.digit_partition(level);
+    const auto &lv = ctx.precomp().level(level);
+    const auto &ext_mods = lv.extended;
+    const auto &groups = lv.groups;
     const auto &key_partition = ctx.klss_key_partition();
     const size_t beta = groups.size();
-    const size_t beta_tilde =
-        (level + 1 + k_special + ctx.params().klss.alpha_tilde - 1) /
-        ctx.params().klss.alpha_tilde;
+    const size_t beta_tilde = lv.beta_tilde;
     NEO_CHECK(beta <= evk.beta_max && beta_tilde <= evk.beta_tilde_max,
               "evaluation key too small for this level");
 
-    // Radix-16 matrix NTTs over the T primes (one per limb position).
-    std::vector<MatrixNtt> t_ntt;
-    t_ntt.reserve(alpha_p);
-    for (size_t k = 0; k < alpha_p; ++k) {
-        t_ntt.emplace_back(
-            ctx.t_tables().for_modulus(ctx.t_basis()[k]),
-            std::min<size_t>(16, n));
-    }
+    // Cached kernels for this (context, level): radix-16 matrix NTTs
+    // over T and Q, ModUp and Recover BConv kernels. Holding the
+    // shared_ptr keeps the cache alive even if another thread evicts
+    // this context from the registry mid-call.
+    auto cache = pipeline_cache_for(ctx);
+    LevelKernels &lk = ensure_level(*cache, ctx, level);
+    const std::vector<MatrixNtt> &t_ntt = cache->t_ntt;
 
     RnsPoly d2c = d2;
     {
@@ -134,7 +251,8 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     // Digits are independent: each reads its own Q-limb group and
     // fills its own α'×N slice of digits_t, so the β digits fan out
     // across the pool (kernel-internal parallelism runs inline).
-    std::vector<u64> digits_t(beta * alpha_p * n);
+    Workspace::Frame frame;
+    u64 *digits_t = frame.alloc<u64>(beta * alpha_p * n);
     // One span per pipeline stage; emplace/reset brackets each stage
     // without pushing the stage bodies into nested blocks.
     std::optional<obs::Span> stage_span;
@@ -144,19 +262,13 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
         [&](size_t jb, size_t je) {
             for (size_t j = jb; j < je; ++j) {
                 const auto &g = groups[j];
-                std::vector<u64> digit_primes;
-                for (size_t t = g.first; t < g.first + g.count; ++t)
-                    digit_primes.push_back(ctx.q_basis()[t].value());
-                RnsBasis digit_basis(digit_primes);
-                BConvKernel bconv(digit_basis, ctx.t_basis());
-                bconv.run_matmul_exact(d2c.limb(g.first), 1, n,
-                                       digits_t.data() + j * alpha_p * n,
-                                       engines.per_column);
+                lk.modup[j].run_matmul_exact(d2c.limb(g.first), 1, n,
+                                             digits_t + j * alpha_p * n,
+                                             engines.per_column);
                 // --- NTT over T (ten-step on the emulated TCU). ------
                 for (size_t k = 0; k < alpha_p; ++k) {
-                    t_ntt[k].forward(
-                        digits_t.data() + (j * alpha_p + k) * n,
-                        engines.same_mod);
+                    t_ntt[k].forward(digits_t + (j * alpha_p + k) * n,
+                                     engines.same_mod);
                 }
             }
         },
@@ -165,26 +277,43 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     // --- IP: matrix form (Alg 4) for both components. -----------------
     stage_span.emplace("pipeline_ip", obs::cat::stage);
     IpKernel ip(ctx.t_basis().mods(), beta, beta_tilde);
-    std::vector<u64> s_data[2];
-    for (size_t c = 0; c < 2; ++c) {
-        // Flatten this component's keys to β̃ × β × α' × N.
+    // Key material is static per (key, level): flatten each component
+    // to β̃ × β × α' × N, reorder once into the Fig 8 GEMM layout and
+    // pin the result so the plane cache can keep its sliced form.
+    const auto &key_ops = evk.ip_operands().get(level, [&] {
+        KlssEvalKey::IpOperands ops;
+        ops.beta = beta;
+        ops.beta_tilde = beta_tilde;
         std::vector<u64> keys(beta_tilde * beta * alpha_p * n);
-        for (size_t i = 0; i < beta_tilde; ++i) {
-            for (size_t j = 0; j < beta; ++j) {
-                const RnsPoly &part = evk.part(i, j, c);
-                std::copy(part.data(), part.data() + alpha_p * n,
-                          keys.begin() + (i * beta + j) * alpha_p * n);
+        for (size_t c = 0; c < 2; ++c) {
+            for (size_t i = 0; i < beta_tilde; ++i) {
+                for (size_t j = 0; j < beta; ++j) {
+                    const RnsPoly &part = evk.part(i, j, c);
+                    std::copy(part.data(), part.data() + alpha_p * n,
+                              keys.begin() + (i * beta + j) * alpha_p * n);
+                }
             }
+            ops.reordered[c].resize(keys.size());
+            reorder_4d_reverse(keys.data(), beta_tilde, beta, alpha_p, n,
+                               ops.reordered[c].data());
+            ops.pins[c] = StaticPin(ops.reordered[c].data(),
+                                    ops.reordered[c].size() * sizeof(u64));
         }
-        s_data[c].resize(beta_tilde * alpha_p * n);
-        ip.run_matmul(digits_t.data(), keys.data(), 1, n,
-                      s_data[c].data(), engines.same_mod);
+        return ops;
+    });
+    NEO_ASSERT(key_ops.beta == beta && key_ops.beta_tilde == beta_tilde,
+               "cached IP operands shape mismatch");
+    u64 *s_data[2];
+    for (size_t c = 0; c < 2; ++c) {
+        s_data[c] = frame.alloc<u64>(beta_tilde * alpha_p * n);
+        ip.run_matmul_reordered(digits_t, key_ops.reordered[c].data(), 1,
+                                n, s_data[c], engines.per_site);
         // --- INTT over T: one independent transform per (i, k) limb.
         parallel_for(
             0, beta_tilde * alpha_p,
             [&](size_t b, size_t e) {
                 for (size_t s = b; s < e; ++s) {
-                    t_ntt[s % alpha_p].inverse(s_data[c].data() + s * n,
+                    t_ntt[s % alpha_p].inverse(s_data[c] + s * n,
                                                engines.same_mod);
                 }
             },
@@ -201,29 +330,28 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     parallel_for(
         0, beta_tilde,
         [&](size_t ib, size_t ie) {
+            // Worker-local frame: each digit reuses the same scratch.
+            Workspace::Frame wframe;
             for (size_t i = ib; i < ie; ++i) {
                 const auto &grp = key_partition[i];
                 const size_t last =
                     std::min(grp.first + grp.count, active);
                 if (grp.first >= last)
                     continue;
-                std::vector<u64> grp_primes;
-                for (size_t t = grp.first; t < last; ++t)
-                    grp_primes.push_back(ctx.pq_ordered_mod(t).value());
-                RnsBasis grp_basis(grp_primes);
-                BConvKernel recover(ctx.t_basis(), grp_basis);
-                std::vector<u64> out(grp_primes.size() * n);
+                const BConvKernel &recover = *lk.recover[i];
+                u64 *out =
+                    wframe.alloc<u64>(recover.out_levels() * n);
                 for (size_t c = 0; c < 2; ++c) {
-                    recover.run_matmul_exact(
-                        s_data[c].data() + i * alpha_p * n, 1, n,
-                        out.data(), engines.per_column);
+                    recover.run_matmul_exact(s_data[c] + i * alpha_p * n,
+                                             1, n, out,
+                                             engines.per_column);
                     RnsPoly &acc = c == 0 ? acc0 : acc1;
                     for (size_t t = grp.first; t < last; ++t) {
                         const size_t store_idx = t < k_special
                                                      ? level + 1 + t
                                                      : t - k_special;
-                        std::copy(out.begin() + (t - grp.first) * n,
-                                  out.begin() + (t - grp.first + 1) * n,
+                        std::copy(out + (t - grp.first) * n,
+                                  out + (t - grp.first + 1) * n,
                                   acc.limb(store_idx));
                     }
                 }
@@ -239,12 +367,9 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
         parallel_for(
             0, level + 1,
             [&](size_t ib, size_t ie) {
-                for (size_t i = ib; i < ie; ++i) {
-                    MatrixNtt qntt(
-                        ctx.tables().for_modulus(p->modulus(i)),
-                        std::min<size_t>(16, n));
-                    qntt.forward(p->limb(i), engines.same_mod);
-                }
+                for (size_t i = ib; i < ie; ++i)
+                    cache->qntt[i]->forward(p->limb(i),
+                                            engines.same_mod);
             },
             1);
         p->set_form(PolyForm::eval);

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/table.h"
+#include "common/workspace.h"
 
 namespace neo::obs {
 
@@ -67,6 +68,17 @@ Registry::add_value(std::string_view name, double delta)
         values_.emplace(std::string(name), delta);
     else
         it->second += delta;
+}
+
+void
+Registry::max_value(std::string_view name, double v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = values_.find(name);
+    if (it == values_.end())
+        values_.emplace(std::string(name), v);
+    else
+        it->second = std::max(it->second, v);
 }
 
 void
@@ -393,9 +405,29 @@ export_global_at_exit()
     }
 }
 
+/// Workspace arena stats sink (common/ cannot link obs, so the arena
+/// reports through a function-pointer hook installed here).
+void
+workspace_stats(size_t reused, size_t fresh, size_t high_water)
+{
+    Registry *r = current();
+    if (r == nullptr)
+        return;
+    if (reused != 0)
+        r->add_value("ws.bytes_reused", static_cast<double>(reused));
+    if (fresh != 0)
+        r->add_value("ws.fresh_bytes", static_cast<double>(fresh));
+    if (high_water != 0)
+        r->max_value("ws.high_water_bytes", static_cast<double>(high_water));
+}
+
 /// Runs init_from_env() before main() so NEO_TRACE needs no code hook.
 struct EnvBootstrap {
-    EnvBootstrap() { init_from_env(); }
+    EnvBootstrap()
+    {
+        set_workspace_stats_hook(&workspace_stats);
+        init_from_env();
+    }
 } env_bootstrap;
 
 } // namespace

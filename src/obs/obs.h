@@ -100,6 +100,10 @@ class Registry
     // -- recording -----------------------------------------------------
     void add(std::string_view name, u64 delta = 1);
     void add_value(std::string_view name, double delta);
+    /// Keep the maximum of @p v and the stored value (for high-water
+    /// marks). Max is commutative/associative, so totals stay
+    /// deterministic across thread counts like the sum counters.
+    void max_value(std::string_view name, double v);
     /// One modular GEMM call of shape m×n×k: bumps gemm.calls,
     /// gemm.flops (2mnk) and the shape histogram.
     void add_gemm(size_t m, size_t n, size_t k);

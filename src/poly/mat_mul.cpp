@@ -17,18 +17,34 @@ scalar_mod_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
     const u64 qv = q.value();
     // Row tiles of C are independent; the k-accumulation (and its
     // fold points) stays inside one tile, so results are identical
-    // for any thread count.
-    const size_t grain = std::max<size_t>(1, 16384 / std::max<size_t>(
-                                                       1, n * k));
+    // for any thread count. Columns are register-tiled in groups of
+    // kNR with the same per-element t order and fold cadence as the
+    // naive loop, so the tiling is bit-transparent too.
+    constexpr size_t kNR = 4;
     parallel_for(
         0, m,
         [&](size_t rb, size_t re) {
             for (size_t i = rb; i < re; ++i) {
-                for (size_t j = 0; j < n; ++j) {
-                    u128 acc = 0;
+                size_t j = 0;
+                for (; j + kNR <= n; j += kNR) {
+                    u128 acc[kNR] = {};
                     // Each product is < 2^126 (q < 2^63); folding
                     // every other iteration keeps the accumulator
                     // below 2^128.
+                    for (size_t t = 0; t < k; ++t) {
+                        const u128 av = a[i * k + t];
+                        for (size_t jj = 0; jj < kNR; ++jj)
+                            acc[jj] += av * b[t * n + j + jj];
+                        if (t & 1)
+                            for (size_t jj = 0; jj < kNR; ++jj)
+                                acc[jj] %= qv;
+                    }
+                    for (size_t jj = 0; jj < kNR; ++jj)
+                        c[i * n + j + jj] =
+                            static_cast<u64>(acc[jj] % qv);
+                }
+                for (; j < n; ++j) {
+                    u128 acc = 0;
                     for (size_t t = 0; t < k; ++t) {
                         acc += static_cast<u128>(a[i * k + t]) *
                                b[t * n + j];
@@ -39,7 +55,7 @@ scalar_mod_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                 }
             }
         },
-        grain);
+        row_chunk_grain(m, n * k));
 }
 
 const ModMatMulFn &

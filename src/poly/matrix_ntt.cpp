@@ -1,8 +1,11 @@
 #include "poly/matrix_ntt.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "common/workspace.h"
 #include "obs/obs.h"
 
 namespace neo {
@@ -30,6 +33,8 @@ MatrixNtt::MatrixNtt(const NttTables &tables, size_t radix)
                 wi[c * len + k] = tables_.omega_inv_pow(e);
             }
         }
+        pins_.emplace_back(wf.data(), wf.size() * sizeof(u64));
+        pins_.emplace_back(wi.data(), wi.size() * sizeof(u64));
     }
 }
 
@@ -48,9 +53,10 @@ MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
     if (len <= radix_) {
         // Base case: one (rows × len) · (len × len) matrix product.
         const auto &w = twiddle_matrix(len, inverse);
-        std::vector<u64> out(rows * len);
-        mm(a, w.data(), out.data(), rows, len, len, q);
-        std::copy(out.begin(), out.end(), a);
+        Workspace::Frame frame;
+        u64 *out = frame.alloc<u64>(rows * len);
+        mm(a, w.data(), out, rows, len, len, q);
+        std::copy(out, out + rows * len, a);
         return;
     }
 
@@ -68,8 +74,12 @@ MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
     parallel_for(
         0, rows,
         [&](size_t row_begin, size_t row_end) {
-            std::vector<u64> at(len);  // n1 × n2 gathered matrix
-            std::vector<u64> out(len); // n1 × n2 left-matmul result
+            // Worker-local arena frame: scratch comes from the
+            // executing thread's Workspace, so chunks never share
+            // buffers and repeat calls reuse warm blocks.
+            Workspace::Frame frame;
+            u64 *at = frame.alloc<u64>(len);  // n1 × n2 gathered matrix
+            u64 *out = frame.alloc<u64>(len); // n1 × n2 left-matmul result
             for (size_t row = row_begin; row < row_end; ++row) {
                 u64 *x = a + row * len;
                 // Step 1: gather A[r][c] = x[r + n1*c].
@@ -78,7 +88,7 @@ MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
                         at[r * n2 + c] = x[r + n1 * c];
                 // Step 2: length-n2 transforms on the n1 rows
                 // (recursive).
-                cyclic_batch(at.data(), n1, n2, inverse, mm);
+                cyclic_batch(at, n1, n2, inverse, mm);
                 // Step 3: twisting factors ω_len^{r*k2}.
                 for (size_t r = 1; r < n1; ++r) {
                     for (size_t k2 = 0; k2 < n2; ++k2) {
@@ -89,10 +99,10 @@ MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
                     }
                 }
                 // Step 4: left-multiply by the n1×n1 twiddle matrix.
-                mm(w1.data(), at.data(), out.data(), n1, n2, n1, q);
+                mm(w1.data(), at, out, n1, n2, n1, q);
                 // Rows land in natural order:
                 // X[k1*n2 + k2] = out[k1][k2].
-                std::copy(out.begin(), out.end(), x);
+                std::copy(out, out + len, x);
             }
         },
         1);

@@ -92,10 +92,19 @@ const std::vector<std::string> &workload_names();
  * @p level selects the ciphertext level for the primitive workloads
  * (keyswitch/mul/rotate); 0 means "the parameter set's top level".
  * Application workloads price their full schedule and ignore @p level.
+ *
+ * @p repeat controls wall-clock sampling for functional workloads:
+ * with repeat == 1 the single (cold) traced run is timed, matching the
+ * historical behaviour; with repeat > 1 the traced run doubles as a
+ * warmup that fills the hot-path caches (key-switch precomp, pipeline
+ * kernels, GEMM plane cache, workspace arenas) and wall_s is the
+ * median of @p repeat steady-state samples. Span counters always come
+ * from exactly one run. Modeled workloads ignore @p repeat.
+ *
  * Throws std::invalid_argument for unknown names.
  */
 Result profile(const std::string &workload, const std::string &engine,
-               size_t level = 0);
+               size_t level = 0, size_t repeat = 1);
 
 /// Human-readable attribution report (stdout form of the artifact).
 void print_report(const Result &r, std::ostream &out);

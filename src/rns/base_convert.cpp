@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/workspace.h"
 #include "obs/obs.h"
 
 namespace neo {
@@ -56,8 +57,9 @@ BaseConverter::convert_approx(const u64 *in, size_t n, u64 *out) const
         r->add_value("bconv.bytes",
                      static_cast<double>((k + m) * n) * sizeof(u64));
     }
-    std::vector<u64> scaled(k * n);
-    scale_inputs(in, n, scaled.data());
+    Workspace::Frame frame;
+    u64 *scaled = frame.alloc<u64>(k * n);
+    scale_inputs(in, n, scaled);
     for (size_t j = 0; j < m; ++j) {
         const Modulus &tj = to_[j];
         const u64 q = tj.value();
@@ -90,10 +92,11 @@ BaseConverter::convert_exact(const u64 *in, size_t n, u64 *out) const
         r->add_value("bconv.bytes",
                      static_cast<double>((k + m) * n) * sizeof(u64));
     }
-    std::vector<u64> scaled(k * n);
-    scale_inputs(in, n, scaled.data());
+    Workspace::Frame frame;
+    u64 *scaled = frame.alloc<u64>(k * n);
+    scale_inputs(in, n, scaled);
     // Overflow counts r_l = round(Σ_i scaled_i / b_i).
-    std::vector<u64> overflow(n);
+    u64 *overflow = frame.alloc<u64>(n);
     for (size_t l = 0; l < n; ++l) {
         long double v = 0.0L;
         for (size_t i = 0; i < k; ++i)

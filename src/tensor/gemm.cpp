@@ -6,7 +6,9 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "common/workspace.h"
 #include "obs/obs.h"
+#include "tensor/plane_cache.h"
 
 namespace neo {
 
@@ -22,14 +24,161 @@ note_gemm(size_t m, size_t n, size_t k)
         r->add_gemm(m, n, k);
 }
 
-/// Row-chunk grain so one chunk carries at least ~16k MAC operations;
-/// chunking is over output rows only, so the per-element accumulation
-/// order (and hence the result) is independent of the grain.
+/**
+ * Row-chunk grain for the parallel GEMM loops. Two goals: every chunk
+ * carries at least ~16k MAC operations (so submission overhead stays
+ * negligible), and the chunk count stays within a few chunks per pool
+ * thread — in particular a 1-thread pool gets exactly one chunk and
+ * pays zero chunking overhead. Invariance: chunking splits *output
+ * rows* only; every output element's k-accumulation (and its plane
+ * recombination) happens entirely inside one chunk in a fixed order,
+ * so the grain changes scheduling, never values — results are
+ * bit-identical for any grain and any thread count.
+ */
 size_t
-row_grain(size_t n, size_t k)
+row_grain(size_t m, size_t n, size_t k)
 {
-    const size_t per_row = n * k;
-    return per_row == 0 ? 1 : std::max<size_t>(1, 16384 / per_row);
+    return row_chunk_grain(m, n * k);
+}
+
+// Cache-tile sizes for the plane GEMM. MC is the parallel row chunk
+// (row_grain); NC × KC below tile the j / t loops so the B panel in
+// use stays L1/L2-resident; MR × NR is the register tile.
+constexpr size_t kNC = 128;
+constexpr size_t kKC = 256;
+constexpr size_t kMR = 4;
+constexpr size_t kNR = 8;
+
+/**
+ * One MR×NR-register-tiled block of the plane GEMM:
+ *   prod[i0..i1, j0..j1] (+)= am[i0..i1, t0..t1] · bm[t0..t1, j0..j1]
+ * ("=" when first, "+=" otherwise, i.e. on later KC slabs).
+ *
+ * Determinism: each output element accumulates its t-products in
+ * strictly ascending t order — the same order as the naive triple
+ * loop — so the blocked kernel is bit-identical to it (and, for the
+ * FP64 path, exact anyway: every intermediate stays below 2^53 by
+ * construction of the SplitPlan).
+ */
+template <class T>
+void
+plane_gemm_block(const T *am, const T *bm, T *prod, size_t i0, size_t i1,
+                 size_t j0, size_t j1, size_t t0, size_t t1, size_t n,
+                 size_t k, bool first)
+{
+    size_t i = i0;
+    for (; i + kMR <= i1; i += kMR) {
+        size_t j = j0;
+        for (; j + kNR <= j1; j += kNR) {
+            T acc[kMR][kNR] = {};
+            for (size_t t = t0; t < t1; ++t) {
+                T bv[kNR];
+                for (size_t jj = 0; jj < kNR; ++jj)
+                    bv[jj] = bm[t * n + j + jj];
+                for (size_t ii = 0; ii < kMR; ++ii) {
+                    const T av = am[(i + ii) * k + t];
+                    for (size_t jj = 0; jj < kNR; ++jj)
+                        acc[ii][jj] += av * bv[jj];
+                }
+            }
+            for (size_t ii = 0; ii < kMR; ++ii)
+                for (size_t jj = 0; jj < kNR; ++jj) {
+                    T &out = prod[(i + ii) * n + j + jj];
+                    out = first ? acc[ii][jj] : out + acc[ii][jj];
+                }
+        }
+        for (; j < j1; ++j) {
+            T acc[kMR] = {};
+            for (size_t t = t0; t < t1; ++t) {
+                const T bv = bm[t * n + j];
+                for (size_t ii = 0; ii < kMR; ++ii)
+                    acc[ii] += am[(i + ii) * k + t] * bv;
+            }
+            for (size_t ii = 0; ii < kMR; ++ii) {
+                T &out = prod[(i + ii) * n + j];
+                out = first ? acc[ii] : out + acc[ii];
+            }
+        }
+    }
+    for (; i < i1; ++i) {
+        size_t j = j0;
+        for (; j + kNR <= j1; j += kNR) {
+            T acc[kNR] = {};
+            for (size_t t = t0; t < t1; ++t) {
+                const T av = am[i * k + t];
+                for (size_t jj = 0; jj < kNR; ++jj)
+                    acc[jj] += av * bm[t * n + j + jj];
+            }
+            for (size_t jj = 0; jj < kNR; ++jj) {
+                T &out = prod[i * n + j + jj];
+                out = first ? acc[jj] : out + acc[jj];
+            }
+        }
+        for (; j < j1; ++j) {
+            T acc = 0;
+            for (size_t t = t0; t < t1; ++t)
+                acc += am[i * k + t] * bm[t * n + j];
+            T &out = prod[i * n + j];
+            out = first ? acc : out + acc;
+        }
+    }
+}
+
+/// prod = am(m×k) · bm(k×n), blocked and parallel over row chunks.
+template <class T>
+void
+plane_gemm(const T *am, const T *bm, T *prod, size_t m, size_t n, size_t k)
+{
+    parallel_for(
+        0, m,
+        [&](size_t rb, size_t re) {
+            for (size_t jc = 0; jc < n; jc += kNC) {
+                const size_t je = std::min(n, jc + kNC);
+                for (size_t tc = 0; tc < k; tc += kKC)
+                    plane_gemm_block(am, bm, prod, rb, re, jc, je, tc,
+                                     std::min(k, tc + kKC), n, k, tc == 0);
+            }
+        },
+        row_grain(m, n, k));
+}
+
+/// Operand planes: cache hit for pinned operands, workspace slice
+/// otherwise. The returned pointer is valid for the caller's Frame
+/// lifetime (the shared_ptr keeps cached planes alive).
+const double *
+f64_planes(const u64 *p, size_t count, int planes, int plane_bits,
+           Workspace::Frame &frame, PlaneCache::F64Ptr &keep)
+{
+    keep = PlaneCache::global().f64_planes(p, count, planes, plane_bits);
+    if (keep != nullptr)
+        return keep->data();
+    double *buf = frame.alloc<double>(static_cast<size_t>(planes) * count);
+    slice_to_f64(p, count, planes, plane_bits, buf);
+    return buf;
+}
+
+const i32 *
+i32_planes(const u64 *p, size_t count, int planes, int plane_bits,
+           Workspace::Frame &frame, PlaneCache::I32Ptr &keep)
+{
+    keep = PlaneCache::global().i32_planes(p, count, planes, plane_bits);
+    if (keep != nullptr)
+        return keep->data();
+    i32 *buf = frame.alloc<i32>(static_cast<size_t>(planes) * count);
+    slice_to_i32(p, count, planes, plane_bits, buf);
+    return buf;
+}
+
+int
+operand_bits(const u64 *v, size_t count)
+{
+    const int cached = PlaneCache::global().width_bits(v, count);
+    if (cached >= 0)
+        return cached;
+    u64 m = 0;
+    for (size_t i = 0; i < count; ++i)
+        m |= v[i];
+    return bit_size(m);
 }
 
 } // namespace
@@ -42,52 +191,32 @@ fp64_sliced_matmul_plan(const u64 *a, const u64 *b, u64 *c, size_t m,
     obs::Span span("fp64_gemm", obs::cat::gemm);
     note_gemm(m, n, k);
     const u64 qv = q.value();
-    // Slice operands into FP64 planes.
-    std::vector<double> ap(static_cast<size_t>(plan.a_planes) * m * k);
-    std::vector<double> bp(static_cast<size_t>(plan.b_planes) * k * n);
-    slice_to_f64(a, m * k, plan.a_planes, plan.a_plane_bits, ap.data());
-    slice_to_f64(b, k * n, plan.b_planes, plan.b_plane_bits, bp.data());
+    Workspace::Frame frame;
+    PlaneCache::F64Ptr keep_a, keep_b;
+    const double *ap =
+        f64_planes(a, m * k, plan.a_planes, plan.a_plane_bits, frame, keep_a);
+    const double *bp =
+        f64_planes(b, k * n, plan.b_planes, plan.b_plane_bits, frame, keep_b);
+    const PlaneCache::Pow2Ptr pow2 = PlaneCache::global().pow2(plan, qv);
 
-    // Precompute 2^shift mod q for every plane pair.
-    std::vector<u64> pow2(plan.a_planes * plan.b_planes);
-    for (int pa = 0; pa < plan.a_planes; ++pa) {
-        for (int pb = 0; pb < plan.b_planes; ++pb) {
-            int shift = pa * plan.a_plane_bits + pb * plan.b_plane_bits;
-            pow2[pa * plan.b_planes + pb] = pow_mod(2, shift, qv);
-        }
-    }
-
-    std::vector<double> prod(m * n);
+    double *prod = frame.alloc<double>(m * n);
     std::fill(c, c + m * n, 0);
     for (int pa = 0; pa < plan.a_planes; ++pa) {
-        const double *am = ap.data() + static_cast<size_t>(pa) * m * k;
+        const double *am = ap + static_cast<size_t>(pa) * m * k;
         for (int pb = 0; pb < plan.b_planes; ++pb) {
-            const double *bm = bp.data() + static_cast<size_t>(pb) * k * n;
+            const double *bm = bp + static_cast<size_t>(pb) * k * n;
             // The per-plane GEMM the TCU executes: pure double
             // arithmetic, exact because every accumulation stays
-            // below 2^53 by construction of the plan. Row tiles are
-            // independent; the k-accumulation stays inside a tile.
-            parallel_for(
-                0, m,
-                [&](size_t rb, size_t re) {
-                    for (size_t i = rb; i < re; ++i) {
-                        for (size_t j = 0; j < n; ++j) {
-                            double acc = 0.0;
-                            for (size_t t = 0; t < k; ++t)
-                                acc += am[i * k + t] * bm[t * n + j];
-                            prod[i * n + j] = acc;
-                        }
-                    }
-                },
-                row_grain(n, k));
+            // below 2^53 by construction of the plan.
+            plane_gemm(am, bm, prod, m, n, k);
             // Recombine: C += 2^shift * P (mod q). The plane loops
             // stay sequential, so each c[i] accumulates its planes in
             // the fixed (pa, pb) order.
-            const u64 w = pow2[pa * plan.b_planes + pb];
+            const u64 w = (*pow2)[static_cast<size_t>(pa) * plan.b_planes + pb];
             parallel_for(
                 0, m * n,
-                [&](size_t b, size_t e) {
-                    for (size_t i = b; i < e; ++i) {
+                [&](size_t b0, size_t e0) {
+                    for (size_t i = b0; i < e0; ++i) {
                         u64 v = static_cast<u64>(prod[i]) % qv;
                         c[i] = add_mod(c[i], q.mul(v, w), qv);
                     }
@@ -113,42 +242,29 @@ int8_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
     note_gemm(m, n, k);
     const u64 qv = q.value();
     const SplitPlan plan = choose_int8_split(q.bits(), q.bits(), k);
-    std::vector<i32> ap(static_cast<size_t>(plan.a_planes) * m * k);
-    std::vector<i32> bp(static_cast<size_t>(plan.b_planes) * k * n);
-    slice_to_i32(a, m * k, plan.a_planes, plan.a_plane_bits, ap.data());
-    slice_to_i32(b, k * n, plan.b_planes, plan.b_plane_bits, bp.data());
+    Workspace::Frame frame;
+    PlaneCache::I32Ptr keep_a, keep_b;
+    const i32 *ap =
+        i32_planes(a, m * k, plan.a_planes, plan.a_plane_bits, frame, keep_a);
+    const i32 *bp =
+        i32_planes(b, k * n, plan.b_planes, plan.b_plane_bits, frame, keep_b);
+    const PlaneCache::Pow2Ptr pow2 = PlaneCache::global().pow2(plan, qv);
 
-    std::vector<i32> prod(m * n);
+    i32 *prod = frame.alloc<i32>(m * n);
     std::fill(c, c + m * n, 0);
     for (int pa = 0; pa < plan.a_planes; ++pa) {
-        const i32 *am = ap.data() + static_cast<size_t>(pa) * m * k;
+        const i32 *am = ap + static_cast<size_t>(pa) * m * k;
         for (int pb = 0; pb < plan.b_planes; ++pb) {
-            const i32 *bm = bp.data() + static_cast<size_t>(pb) * k * n;
-            parallel_for(
-                0, m,
-                [&](size_t rb, size_t re) {
-                    for (size_t i = rb; i < re; ++i) {
-                        for (size_t j = 0; j < n; ++j) {
-                            // INT32 accumulation, as on the INT8
-                            // tensor core.
-                            i32 acc = 0;
-                            for (size_t t = 0; t < k; ++t)
-                                acc += am[i * k + t] * bm[t * n + j];
-                            prod[i * n + j] = acc;
-                        }
-                    }
-                },
-                row_grain(n, k));
-            const int shift =
-                pa * plan.a_plane_bits + pb * plan.b_plane_bits;
-            const u64 w = pow_mod(2, shift, qv);
+            const i32 *bm = bp + static_cast<size_t>(pb) * k * n;
+            // INT32 accumulation, as on the INT8 tensor core.
+            plane_gemm(am, bm, prod, m, n, k);
+            const u64 w = (*pow2)[static_cast<size_t>(pa) * plan.b_planes + pb];
             parallel_for(
                 0, m * n,
-                [&](size_t b, size_t e) {
-                    for (size_t i = b; i < e; ++i) {
+                [&](size_t b0, size_t e0) {
+                    for (size_t i = b0; i < e0; ++i) {
                         u64 v =
-                            static_cast<u64>(static_cast<u32>(prod[i])) %
-                            qv;
+                            static_cast<u64>(static_cast<u32>(prod[i])) % qv;
                         c[i] = add_mod(c[i], q.mul(v, w), qv);
                     }
                 },
@@ -156,19 +272,6 @@ int8_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
         }
     }
 }
-
-namespace {
-
-int
-max_bits(const u64 *v, size_t count)
-{
-    u64 m = 0;
-    for (size_t i = 0; i < count; ++i)
-        m |= v[i];
-    return bit_size(m);
-}
-
-} // namespace
 
 void
 scalar_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
@@ -195,7 +298,7 @@ scalar_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                 }
             }
         },
-        row_grain(n, k));
+        row_grain(m, n, k));
 }
 
 void
@@ -206,51 +309,45 @@ fp64_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
     obs::Span span("fp64_gemm_cols", obs::cat::gemm);
     note_gemm(m, n, k);
     NEO_CHECK(col_mods.size() == n, "column modulus count mismatch");
-    const int wa = max_bits(a, m * k);
-    const int wb = max_bits(b, k * n);
+    const int wa = operand_bits(a, m * k);
+    const int wb = operand_bits(b, k * n);
     const SplitPlan plan = choose_fp64_split(std::max(wa, 1),
                                              std::max(wb, 1), k);
-    std::vector<double> ap(static_cast<size_t>(plan.a_planes) * m * k);
-    std::vector<double> bp(static_cast<size_t>(plan.b_planes) * k * n);
-    slice_to_f64(a, m * k, plan.a_planes, plan.a_plane_bits, ap.data());
-    slice_to_f64(b, k * n, plan.b_planes, plan.b_plane_bits, bp.data());
+    Workspace::Frame frame;
+    PlaneCache::F64Ptr keep_a, keep_b;
+    const double *ap =
+        f64_planes(a, m * k, plan.a_planes, plan.a_plane_bits, frame, keep_a);
+    const double *bp =
+        f64_planes(b, k * n, plan.b_planes, plan.b_plane_bits, frame, keep_b);
 
-    std::vector<double> prod(m * n);
+    double *prod = frame.alloc<double>(m * n);
+    u64 *w = frame.alloc<u64>(n);
     std::fill(c, c + m * n, 0);
     for (int pa = 0; pa < plan.a_planes; ++pa) {
-        const double *am = ap.data() + static_cast<size_t>(pa) * m * k;
+        const double *am = ap + static_cast<size_t>(pa) * m * k;
         for (int pb = 0; pb < plan.b_planes; ++pb) {
-            const double *bm = bp.data() + static_cast<size_t>(pb) * k * n;
-            parallel_for(
-                0, m,
-                [&](size_t rb, size_t re) {
-                    for (size_t i = rb; i < re; ++i) {
-                        for (size_t j = 0; j < n; ++j) {
-                            double acc = 0.0;
-                            for (size_t t = 0; t < k; ++t)
-                                acc += am[i * k + t] * bm[t * n + j];
-                            prod[i * n + j] = acc;
-                        }
-                    }
-                },
-                row_grain(n, k));
+            const double *bm = bp + static_cast<size_t>(pb) * k * n;
+            plane_gemm(am, bm, prod, m, n, k);
+            // Per-column shift weights, hoisted out of the recombine
+            // loop (was one pow_mod per output element).
             const int shift =
                 pa * plan.a_plane_bits + pb * plan.b_plane_bits;
+            for (size_t j = 0; j < n; ++j)
+                w[j] = pow_mod(2, shift, col_mods[j].value());
             parallel_for(
                 0, m,
                 [&](size_t rb, size_t re) {
                     for (size_t i = rb; i < re; ++i) {
                         for (size_t j = 0; j < n; ++j) {
                             const Modulus &q = col_mods[j];
-                            const u64 w = pow_mod(2, shift, q.value());
                             u64 v = static_cast<u64>(prod[i * n + j]) %
                                     q.value();
                             c[i * n + j] =
-                                q.add(c[i * n + j], q.mul(v, w));
+                                q.add(c[i * n + j], q.mul(v, w[j]));
                         }
                     }
                 },
-                row_grain(n, 1));
+                row_grain(m, n, 1));
         }
     }
 }
@@ -263,54 +360,223 @@ int8_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
     obs::Span span("int8_gemm_cols", obs::cat::gemm);
     note_gemm(m, n, k);
     NEO_CHECK(col_mods.size() == n, "column modulus count mismatch");
-    const int wa = max_bits(a, m * k);
-    const int wb = max_bits(b, k * n);
+    const int wa = operand_bits(a, m * k);
+    const int wb = operand_bits(b, k * n);
     const SplitPlan plan =
         choose_int8_split(std::max(wa, 1), std::max(wb, 1), k);
-    std::vector<i32> ap(static_cast<size_t>(plan.a_planes) * m * k);
-    std::vector<i32> bp(static_cast<size_t>(plan.b_planes) * k * n);
-    slice_to_i32(a, m * k, plan.a_planes, plan.a_plane_bits, ap.data());
-    slice_to_i32(b, k * n, plan.b_planes, plan.b_plane_bits, bp.data());
+    Workspace::Frame frame;
+    PlaneCache::I32Ptr keep_a, keep_b;
+    const i32 *ap =
+        i32_planes(a, m * k, plan.a_planes, plan.a_plane_bits, frame, keep_a);
+    const i32 *bp =
+        i32_planes(b, k * n, plan.b_planes, plan.b_plane_bits, frame, keep_b);
 
-    std::vector<i32> prod(m * n);
+    i32 *prod = frame.alloc<i32>(m * n);
+    u64 *w = frame.alloc<u64>(n);
     std::fill(c, c + m * n, 0);
     for (int pa = 0; pa < plan.a_planes; ++pa) {
-        const i32 *am = ap.data() + static_cast<size_t>(pa) * m * k;
+        const i32 *am = ap + static_cast<size_t>(pa) * m * k;
         for (int pb = 0; pb < plan.b_planes; ++pb) {
-            const i32 *bm = bp.data() + static_cast<size_t>(pb) * k * n;
-            parallel_for(
-                0, m,
-                [&](size_t rb, size_t re) {
-                    for (size_t i = rb; i < re; ++i) {
-                        for (size_t j = 0; j < n; ++j) {
-                            i32 acc = 0;
-                            for (size_t t = 0; t < k; ++t)
-                                acc += am[i * k + t] * bm[t * n + j];
-                            prod[i * n + j] = acc;
-                        }
-                    }
-                },
-                row_grain(n, k));
+            const i32 *bm = bp + static_cast<size_t>(pb) * k * n;
+            plane_gemm(am, bm, prod, m, n, k);
             const int shift =
                 pa * plan.a_plane_bits + pb * plan.b_plane_bits;
+            for (size_t j = 0; j < n; ++j)
+                w[j] = pow_mod(2, shift, col_mods[j].value());
             parallel_for(
                 0, m,
                 [&](size_t rb, size_t re) {
                     for (size_t i = rb; i < re; ++i) {
                         for (size_t j = 0; j < n; ++j) {
                             const Modulus &q = col_mods[j];
-                            const u64 w = pow_mod(2, shift, q.value());
                             u64 v = static_cast<u64>(static_cast<u32>(
                                         prod[i * n + j])) %
                                     q.value();
                             c[i * n + j] =
-                                q.add(c[i * n + j], q.mul(v, w));
+                                q.add(c[i * n + j], q.mul(v, w[j]));
                         }
                     }
                 },
-                row_grain(n, 1));
+                row_grain(m, n, 1));
         }
     }
+}
+
+void
+scalar_matmul_sites(const u64 *a, const u64 *b, u64 *c, size_t sites,
+                    size_t m, size_t n, size_t k,
+                    const std::vector<Modulus> &mods)
+{
+    obs::Span span("scalar_gemm_sites", obs::cat::gemm);
+    note_gemm(sites * m, n, k);
+    NEO_CHECK(!mods.empty(), "site modulus list empty");
+    const size_t nmods = mods.size();
+    parallel_for(
+        0, sites,
+        [&](size_t sb, size_t se) {
+            for (size_t s = sb; s < se; ++s) {
+                const u64 qv = mods[s % nmods].value();
+                const u64 *as = a + s * m * k;
+                const u64 *bs = b + s * k * n;
+                u64 *cs = c + s * m * n;
+                for (size_t i = 0; i < m; ++i) {
+                    for (size_t j = 0; j < n; ++j) {
+                        u128 acc = 0;
+                        // Fold every other iteration: products are
+                        // < 2^126, so the accumulator stays < 2^128.
+                        for (size_t t = 0; t < k; ++t) {
+                            acc += static_cast<u128>(as[i * k + t]) *
+                                   bs[t * n + j];
+                            if (t & 1)
+                                acc %= qv;
+                        }
+                        cs[i * n + j] = static_cast<u64>(acc % qv);
+                    }
+                }
+            }
+        },
+        row_chunk_grain(sites, m * n * k));
+}
+
+namespace {
+
+/**
+ * Shared skeleton of the sliced per-site GEMMs: decompose both full
+ * tensors into planes once (one plane-cache entry per static operand
+ * covering every site), then per site run the plane micro-GEMMs and
+ * recombine with the site's modulus. Every output element accumulates
+ * its k-products in ascending order and its planes in (pa, pb) order —
+ * exactly like the single-site engines, and exact by plan
+ * construction — so results are bit-identical to calling the matching
+ * single-site engine once per site.
+ */
+template <class T, class Slice, class Fold>
+void
+sliced_matmul_sites_impl(const u64 *a, const u64 *b, u64 *c, size_t sites,
+                         size_t m, size_t n, size_t k,
+                         const std::vector<Modulus> &mods,
+                         const SplitPlan &plan, Slice &&slice, Fold &&fold)
+{
+    const size_t nmods = mods.size();
+    Workspace::Frame frame;
+    const T *ap, *bp;
+    auto keep_a = slice(a, sites * m * k, plan.a_planes, plan.a_plane_bits,
+                        frame, ap);
+    auto keep_b = slice(b, sites * k * n, plan.b_planes, plan.b_plane_bits,
+                        frame, bp);
+    (void)keep_a;
+    (void)keep_b;
+
+    // One pow2 recombine table per distinct site modulus (cached,
+    // data-independent); row-major in (pa, pb) like the plan.
+    std::vector<PlaneCache::Pow2Ptr> tabs(nmods);
+    for (size_t r = 0; r < nmods; ++r)
+        tabs[r] = PlaneCache::global().pow2(plan, mods[r].value());
+
+    const size_t pairs =
+        static_cast<size_t>(plan.a_planes) * plan.b_planes;
+    parallel_for(
+        0, sites,
+        [&](size_t sb, size_t se) {
+            Workspace::Frame wframe;
+            T *prod = wframe.alloc<T>(m * n);
+            for (size_t s = sb; s < se; ++s) {
+                const Modulus &q = mods[s % nmods];
+                const u64 qv = q.value();
+                const u64 *w = tabs[s % nmods]->data();
+                u64 *cs = c + s * m * n;
+                std::fill(cs, cs + m * n, 0);
+                for (size_t pair = 0; pair < pairs; ++pair) {
+                    const T *am = ap +
+                                  (pair / plan.b_planes) * sites * m * k +
+                                  s * m * k;
+                    const T *bm = bp +
+                                  (pair % plan.b_planes) * sites * k * n +
+                                  s * k * n;
+                    for (size_t i = 0; i < m; ++i)
+                        for (size_t j = 0; j < n; ++j) {
+                            T acc = 0;
+                            for (size_t t = 0; t < k; ++t)
+                                acc += am[i * k + t] * bm[t * n + j];
+                            prod[i * n + j] = acc;
+                        }
+                    const u64 wv = w[pair];
+                    for (size_t i = 0; i < m * n; ++i)
+                        cs[i] = add_mod(cs[i], q.mul(fold(prod[i]) % qv, wv),
+                                        qv);
+                }
+            }
+        },
+        row_chunk_grain(sites, pairs * m * n * k));
+}
+
+} // namespace
+
+void
+fp64_sliced_matmul_sites(const u64 *a, const u64 *b, u64 *c, size_t sites,
+                         size_t m, size_t n, size_t k,
+                         const std::vector<Modulus> &mods)
+{
+    obs::Span span("fp64_gemm_sites", obs::cat::gemm);
+    note_gemm(sites * m, n, k);
+    NEO_CHECK(!mods.empty(), "site modulus list empty");
+    const int wa = operand_bits(a, sites * m * k);
+    const int wb = operand_bits(b, sites * k * n);
+    const SplitPlan plan =
+        choose_fp64_split(std::max(wa, 1), std::max(wb, 1), k);
+    sliced_matmul_sites_impl<double>(
+        a, b, c, sites, m, n, k, mods, plan,
+        [](const u64 *p, size_t count, int planes, int bits,
+           Workspace::Frame &frame, const double *&out) {
+            PlaneCache::F64Ptr keep;
+            out = f64_planes(p, count, planes, bits, frame, keep);
+            return keep;
+        },
+        [](double v) { return static_cast<u64>(v); });
+}
+
+void
+int8_sliced_matmul_sites(const u64 *a, const u64 *b, u64 *c, size_t sites,
+                         size_t m, size_t n, size_t k,
+                         const std::vector<Modulus> &mods)
+{
+    obs::Span span("int8_gemm_sites", obs::cat::gemm);
+    note_gemm(sites * m, n, k);
+    NEO_CHECK(!mods.empty(), "site modulus list empty");
+    const int wa = operand_bits(a, sites * m * k);
+    const int wb = operand_bits(b, sites * k * n);
+    const SplitPlan plan =
+        choose_int8_split(std::max(wa, 1), std::max(wb, 1), k);
+    sliced_matmul_sites_impl<i32>(
+        a, b, c, sites, m, n, k, mods, plan,
+        [](const u64 *p, size_t count, int planes, int bits,
+           Workspace::Frame &frame, const i32 *&out) {
+            PlaneCache::I32Ptr keep;
+            out = i32_planes(p, count, planes, bits, frame, keep);
+            return keep;
+        },
+        [](i32 v) { return static_cast<u64>(static_cast<u32>(v)); });
+}
+
+const ModSiteMatMulFn &
+scalar_site_matmul()
+{
+    static const ModSiteMatMulFn fn = scalar_matmul_sites;
+    return fn;
+}
+
+const ModSiteMatMulFn &
+fp64_tcu_site_matmul()
+{
+    static const ModSiteMatMulFn fn = fp64_sliced_matmul_sites;
+    return fn;
+}
+
+const ModSiteMatMulFn &
+int8_tcu_site_matmul()
+{
+    static const ModSiteMatMulFn fn = int8_sliced_matmul_sites;
+    return fn;
 }
 
 const ModColMatMulFn &

@@ -72,4 +72,46 @@ const ModColMatMulFn &scalar_col_matmul();
 const ModColMatMulFn &fp64_tcu_col_matmul();
 const ModColMatMulFn &int8_tcu_col_matmul();
 
+/**
+ * Batched per-site GEMM: `sites` independent M×N×K modular matmuls
+ * laid out contiguously — A is sites×M×K, B is sites×K×N, C is
+ * sites×M×N — where site s reduces modulo mods[s % mods.size()].
+ *
+ * This is the shape of the KeySwitch inner product (Algorithm 4): one
+ * BS×β̃×β product per (coefficient, T-limb) site, with the modulus
+ * cycling through the α' T primes. Issuing it as ONE engine call
+ * amortises the per-call fixed costs (span, counters, plane slicing,
+ * split-plan selection) that dwarf the ~MNK useful MACs of a single
+ * site; the sliced engines also slice the whole key tensor as one
+ * plane-cache entry instead of one per site.
+ *
+ * Counted as a single GEMM of shape (sites·M)×N×K, which preserves
+ * the FLOP accounting. Each site's accumulation order is unchanged
+ * (strictly ascending k), so outputs are bit-identical to looping
+ * over sites with the matching single-site engine.
+ */
+using ModSiteMatMulFn =
+    std::function<void(const u64 *a, const u64 *b, u64 *c, size_t sites,
+                       size_t m, size_t n, size_t k,
+                       const std::vector<Modulus> &mods)>;
+
+/// Scalar (u128 accumulate) reference for the per-site variant.
+void scalar_matmul_sites(const u64 *a, const u64 *b, u64 *c, size_t sites,
+                         size_t m, size_t n, size_t k,
+                         const std::vector<Modulus> &mods);
+
+/// FP64-plane implementation of the per-site variant.
+void fp64_sliced_matmul_sites(const u64 *a, const u64 *b, u64 *c,
+                              size_t sites, size_t m, size_t n, size_t k,
+                              const std::vector<Modulus> &mods);
+
+/// INT8-plane implementation of the per-site variant.
+void int8_sliced_matmul_sites(const u64 *a, const u64 *b, u64 *c,
+                              size_t sites, size_t m, size_t n, size_t k,
+                              const std::vector<Modulus> &mods);
+
+const ModSiteMatMulFn &scalar_site_matmul();
+const ModSiteMatMulFn &fp64_tcu_site_matmul();
+const ModSiteMatMulFn &int8_tcu_site_matmul();
+
 } // namespace neo

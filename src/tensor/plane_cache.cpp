@@ -1,0 +1,231 @@
+#include "tensor/plane_cache.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <tuple>
+
+#include "common/math_util.h"
+#include "common/static_operand.h"
+#include "obs/obs.h"
+
+namespace neo {
+
+namespace {
+
+struct PlaneKey
+{
+    uintptr_t addr;
+    u64 gen;
+    size_t count;
+    int planes;
+    int plane_bits;
+
+    bool
+    operator<(const PlaneKey &o) const
+    {
+        return std::tie(addr, gen, count, planes, plane_bits) <
+               std::tie(o.addr, o.gen, o.count, o.planes, o.plane_bits);
+    }
+};
+
+struct WidthKey
+{
+    uintptr_t addr;
+    u64 gen;
+    size_t count;
+
+    bool
+    operator<(const WidthKey &o) const
+    {
+        return std::tie(addr, gen, count) <
+               std::tie(o.addr, o.gen, o.count);
+    }
+};
+
+struct Pow2Key
+{
+    int a_planes, a_bits, b_planes, b_bits;
+    u64 q;
+
+    bool
+    operator<(const Pow2Key &o) const
+    {
+        return std::tie(a_planes, a_bits, b_planes, b_bits, q) <
+               std::tie(o.a_planes, o.a_bits, o.b_planes, o.b_bits, o.q);
+    }
+};
+
+void
+note(bool hit)
+{
+    if (auto *r = obs::current())
+        r->add(hit ? "gemm.plane_cache.hit" : "gemm.plane_cache.miss");
+}
+
+/// Drop other-generation entries for the same address range: once the
+/// pin's generation moved, the old derived forms can never hit again.
+template <class Map, class Key>
+void
+evict_stale(Map &m, const Key &key)
+{
+    for (auto it = m.lower_bound(Key{key.addr, 0}); it != m.end() &&
+                                                    it->first.addr == key.addr;) {
+        if (it->first.gen != key.gen)
+            it = m.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace
+
+struct PlaneCache::Impl
+{
+    std::shared_mutex mu;
+    std::map<PlaneKey, F64Ptr> f64;
+    std::map<PlaneKey, I32Ptr> i32;
+    std::map<WidthKey, int> width;
+    std::map<Pow2Key, Pow2Ptr> pow2;
+    std::atomic<bool> enabled{true};
+};
+
+PlaneCache::PlaneCache() : impl_(std::make_unique<Impl>()) {}
+
+PlaneCache &
+PlaneCache::global()
+{
+    static PlaneCache c;
+    return c;
+}
+
+void
+PlaneCache::set_enabled(bool on)
+{
+    impl_->enabled.store(on, std::memory_order_release);
+}
+
+bool
+PlaneCache::enabled() const
+{
+    return impl_->enabled.load(std::memory_order_acquire);
+}
+
+void
+PlaneCache::clear()
+{
+    std::unique_lock lock(impl_->mu);
+    impl_->f64.clear();
+    impl_->i32.clear();
+    impl_->width.clear();
+    impl_->pow2.clear();
+}
+
+PlaneCache::F64Ptr
+PlaneCache::f64_planes(const u64 *p, size_t count, int planes, int plane_bits)
+{
+    if (!enabled() || StaticOperands::instance().pins() == 0)
+        return nullptr;
+    const u64 gen = StaticOperands::instance().generation(p);
+    if (gen == 0)
+        return nullptr;
+    const PlaneKey key{reinterpret_cast<uintptr_t>(p), gen, count, planes,
+                       plane_bits};
+    {
+        std::shared_lock lock(impl_->mu);
+        auto it = impl_->f64.find(key);
+        if (it != impl_->f64.end()) {
+            note(true);
+            return it->second;
+        }
+    }
+    auto built = std::make_shared<std::vector<double>>(
+        static_cast<size_t>(planes) * count);
+    slice_to_f64(p, count, planes, plane_bits, built->data());
+    std::unique_lock lock(impl_->mu);
+    evict_stale(impl_->f64, key);
+    auto [it, inserted] = impl_->f64.emplace(key, std::move(built));
+    note(!inserted); // lost race to another thread = a hit after all
+    return it->second;
+}
+
+PlaneCache::I32Ptr
+PlaneCache::i32_planes(const u64 *p, size_t count, int planes, int plane_bits)
+{
+    if (!enabled() || StaticOperands::instance().pins() == 0)
+        return nullptr;
+    const u64 gen = StaticOperands::instance().generation(p);
+    if (gen == 0)
+        return nullptr;
+    const PlaneKey key{reinterpret_cast<uintptr_t>(p), gen, count, planes,
+                       plane_bits};
+    {
+        std::shared_lock lock(impl_->mu);
+        auto it = impl_->i32.find(key);
+        if (it != impl_->i32.end()) {
+            note(true);
+            return it->second;
+        }
+    }
+    auto built = std::make_shared<std::vector<i32>>(
+        static_cast<size_t>(planes) * count);
+    slice_to_i32(p, count, planes, plane_bits, built->data());
+    std::unique_lock lock(impl_->mu);
+    evict_stale(impl_->i32, key);
+    auto [it, inserted] = impl_->i32.emplace(key, std::move(built));
+    note(!inserted);
+    return it->second;
+}
+
+int
+PlaneCache::width_bits(const u64 *p, size_t count)
+{
+    if (!enabled() || StaticOperands::instance().pins() == 0)
+        return -1;
+    const u64 gen = StaticOperands::instance().generation(p);
+    if (gen == 0)
+        return -1;
+    const WidthKey key{reinterpret_cast<uintptr_t>(p), gen, count};
+    {
+        std::shared_lock lock(impl_->mu);
+        auto it = impl_->width.find(key);
+        if (it != impl_->width.end())
+            return it->second;
+    }
+    u64 m = 0;
+    for (size_t i = 0; i < count; ++i)
+        m |= p[i];
+    const int bits = bit_size(m);
+    std::unique_lock lock(impl_->mu);
+    evict_stale(impl_->width, key);
+    impl_->width.emplace(key, bits);
+    return bits;
+}
+
+PlaneCache::Pow2Ptr
+PlaneCache::pow2(const SplitPlan &plan, u64 q_value)
+{
+    const Pow2Key key{plan.a_planes, plan.a_plane_bits, plan.b_planes,
+                      plan.b_plane_bits, q_value};
+    if (enabled()) {
+        std::shared_lock lock(impl_->mu);
+        auto it = impl_->pow2.find(key);
+        if (it != impl_->pow2.end())
+            return it->second;
+    }
+    auto built = std::make_shared<std::vector<u64>>(
+        static_cast<size_t>(plan.a_planes) * plan.b_planes);
+    for (int pa = 0; pa < plan.a_planes; ++pa)
+        for (int pb = 0; pb < plan.b_planes; ++pb)
+            (*built)[static_cast<size_t>(pa) * plan.b_planes + pb] = pow_mod(
+                2, pa * plan.a_plane_bits + pb * plan.b_plane_bits, q_value);
+    if (!enabled())
+        return built;
+    std::unique_lock lock(impl_->mu);
+    auto [it, inserted] = impl_->pow2.emplace(key, std::move(built));
+    (void)inserted;
+    return it->second;
+}
+
+} // namespace neo

@@ -105,8 +105,13 @@ TEST_P(IpKernelTest, MatmulFormMatchesElementwise)
 
     std::vector<u64> out_tcu(out_ew.size());
     kernel.run_matmul(limbs.data(), keys.data(), batch, n, out_tcu.data(),
-                      fp64_tcu_matmul());
+                      fp64_tcu_site_matmul());
     EXPECT_EQ(out_ew, out_tcu);
+
+    std::vector<u64> out_i8(out_ew.size());
+    kernel.run_matmul(limbs.data(), keys.data(), batch, n, out_i8.data(),
+                      int8_tcu_site_matmul());
+    EXPECT_EQ(out_ew, out_i8);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -262,6 +262,11 @@ TEST_F(ObsPipeline, TracedPipelineMatchesAnalyticCounts)
 TEST_F(ObsPipeline, CountersDeterministicAcrossThreadCounts)
 {
     RnsPoly d2 = random_eval_poly(5, 77);
+    // Warm the hot-path caches (plane cache, pipeline kernels, key
+    // operands) so both measured runs are steady-state: the
+    // gemm.plane_cache.* counters are then identical per run instead
+    // of shifting from miss-heavy to hit-only between them.
+    (void)keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_);
     std::map<std::string, u64, std::less<>> totals[2];
     const size_t threads[2] = {1, 4};
     for (int i = 0; i < 2; ++i) {

@@ -1,0 +1,291 @@
+/**
+ * Hot-path precomputation caches — differential correctness suite.
+ *
+ * The caches introduced for the steady-state key-switch path
+ * (PlaneCache, ckks::KeySwitchPrecomp, the per-key operand
+ * caches, and the per-thread Workspace arena) are pure memoization:
+ * they must never change a single output bit. These tests pin that
+ * down three ways:
+ *
+ *   1. keyswitch_klss_pipeline with caches cold, warm, and disabled
+ *      is bit-identical to the reference ckks::keyswitch_klss across
+ *      21 (level, d_num, engine) configurations;
+ *   2. the same holds under 1 / 2 / 7 / 16 worker threads, and for
+ *      Evaluator::mul / rotate routed through the pipeline;
+ *   3. the gemm.plane_cache.{hit,miss} counters prove operand slicing
+ *      happens exactly once: a second mul with the same key bundle
+ *      records hits and zero misses.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "neo/pipeline.h"
+#include "obs/obs.h"
+#include "tensor/plane_cache.h"
+
+namespace neo {
+namespace {
+
+using namespace ckks;
+
+bool
+poly_eq(const RnsPoly &a, const RnsPoly &b)
+{
+    if (a.n() != b.n() || a.limbs() != b.limbs())
+        return false;
+    for (size_t i = 0; i < a.limbs(); ++i)
+        if (!std::equal(a.limb(i), a.limb(i) + a.n(), b.limb(i)))
+            return false;
+    return true;
+}
+
+bool
+ct_eq(const Ciphertext &a, const Ciphertext &b)
+{
+    return a.level == b.level && poly_eq(a.c0, b.c0) &&
+           poly_eq(a.c1, b.c1);
+}
+
+RnsPoly
+random_eval_poly(const CkksContext &ctx, size_t level, u64 seed)
+{
+    Rng rng(seed);
+    RnsPoly p(ctx.n(), ctx.active_mods(level), PolyForm::eval);
+    for (size_t i = 0; i < p.limbs(); ++i)
+        for (size_t l = 0; l < p.n(); ++l)
+            p.limb(i)[l] = rng.uniform(p.modulus(i).value());
+    return p;
+}
+
+/// One parameter set with its context and KLSS relinearization key.
+struct ParamSet
+{
+    ParamSet(size_t levels, size_t d_num, u64 seed)
+        : params(CkksParams::test_params(256, levels, d_num)),
+          ctx(params), keygen(ctx, seed), sk(keygen.secret_key()),
+          klss_rlk(keygen.to_klss(keygen.relin_key(sk)))
+    {
+    }
+
+    CkksParams params;
+    CkksContext ctx;
+    KeyGenerator keygen;
+    SecretKey sk;
+    KlssEvalKey klss_rlk;
+};
+
+/// One keyswitch configuration of the differential sweep.
+struct Config
+{
+    ParamSet *set;
+    size_t level;
+    const char *engine;
+};
+
+struct PerfCache : public ::testing::Test
+{
+    static void
+    SetUpTestSuite()
+    {
+        set_a_ = new ParamSet(5, 2, 101);
+        set_b_ = new ParamSet(4, 4, 202);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete set_b_;
+        delete set_a_;
+        set_a_ = nullptr;
+        set_b_ = nullptr;
+    }
+
+    /// 21 (level, d_num, engine) configurations: 2 parameter sets ×
+    /// {4, 3} levels × 3 GEMM engines.
+    static std::vector<Config>
+    configs()
+    {
+        std::vector<Config> out;
+        for (size_t level : {5u, 4u, 3u, 2u})
+            for (const char *eng : {"scalar", "fp64_tcu", "int8_tcu"})
+                out.push_back({set_a_, level, eng});
+        for (size_t level : {4u, 3u, 1u})
+            for (const char *eng : {"scalar", "fp64_tcu", "int8_tcu"})
+                out.push_back({set_b_, level, eng});
+        return out;
+    }
+
+    static ParamSet *set_a_;
+    static ParamSet *set_b_;
+};
+
+ParamSet *PerfCache::set_a_ = nullptr;
+ParamSet *PerfCache::set_b_ = nullptr;
+
+// ---------------------------------------------------------------------
+// Keyswitch: cached vs uncached vs reference
+// ---------------------------------------------------------------------
+
+TEST_F(PerfCache, KeyswitchCachedAndUncachedMatchReference)
+{
+    const auto cfgs = configs();
+    ASSERT_GE(cfgs.size(), 20u);
+    auto &pc = PlaneCache::global();
+    for (const auto &cfg : cfgs) {
+        SCOPED_TRACE(::testing::Message()
+                     << cfg.engine << " d_num="
+                     << cfg.set->params.d_num << " level=" << cfg.level);
+        const auto engines = PipelineEngines::from_name(cfg.engine);
+        RnsPoly d2 = random_eval_poly(cfg.set->ctx, cfg.level,
+                                      1000 + cfg.level);
+        const auto ref =
+            keyswitch_klss(d2, cfg.set->klss_rlk, cfg.set->ctx);
+
+        // Uncached control: plane cache disabled end to end.
+        pc.clear();
+        pc.set_enabled(false);
+        const auto uncached = keyswitch_klss_pipeline(
+            d2, cfg.set->klss_rlk, cfg.set->ctx, engines);
+        pc.set_enabled(true);
+        EXPECT_TRUE(poly_eq(uncached.first, ref.first));
+        EXPECT_TRUE(poly_eq(uncached.second, ref.second));
+
+        // Cold run populates the caches; warm run consumes them.
+        const auto cold = keyswitch_klss_pipeline(
+            d2, cfg.set->klss_rlk, cfg.set->ctx, engines);
+        const auto warm = keyswitch_klss_pipeline(
+            d2, cfg.set->klss_rlk, cfg.set->ctx, engines);
+        EXPECT_TRUE(poly_eq(cold.first, ref.first));
+        EXPECT_TRUE(poly_eq(cold.second, ref.second));
+        EXPECT_TRUE(poly_eq(warm.first, ref.first));
+        EXPECT_TRUE(poly_eq(warm.second, ref.second));
+    }
+}
+
+TEST_F(PerfCache, KeyswitchBitExactAcrossThreadCounts)
+{
+    const auto cfgs = configs();
+    // References once, at the default thread count.
+    std::vector<std::pair<RnsPoly, RnsPoly>> refs;
+    std::vector<RnsPoly> inputs;
+    for (const auto &cfg : cfgs) {
+        inputs.push_back(random_eval_poly(cfg.set->ctx, cfg.level,
+                                          2000 + cfg.level));
+        refs.push_back(
+            keyswitch_klss(inputs.back(), cfg.set->klss_rlk,
+                           cfg.set->ctx));
+    }
+    for (size_t threads : {1u, 2u, 7u, 16u}) {
+        ThreadPool::set_global_threads(threads);
+        for (size_t i = 0; i < cfgs.size(); ++i) {
+            const auto &cfg = cfgs[i];
+            SCOPED_TRACE(::testing::Message()
+                         << cfg.engine << " d_num="
+                         << cfg.set->params.d_num << " level="
+                         << cfg.level << " threads=" << threads);
+            const auto got = keyswitch_klss_pipeline(
+                inputs[i], cfg.set->klss_rlk, cfg.set->ctx,
+                PipelineEngines::from_name(cfg.engine));
+            EXPECT_TRUE(poly_eq(got.first, refs[i].first));
+            EXPECT_TRUE(poly_eq(got.second, refs[i].second));
+        }
+    }
+    ThreadPool::set_global_threads(0); // back to NEO_NUM_THREADS
+}
+
+// ---------------------------------------------------------------------
+// Evaluator ops routed through the cached pipeline
+// ---------------------------------------------------------------------
+
+TEST_F(PerfCache, MulAndRotateThroughPipelineMatchReference)
+{
+    auto &s = *set_a_;
+    const EvalKeyBundle keys =
+        s.keygen.eval_key_bundle(s.sk, {1, 3}, false, true);
+    Encryptor enc(s.ctx, 31);
+    Rng rng(77);
+    std::vector<Complex> slots(s.ctx.encoder().slot_count());
+    for (auto &v : slots)
+        v = Complex(2.0 * rng.uniform_real() - 1.0,
+                    2.0 * rng.uniform_real() - 1.0);
+    const Ciphertext ca = enc.encrypt_symmetric(
+        s.ctx.encode(slots, s.ctx.max_level()), s.sk, s.keygen);
+    std::reverse(slots.begin(), slots.end());
+    const Ciphertext cb = enc.encrypt_symmetric(
+        s.ctx.encode(slots, s.ctx.max_level()), s.sk, s.keygen);
+
+    const Evaluator ref(s.ctx, KeySwitchMethod::klss);
+    const Ciphertext mul_ref = ref.mul(ca, cb, keys);
+    const Ciphertext rot1_ref = ref.rotate(ca, 1, keys);
+    const Ciphertext rot3_ref = ref.rotate(ca, 3, keys);
+
+    for (const char *name : {"scalar", "fp64_tcu", "int8_tcu"}) {
+        SCOPED_TRACE(name);
+        const auto engines = PipelineEngines::from_name(name);
+        Evaluator ev(s.ctx, KeySwitchMethod::klss);
+        ev.set_klss_keyswitch([engines](const RnsPoly &d2,
+                                        const KlssEvalKey &k,
+                                        const CkksContext &c) {
+            return keyswitch_klss_pipeline(d2, k, c, engines);
+        });
+        // Twice: the first populates the caches, the second hits them.
+        for (int run = 0; run < 2; ++run) {
+            EXPECT_TRUE(ct_eq(ev.mul(ca, cb, keys), mul_ref)) << run;
+            EXPECT_TRUE(ct_eq(ev.rotate(ca, 1, keys), rot1_ref)) << run;
+            EXPECT_TRUE(ct_eq(ev.rotate(ca, 3, keys), rot3_ref)) << run;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache-hit counters: slicing happens exactly once per operand
+// ---------------------------------------------------------------------
+
+TEST_F(PerfCache, SecondMulHitsPlaneCacheWithoutMisses)
+{
+    auto &s = *set_b_;
+    const EvalKeyBundle keys =
+        s.keygen.eval_key_bundle(s.sk, {}, false, true);
+    Encryptor enc(s.ctx, 47);
+    std::vector<Complex> slots(s.ctx.encoder().slot_count(),
+                               Complex(0.5, -0.25));
+    const Ciphertext ca = enc.encrypt_symmetric(
+        s.ctx.encode(slots, s.ctx.max_level()), s.sk, s.keygen);
+
+    Evaluator ev(s.ctx, KeySwitchMethod::klss);
+    const auto engines = PipelineEngines::fp64_tcu();
+    ev.set_klss_keyswitch([engines](const RnsPoly &d2,
+                                    const KlssEvalKey &k,
+                                    const CkksContext &c) {
+        return keyswitch_klss_pipeline(d2, k, c, engines);
+    });
+
+    PlaneCache::global().clear();
+    u64 first_hit = 0, first_miss = 0;
+    {
+        obs::Scope scope;
+        (void)ev.mul(ca, ca, keys);
+        first_hit = scope.counter("gemm.plane_cache.hit");
+        first_miss = scope.counter("gemm.plane_cache.miss");
+    }
+    // The cold mul slices every pinned static operand once.
+    EXPECT_GT(first_miss, 0u);
+
+    obs::Scope scope;
+    (void)ev.mul(ca, ca, keys);
+    // Steady state: every pinned-operand lookup hits, nothing is
+    // re-sliced.
+    EXPECT_GT(scope.counter("gemm.plane_cache.hit"), first_hit);
+    EXPECT_EQ(scope.counter("gemm.plane_cache.miss"), 0u);
+}
+
+} // namespace
+} // namespace neo

@@ -1,8 +1,9 @@
 /**
  * neo-prof — modeled-GPU roofline profiler CLI.
  *
- *   neo-prof <workload> [--engine E] [--level N] [--json PATH]
- *            [--baseline PATH] [--threshold F] [--gate-wall]
+ *   neo-prof <workload> [--engine E] [--level N] [--repeat N]
+ *            [--json PATH] [--baseline PATH] [--threshold F]
+ *            [--gate-wall]
  *   neo-prof --list
  *
  * Runs one named workload under the chosen engine, prints the
@@ -35,6 +36,10 @@ usage(const char *argv0)
         " int8_tcu\n"
         "  --level N       ciphertext level (primitive workloads;"
         " default: top)\n"
+        "  --repeat N      functional workloads: warmup once, report"
+        " the median\n"
+        "                  wall time of N steady-state runs (default"
+        " 1 = cold run)\n"
         "  --json PATH     write the neo.bench/1 artifact to PATH\n"
         "  --baseline B    compare against artifact B; exit 1 on"
         " regression\n"
@@ -53,6 +58,7 @@ main(int argc, char **argv)
 {
     std::string workload, engine = "fp64_tcu", json_path, baseline_path;
     size_t level = 0;
+    size_t repeat = 1;
     neo::prof::CompareOptions copts;
 
     for (int i = 1; i < argc; ++i) {
@@ -72,6 +78,8 @@ main(int argc, char **argv)
             engine = next("--engine");
         } else if (a == "--level") {
             level = static_cast<size_t>(std::atoll(next("--level")));
+        } else if (a == "--repeat") {
+            repeat = static_cast<size_t>(std::atoll(next("--repeat")));
         } else if (a == "--json") {
             json_path = next("--json");
         } else if (a == "--baseline") {
@@ -97,7 +105,7 @@ main(int argc, char **argv)
 
     try {
         const neo::prof::Result r =
-            neo::prof::profile(workload, engine, level);
+            neo::prof::profile(workload, engine, level, repeat);
         neo::prof::print_report(r, std::cout);
         if (!json_path.empty()) {
             neo::prof::write_json(r, json_path);
