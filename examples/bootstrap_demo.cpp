@@ -13,6 +13,7 @@
 
 using namespace neo;
 using namespace neo::boot;
+using namespace neo::ckks;
 
 int
 main()

@@ -29,7 +29,16 @@
 
 namespace neo::boot {
 
-using namespace ckks;
+// Explicit imports instead of `using namespace ckks;` so includers of
+// this header don't inherit the whole ckks namespace into neo::boot.
+using ckks::Ciphertext;
+using ckks::CkksContext;
+using ckks::Complex;
+using ckks::EvalKeyBundle;
+using ckks::Evaluator;
+using ckks::LinearTransform;
+using ckks::Plaintext;
+using ckks::PolyEvaluator;
 
 /** Tunables for the sine approximation and transform structure. */
 struct BootstrapOptions

@@ -152,7 +152,7 @@ KeyGenerator::galois_key(const SecretKey &sk, u64 g)
     const size_t n = ctx_.n();
     std::vector<i64> rotated(n, 0);
     for (size_t i = 0; i < n; ++i) {
-        u64 j = (static_cast<u128>(i) * g) % (2 * n);
+        u64 j = static_cast<u64>((static_cast<u128>(i) * g) % (2 * n));
         if (j < n)
             rotated[j] = sk.coeffs[i];
         else

@@ -31,6 +31,7 @@ reg()
     // destructors run during exit in an unspecified order relative to
     // this TU's statics. A heap registry that is never destroyed keeps
     // pin/unpin/generation safe at any point of shutdown.
+    // neo-lint: allow(thread-unsafe-static, naked-new) — see above.
     static Registry *r = new Registry;
     return *r;
 }
@@ -40,6 +41,8 @@ reg()
 StaticOperands &
 StaticOperands::instance()
 {
+    // Magic-static init; StaticOperands itself locks internally.
+    // neo-lint: allow(thread-unsafe-static)
     static StaticOperands s;
     return s;
 }

@@ -178,6 +178,7 @@ ThreadPool &
 ThreadPool::global()
 {
     static std::mutex g_m;
+    // neo-lint: allow(thread-unsafe-static) — guarded by g_m.
     static std::unique_ptr<ThreadPool> g_pool;
     std::lock_guard<std::mutex> l(g_m);
     if (!g_pool)

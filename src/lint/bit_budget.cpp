@@ -1,0 +1,141 @@
+#include "lint/bit_budget.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "ckks/paper_params.h"
+#include "common/math_util.h"
+
+namespace neo::lint {
+
+namespace {
+
+int
+accum_bits(size_t k)
+{
+    return k <= 1 ? 0 : bit_size(k - 1);
+}
+
+/// The deduplicated probe space: one entry per distinct
+/// (site, wa, wb, k) — engines and fragment shapes fan out later.
+using ProbeKey = std::tuple<const char *, int, int, size_t>;
+
+void
+add_probe(std::set<ProbeKey> &probes, const char *site, int w, size_t k)
+{
+    if (k > 0)
+        probes.emplace(site, w, w, k);
+}
+
+/**
+ * K depths reachable from one parameter set:
+ *  - NTT twiddle matmuls: K = radix (16 for radix-16, √N for
+ *    four-step) at the word size of whichever basis is transformed;
+ *  - BConv factor GEMM: K = source-basis size, i.e. every level count
+ *    from 1 up to L+1 plus the α special primes (Algorithm 2);
+ *  - KLSS IP site GEMM: K = β digits at WordSize_T (Algorithm 4).
+ */
+void
+collect_probes(std::set<ProbeKey> &probes, const ckks::CkksParams &p)
+{
+    const int w = p.word_size;
+    const size_t sqrt_n = static_cast<size_t>(1)
+                          << ((log2_exact(p.n) + 1) / 2);
+    add_probe(probes, "ntt", w, 16);
+    add_probe(probes, "ntt", w, sqrt_n);
+    const size_t bconv_max = p.max_level + 1 + p.alpha();
+    for (size_t k = 1; k <= bconv_max; ++k)
+        add_probe(probes, "bconv", w, k);
+    if (p.klss.enabled()) {
+        const int wt = p.klss.word_size_t;
+        add_probe(probes, "ntt", wt, 16);
+        add_probe(probes, "ntt", wt, sqrt_n);
+        for (size_t k = 1; k <= bconv_max; ++k)
+            add_probe(probes, "bconv", wt, k);
+        for (size_t k = 1; k <= p.beta(p.max_level); ++k)
+            add_probe(probes, "ip", wt, k);
+    }
+}
+
+BudgetCase
+probe(const char *engine, const char *site, int wa, int wb, size_t k,
+      const gpusim::FragmentShape &frag, int budget_bits)
+{
+    BudgetCase c;
+    c.engine = engine;
+    c.site = site;
+    c.wa = wa;
+    c.wb = wb;
+    c.k = k;
+    c.frag = frag;
+    c.k_padded = ceil_div(k, frag.k) * frag.k;
+    c.budget_bits = budget_bits;
+    try {
+        c.plan = budget_bits == 53 ? choose_fp64_split(wa, wb, k)
+                                   : choose_int8_split(wa, wb, k);
+        c.feasible = true;
+    } catch (const std::invalid_argument &) {
+        return c; // correctly refused; not a violation
+    }
+    c.sum_bits = c.plan.a_plane_bits + c.plan.b_plane_bits + accum_bits(k);
+    c.exact = plan_within_budget(c.plan, k, budget_bits);
+    c.covers = plan_covers(c.plan, wa, wb);
+    return c;
+}
+
+} // namespace
+
+bool
+plan_within_budget(const SplitPlan &plan, size_t k, int budget_bits)
+{
+    if (plan.a_plane_bits <= 0 || plan.b_plane_bits <= 0 ||
+        plan.a_plane_bits >= 63 || plan.b_plane_bits >= 63 || k == 0)
+        return false;
+    const u128 max_a = (static_cast<u128>(1) << plan.a_plane_bits) - 1;
+    const u128 max_b = (static_cast<u128>(1) << plan.b_plane_bits) - 1;
+    // k ≤ 2^17 and plane products < 2^106, so the product fits u128
+    // only when the plan is sane; guard the multiply by bit counts.
+    if (plan.a_plane_bits + plan.b_plane_bits + accum_bits(k) > 120)
+        return false;
+    const u128 worst = static_cast<u128>(k) * max_a * max_b;
+    return worst < (static_cast<u128>(1) << budget_bits);
+}
+
+bool
+plan_covers(const SplitPlan &plan, int wa, int wb)
+{
+    return plan.a_planes * plan.a_plane_bits >= wa &&
+           plan.b_planes * plan.b_plane_bits >= wb;
+}
+
+BudgetAudit
+run_budget_audit()
+{
+    std::set<ProbeKey> probes;
+    for (char set : ckks::kPaperSets)
+        collect_probes(probes, ckks::paper_set(set));
+    // The functional-test presets run narrower words and shallow
+    // chains; they are just as reachable as the paper sets.
+    collect_probes(probes, ckks::CkksParams::test_params());
+    collect_probes(probes, ckks::CkksParams::test_params(1 << 12, 7, 3));
+
+    BudgetAudit audit;
+    for (const auto &[site, wa, wb, k] : probes) {
+        audit.cases.push_back(
+            probe("fp64_tcu", site, wa, wb, k, gpusim::kFp64Fragment, 53));
+        for (const auto &frag : gpusim::kInt8Fragments)
+            audit.cases.push_back(
+                probe("int8_tcu", site, wa, wb, k, frag, 31));
+    }
+    for (const BudgetCase &c : audit.cases) {
+        if (!c.feasible)
+            ++audit.refused;
+        else if (!c.exact || !c.covers)
+            ++audit.violations;
+    }
+    return audit;
+}
+
+} // namespace neo::lint

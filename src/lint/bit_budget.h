@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bit-budget prover: static verification of the plane-accumulation
+ * bounds behind every GEMM plan the engines can execute (§3.4,
+ * Figs 11/12).
+ *
+ * The FP64 tensor-core path is exact only while every partial sum
+ * stays below 2^53 (the double mantissa); the INT8 path only while it
+ * stays below 2^31 (the INT32 accumulator). choose_fp64_split /
+ * choose_int8_split pick plans that satisfy those bounds *by
+ * construction* — this prover re-derives the bound independently
+ * (integer product bound in u128, not the planner's bit-count
+ * shortcut) for every (engine, word size, WordSize_T, fragment shape,
+ * K depth) combination reachable from the paper parameter sets A–H,
+ * the test parameter presets, and the matrix-NTT radix table. Any
+ * feasible plan that fails the independent proof is a lint violation;
+ * configurations the planner *refuses* (throws) are recorded as
+ * correctly rejected, not as violations.
+ *
+ * The same proofs are mirrored as constexpr static_asserts compiled
+ * into src/tensor/gemm.cpp, so an out-of-budget plan is a *build*
+ * failure, not a wrong answer at run time.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/tcu_model.h"
+#include "tensor/bitslice.h"
+
+namespace neo::lint {
+
+/** One proved (or refused) plan configuration. */
+struct BudgetCase
+{
+    const char *engine; ///< "fp64_tcu" | "int8_tcu"
+    const char *site;   ///< "ntt" | "bconv" | "ip"
+    int wa = 0, wb = 0; ///< operand widths in bits
+    size_t k = 0;       ///< logical accumulation depth
+    size_t k_padded = 0; ///< fragment-padded depth (zeros don't add)
+    gpusim::FragmentShape frag{0, 0, 0};
+    SplitPlan plan{0, 0, 0, 0};
+    int sum_bits = 0;    ///< a_bits + b_bits + ceil(log2 k)
+    int budget_bits = 0; ///< 53 (FP64 mantissa) or 31 (INT32)
+    bool feasible = false; ///< the planner produced a plan
+    bool exact = false;    ///< independent u128 product bound holds
+    bool covers = false;   ///< planes jointly cover the operand width
+};
+
+/** Full audit over the reachable configuration space. */
+struct BudgetAudit
+{
+    std::vector<BudgetCase> cases;
+    size_t violations = 0; ///< feasible cases failing exact/covers
+    size_t refused = 0;    ///< configurations the planner rejected
+};
+
+/**
+ * Independent exactness proof for an explicit plan: true iff
+ * k · (2^a_bits − 1) · (2^b_bits − 1) < 2^budget_bits, evaluated in
+ * 128-bit integer arithmetic. This is the check the prover applies to
+ * planner output and the test suite applies to synthetic
+ * deliberately-overflowing plans.
+ */
+bool plan_within_budget(const SplitPlan &plan, size_t k, int budget_bits);
+
+/// True iff the plan's planes jointly cover wa/wb-bit operands.
+bool plan_covers(const SplitPlan &plan, int wa, int wb);
+
+/// Enumerate and prove every reachable configuration.
+BudgetAudit run_budget_audit();
+
+} // namespace neo::lint

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * neo-lint: a domain-specific static analyzer for the Neo source tree.
+ *
+ * Neo's correctness rests on invariants the C++ compiler never checks:
+ * hot-path modular reductions must go through the vetted Modulus /
+ * math_util helpers (raw `%` hides the Barrett/Shoup discipline and is
+ * the first thing a GPU port gets wrong), limb data must never pass
+ * through floating point outside the sanctioned bit-slicing code, and
+ * nothing reachable from ThreadPool workers may hide function-local
+ * mutable state. The rules engine scans the tree for those hazards
+ * with a light lexer (comments and string literals are blanked before
+ * matching, so rule patterns never fire inside either); the bit-budget
+ * prover (bit_budget.h) statically verifies the FP64/INT8 plane
+ * accumulation bounds for every reachable GEMM plan.
+ *
+ * Suppressions: `// neo-lint: allow(rule-a, rule-b)` on a line
+ * suppresses those rules on that line and the next one, so an
+ * annotation can sit on its own line above the deliberate exception.
+ * Fixture files may also carry `// neo-lint: as-path(src/neo/x.cpp)`
+ * to be classified as if they lived at that path (used by
+ * tests/data/lint/).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint/bit_budget.h"
+
+namespace neo::lint {
+
+/// Stable rule identifiers (also the allow(...) tokens).
+namespace rule {
+inline constexpr const char *raw_mod = "raw-mod";
+inline constexpr const char *float_on_limb = "float-on-limb";
+inline constexpr const char *thread_unsafe_static = "thread-unsafe-static";
+inline constexpr const char *banned_rng = "banned-rng";
+inline constexpr const char *naked_new = "naked-new";
+inline constexpr const char *header_hygiene = "header-hygiene";
+} // namespace rule
+
+/// Every rule id, in report order.
+const std::vector<std::string> &all_rules();
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string rule;    ///< rule id (rule::* constant)
+    std::string file;    ///< path relative to the scan root
+    int line = 0;        ///< 1-based
+    std::string message; ///< what is wrong and which helper to use
+    std::string excerpt; ///< trimmed offending source line
+};
+
+/** What to scan and which passes to run. */
+struct Options
+{
+    /// Repository root; scan paths and report paths are relative to it.
+    std::string root = ".";
+    /// Files or directories (relative to root); default: src, tools.
+    std::vector<std::string> paths;
+    bool run_rules = true;  ///< run the source-scanning rules engine
+    bool run_budget = true; ///< run the bit-budget prover
+};
+
+/** Result of one lint run. */
+struct Report
+{
+    std::vector<Finding> findings; ///< sorted by (file, line, rule)
+    BudgetAudit budget;            ///< empty when run_budget is false
+    int files_scanned = 0;
+    int suppressed = 0; ///< findings silenced by allow(...) comments
+
+    /// True when nothing is wrong: no findings and no budget violations.
+    bool clean() const
+    {
+        return findings.empty() && budget.violations == 0;
+    }
+};
+
+/// Run the configured passes over the tree.
+Report run(const Options &opts);
+
+/// Scan a single in-memory file (unit tests feed fixture snippets).
+std::vector<Finding> scan_source(const std::string &path,
+                                 const std::string &text, int *suppressed);
+
+/// Human-readable report (one line per finding + budget summary).
+void write_text(const Report &r, std::ostream &os);
+
+/// Machine-readable report, schema "neo.lint/1". Deterministic: the
+/// same tree produces byte-identical output (golden-file tested).
+void write_json(const Report &r, std::ostream &os);
+
+} // namespace neo::lint

@@ -1,0 +1,729 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace neo::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/* ------------------------------------------------------------------ */
+/* Lexing: blank comments and literals, keep comment text separately.  */
+/* ------------------------------------------------------------------ */
+
+/** One source line, split into matchable code and comment text. */
+struct Line
+{
+    std::string raw;     ///< original text
+    std::string code;    ///< literals and comments blanked with spaces
+    std::string comment; ///< concatenated comment text on this line
+};
+
+std::vector<Line>
+lex(const std::string &text)
+{
+    std::vector<Line> lines(1);
+    enum class St { code, str, chr, line_comment, block_comment };
+    St st = St::code;
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char nx = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == St::line_comment)
+                st = St::code;
+            lines.emplace_back();
+            continue;
+        }
+        Line &ln = lines.back();
+        ln.raw.push_back(c);
+        switch (st) {
+          case St::code:
+            if (c == '/' && nx == '/') {
+                st = St::line_comment;
+                ln.code.push_back(' ');
+            } else if (c == '/' && nx == '*') {
+                st = St::block_comment;
+                ln.code.push_back(' ');
+                ++i;
+                ln.raw.push_back('*');
+            } else if (c == '"') {
+                st = St::str;
+                ln.code.push_back(' ');
+            } else if (c == '\'') {
+                st = St::chr;
+                ln.code.push_back(' ');
+            } else {
+                ln.code.push_back(c);
+            }
+            break;
+          case St::str:
+            ln.code.push_back(' ');
+            if (c == '\\' && nx != '\0') {
+                if (nx != '\n') {
+                    ln.raw.push_back(nx);
+                    ln.code.push_back(' ');
+                }
+                ++i;
+            } else if (c == '"') {
+                st = St::code;
+            }
+            break;
+          case St::chr:
+            ln.code.push_back(' ');
+            if (c == '\\' && nx != '\0' && nx != '\n') {
+                ln.raw.push_back(nx);
+                ln.code.push_back(' ');
+                ++i;
+            } else if (c == '\'') {
+                st = St::code;
+            }
+            break;
+          case St::line_comment:
+            ln.code.push_back(' ');
+            ln.comment.push_back(c);
+            break;
+          case St::block_comment:
+            ln.code.push_back(' ');
+            ln.comment.push_back(c);
+            if (c == '*' && nx == '/') {
+                st = St::code;
+                ++i;
+                ln.raw.push_back('/');
+                ln.code.push_back(' ');
+            }
+            break;
+        }
+    }
+    return lines;
+}
+
+/* ------------------------------------------------------------------ */
+/* Markers: allow(...) suppressions and as-path(...) classification.   */
+/* ------------------------------------------------------------------ */
+
+/// Parse "neo-lint: <verb>(a, b)" occurrences of @p verb in a comment.
+std::vector<std::string>
+marker_args(const std::string &comment, const std::string &verb)
+{
+    std::vector<std::string> args;
+    const std::string tag = "neo-lint:";
+    size_t pos = comment.find(tag);
+    while (pos != std::string::npos) {
+        size_t p = pos + tag.size();
+        while (p < comment.size() && comment[p] == ' ')
+            ++p;
+        if (comment.compare(p, verb.size(), verb) == 0) {
+            p += verb.size();
+            if (p < comment.size() && comment[p] == '(') {
+                const size_t close = comment.find(')', p);
+                if (close != std::string::npos) {
+                    std::string inner = comment.substr(p + 1, close - p - 1);
+                    std::string cur;
+                    for (char c : inner) {
+                        if (c == ',') {
+                            if (!cur.empty())
+                                args.push_back(cur);
+                            cur.clear();
+                        } else if (c != ' ') {
+                            cur.push_back(c);
+                        }
+                    }
+                    if (!cur.empty())
+                        args.push_back(cur);
+                }
+            }
+        }
+        pos = comment.find(tag, pos + tag.size());
+    }
+    return args;
+}
+
+/* ------------------------------------------------------------------ */
+/* Path classification.                                               */
+/* ------------------------------------------------------------------ */
+
+bool
+path_has(const std::string &path, const char *needle)
+{
+    return path.find(needle) != std::string::npos;
+}
+
+bool
+is_header(const std::string &path)
+{
+    return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+/// Hot-path directories where limb arithmetic must go through the
+/// vetted helpers.
+bool
+in_hot_path(const std::string &path)
+{
+    return path_has(path, "src/neo/") || path_has(path, "src/poly/") ||
+           path_has(path, "src/rns/") || path_has(path, "src/tensor/");
+}
+
+/// Files that ARE the vetted reduction helpers.
+bool
+is_mod_helper(const std::string &path)
+{
+    return path.ends_with("rns/modulus.h") ||
+           path.ends_with("common/math_util.h");
+}
+
+/// Limb-data directories where floating point is off-limits; the
+/// bit-slicing code in src/tensor/ is the sanctioned exception, and
+/// the kernel cost model computes modeled seconds, not limb values.
+bool
+float_rule_applies(const std::string &path)
+{
+    if (path_has(path, "kernel_model"))
+        return false;
+    return path_has(path, "src/neo/") || path_has(path, "src/poly/") ||
+           path_has(path, "src/rns/");
+}
+
+/* ------------------------------------------------------------------ */
+/* Rule helpers.                                                      */
+/* ------------------------------------------------------------------ */
+
+bool
+ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Normalized right-hand operand after a `%` / `/` at @p pos: skips
+ * spaces and one '(', then reads an identifier chain (member access,
+ * indexing) plus a trailing "()" if present. Returns "" when the
+ * operand is not a simple chain (numbers, casts, expressions).
+ */
+std::string
+rhs_token(const std::string &code, size_t pos)
+{
+    size_t p = pos;
+    while (p < code.size() && code[p] == ' ')
+        ++p;
+    if (p < code.size() && code[p] == '(')
+        ++p;
+    while (p < code.size() && code[p] == ' ')
+        ++p;
+    if (p >= code.size() || !(std::isalpha(static_cast<unsigned char>(
+                                  code[p])) ||
+                              code[p] == '_'))
+        return "";
+    std::string tok;
+    while (p < code.size()) {
+        const char c = code[p];
+        if (ident_char(c) || c == '.') {
+            tok.push_back(c);
+            ++p;
+        } else if (c == '-' && p + 1 < code.size() && code[p + 1] == '>') {
+            tok += "->";
+            p += 2;
+        } else if (c == '[') {
+            const size_t close = code.find(']', p);
+            if (close == std::string::npos)
+                break;
+            tok += "[]";
+            p = close + 1;
+        } else {
+            break;
+        }
+    }
+    // A trailing call: only the zero-argument accessor form.
+    size_t q = p;
+    while (q < code.size() && code[q] == ' ')
+        ++q;
+    if (q + 1 < code.size() && code[q] == '(' && code[q + 1] == ')')
+        tok += "()";
+    return tok;
+}
+
+/// True when the operand names a modulus value: the conventional `q` /
+/// `qv` locals or any `.value()` / `->value()` accessor chain.
+bool
+modulus_like(const std::string &tok)
+{
+    if (tok.empty())
+        return false;
+    if (tok == "q" || tok == "qv" || tok == "q_")
+        return true;
+    return tok.ends_with(".value()") || tok.ends_with("->value()");
+}
+
+/// Extract the balanced-paren argument of a cast starting at the '('.
+std::string
+paren_argument(const std::string &code, size_t open)
+{
+    int depth = 0;
+    for (size_t p = open; p < code.size(); ++p) {
+        if (code[p] == '(')
+            ++depth;
+        else if (code[p] == ')' && --depth == 0)
+            return code.substr(open + 1, p - open - 1);
+    }
+    return code.substr(open + 1);
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t");
+    size_t e = s.find_last_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    return s.substr(b, e - b + 1);
+}
+
+bool
+word_at(const std::string &code, size_t pos, const std::string &w)
+{
+    if (code.compare(pos, w.size(), w) != 0)
+        return false;
+    const bool lb = pos == 0 || !ident_char(code[pos - 1]);
+    const size_t end = pos + w.size();
+    const bool rb = end >= code.size() || !ident_char(code[end]);
+    return lb && rb;
+}
+
+size_t
+find_word(const std::string &code, const std::string &w, size_t from = 0)
+{
+    size_t pos = code.find(w, from);
+    while (pos != std::string::npos && !word_at(code, pos, w))
+        pos = code.find(w, pos + 1);
+    return pos;
+}
+
+/* ------------------------------------------------------------------ */
+/* The rules.                                                         */
+/* ------------------------------------------------------------------ */
+
+using Sink = std::vector<Finding>;
+
+void
+emit(Sink &out, const char *rule, const std::string &path, int line,
+     std::string message, const std::string &raw)
+{
+    out.push_back(Finding{rule, path, line, std::move(message),
+                          trimmed(raw)});
+}
+
+void
+rule_raw_mod(const std::string &path, const std::vector<Line> &lines,
+             Sink &out)
+{
+    if (!in_hot_path(path) || is_mod_helper(path))
+        return;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &code = lines[i].code;
+        for (size_t p = 0; p < code.size(); ++p) {
+            if (code[p] != '%' && code[p] != '/')
+                continue;
+            // Skip '//', '/*' remnants, '%=' handled below.
+            if (code[p] == '/' &&
+                (p + 1 < code.size() &&
+                 (code[p + 1] == '/' || code[p + 1] == '*')))
+                continue;
+            size_t rhs = p + 1;
+            if (rhs < code.size() && code[rhs] == '=')
+                ++rhs; // '%=' / '/=' compound assignment
+            const std::string tok = rhs_token(code, rhs);
+            if (!modulus_like(tok))
+                continue;
+            const char op = code[p];
+            emit(out, rule::raw_mod, path, static_cast<int>(i + 1),
+                 std::string("raw '") + op + "' against modulus value '" +
+                     tok + "'; use Modulus::reduce/reduce128/"
+                           "barrett_reduce or the math_util mod helpers",
+                 lines[i].raw);
+            break; // one finding per line is enough
+        }
+    }
+}
+
+void
+rule_float_on_limb(const std::string &path, const std::vector<Line> &lines,
+                   Sink &out)
+{
+    if (!float_rule_applies(path))
+        return;
+    static const char *casts[] = {"static_cast<double>",
+                                  "static_cast<long double>",
+                                  "static_cast<float>"};
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &code = lines[i].code;
+        for (const char *cast : casts) {
+            size_t pos = code.find(cast);
+            while (pos != std::string::npos) {
+                const size_t open = code.find('(', pos);
+                if (open == std::string::npos)
+                    break;
+                const std::string arg = paren_argument(code, open);
+                // Heuristic for "limb-valued": indexed array data or a
+                // modulus accessor. Scalar shape/byte counts pass.
+                if (arg.find('[') != std::string::npos ||
+                    arg.find(".value()") != std::string::npos ||
+                    arg.find("->value()") != std::string::npos) {
+                    emit(out, rule::float_on_limb, path,
+                         static_cast<int>(i + 1),
+                         "floating-point cast of limb data outside "
+                         "src/tensor/ bit-slicing; route wide products "
+                         "through u128/Modulus instead",
+                         lines[i].raw);
+                    break;
+                }
+                pos = code.find(cast, pos + 1);
+            }
+        }
+    }
+}
+
+void
+rule_thread_unsafe_static(const std::string &path,
+                          const std::vector<Line> &lines, Sink &out)
+{
+    if (is_header(path))
+        return; // class-member statics dominate; .cpp bodies only
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &code = lines[i].code;
+        const size_t ind = code.find_first_not_of(' ');
+        if (ind == std::string::npos || ind == 0)
+            continue; // file-scope static: internal linkage, fine
+        if (!word_at(code, ind, "static"))
+            continue;
+        const std::string rest = trimmed(code.substr(ind + 6));
+        if (rest.starts_with("const ") || rest.starts_with("constexpr ") ||
+            rest.starts_with("const\t"))
+            continue;
+        // Inherently synchronized holders are the point of the pattern.
+        if (rest.starts_with("std::atomic") ||
+            rest.starts_with("std::mutex") ||
+            rest.starts_with("std::shared_mutex") ||
+            rest.starts_with("std::once_flag") ||
+            rest.starts_with("thread_local"))
+            continue;
+        // Member-function declarations etc.: a '(' before '=' or ';'
+        // marks a callable, not a data definition.
+        const size_t paren = rest.find('(');
+        const size_t eq = rest.find('=');
+        const size_t semi = rest.find(';');
+        const size_t stop = std::min(eq, semi);
+        if (paren != std::string::npos && paren < stop)
+            continue;
+        emit(out, rule::thread_unsafe_static, path,
+             static_cast<int>(i + 1),
+             "function-local mutable static is shared across ThreadPool "
+             "workers; guard it, make it atomic, or annotate the "
+             "synchronization",
+             lines[i].raw);
+    }
+}
+
+void
+rule_banned_rng(const std::string &path, const std::vector<Line> &lines,
+                Sink &out)
+{
+    (void)path;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &code = lines[i].code;
+        std::string why;
+        if (code.find("std::rand") != std::string::npos ||
+            code.find("std::srand") != std::string::npos ||
+            find_word(code, "srand") != std::string::npos ||
+            find_word(code, "rand") != std::string::npos)
+            why = "C rand()/srand() is neither seedable per-test nor "
+                  "reproducible across platforms";
+        else if (code.find("random_device") != std::string::npos)
+            why = "std::random_device seeds are non-deterministic";
+        else {
+            const size_t t = find_word(code, "time");
+            if (t != std::string::npos) {
+                const size_t open = code.find('(', t);
+                if (open != std::string::npos) {
+                    const std::string arg =
+                        trimmed(paren_argument(code, open));
+                    if (arg.empty() || arg == "0" || arg == "NULL" ||
+                        arg == "nullptr")
+                        why = "wall-clock seeding breaks reproducible "
+                              "key/noise generation";
+                }
+            }
+        }
+        if (!why.empty())
+            emit(out, rule::banned_rng, path, static_cast<int>(i + 1),
+                 why + "; use neo::Rng with an explicit seed",
+                 lines[i].raw);
+    }
+}
+
+void
+rule_naked_new(const std::string &path, const std::vector<Line> &lines,
+               Sink &out)
+{
+    (void)path;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const size_t pos = find_word(lines[i].code, "new");
+        if (pos == std::string::npos)
+            continue;
+        emit(out, rule::naked_new, path, static_cast<int>(i + 1),
+             "naked new; use std::make_unique/make_shared or a "
+             "container (annotate deliberate leaked singletons)",
+             lines[i].raw);
+    }
+}
+
+void
+rule_header_hygiene(const std::string &path, const std::vector<Line> &lines,
+                    Sink &out)
+{
+    if (!is_header(path))
+        return;
+    bool pragma_once = false;
+    for (const Line &ln : lines)
+        if (trimmed(ln.code).starts_with("#pragma once")) {
+            pragma_once = true;
+            break;
+        }
+    if (!pragma_once)
+        emit(out, rule::header_hygiene, path, 1,
+             "header is missing #pragma once",
+             lines.empty() ? "" : lines[0].raw);
+    for (size_t i = 0; i < lines.size(); ++i)
+        if (find_word(lines[i].code, "using") != std::string::npos &&
+            lines[i].code.find("using namespace") != std::string::npos)
+            emit(out, rule::header_hygiene, path, static_cast<int>(i + 1),
+                 "'using namespace' in a header leaks into every "
+                 "includer",
+                 lines[i].raw);
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Driver.                                                            */
+/* ------------------------------------------------------------------ */
+
+const std::vector<std::string> &
+all_rules()
+{
+    static const std::vector<std::string> rules = {
+        rule::raw_mod,        rule::float_on_limb,
+        rule::thread_unsafe_static, rule::banned_rng,
+        rule::naked_new,      rule::header_hygiene};
+    return rules;
+}
+
+std::vector<Finding>
+scan_source(const std::string &path, const std::string &text,
+            int *suppressed)
+{
+    const std::vector<Line> lines = lex(text);
+
+    // Effective path for rule scoping: fixtures can impersonate a tree
+    // location with `neo-lint: as-path(...)`.
+    std::string eff_path = path;
+    for (const Line &ln : lines) {
+        const auto as = marker_args(ln.comment, "as-path");
+        if (!as.empty())
+            eff_path = as.front();
+    }
+
+    std::vector<Finding> raw;
+    rule_raw_mod(eff_path, lines, raw);
+    rule_float_on_limb(eff_path, lines, raw);
+    rule_thread_unsafe_static(eff_path, lines, raw);
+    rule_banned_rng(eff_path, lines, raw);
+    rule_naked_new(eff_path, lines, raw);
+    rule_header_hygiene(eff_path, lines, raw);
+
+    // allow(...) on line N silences N and N+1, so annotations can sit
+    // on their own line directly above the deliberate exception.
+    std::vector<Finding> kept;
+    for (Finding &f : raw) {
+        bool allowed = false;
+        for (int l = std::max(1, f.line - 1); l <= f.line; ++l) {
+            for (const std::string &r :
+                 marker_args(lines[static_cast<size_t>(l) - 1].comment,
+                             "allow"))
+                if (r == f.rule)
+                    allowed = true;
+        }
+        if (allowed) {
+            if (suppressed)
+                ++*suppressed;
+        } else {
+            f.file = path; // report under the real path, not as-path
+            kept.push_back(std::move(f));
+        }
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return kept;
+}
+
+namespace {
+
+bool
+lintable(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+           ext == ".cu";
+}
+
+std::string
+read_file(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    NEO_CHECK(in.good(), "cannot open " + p.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+Report
+run(const Options &opts)
+{
+    Report rep;
+    if (opts.run_rules) {
+        std::vector<std::string> roots = opts.paths;
+        if (roots.empty())
+            roots = {"src", "tools"};
+        std::vector<fs::path> files;
+        const fs::path base(opts.root);
+        for (const std::string &r : roots) {
+            const fs::path p = base / r;
+            if (fs::is_directory(p)) {
+                for (const auto &e :
+                     fs::recursive_directory_iterator(p))
+                    if (e.is_regular_file() && lintable(e.path()))
+                        files.push_back(e.path());
+            } else if (fs::is_regular_file(p)) {
+                files.push_back(p);
+            } else {
+                NEO_CHECK(false, "no such path: " + p.string());
+            }
+        }
+        std::sort(files.begin(), files.end());
+        files.erase(std::unique(files.begin(), files.end()), files.end());
+        for (const fs::path &f : files) {
+            const std::string rel =
+                fs::relative(f, base).generic_string();
+            auto found = scan_source(rel, read_file(f), &rep.suppressed);
+            rep.findings.insert(rep.findings.end(),
+                                std::make_move_iterator(found.begin()),
+                                std::make_move_iterator(found.end()));
+            ++rep.files_scanned;
+        }
+        std::sort(rep.findings.begin(), rep.findings.end(),
+                  [](const Finding &a, const Finding &b) {
+                      return std::tie(a.file, a.line, a.rule) <
+                             std::tie(b.file, b.line, b.rule);
+                  });
+    }
+    if (opts.run_budget)
+        rep.budget = run_budget_audit();
+    return rep;
+}
+
+/* ------------------------------------------------------------------ */
+/* Reporters.                                                         */
+/* ------------------------------------------------------------------ */
+
+void
+write_text(const Report &r, std::ostream &os)
+{
+    for (const Finding &f : r.findings) {
+        os << f.file << ":" << f.line << ": [" << f.rule << "] "
+           << f.message << "\n";
+        if (!f.excerpt.empty())
+            os << "    " << f.excerpt << "\n";
+    }
+    os << r.files_scanned << " files scanned, " << r.findings.size()
+       << " finding(s), " << r.suppressed << " suppressed\n";
+    if (!r.budget.cases.empty()) {
+        os << "bit-budget: " << r.budget.cases.size()
+           << " plan configurations proved, " << r.budget.refused
+           << " correctly refused by the planner, " << r.budget.violations
+           << " violation(s)\n";
+        for (const BudgetCase &c : r.budget.cases) {
+            if (!c.feasible || (c.exact && c.covers))
+                continue;
+            os << "  VIOLATION " << c.engine << " " << c.site << " wa="
+               << c.wa << " wb=" << c.wb << " k=" << c.k << " plan="
+               << c.plan.a_planes << "x" << c.plan.a_plane_bits << "b/"
+               << c.plan.b_planes << "x" << c.plan.b_plane_bits
+               << "b sum_bits=" << c.sum_bits << " budget="
+               << c.budget_bits << (c.exact ? "" : " [overflow]")
+               << (c.covers ? "" : " [word not covered]") << "\n";
+        }
+    }
+}
+
+void
+write_json(const Report &r, std::ostream &os)
+{
+    json::Writer w;
+    w.begin_object();
+    w.key("schema").value("neo.lint/1");
+    w.key("files_scanned").value(r.files_scanned);
+    w.key("suppressed").value(r.suppressed);
+    w.key("findings").begin_array();
+    for (const Finding &f : r.findings) {
+        w.begin_object();
+        w.key("rule").value(f.rule);
+        w.key("file").value(f.file);
+        w.key("line").value(f.line);
+        w.key("message").value(f.message);
+        w.key("excerpt").value(f.excerpt);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("budget").begin_object();
+    w.key("cases").value(static_cast<u64>(r.budget.cases.size()));
+    w.key("refused").value(static_cast<u64>(r.budget.refused));
+    w.key("violations").value(static_cast<u64>(r.budget.violations));
+    w.key("violating_cases").begin_array();
+    for (const BudgetCase &c : r.budget.cases) {
+        if (!c.feasible || (c.exact && c.covers))
+            continue;
+        w.begin_object();
+        w.key("engine").value(c.engine);
+        w.key("site").value(c.site);
+        w.key("wa").value(c.wa);
+        w.key("wb").value(c.wb);
+        w.key("k").value(static_cast<u64>(c.k));
+        w.key("a_planes").value(c.plan.a_planes);
+        w.key("a_plane_bits").value(c.plan.a_plane_bits);
+        w.key("b_planes").value(c.plan.b_planes);
+        w.key("b_plane_bits").value(c.plan.b_plane_bits);
+        w.key("sum_bits").value(c.sum_bits);
+        w.key("budget_bits").value(c.budget_bits);
+        w.key("exact").value(c.exact);
+        w.key("covers").value(c.covers);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    os << w.str() << "\n";
+}
+
+} // namespace neo::lint

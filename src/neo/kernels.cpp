@@ -84,7 +84,7 @@ BConvKernel::run_elementwise(const u64 *in, size_t batch, size_t n,
                 const u64 *src = in + (i * batch + b) * n;
                 for (size_t l = 0; l < n; ++l) {
                     u64 scaled = bi.mul(src[l], inv);
-                    dst[l] = tj.add(dst[l], tj.mul(scaled % tj.value(), f));
+                    dst[l] = tj.add(dst[l], tj.mul(tj.reduce(scaled), f));
                 }
             }
         }
@@ -141,6 +141,8 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
         // paths round identically (bit-exactness tests rely on it).
         double *inv_b = frame.alloc<double>(a);
         for (size_t i = 0; i < a; ++i)
+            // Shenoy–Kumaresan overflow estimation is float-assisted
+            // by design (§4.5.2). neo-lint: allow(float-on-limb)
             inv_b[i] = 1.0 / static_cast<double>(conv_.from()[i].value());
         // Per-site accumulation over i is fully inside one index x,
         // so chunking over x preserves the rounding bit-for-bit.
@@ -150,6 +152,7 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
                 for (size_t x = b; x < e; ++x) {
                     long double v = 0.0L;
                     for (size_t i = 0; i < a; ++i)
+                        // neo-lint: allow(float-on-limb) — see above.
                         v += static_cast<long double>(
                                  scaled[i * batch * n + x]) *
                              inv_b[i];
@@ -179,7 +182,7 @@ BConvKernel::matmul_common(const u64 *in, size_t batch, size_t n, u64 *out,
                         u64 *row = prod + (l * batch + b) * ap;
                         for (size_t j = 0; j < ap; ++j) {
                             const Modulus &tj = conv_.to()[j];
-                            u64 corr = tj.mul(r % tj.value(),
+                            u64 corr = tj.mul(tj.reduce(r),
                                               conv_.product_mod_to(j));
                             row[j] = tj.sub(row[j], corr);
                         }

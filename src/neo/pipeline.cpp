@@ -62,7 +62,10 @@ std::shared_ptr<PipelineCache>
 pipeline_cache_for(const CkksContext &ctx)
 {
     static std::mutex reg_mu;
+    // tick and reg are only ever touched under reg_mu.
+    // neo-lint: allow(thread-unsafe-static)
     static u64 tick = 0;
+    // neo-lint: allow(thread-unsafe-static)
     static std::map<u64, std::shared_ptr<PipelineCache>> reg;
     constexpr size_t kMaxContexts = 4;
 

@@ -370,6 +370,8 @@ struct GlobalTrace {
 GlobalTrace &
 global_trace()
 {
+    // Magic-static init is thread-safe; mutation is confined to
+    // process start/exit paths. neo-lint: allow(thread-unsafe-static)
     static GlobalTrace g;
     return g;
 }
@@ -438,6 +440,8 @@ init_from_env()
 #ifdef NEO_OBS_DISABLE
     return;
 #else
+    // init_from_env runs at process start, before any worker threads
+    // exist. neo-lint: allow(thread-unsafe-static)
     static bool done = false;
     if (done)
         return;
@@ -471,7 +475,8 @@ init_from_env()
 
     Registry::Options opts;
     opts.record_events = (g.mode == TraceMode::json);
-    g.registry = new Registry(opts); // leaked by design (see GlobalTrace)
+    // Leaked by design (see GlobalTrace). neo-lint: allow(naked-new)
+    g.registry = new Registry(opts);
     detail::g_current.store(g.registry, std::memory_order_release);
     std::atexit(export_global_at_exit);
 #endif

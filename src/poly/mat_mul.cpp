@@ -14,7 +14,6 @@ scalar_mod_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
     obs::Span span("scalar_gemm", obs::cat::gemm);
     if (auto *r = obs::current())
         r->add_gemm(m, n, k);
-    const u64 qv = q.value();
     // Row tiles of C are independent; the k-accumulation (and its
     // fold points) stays inside one tile, so results are identical
     // for any thread count. Columns are register-tiled in groups of
@@ -37,11 +36,10 @@ scalar_mod_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                             acc[jj] += av * b[t * n + j + jj];
                         if (t & 1)
                             for (size_t jj = 0; jj < kNR; ++jj)
-                                acc[jj] %= qv;
+                                acc[jj] = q.reduce128(acc[jj]);
                     }
                     for (size_t jj = 0; jj < kNR; ++jj)
-                        c[i * n + j + jj] =
-                            static_cast<u64>(acc[jj] % qv);
+                        c[i * n + j + jj] = q.reduce128(acc[jj]);
                 }
                 for (; j < n; ++j) {
                     u128 acc = 0;
@@ -49,9 +47,9 @@ scalar_mod_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                         acc += static_cast<u128>(a[i * k + t]) *
                                b[t * n + j];
                         if (t & 1)
-                            acc %= qv;
+                            acc = q.reduce128(acc);
                     }
-                    c[i * n + j] = static_cast<u64>(acc % qv);
+                    c[i * n + j] = q.reduce128(acc);
                 }
             }
         },

@@ -17,7 +17,7 @@ NttTables::NttTables(size_t n, const Modulus &q) : n_(n), q_(q)
     const u64 psi_inv = q.inv(psi_);
     const u64 w = q.mul(psi_, psi_);
     const u64 w_inv = q.inv(w);
-    n_inv_ = q.inv(n % qv);
+    n_inv_ = q.inv(q.reduce(n));
 
     auto fill = [&](std::vector<u64> &pow, std::vector<u64> &shoup, u64 base) {
         pow.resize(n);

@@ -27,6 +27,9 @@ BaseConverter::BaseConverter(const RnsBasis &from, const RnsBasis &to)
         b_mod_to_[j] = from_.product_mod(tj);
     }
     for (size_t i = 0; i < k; ++i)
+        // Shenoy–Kumaresan overflow estimation is float-assisted by
+        // design (§4.5.2); rounding is bit-matched with
+        // BConvKernel::matmul_common. neo-lint: allow(float-on-limb)
         inv_from_[i] = 1.0 / static_cast<double>(from_[i].value());
 }
 
@@ -62,18 +65,16 @@ BaseConverter::convert_approx(const u64 *in, size_t n, u64 *out) const
     scale_inputs(in, n, scaled);
     for (size_t j = 0; j < m; ++j) {
         const Modulus &tj = to_[j];
-        const u64 q = tj.value();
         u64 *dst = out + j * n;
         for (size_t l = 0; l < n; ++l) {
             u128 acc = 0;
             for (size_t i = 0; i < k; ++i) {
-                acc += static_cast<u128>(scaled[i * n + l]) %
-                           q *
-                           punc_mod_to_[i * m + j];
+                acc += static_cast<u128>(tj.reduce(scaled[i * n + l])) *
+                       punc_mod_to_[i * m + j];
                 // Keep the accumulator bounded (q < 2^63, so at most
                 // ~2 additions fit without reduction at 63-bit q; fold
                 // every iteration for safety).
-                acc %= q;
+                acc = tj.reduce128(acc);
             }
             dst[l] = static_cast<u64>(acc);
         }
@@ -100,22 +101,22 @@ BaseConverter::convert_exact(const u64 *in, size_t n, u64 *out) const
     for (size_t l = 0; l < n; ++l) {
         long double v = 0.0L;
         for (size_t i = 0; i < k; ++i)
+            // neo-lint: allow(float-on-limb) — see constructor note.
             v += static_cast<long double>(scaled[i * n + l]) * inv_from_[i];
         overflow[l] = static_cast<u64>(llroundl(v));
     }
     for (size_t j = 0; j < m; ++j) {
         const Modulus &tj = to_[j];
-        const u64 q = tj.value();
         u64 *dst = out + j * n;
         for (size_t l = 0; l < n; ++l) {
             u128 acc = 0;
             for (size_t i = 0; i < k; ++i) {
-                acc += static_cast<u128>(scaled[i * n + l] % q) *
+                acc += static_cast<u128>(tj.reduce(scaled[i * n + l])) *
                        punc_mod_to_[i * m + j];
-                acc %= q;
+                acc = tj.reduce128(acc);
             }
             // Subtract r * B mod t_j.
-            u64 corr = tj.mul(overflow[l] % q, b_mod_to_[j]);
+            u64 corr = tj.mul(tj.reduce(overflow[l]), b_mod_to_[j]);
             dst[l] = tj.sub(static_cast<u64>(acc), corr);
         }
     }

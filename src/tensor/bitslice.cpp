@@ -1,57 +1,12 @@
 #include "tensor/bitslice.h"
 
 #include "common/check.h"
-#include "common/math_util.h"
 
 namespace neo {
 
-namespace {
-
-int
-accum_bits(size_t k)
-{
-    // ceil(log2 k): accumulating k terms of w bits stays below 2^(w +
-    // ceil(log2 k)) — the paper's 2^36 * 2^12 * 16 = 2^52 < 2^53 bound.
-    return k <= 1 ? 0 : bit_size(k - 1);
-}
-
-} // namespace
-
-SplitPlan
-choose_fp64_split(int wa, int wb, size_t k)
-{
-    NEO_CHECK(wa > 0 && wb > 0 && wa <= 64 && wb <= 64, "bad widths");
-    const int budget = 53 - accum_bits(k);
-    NEO_CHECK(budget >= 2, "K too large for exact FP64 accumulation");
-    SplitPlan best{0, 0, 0, 0};
-    int best_products = 1 << 30;
-    for (int pa = 1; pa <= wa; ++pa) {
-        const int abits = static_cast<int>(ceil_div(wa, pa));
-        if (abits >= budget)
-            continue;
-        const int bbits_max = budget - abits;
-        const int pb = static_cast<int>(ceil_div(wb, bbits_max));
-        if (pa * pb < best_products) {
-            best_products = pa * pb;
-            best = SplitPlan{pa, abits, pb,
-                             static_cast<int>(ceil_div(wb, pb))};
-        }
-    }
-    NEO_CHECK(best_products < (1 << 30), "no feasible FP64 split");
-    return best;
-}
-
-SplitPlan
-choose_int8_split(int wa, int wb, size_t k)
-{
-    NEO_CHECK(wa > 0 && wb > 0 && wa <= 64 && wb <= 64, "bad widths");
-    // 8-bit unsigned planes; products are < 2^16, so INT32 accumulation
-    // is exact for K up to 2^15.
-    NEO_CHECK(16 + accum_bits(k) <= 31, "K too large for INT32 accumulation");
-    const int pa = static_cast<int>(ceil_div(wa, 8));
-    const int pb = static_cast<int>(ceil_div(wb, 8));
-    return SplitPlan{pa, 8, pb, 8};
-}
+// choose_fp64_split / choose_int8_split and the split_plan_exact
+// proofs live in the header as constexpr so gemm.cpp can
+// static_assert the bit budgets at compile time.
 
 void
 slice_to_f64(const u64 *in, size_t n, int planes, int plane_bits,

@@ -12,6 +12,67 @@
 
 namespace neo {
 
+/*
+ * Compile-time bit-budget proofs — the static_assert mirror of the
+ * neo-lint bit-budget prover (src/lint/bit_budget.h). Every (word
+ * size, WordSize_T, K depth) plan reachable from the paper parameter
+ * sets A–H and the test presets must keep its worst-case plane
+ * accumulation below the FP64 mantissa (2^53) / INT32 accumulator
+ * (2^31) bound, independently re-derived by split_plan_exact in
+ * 128-bit integer arithmetic. If a planner change ever produces an
+ * out-of-budget plan, this block turns it into a *build* failure.
+ *
+ * Word sizes: 36/60-bit q primes, {36, 48, 64}-bit WordSize_T, 30-bit
+ * test primes. K depths: 16 (radix-16 NTT twiddle matmul), 256
+ * (four-step NTT at N = 2^16), 46 (widest BConv source basis, Set H's
+ * L+1+α), and the small IP/gadget dimensions.
+ */
+namespace {
+
+constexpr bool
+fp64_budget_table_holds()
+{
+    constexpr int words[] = {30, 36, 48, 60, 64};
+    constexpr size_t ks[] = {1, 2, 4, 5, 16, 40, 46, 64, 256};
+    for (int w : words)
+        for (size_t k : ks)
+            if (!fp64_plan_exact(w, w, k))
+                return false;
+    return true;
+}
+
+constexpr bool
+int8_budget_table_holds()
+{
+    constexpr int words[] = {30, 36, 48, 60, 64};
+    constexpr size_t ks[] = {1, 2, 4, 5, 16, 40, 46, 64, 256};
+    for (int w : words)
+        for (size_t k : ks)
+            if (!int8_plan_exact(w, w, k))
+                return false;
+    return true;
+}
+
+static_assert(fp64_budget_table_holds(),
+              "FP64 plane plan exceeds the 2^53 mantissa budget for a "
+              "reachable (word size, K) configuration");
+static_assert(int8_budget_table_holds(),
+              "INT8 plane plan exceeds the INT32 accumulator budget for "
+              "a reachable (word size, K) configuration");
+
+// The paper's flagship examples, spelled out (§3.4): a 36-bit word
+// kept whole against 12-bit planes over K = 16 sums to 2^52 < 2^53;
+// 48-bit words split 2×24b each leave 53 − 48 = 5 bits of headroom
+// at K ≤ 32.
+static_assert(choose_fp64_split(36, 36, 16).products() == 3 &&
+                  fp64_plan_exact(36, 36, 16),
+              "paper Fig 3 36-bit plan regressed");
+static_assert(choose_fp64_split(48, 48, 16).products() == 4 &&
+                  fp64_plan_exact(48, 48, 16),
+              "paper Fig 3 48-bit plan regressed");
+
+} // namespace
+
 namespace {
 
 /// One probe per public GEMM entry point: a timed span plus the call /
@@ -217,7 +278,7 @@ fp64_sliced_matmul_plan(const u64 *a, const u64 *b, u64 *c, size_t m,
                 0, m * n,
                 [&](size_t b0, size_t e0) {
                     for (size_t i = b0; i < e0; ++i) {
-                        u64 v = static_cast<u64>(prod[i]) % qv;
+                        u64 v = q.reduce(static_cast<u64>(prod[i]));
                         c[i] = add_mod(c[i], q.mul(v, w), qv);
                     }
                 },
@@ -263,8 +324,8 @@ int8_sliced_matmul(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                 0, m * n,
                 [&](size_t b0, size_t e0) {
                     for (size_t i = b0; i < e0; ++i) {
-                        u64 v =
-                            static_cast<u64>(static_cast<u32>(prod[i])) % qv;
+                        u64 v = q.reduce(
+                            static_cast<u64>(static_cast<u32>(prod[i])));
                         c[i] = add_mod(c[i], q.mul(v, w), qv);
                     }
                 },
@@ -293,8 +354,7 @@ scalar_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m, size_t n,
                     for (size_t t = 0; t < k; ++t)
                         acc += static_cast<u128>(a[i * k + t]) *
                                b[t * n + j];
-                    c[i * n + j] =
-                        static_cast<u64>(acc % col_mods[j].value());
+                    c[i * n + j] = col_mods[j].reduce128(acc);
                 }
             }
         },
@@ -340,8 +400,8 @@ fp64_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
                     for (size_t i = rb; i < re; ++i) {
                         for (size_t j = 0; j < n; ++j) {
                             const Modulus &q = col_mods[j];
-                            u64 v = static_cast<u64>(prod[i * n + j]) %
-                                    q.value();
+                            u64 v = q.reduce(
+                                static_cast<u64>(prod[i * n + j]));
                             c[i * n + j] =
                                 q.add(c[i * n + j], q.mul(v, w[j]));
                         }
@@ -389,9 +449,8 @@ int8_sliced_matmul_cols(const u64 *a, const u64 *b, u64 *c, size_t m,
                     for (size_t i = rb; i < re; ++i) {
                         for (size_t j = 0; j < n; ++j) {
                             const Modulus &q = col_mods[j];
-                            u64 v = static_cast<u64>(static_cast<u32>(
-                                        prod[i * n + j])) %
-                                    q.value();
+                            u64 v = q.reduce(static_cast<u64>(
+                                static_cast<u32>(prod[i * n + j])));
                             c[i * n + j] =
                                 q.add(c[i * n + j], q.mul(v, w[j]));
                         }
@@ -415,7 +474,7 @@ scalar_matmul_sites(const u64 *a, const u64 *b, u64 *c, size_t sites,
         0, sites,
         [&](size_t sb, size_t se) {
             for (size_t s = sb; s < se; ++s) {
-                const u64 qv = mods[s % nmods].value();
+                const Modulus &qm = mods[s % nmods];
                 const u64 *as = a + s * m * k;
                 const u64 *bs = b + s * k * n;
                 u64 *cs = c + s * m * n;
@@ -428,9 +487,9 @@ scalar_matmul_sites(const u64 *a, const u64 *b, u64 *c, size_t sites,
                             acc += static_cast<u128>(as[i * k + t]) *
                                    bs[t * n + j];
                             if (t & 1)
-                                acc %= qv;
+                                acc = qm.reduce128(acc);
                         }
-                        cs[i * n + j] = static_cast<u64>(acc % qv);
+                        cs[i * n + j] = qm.reduce128(acc);
                     }
                 }
             }
@@ -502,8 +561,8 @@ sliced_matmul_sites_impl(const u64 *a, const u64 *b, u64 *c, size_t sites,
                         }
                     const u64 wv = w[pair];
                     for (size_t i = 0; i < m * n; ++i)
-                        cs[i] = add_mod(cs[i], q.mul(fold(prod[i]) % qv, wv),
-                                        qv);
+                        cs[i] = add_mod(
+                            cs[i], q.mul(q.reduce(fold(prod[i])), wv), qv);
                 }
             }
         },

@@ -70,8 +70,10 @@ template <class Map, class Key>
 void
 evict_stale(Map &m, const Key &key)
 {
-    for (auto it = m.lower_bound(Key{key.addr, 0}); it != m.end() &&
-                                                    it->first.addr == key.addr;) {
+    Key lo{};
+    lo.addr = key.addr;
+    for (auto it = m.lower_bound(lo);
+         it != m.end() && it->first.addr == key.addr;) {
         if (it->first.gen != key.gen)
             it = m.erase(it);
         else
@@ -96,6 +98,8 @@ PlaneCache::PlaneCache() : impl_(std::make_unique<Impl>()) {}
 PlaneCache &
 PlaneCache::global()
 {
+    // Magic-static init; PlaneCache locks internally (Impl::mu).
+    // neo-lint: allow(thread-unsafe-static)
     static PlaneCache c;
     return c;
 }

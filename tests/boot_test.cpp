@@ -8,6 +8,9 @@
 #include "common/random.h"
 
 namespace neo::boot {
+
+using namespace ckks;
+
 namespace {
 
 double

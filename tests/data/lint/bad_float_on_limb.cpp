@@ -1,0 +1,9 @@
+// Fixture: floating-point casts of limb data outside src/tensor/.
+// neo-lint: as-path(src/poly/fixture.cpp)
+double
+f(const unsigned long long *limbs, size_t i, const Modulus &q)
+{
+    double a = static_cast<double>(limbs[i]);
+    long double b = static_cast<long double>(q.value());
+    return a + static_cast<double>(b);
+}

@@ -1,0 +1,8 @@
+// Fixture: header missing #pragma once and leaking a namespace.
+using namespace std;
+
+inline int
+f()
+{
+    return 1;
+}

@@ -1,0 +1,8 @@
+// Fixture: naked new. A renewed identifier must not match the word.
+int *
+f(bool renew)
+{
+    int *p = new int[4];
+    (void)renew;
+    return p;
+}

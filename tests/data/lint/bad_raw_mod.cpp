@@ -1,0 +1,10 @@
+// Fixture: raw modulus arithmetic in a hot-path file.
+// neo-lint: as-path(src/rns/fixture.cpp)
+unsigned long long
+f(unsigned long long x, unsigned long long q, const Modulus &m)
+{
+    unsigned long long r = x % q;
+    r /= q;
+    unsigned long long s = x % m.value();
+    return r + s;
+}

@@ -1,0 +1,11 @@
+// Fixture: non-reproducible randomness sources.
+int
+f()
+{
+    int a = rand();
+    std::random_device rd;
+    srand(static_cast<unsigned>(rd()));
+    unsigned seed = static_cast<unsigned>(time(nullptr));
+    int operand = a;  // "rand" inside an identifier must not match
+    return operand + static_cast<int>(seed);
+}

@@ -1,0 +1,11 @@
+// Fixture: function-local mutable static state.
+void
+f()
+{
+    static int counter = 0;
+    static const int limit = 8;
+    static std::mutex mu;
+    static std::atomic<int> hits{0};
+    if (++counter > limit)
+        hits.fetch_add(1);
+}

@@ -1,0 +1,9 @@
+// Fixture: float casts of scalar shape/byte counts are fine.
+// neo-lint: as-path(src/poly/fixture.cpp)
+double
+f(size_t n, size_t bytes)
+{
+    double a = static_cast<double>(n);
+    double b = static_cast<double>(bytes) / 1e9;
+    return a + b;
+}

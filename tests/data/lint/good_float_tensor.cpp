@@ -1,0 +1,8 @@
+// Fixture: the same limb cast is sanctioned inside src/tensor/
+// bit-slicing code.
+// neo-lint: as-path(src/tensor/fixture.cpp)
+double
+f(const unsigned long long *limbs, size_t i)
+{
+    return static_cast<double>(limbs[i]);
+}

@@ -1,0 +1,15 @@
+// Fixture: a hygienic header — must produce no findings.
+#pragma once
+
+namespace neo {
+
+using std::size_t; // a using-declaration is fine; only
+                   // `using namespace` leaks wholesale
+
+inline int
+f()
+{
+    return 1;
+}
+
+} // namespace neo

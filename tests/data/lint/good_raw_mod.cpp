@@ -1,0 +1,12 @@
+// Fixture: sanctioned modular arithmetic — must produce no findings.
+// neo-lint: as-path(src/rns/fixture.cpp)
+unsigned long long
+f(unsigned long long x, size_t i, size_t nmods, const Modulus &q)
+{
+    unsigned long long a = q.reduce(x);       // vetted helper
+    size_t slot = i % nmods;                  // index math, not limbs
+    size_t half = i / 2;                      // plain integer division
+    const char *s = "x % q inside a string";  // literal, blanked
+    // x % q inside a comment is blanked too
+    return a + slot + half + (s != nullptr);
+}

@@ -1,0 +1,12 @@
+// Fixture: allow(...) suppressions — same line and line above.
+// neo-lint: as-path(src/neo/fixture.cpp)
+unsigned long long
+f(unsigned long long x, unsigned long long q)
+{
+    unsigned long long a = x % q; // neo-lint: allow(raw-mod)
+    // neo-lint: allow(raw-mod)
+    unsigned long long b = x % q;
+    // neo-lint: allow(naked-new) — wrong rule: does NOT cover raw-mod
+    unsigned long long c = x % q;
+    return a + b + c;
+}

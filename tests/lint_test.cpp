@@ -1,0 +1,275 @@
+/**
+ * @file
+ * neo-lint test suite: every rule against a good and a bad fixture,
+ * suppression and as-path markers, deterministic JSON output against a
+ * golden file, and the bit-budget prover — including its rejection of
+ * a synthetic out-of-budget plan — plus a CLI smoke run of the real
+ * binary (label `lint`).
+ */
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "lint/lint.h"
+#include "tensor/bitslice.h"
+
+namespace neo::lint {
+namespace {
+
+std::string
+fixture_path(const std::string &name)
+{
+    return std::string(NEO_TEST_DATA_DIR) + "/lint/" + name;
+}
+
+std::string
+read_file(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/// Scan one fixture by its on-disk name; findings report that name.
+std::vector<Finding>
+scan_fixture(const std::string &name, int *suppressed = nullptr)
+{
+    return scan_source(name, read_file(fixture_path(name)), suppressed);
+}
+
+std::vector<std::string>
+rules_of(const std::vector<Finding> &fs)
+{
+    std::vector<std::string> r;
+    for (const Finding &f : fs)
+        r.push_back(f.rule);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Rules engine
+// ---------------------------------------------------------------------
+
+TEST(LintRules, RawModFlagsModulusOperands)
+{
+    const auto fs = scan_fixture("bad_raw_mod.cpp");
+    ASSERT_EQ(fs.size(), 3u);
+    EXPECT_EQ(fs[0].rule, rule::raw_mod);
+    EXPECT_EQ(fs[0].line, 6); // x % q
+    EXPECT_EQ(fs[1].line, 7); // r /= q
+    EXPECT_EQ(fs[2].line, 8); // x % m.value()
+    // as-path classified the scan, but findings report the real path.
+    EXPECT_EQ(fs[0].file, "bad_raw_mod.cpp");
+}
+
+TEST(LintRules, RawModIgnoresIndexMathCommentsAndStrings)
+{
+    EXPECT_TRUE(scan_fixture("good_raw_mod.cpp").empty());
+}
+
+TEST(LintRules, FloatOnLimbFlagsIndexedAndValueCasts)
+{
+    const auto fs = scan_fixture("bad_float_on_limb.cpp");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, rule::float_on_limb);
+    EXPECT_EQ(fs[0].line, 6); // limbs[i]
+    EXPECT_EQ(fs[1].line, 7); // q.value()
+}
+
+TEST(LintRules, FloatOnLimbPassesScalarsAndTensorCode)
+{
+    EXPECT_TRUE(scan_fixture("good_float_scalar.cpp").empty());
+    // Identical cast, but as-path(src/tensor/...) — sanctioned there.
+    EXPECT_TRUE(scan_fixture("good_float_tensor.cpp").empty());
+}
+
+TEST(LintRules, ThreadUnsafeStaticSkipsConstMutexAtomic)
+{
+    const auto fs = scan_fixture("bad_static.cpp");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, rule::thread_unsafe_static);
+    EXPECT_EQ(fs[0].line, 5); // static int counter
+}
+
+TEST(LintRules, BannedRngFlagsRandDeviceAndWallClock)
+{
+    const auto fs = scan_fixture("bad_rng.cpp");
+    ASSERT_EQ(fs.size(), 4u);
+    for (const Finding &f : fs)
+        EXPECT_EQ(f.rule, rule::banned_rng);
+    EXPECT_EQ(fs[0].line, 5); // rand()
+    EXPECT_EQ(fs[1].line, 6); // std::random_device
+    EXPECT_EQ(fs[2].line, 7); // srand(...)
+    EXPECT_EQ(fs[3].line, 8); // time(nullptr)
+}
+
+TEST(LintRules, NakedNewWordBoundary)
+{
+    const auto fs = scan_fixture("bad_naked_new.cpp");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, rule::naked_new);
+    EXPECT_EQ(fs[0].line, 5); // `renew` on other lines must not match
+}
+
+TEST(LintRules, HeaderHygieneFlagsMissingPragmaAndUsingNamespace)
+{
+    const auto fs = scan_fixture("bad_header.h");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, rule::header_hygiene);
+    EXPECT_EQ(fs[0].line, 1); // missing #pragma once
+    EXPECT_EQ(fs[1].line, 2); // using namespace std
+}
+
+TEST(LintRules, HeaderHygienePassesCleanHeader)
+{
+    EXPECT_TRUE(scan_fixture("good_header.h").empty());
+}
+
+TEST(LintRules, AllowSuppressesOwnAndNextLineOnlyForNamedRule)
+{
+    int suppressed = 0;
+    const auto fs = scan_fixture("suppressed.cpp", &suppressed);
+    EXPECT_EQ(suppressed, 2); // same-line + line-above markers
+    ASSERT_EQ(fs.size(), 1u); // wrong-rule marker does not suppress
+    EXPECT_EQ(fs[0].rule, rule::raw_mod);
+    EXPECT_EQ(fs[0].line, 10);
+}
+
+TEST(LintRules, AllRulesAreCoveredByFixtures)
+{
+    // Every registered rule fires on at least one bad fixture above.
+    std::vector<std::string> seen;
+    for (const char *f :
+         {"bad_raw_mod.cpp", "bad_float_on_limb.cpp", "bad_static.cpp",
+          "bad_rng.cpp", "bad_naked_new.cpp", "bad_header.h"})
+        for (const std::string &r : rules_of(scan_fixture(f)))
+            seen.push_back(r);
+    for (const std::string &r : all_rules())
+        EXPECT_NE(std::find(seen.begin(), seen.end(), r), seen.end())
+            << "no fixture exercises rule " << r;
+}
+
+// ---------------------------------------------------------------------
+// Reporters
+// ---------------------------------------------------------------------
+
+TEST(LintReport, JsonMatchesGoldenFile)
+{
+    Options opts;
+    opts.root = fixture_path("");
+    opts.paths = {"."};
+    opts.run_budget = false;
+    const Report rep = run(opts);
+    std::ostringstream out;
+    write_json(rep, out);
+    const std::string golden = read_file(fixture_path("report_golden.json"));
+    EXPECT_EQ(out.str(), golden);
+}
+
+TEST(LintReport, TextReportNamesEveryFinding)
+{
+    Options opts;
+    opts.root = fixture_path("");
+    opts.paths = {"."};
+    opts.run_budget = false;
+    const Report rep = run(opts);
+    EXPECT_FALSE(rep.clean());
+    std::ostringstream out;
+    write_text(rep, out);
+    const std::string text = out.str();
+    for (const Finding &f : rep.findings)
+        EXPECT_NE(text.find(f.file + ":" + std::to_string(f.line)),
+                  std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Bit-budget prover
+// ---------------------------------------------------------------------
+
+TEST(BitBudget, AuditProvesEveryReachableConfiguration)
+{
+    const BudgetAudit audit = run_budget_audit();
+    EXPECT_GT(audit.cases.size(), 100u);
+    EXPECT_EQ(audit.violations, 0u);
+    bool fp64 = false, int8 = false, ntt = false, bconv = false,
+         ip = false;
+    for (const BudgetCase &c : audit.cases) {
+        fp64 |= std::string(c.engine) == "fp64_tcu";
+        int8 |= std::string(c.engine) == "int8_tcu";
+        ntt |= std::string(c.site) == "ntt";
+        bconv |= std::string(c.site) == "bconv";
+        ip |= std::string(c.site) == "ip";
+        if (c.feasible) {
+            EXPECT_TRUE(c.exact) << c.engine << " " << c.site
+                                 << " wa=" << c.wa << " k=" << c.k;
+            EXPECT_TRUE(c.covers) << c.engine << " " << c.site;
+            EXPECT_LE(c.sum_bits, c.budget_bits);
+        }
+    }
+    EXPECT_TRUE(fp64 && int8);
+    EXPECT_TRUE(ntt && bconv && ip);
+}
+
+TEST(BitBudget, RejectsSyntheticOverflowingPlan)
+{
+    // 40b × 40b over K=16: 40+40+4 = 84 bits ≫ the 53-bit mantissa.
+    const SplitPlan bad{1, 40, 1, 40};
+    EXPECT_FALSE(plan_within_budget(bad, 16, 53));
+    EXPECT_TRUE(plan_covers(bad, 40, 40));
+
+    // Also over the INT32 budget: 2×16-bit planes at K=1 is 32 bits.
+    const SplitPlan wide{1, 16, 1, 16};
+    EXPECT_FALSE(plan_within_budget(wide, 2, 31));
+    EXPECT_TRUE(plan_within_budget(wide, 1, 33));
+}
+
+TEST(BitBudget, AcceptsPaperPlans)
+{
+    // §3.4: 36-bit words, K=16 — A whole + 3×12b B planes, 3 products.
+    const SplitPlan p36 = choose_fp64_split(36, 36, 16);
+    EXPECT_EQ(p36.products(), 3);
+    EXPECT_TRUE(plan_within_budget(p36, 16, 53));
+    EXPECT_TRUE(plan_covers(p36, 36, 36));
+
+    // 48-bit words: 2×24b planes each side, 4 products.
+    const SplitPlan p48 = choose_fp64_split(48, 48, 16);
+    EXPECT_EQ(p48.products(), 4);
+    EXPECT_TRUE(plan_within_budget(p48, 16, 53));
+
+    // The same proofs hold at compile time (mirrors gemm.cpp).
+    static_assert(fp64_plan_exact(36, 36, 16));
+    static_assert(fp64_plan_exact(48, 48, 16));
+    static_assert(int8_plan_exact(36, 36, 256));
+    static_assert(!split_plan_exact(SplitPlan{1, 40, 1, 40}, 40, 40, 16,
+                                    53));
+}
+
+TEST(BitBudget, CoverageRequiresEnoughPlaneBits)
+{
+    EXPECT_FALSE(plan_covers(SplitPlan{1, 12, 3, 12}, 36, 36));
+    EXPECT_TRUE(plan_covers(SplitPlan{3, 12, 3, 12}, 36, 36));
+}
+
+// ---------------------------------------------------------------------
+// CLI smoke: the real binary, non-zero exit on findings
+// ---------------------------------------------------------------------
+
+TEST(LintCli, ExitsNonZeroOnFixtureFindings)
+{
+    const std::string cmd = std::string(NEO_LINT_BIN) + " --rules-only" +
+                            " --root " + fixture_path("") +
+                            " . > /dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    ASSERT_NE(rc, -1);
+    EXPECT_NE(WEXITSTATUS(rc), 0);
+}
+
+} // namespace
+} // namespace neo::lint

@@ -291,8 +291,9 @@ TEST_F(ObsPipeline, GlobalSinkCapturesPipelineWhenTraced)
     const u64 before =
         ambient ? ambient->counter("pipeline.keyswitch") : 0;
     (void)keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_);
-    if (ambient != nullptr)
+    if (ambient != nullptr) {
         EXPECT_EQ(ambient->counter("pipeline.keyswitch"), before + 1);
+    }
 }
 
 TEST_F(ObsPipeline, PipelineTraceExportsWellFormedJson)

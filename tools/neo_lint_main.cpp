@@ -1,0 +1,90 @@
+/**
+ * @file
+ * neo-lint CLI — Neo's domain-specific static analyzer and bit-budget
+ * prover (src/lint). Exit status: 0 when the tree is clean, 1 when
+ * there are findings or budget violations, 2 on usage errors.
+ *
+ *   neo-lint --root .                 # lint src/ and tools/
+ *   neo-lint --root . src/tensor      # lint one subtree
+ *   neo-lint --json lint.json         # also write the JSON report
+ *   neo-lint --budget-only            # just the bit-budget prover
+ */
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int
+usage(std::ostream &os, int code)
+{
+    os << "usage: neo-lint [--root DIR] [--json FILE|-] [--rules-only]"
+          " [--budget-only] [paths...]\n"
+          "  --root DIR     repository root (default: .)\n"
+          "  --json FILE    write the neo.lint/1 JSON report to FILE\n"
+          "                 ('-' for stdout instead of the text report)\n"
+          "  --rules-only   skip the bit-budget prover\n"
+          "  --budget-only  skip the source rules\n"
+          "  paths          files/dirs relative to root (default: src"
+          " tools)\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    neo::lint::Options opts;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+        if (arg == "--root") {
+            if (++i >= argc)
+                return usage(std::cerr, 2);
+            opts.root = argv[i];
+        } else if (arg == "--json") {
+            if (++i >= argc)
+                return usage(std::cerr, 2);
+            json_path = argv[i];
+        } else if (arg == "--rules-only") {
+            opts.run_budget = false;
+        } else if (arg == "--budget-only") {
+            opts.run_rules = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "neo-lint: unknown option " << arg << "\n";
+            return usage(std::cerr, 2);
+        } else {
+            opts.paths.push_back(arg);
+        }
+    }
+
+    neo::lint::Report rep;
+    try {
+        rep = neo::lint::run(opts);
+    } catch (const std::exception &e) {
+        std::cerr << "neo-lint: " << e.what() << "\n";
+        return 2;
+    }
+
+    if (json_path == "-") {
+        neo::lint::write_json(rep, std::cout);
+    } else {
+        if (!json_path.empty()) {
+            std::ofstream out(json_path);
+            if (!out.good()) {
+                std::cerr << "neo-lint: cannot write " << json_path
+                          << "\n";
+                return 2;
+            }
+            neo::lint::write_json(rep, out);
+        }
+        neo::lint::write_text(rep, std::cout);
+    }
+    return rep.clean() ? 0 : 1;
+}
