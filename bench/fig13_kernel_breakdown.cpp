@@ -77,6 +77,44 @@ main(int argc, char **argv)
     t.print();
     std::printf("\nPaper reference: optimized kernels win despite the added "
                 "pre/postprocessing, which is a negligible share.\n");
+
+    // --- Fusion / graph-capture ablation: where does the launch tax
+    // go? One keyswitch at Set-C top level under the four
+    // (--fuse, --graph) combinations; the launch fraction collapses
+    // and the schedule bound moves off "launch".
+    std::printf("\nKeySwitch launch-tax ablation (Set-C, level %zu):\n",
+                params.max_level);
+    TextTable abl;
+    abl.header({"fuse", "graph", "modeled", "launches", "launch_s",
+                "launch %", "fused", "bound"});
+    for (const bool fuse : {false, true}) {
+        for (const bool graph : {false, true}) {
+            model::ModelConfig cfg;
+            cfg.fuse_elementwise = fuse;
+            cfg.graph_capture = graph;
+            model::KernelModel m(params, cfg);
+            const auto att = m.run_attributed(
+                m.keyswitch_kernels_named(params.max_level));
+            const auto &s = att.schedule;
+            const double frac =
+                s.seconds > 0 ? s.launch_s / s.seconds : 0;
+            abl.row({fuse ? "on" : "off", graph ? "on" : "off",
+                     format_time(att.seconds),
+                     strfmt("%.0f", s.launches),
+                     format_time(s.launch_s),
+                     strfmt("%.3f%%", 100.0 * frac),
+                     strfmt("%llu", (unsigned long long)att.fused_kernels),
+                     gpusim::bound_name(s.bound())});
+            const char *tag =
+                fuse ? (graph ? "fuse_graph" : "fuse")
+                     : (graph ? "graph" : "base");
+            report.metric(strfmt("keyswitch.%s.modeled_s", tag),
+                          att.seconds);
+            report.metric(strfmt("keyswitch.%s.launch_fraction", tag),
+                          frac);
+        }
+    }
+    abl.print();
     report.write();
     return 0;
 }

@@ -1,7 +1,9 @@
 /**
- * Fig 14 — cumulative effect of the four optimization steps on the
+ * Fig 14 — cumulative effect of the optimization steps on the
  * applications, normalised to the TensorFHE starting point:
- *   +KLSS  →  +dataflow opted  →  +ten-step NTT  →  +FP64 TCU.
+ *   +KLSS → +dataflow opted → +ten-step NTT → +FP64 TCU (the paper's
+ * four axes), then the launch-elimination rungs
+ *   +kernel fusion (elementwise) → +graph capture.
  */
 #include "apps/schedules.h"
 #include "baselines/backends.h"

@@ -150,12 +150,29 @@ ablation_ladder()
         b.cfg.radix16_ntt = true;
         ladder.push_back(b);
     }
-    // Rung 4: +FP64 TCU — final Neo configuration.
+    // Rung 4: +FP64 TCU — the paper's final Neo configuration.
     {
         Backend b = ladder.back();
         b.name = "+FP64 TCU";
         b.cfg.engine = MatMulEngine::tcu_fp64;
         b.cfg.multistream = true;
+        ladder.push_back(b);
+    }
+    // Rung 5: +element-wise fusion — fold the ModDown fix and NTT
+    // twiddle passes into their neighbouring kernels (PR 6 layer;
+    // beyond the paper's Fig 14 axes).
+    {
+        Backend b = ladder.back();
+        b.name = "+kernel fusion (elementwise)";
+        b.cfg.fuse_elementwise = true;
+        ladder.push_back(b);
+    }
+    // Rung 6: +graph capture — the whole kernel DAG replays with one
+    // amortized launch.
+    {
+        Backend b = ladder.back();
+        b.name = "+graph capture";
+        b.cfg.graph_capture = true;
         ladder.push_back(b);
     }
     return ladder;

@@ -56,7 +56,9 @@ Backend make_heongpu();
 Backend make_cpu();
 
 /// The ablation ladder of Fig 14: TensorFHE-like start, then +KLSS,
-/// +dataflow, +ten-step NTT, +FP64 TCU (== Neo).
+/// +dataflow, +ten-step NTT, +FP64 TCU (== the paper's Neo), then the
+/// two post-paper launch-elimination rungs: +kernel fusion
+/// (elementwise) and +graph capture.
 std::vector<Backend> ablation_ladder();
 
 /// A CPU-like DeviceSpec (no TCU, host memory bandwidth).

@@ -42,7 +42,8 @@ ks_count(std::string_view name, u64 delta)
 } // namespace
 
 RnsPoly
-mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx)
+mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
+         bool fuse)
 {
     NEO_ASSERT(ext_poly.form() == PolyForm::coeff,
                "mod_down expects coefficient form");
@@ -59,12 +60,59 @@ mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx)
     for (size_t k = 0; k < k_special; ++k)
         std::copy(ext_poly.limb(level + 1 + k),
                   ext_poly.limb(level + 1 + k) + n, p_part + k * n);
+    RnsPoly out(n, lv.active, PolyForm::coeff);
+
+    if (fuse) {
+        // Fused kernel: the (c - corr)·P⁻¹ fix rides in the BConv
+        // epilogue. Per element this is convert_approx's accumulation
+        // verbatim, followed immediately by the unfused fix's exact
+        // operation sequence — the correction never touches DRAM and
+        // the standalone fix pass (and its launch) disappears.
+        obs::Span fused_span("moddown_fused", obs::cat::bconv);
+        const BaseConverter &conv = *lv.p_to_q;
+        if (auto *r = obs::current()) {
+            r->add("bconv.converts");
+            r->add("bconv.products",
+                   static_cast<u64>(k_special) * (level + 1));
+            r->add_value("bconv.bytes",
+                         static_cast<double>((k_special + level + 1) * n) *
+                             sizeof(u64));
+            r->add("fuse.moddown_fix");
+        }
+        u64 *scaled = frame.alloc<u64>(k_special * n);
+        conv.scale_inputs(p_part, n, scaled);
+        for (size_t j = 0; j <= level; ++j) {
+            const Modulus &tj = conv.to()[j];
+            const Modulus &qj = lv.active[j];
+            const u64 p_inv = lv.p_inv[j];
+            const u64 ps = lv.p_inv_shoup[j];
+            const u64 *src = ext_poly.limb(j);
+            u64 *dst = out.limb(j);
+            for (size_t l = 0; l < n; ++l) {
+                u128 acc = 0;
+                for (size_t i = 0; i < k_special; ++i) {
+                    acc +=
+                        static_cast<u128>(tj.reduce(scaled[i * n + l])) *
+                        conv.factor(i, j);
+                    acc = tj.reduce128(acc);
+                }
+                dst[l] = mul_shoup(qj.sub(src[l], static_cast<u64>(acc)),
+                                   p_inv, ps, qj.value());
+            }
+        }
+        ks_count("ks.moddown_products", k_special * (level + 1));
+        return out;
+    }
+
     u64 *corr = frame.alloc<u64>((level + 1) * n);
     lv.p_to_q->convert_approx(p_part, n, corr);
     ks_count("ks.moddown_products", k_special * (level + 1));
 
-    // (c - corr) * P^{-1} mod q_i.
-    RnsPoly out(n, lv.active, PolyForm::coeff);
+    // (c - corr) * P^{-1} mod q_i — a standalone element-wise kernel
+    // in the unfused mapping, hence its own span and pass counter.
+    obs::Span fix_span("moddown_fix", obs::cat::stage);
+    if (auto *r = obs::current())
+        r->add("pass.moddown_fix");
     for (size_t i = 0; i <= level; ++i) {
         const Modulus &qi = lv.active[i];
         const u64 p_inv = lv.p_inv[i];

@@ -41,8 +41,16 @@ std::pair<RnsPoly, RnsPoly> keyswitch_klss(const RnsPoly &d2,
 /**
  * ModDown: divide a (coeff-form) polynomial over q_0..q_level ∪ P by
  * P, returning a coeff-form polynomial over q_0..q_level.
+ *
+ * With @p fuse set, the (c - corr)·P⁻¹ scalar fix runs inside the
+ * BConv epilogue (one fused kernel per output limb) instead of as a
+ * separate pass over a materialised correction array. The fused path
+ * performs the identical modular operations in the identical
+ * per-element order, so its output is bit-identical; the difference
+ * is one kernel launch and one DRAM round trip of the correction
+ * term — the fusion tests/fusion_test.cpp locks in.
  */
 RnsPoly mod_down(const RnsPoly &ext_poly, size_t level,
-                 const CkksContext &ctx);
+                 const CkksContext &ctx, bool fuse = false);
 
 } // namespace neo::ckks

@@ -42,6 +42,38 @@ struct DeviceSpec
     double eff_tcu_int8 = 0.15;
     double kernel_launch_s = 3e-6; ///< per-launch host+dispatch latency
 
+    // --- CUDA-graph capture/replay model ------------------------------
+    /**
+     * Replaying a captured kernel DAG costs one dispatch of this
+     * latency regardless of how many kernel nodes the graph holds —
+     * the whole point of graph launch: the per-kernel host round
+     * trips disappear.
+     */
+    double graph_replay_s = 0.5e-6;
+    /**
+     * One-time capture/instantiation cost per kernel node of the DAG
+     * (stream capture + graph node creation), amortized over
+     * graph_amortize_replays steady-state replays (an FHE keyswitch
+     * replays thousands of times per application, so the steady-state
+     * share is small). Chosen so that graph launch is never slower
+     * than per-kernel launch for any node count under either
+     * scheduling mode:
+     *   graph_replay_s + n * capture/amortize < n * 0.5 * kernel_launch_s
+     * for all n >= 1.
+     */
+    double graph_capture_per_kernel_s = 10e-6;
+    /// Steady-state replays the capture cost amortizes over.
+    double graph_amortize_replays = 500.0;
+
+    /// Amortized host-side cost of one graph replay of a DAG with
+    /// @p kernel_launches kernel nodes.
+    double graph_launch_s(double kernel_launches) const
+    {
+        return graph_replay_s + kernel_launches *
+                                    graph_capture_per_kernel_s /
+                                    graph_amortize_replays;
+    }
+
     /**
      * INT32-op cost of merging one element of one partial product
      * (shift-scaled accumulation with periodic modular reduction) —

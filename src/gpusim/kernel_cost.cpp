@@ -100,10 +100,10 @@ ScheduleResult::bound() const
 
 ScheduleResult
 run_schedule(const std::vector<KernelCost> &kernels, const DeviceSpec &d,
-             bool multistream)
+             const SchedulePolicy &policy)
 {
     ScheduleResult r;
-    if (multistream) {
+    if (policy.multistream) {
         // Streams decouple the component pipelines: total time is set
         // by the busiest resource, each kernel still pays max(mem,
         // compute) locally. We model this as resource-major
@@ -131,6 +131,19 @@ run_schedule(const std::vector<KernelCost> &kernels, const DeviceSpec &d,
             r.memory_s += b.memory_s;
             r.launch_s += b.launch_s;
         }
+    }
+    if (policy.graph_capture && r.launches > 0) {
+        // The whole sequence replays as one captured DAG: the
+        // per-kernel dispatch sum is replaced by a single replay plus
+        // the amortized one-time capture of every kernel node. The
+        // compute/memory phases are untouched — the graph changes who
+        // issues the kernels, not what they do.
+        r.captured_launches = r.launches;
+        const double graph_l = d.graph_launch_s(r.captured_launches);
+        r.seconds += graph_l - r.launch_s;
+        r.launch_s = graph_l;
+        r.launches = 1;
+        r.graph_launches = 1;
     }
     return r;
 }

@@ -116,12 +116,34 @@ struct KernelCost
     double time(const DeviceSpec &d, bool overlap_components = false) const;
 };
 
+/**
+ * How a kernel sequence is dispatched.
+ *  - multistream: overlap CUDA/TCU phases within and across kernels
+ *    (the §4.6 multi-stream optimization).
+ *  - graph_capture: the whole sequence is captured as a CUDA-graph-
+ *    style DAG once and replayed with a single host dispatch; the
+ *    per-kernel launch overheads collapse to
+ *    DeviceSpec::graph_launch_s (replay + amortized capture).
+ */
+struct SchedulePolicy
+{
+    bool multistream = false;
+    bool graph_capture = false;
+};
+
 /** Totals for a sequence of kernels forming one FHE operation. */
 struct ScheduleResult
 {
     double seconds = 0;
     double bytes = 0;
+    /// Host-side dispatches: per-kernel launches, or 1 graph replay
+    /// when the schedule ran captured (0 for an empty schedule).
     double launches = 0;
+    /// Graph replays issued (1 under graph capture, else 0).
+    double graph_launches = 0;
+    /// Kernel launches folded into the captured graph (0 when graph
+    /// capture is off; equals the per-kernel launch sum when on).
+    double captured_launches = 0;
     /**
      * Phase attribution of `seconds`. Under multistream scheduling
      * the roofline identity seconds == max(compute_s, memory_s) +
@@ -139,12 +161,17 @@ struct ScheduleResult
     Bound bound() const;
 };
 
-/**
- * Execute a kernel sequence under the device model.
- * @param multistream  overlap CUDA/TCU phases within and across
- *        kernels (the §4.6 multi-stream optimization).
- */
+/** Execute a kernel sequence under the device model. */
 ScheduleResult run_schedule(const std::vector<KernelCost> &kernels,
-                            const DeviceSpec &d, bool multistream);
+                            const DeviceSpec &d,
+                            const SchedulePolicy &policy);
+
+/// Back-compat shim: @p multistream only, graph capture off.
+inline ScheduleResult
+run_schedule(const std::vector<KernelCost> &kernels, const DeviceSpec &d,
+             bool multistream)
+{
+    return run_schedule(kernels, d, SchedulePolicy{multistream, false});
+}
 
 } // namespace neo::gpusim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "poly/matrix_ntt.h"
@@ -98,6 +99,13 @@ KernelModel::ntt(size_t limbs, int word_bits) const
     // Twists and reorders run on CUDA cores.
     c.cuda_modmul += lb * static_cast<double>(cx.twist_muls);
     c.cuda_int_ops += 2.0 * lb * static_cast<double>(cx.reorder_elems);
+    if (cfg_.fuse_elementwise) {
+        // The twiddle-scale pass is folded into the GEMM prologue/
+        // epilogue (MatrixNtt fused mode): the modmuls stay, but the
+        // standalone streaming pass over the limb data disappears.
+        c.bytes_read -= lb * n * 8.0;
+        c.bytes_written -= lb * n * 8.0;
+    }
     if (!cfg_.kernel_fusion) {
         // Unfused stages spill intermediates to DRAM.
         c.bytes_read += (cx.matmul_stages - 1) * lb * n * 8.0;
@@ -286,11 +294,35 @@ KernelModel::keyswitch_kernels_named(size_t level) const
     }
 
     // ModDown: BConv(P -> Q) + scalar fix, both components.
-    ks.push_back({"moddown_bconv", bconv(k_special, l + 1, w, w)});
-    ks.push_back({"moddown_bconv", bconv(k_special, l + 1, w, w)});
-    ks.push_back({"moddown_fix", modmul(2 * (l + 1))});
+    if (cfg_.fuse_elementwise) {
+        // The scalar fix rides in the BConv epilogue: the conversion
+        // result never round-trips through DRAM, and the fix kernel's
+        // launch disappears. Only the Q-part source read and the fix
+        // modmuls remain on top of the BConv cost.
+        const double fix_elems =
+            static_cast<double>(l + 1) * params_.batch * params_.n;
+        for (int comp = 0; comp < 2; ++comp) {
+            KernelCost c = bconv(k_special, l + 1, w, w);
+            c.cuda_modmul += fix_elems;
+            c.cuda_modadd += fix_elems; // the (src - corr) subtraction
+            c.bytes_read += fix_elems * 8.0;
+            ks.push_back({"moddown_fused", c, 1});
+        }
+    } else {
+        ks.push_back({"moddown_bconv", bconv(k_special, l + 1, w, w)});
+        ks.push_back({"moddown_bconv", bconv(k_special, l + 1, w, w)});
+        ks.push_back({"moddown_fix", modmul(2 * (l + 1))});
+    }
     // Final NTT back to eval form.
     ks.push_back({"ntt_q", ntt(2 * (l + 1), w)});
+    if (cfg_.fuse_elementwise && cfg_.tcu_ntt) {
+        // Mark the NTT kernels whose twiddle-scale pass was folded
+        // into the GEMM (the byte fold happens inside ntt()).
+        for (auto &nk : ks)
+            if (std::strncmp(nk.name, "ntt", 3) == 0 ||
+                std::strncmp(nk.name, "intt", 4) == 0)
+                nk.fused = 1;
+    }
     return ks;
 }
 
@@ -330,7 +362,9 @@ KernelModel::run(const std::vector<KernelCost> &kernels) const
     // time per batched ciphertext ("average time per batch", §6), so
     // fixed costs amortize across the BatchSize ciphertexts.
     double seconds =
-        gpusim::run_schedule(kernels, cfg_.device, cfg_.multistream)
+        gpusim::run_schedule(
+            kernels, cfg_.device,
+            gpusim::SchedulePolicy{cfg_.multistream, cfg_.graph_capture})
             .seconds;
     if (cfg_.batched_pipeline) {
         // Batched pipelines draw their SM occupancy from the batch
@@ -359,17 +393,29 @@ KernelModel::run_attributed(const std::vector<NamedKernel> &kernels) const
     costs.reserve(kernels.size());
     for (const auto &nk : kernels)
         costs.push_back(nk.cost);
-    out.schedule = gpusim::run_schedule(costs, cfg_.device,
-                                        cfg_.multistream);
+    out.schedule = gpusim::run_schedule(
+        costs, cfg_.device,
+        gpusim::SchedulePolicy{cfg_.multistream, cfg_.graph_capture});
     out.seconds = run(costs);
+    for (const auto &nk : kernels)
+        out.fused_kernels += nk.fused;
 
     // Per-kernel raw times, priced like the schedule prices them
     // (multistream overlaps the CUDA/TCU phases within a kernel).
+    // Under graph capture the per-kernel dispatch is replaced by a
+    // share of the single replay, so rows are priced against an
+    // effective per-launch latency of schedule launch seconds spread
+    // over the captured kernel nodes — per-row bounds then reflect
+    // the captured schedule, and the sum invariant below still holds.
+    gpusim::DeviceSpec rowdev = cfg_.device;
+    if (cfg_.graph_capture && out.schedule.captured_launches > 0)
+        rowdev.kernel_launch_s =
+            out.schedule.launch_s / out.schedule.captured_launches;
     double raw_sum = 0;
     std::vector<gpusim::CostBreakdown> raw;
     raw.reserve(kernels.size());
     for (const auto &nk : kernels) {
-        raw.push_back(nk.cost.breakdown(cfg_.device, cfg_.multistream));
+        raw.push_back(nk.cost.breakdown(rowdev, cfg_.multistream));
         raw_sum += raw.back().total_s();
     }
     // Distribute the schedule total (which includes cross-kernel
@@ -390,6 +436,7 @@ KernelModel::run_attributed(const std::vector<NamedKernel> &kernels) const
         }
         const auto &b = raw[i];
         row->calls += 1;
+        row->fused += kernels[i].fused;
         row->modeled_s += b.total_s() * f;
         row->compute_s += b.compute_s * f;
         row->memory_s += b.memory_s * f;
@@ -526,8 +573,18 @@ KernelModel::keyswitch_traffic(size_t level) const
         t.ip += ip(beta, 1, ext, w).bytes();
         t.ntt += ntt(2 * ext, w).bytes();
     }
-    t.bconv += 2 * bconv(k_special, l + 1, w, w).bytes();
-    t.other += modmul(2 * (l + 1)).bytes();
+    if (cfg_.fuse_elementwise) {
+        // Fused ModDown: the fix's only surviving traffic is the
+        // Q-part source read, charged to the BConv family it fused
+        // into (mirrors keyswitch_kernels_named).
+        const double fix_elems =
+            static_cast<double>(l + 1) * params_.batch * params_.n;
+        t.bconv += 2 * (bconv(k_special, l + 1, w, w).bytes() +
+                        fix_elems * 8.0);
+    } else {
+        t.bconv += 2 * bconv(k_special, l + 1, w, w).bytes();
+        t.other += modmul(2 * (l + 1)).bytes();
+    }
     t.ntt += ntt(2 * (l + 1), w).bytes();
     return t;
 }

@@ -39,6 +39,21 @@ struct ModelConfig
     MatMulEngine engine = MatMulEngine::tcu_fp64; ///< GEMM engine
     bool kernel_fusion = true;   ///< §4.6 fusion
     bool multistream = true;     ///< §4.6 multi-stream overlap
+    /**
+     * Cross-kernel element-wise fusion: fold the ModDown scalar fix
+     * into the ModDown BConv epilogue and the twiddle-scale passes
+     * into the NTT GEMM epilogues. Each fold removes a kernel launch
+     * and the DRAM round trip of the intermediate (the Theodosian
+     * rule: fuse where it also cuts bytes). Off by default — this is
+     * the --fuse ablation axis, not a baseline design choice.
+     */
+    bool fuse_elementwise = false;
+    /**
+     * CUDA-graph-style capture of the whole operation DAG: one
+     * amortized host dispatch replays every kernel
+     * (DeviceSpec::graph_launch_s). The --graph ablation axis.
+     */
+    bool graph_capture = false;
     double ip_tcu_threshold = 0.80; ///< §4.5.3 valid-proportion gate
     /// Kernel grids sized by the ciphertext batch (TensorFHE/Neo
     /// style); unbatched systems parallelise within one ciphertext.
@@ -95,6 +110,9 @@ class KernelModel
     {
         const char *name;
         gpusim::KernelCost cost;
+        /// Element-wise stages folded into this kernel by
+        /// ModelConfig::fuse_elementwise (0 when unfused).
+        u64 fused = 0;
     };
 
     /**
@@ -118,6 +136,7 @@ class KernelModel
         double macs = 0;       ///< TCU MACs (whole batch)
         double mod_ops = 0;    ///< CUDA modular ops (whole batch)
         double int_ops = 0;    ///< plain INT32 ops (whole batch)
+        u64 fused = 0;         ///< element-wise stages folded in
 
         /// Bottleneck class of this row (largest scaled phase).
         gpusim::Bound bound() const;
@@ -130,6 +149,9 @@ class KernelModel
         double seconds = 0;
         /// Raw whole-batch schedule totals (before occupancy/batch).
         gpusim::ScheduleResult schedule;
+        /// Element-wise stages folded into neighbours across the
+        /// whole schedule (sum of NamedKernel::fused).
+        u64 fused_kernels = 0;
         /// One row per distinct kernel name, first-appearance order.
         std::vector<KernelAttribution> kernels;
     };

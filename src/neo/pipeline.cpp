@@ -204,7 +204,7 @@ keyswitch_pipeline_kernel_counts(const CkksContext &ctx, size_t level)
 std::pair<RnsPoly, RnsPoly>
 keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
                         const CkksContext &ctx,
-                        const PipelineEngines &engines)
+                        const PipelineEngines &engines, bool fuse)
 {
     NEO_ASSERT(d2.form() == PolyForm::eval, "expects eval form");
     obs::Span pipeline_span("keyswitch_klss_pipeline", obs::cat::stage);
@@ -214,7 +214,9 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
         // A100, accumulated next to the wall-clock span so exporters
         // can report modeled-vs-measured side by side — total plus the
         // per-kernel roofline attribution (modeled.kernel.*).
-        model::KernelModel model(ctx.params(), model::ModelConfig{});
+        model::ModelConfig mcfg;
+        mcfg.fuse_elementwise = fuse;
+        model::KernelModel model(ctx.params(), mcfg);
         const auto att = model.run_attributed(
             model.keyswitch_kernels_named(d2.limbs() - 1));
         r->add_value("modeled.keyswitch.s", att.seconds);
@@ -271,7 +273,7 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
                 // --- NTT over T (ten-step on the emulated TCU). ------
                 for (size_t k = 0; k < alpha_p; ++k) {
                     t_ntt[k].forward(digits_t + (j * alpha_p + k) * n,
-                                     engines.same_mod);
+                                     engines.same_mod, fuse);
                 }
             }
         },
@@ -317,7 +319,7 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
             [&](size_t b, size_t e) {
                 for (size_t s = b; s < e; ++s) {
                     t_ntt[s % alpha_p].inverse(s_data[c] + s * n,
-                                               engines.same_mod);
+                                               engines.same_mod, fuse);
                 }
             },
             1);
@@ -364,15 +366,15 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
 
     // --- Mod Down (shared with the reference), NTT back. --------------
     stage_span.emplace("pipeline_moddown", obs::cat::stage);
-    RnsPoly k0 = ckks::mod_down(acc0, level, ctx);
-    RnsPoly k1 = ckks::mod_down(acc1, level, ctx);
+    RnsPoly k0 = ckks::mod_down(acc0, level, ctx, fuse);
+    RnsPoly k1 = ckks::mod_down(acc1, level, ctx, fuse);
     for (RnsPoly *p : {&k0, &k1}) {
         parallel_for(
             0, level + 1,
             [&](size_t ib, size_t ie) {
                 for (size_t i = ib; i < ie; ++i)
                     cache->qntt[i]->forward(p->limb(i),
-                                            engines.same_mod);
+                                            engines.same_mod, fuse);
             },
             1);
         p->set_form(PolyForm::eval);

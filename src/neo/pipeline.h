@@ -65,12 +65,23 @@ struct PipelineEngines
 /**
  * KLSS key switch of @p d2 through the Neo kernel pipeline.
  * Same contract as ckks::keyswitch_klss; bit-identical output.
+ *
+ * @p fuse enables cross-kernel element-wise fusion: the NTT twiddle
+ * passes fold into the matrix-NTT gathers/writebacks and the ModDown
+ * scalar fix folds into its BConv epilogue. The fused pipeline is
+ * bit-identical to the unfused one (and to keyswitch_klss) — it
+ * changes which loop performs each modular operation, never the
+ * operations themselves. tests/fusion_test.cpp is the differential
+ * proof; span counts per obs category are unchanged, while the
+ * "pass." / "fuse." counters record the eliminated element-wise
+ * kernels.
  */
 std::pair<RnsPoly, RnsPoly>
 keyswitch_klss_pipeline(const RnsPoly &d2, const ckks::KlssEvalKey &evk,
                         const ckks::CkksContext &ctx,
                         const PipelineEngines &engines =
-                            PipelineEngines::fp64_tcu());
+                            PipelineEngines::fp64_tcu(),
+                        bool fuse = false);
 
 /**
  * Analytic kernel-invocation counts for ONE keyswitch_klss_pipeline

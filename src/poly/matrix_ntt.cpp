@@ -47,9 +47,11 @@ MatrixNtt::twiddle_matrix(size_t len, bool inverse) const
 
 void
 MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
-                        const ModMatMulFn &mm) const
+                        const ModMatMulFn &mm, TopTwist top) const
 {
     const Modulus &q = tables_.modulus();
+    NEO_ASSERT(top == TopTwist::none || (rows == 1 && len > radix_),
+               "fused twists apply to the top-level call only");
     if (len <= radix_) {
         // Base case: one (rows × len) · (len × len) matrix product.
         const auto &w = twiddle_matrix(len, inverse);
@@ -82,10 +84,21 @@ MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
             u64 *out = frame.alloc<u64>(len); // n1 × n2 left-matmul result
             for (size_t row = row_begin; row < row_end; ++row) {
                 u64 *x = a + row * len;
-                // Step 1: gather A[r][c] = x[r + n1*c].
-                for (size_t r = 0; r < n1; ++r)
-                    for (size_t c = 0; c < n2; ++c)
-                        at[r * n2 + c] = x[r + n1 * c];
+                // Step 1: gather A[r][c] = x[r + n1*c]. At the fused
+                // top level the ψ pre-twist rides in the gather:
+                // element x[i] is multiplied by ψ^i exactly as the
+                // standalone pass would, just at its new address.
+                if (top == TopTwist::psi_fwd) {
+                    for (size_t r = 0; r < n1; ++r)
+                        for (size_t c = 0; c < n2; ++c)
+                            at[r * n2 + c] =
+                                mul_mod(x[r + n1 * c],
+                                        tables_.psi_pow(r + n1 * c), qv);
+                } else {
+                    for (size_t r = 0; r < n1; ++r)
+                        for (size_t c = 0; c < n2; ++c)
+                            at[r * n2 + c] = x[r + n1 * c];
+                }
                 // Step 2: length-n2 transforms on the n1 rows
                 // (recursive).
                 cyclic_batch(at, n1, n2, inverse, mm);
@@ -101,37 +114,79 @@ MatrixNtt::cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
                 // Step 4: left-multiply by the n1×n1 twiddle matrix.
                 mm(w1.data(), at, out, n1, n2, n1, q);
                 // Rows land in natural order:
-                // X[k1*n2 + k2] = out[k1][k2].
-                std::copy(out, out + len, x);
+                // X[k1*n2 + k2] = out[k1][k2]. At the fused inverse
+                // top level the n⁻¹·ψ⁻¹ scaling rides in the
+                // writeback — same two mul_mods per element, same
+                // order, as the standalone pass.
+                if (top == TopTwist::psi_inv) {
+                    const u64 ninv = tables_.n_inv();
+                    for (size_t k = 0; k < len; ++k) {
+                        const u64 v = mul_mod(out[k], ninv, qv);
+                        x[k] = mul_mod(v, tables_.psi_inv_pow(k), qv);
+                    }
+                } else {
+                    std::copy(out, out + len, x);
+                }
             }
         },
         1);
 }
 
+namespace {
+
+/// Fusion accounting: one tick per standalone twist pass executed
+/// ("pass.*") or folded into a neighbour ("fuse.*") — the counters
+/// tests/fusion_test.cpp uses to prove fused runs issue fewer
+/// element-wise kernels.
 void
-MatrixNtt::forward(u64 *a, const ModMatMulFn &mm) const
+twist_count(const char *name)
+{
+    if (auto *r = obs::current())
+        r->add(name);
+}
+
+} // namespace
+
+void
+MatrixNtt::forward(u64 *a, const ModMatMulFn &mm, bool fuse) const
 {
     obs::Span span("mntt_fwd", obs::cat::ntt);
     const size_t n = tables_.n();
     const u64 qv = tables_.modulus().value();
-    parallel_for(
-        0, n,
-        [&](size_t b, size_t e) {
-            for (size_t i = b; i < e; ++i)
-                a[i] = mul_mod(a[i], tables_.psi_pow(i), qv);
-        },
-        4096);
+    if (fuse && n > radix_) {
+        twist_count("fuse.ntt_twist");
+        cyclic_batch(a, 1, n, false, mm, TopTwist::psi_fwd);
+        return;
+    }
+    {
+        obs::Span twist("ntt_twist", obs::cat::stage);
+        twist_count("pass.ntt_twist");
+        parallel_for(
+            0, n,
+            [&](size_t b, size_t e) {
+                for (size_t i = b; i < e; ++i)
+                    a[i] = mul_mod(a[i], tables_.psi_pow(i), qv);
+            },
+            4096);
+    }
     cyclic_batch(a, 1, n, false, mm);
 }
 
 void
-MatrixNtt::inverse(u64 *a, const ModMatMulFn &mm) const
+MatrixNtt::inverse(u64 *a, const ModMatMulFn &mm, bool fuse) const
 {
     obs::Span span("mntt_inv", obs::cat::ntt);
     const size_t n = tables_.n();
     const Modulus &q = tables_.modulus();
     const u64 qv = q.value();
+    if (fuse && n > radix_) {
+        twist_count("fuse.ntt_twist");
+        cyclic_batch(a, 1, n, true, mm, TopTwist::psi_inv);
+        return;
+    }
     cyclic_batch(a, 1, n, true, mm);
+    obs::Span twist("ntt_twist", obs::cat::stage);
+    twist_count("pass.ntt_twist");
     parallel_for(
         0, n,
         [&](size_t b, size_t e) {

@@ -45,11 +45,21 @@ class MatrixNtt
     size_t n() const { return tables_.n(); }
     size_t radix() const { return radix_; }
 
-    /// Forward negacyclic NTT; same convention as NttTables::forward.
-    void forward(u64 *a, const ModMatMulFn &mm = default_mat_mul()) const;
+    /**
+     * Forward negacyclic NTT; same convention as NttTables::forward.
+     * With @p fuse set, the ψ pre-twist pass is folded into the
+     * top-level transpose-gather (one streaming pass less — the GPU
+     * mapping's "twiddle-scale into NTT prologue" fusion). The fused
+     * and unfused paths apply the same mul_mod to every element in
+     * the same per-element order, so outputs are bit-identical.
+     */
+    void forward(u64 *a, const ModMatMulFn &mm = default_mat_mul(),
+                 bool fuse = false) const;
 
-    /// Inverse negacyclic NTT.
-    void inverse(u64 *a, const ModMatMulFn &mm = default_mat_mul()) const;
+    /// Inverse negacyclic NTT. With @p fuse set, the n⁻¹·ψ⁻¹ scaling
+    /// pass is folded into the top-level writeback (bit-identical).
+    void inverse(u64 *a, const ModMatMulFn &mm = default_mat_mul(),
+                 bool fuse = false) const;
 
     /** Work counts for the performance model. */
     struct Complexity
@@ -78,9 +88,18 @@ class MatrixNtt
     static u64 matmul_calls_for(size_t n, size_t radix);
 
   private:
+    /// Element-wise pass folded into the top-level call (never into
+    /// the recursion) when the caller asked for fusion.
+    enum class TopTwist {
+        none,     ///< plain cyclic transform
+        psi_fwd,  ///< ψ pre-twist fused into the gather
+        psi_inv,  ///< n⁻¹·ψ⁻¹ scaling fused into the writeback
+    };
+
     /// Transform @p rows contiguous vectors of length @p len in place.
     void cyclic_batch(u64 *a, size_t rows, size_t len, bool inverse,
-                      const ModMatMulFn &mm) const;
+                      const ModMatMulFn &mm,
+                      TopTwist top = TopTwist::none) const;
 
     /// Twiddle matrix W[c][k] = ω_len^{ck} (or inverse) for len ≤ radix.
     const std::vector<u64> &twiddle_matrix(size_t len, bool inverse) const;

@@ -29,9 +29,12 @@ using model::ModelConfig;
 namespace {
 
 ModelConfig
-config_for_engine(const std::string &engine)
+config_for_engine(const std::string &engine,
+                  const ProfileOptions &opts = {})
 {
     ModelConfig cfg;
+    cfg.fuse_elementwise = opts.fuse;
+    cfg.graph_capture = opts.graph;
     if (engine == "fp64_tcu") {
         // the default: every §4 optimization on
     } else if (engine == "scalar") {
@@ -74,6 +77,9 @@ accumulate_rows(Result &r, const KernelModel::AttributedSchedule &att,
     }
     r.bytes += att.schedule.bytes * mult;
     r.launches += att.schedule.launches * mult;
+    r.graph_launches += att.schedule.graph_launches * mult;
+    r.fused_kernels += static_cast<u64>(
+        std::llround(mult * static_cast<double>(att.fused_kernels)));
 }
 
 /// Re-derive fractions and bound strings once all rows are in.
@@ -122,7 +128,8 @@ primitive_params()
 }
 
 Result
-profile_keyswitch(const std::string &engine, size_t level, size_t repeat)
+profile_keyswitch(const std::string &engine, size_t level, size_t repeat,
+                  const ProfileOptions &opts)
 {
     CkksParams params = primitive_params();
     if (level == 0)
@@ -134,6 +141,7 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat)
     r.engine = engine;
     r.mode = "functional";
     r.level = level;
+    r.options = opts;
 
     CkksContext ctx(params);
     ckks::KeyGenerator keygen(ctx, 17);
@@ -150,7 +158,7 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat)
     obs::Scope scope;
     const auto run_once = [&] {
         const auto t0 = std::chrono::steady_clock::now();
-        (void)keyswitch_klss_pipeline(d2, rlk, ctx, engines);
+        (void)keyswitch_klss_pipeline(d2, rlk, ctx, engines, opts.fuse);
         const auto t1 = std::chrono::steady_clock::now();
         return std::chrono::duration<double>(t1 - t0).count();
     };
@@ -166,7 +174,8 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat)
         if (name.rfind("span.", 0) == 0 || name == "gemm.calls" ||
             name == "pipeline.keyswitch" ||
             name.rfind("gemm.plane_cache.", 0) == 0 ||
-            name.rfind("ws.", 0) == 0)
+            name.rfind("ws.", 0) == 0 || name.rfind("pass.", 0) == 0 ||
+            name.rfind("fuse.", 0) == 0)
             r.spans[name] = count;
     }
 
@@ -183,7 +192,7 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat)
     r.expected_spans["bconv"] = want.bconv;
     r.expected_spans["ip"] = want.ip;
 
-    KernelModel model(params, config_for_engine(engine));
+    KernelModel model(params, config_for_engine(engine, opts));
     const auto att =
         model.run_attributed(model.keyswitch_kernels_named(level));
     r.modeled_total_s = att.seconds;
@@ -197,7 +206,7 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat)
 
 Result
 profile_primitive(const std::string &workload, const std::string &engine,
-                  size_t level)
+                  size_t level, const ProfileOptions &opts)
 {
     CkksParams params = primitive_params();
     if (level == 0)
@@ -209,8 +218,9 @@ profile_primitive(const std::string &workload, const std::string &engine,
     r.engine = engine;
     r.mode = "modeled";
     r.level = level;
+    r.options = opts;
 
-    KernelModel model(params, config_for_engine(engine));
+    KernelModel model(params, config_for_engine(engine, opts));
     const auto kernels = workload == "mul"
                              ? model.hmult_kernels_named(level)
                              : model.hrotate_kernels_named(level);
@@ -275,10 +285,11 @@ accumulate_schedule(Result &r, const apps::Schedule &s,
 }
 
 Result
-profile_app(const std::string &workload, const std::string &engine)
+profile_app(const std::string &workload, const std::string &engine,
+            const ProfileOptions &opts)
 {
     baselines::Backend neo = baselines::make_neo('C');
-    ModelConfig cfg = config_for_engine(engine);
+    ModelConfig cfg = config_for_engine(engine, opts);
     cfg.device = neo.cfg.device; // same A100 either way
 
     Result r;
@@ -286,6 +297,7 @@ profile_app(const std::string &workload, const std::string &engine)
     r.engine = engine;
     r.mode = "modeled";
     r.level = neo.params.max_level;
+    r.options = opts;
 
     KernelModel model(neo.params, cfg);
     apps::Schedule sched;
@@ -322,18 +334,18 @@ workload_names()
 
 Result
 profile(const std::string &workload, const std::string &engine,
-        size_t level, size_t repeat)
+        size_t level, size_t repeat, const ProfileOptions &opts)
 {
     (void)config_for_engine(engine); // validate the name up front
     if (repeat == 0)
         repeat = 1;
     if (workload == "keyswitch")
-        return profile_keyswitch(engine, level, repeat);
+        return profile_keyswitch(engine, level, repeat, opts);
     if (workload == "mul" || workload == "rotate")
-        return profile_primitive(workload, engine, level);
+        return profile_primitive(workload, engine, level, opts);
     for (const auto &n : workload_names())
         if (n == workload)
-            return profile_app(workload, engine);
+            return profile_app(workload, engine, opts);
     std::string msg = "unknown workload '" + workload + "' (valid:";
     for (const auto &n : workload_names()) {
         msg += ' ';
@@ -347,13 +359,21 @@ void
 print_report(const Result &r, std::ostream &out)
 {
     out << "neo-prof — workload '" << r.workload << "', engine '"
-        << r.engine << "' (" << r.mode << ", level " << r.level << ")\n";
+        << r.engine << "' (" << r.mode << ", level " << r.level
+        << ", fuse " << (r.options.fuse ? "on" : "off") << ", graph "
+        << (r.options.graph ? "on" : "off") << ")\n";
     out << "  modeled total: " << format_time(r.modeled_total_s);
     if (r.wall_s > 0)
         out << "   wall: " << format_time(r.wall_s);
     out << "   traffic: " << format_bytes(r.bytes)
-        << "   launches: " << strfmt("%.0f", r.launches)
-        << "   bound: " << r.bound
+        << "   launches: " << strfmt("%.0f", r.launches);
+    if (r.options.graph)
+        out << " (graph replays: " << strfmt("%.0f", r.graph_launches)
+            << ")";
+    if (r.options.fuse)
+        out << "   fused kernels: "
+            << strfmt("%llu", (unsigned long long)r.fused_kernels);
+    out << "   bound: " << r.bound
         << "   ip_valid: " << strfmt("%.3f", r.ip_valid_proportion)
         << "\n\n";
 
@@ -393,11 +413,21 @@ to_json(const Result &r)
     w.key("mode").value(r.mode);
     w.key("level").value(static_cast<u64>(r.level));
 
+    w.key("options").begin_object();
+    w.key("fuse").value(r.options.fuse);
+    w.key("graph").value(r.options.graph);
+    w.end_object();
+
     w.key("totals").begin_object();
     w.key("modeled_s").value(r.modeled_total_s);
     w.key("wall_s").value(r.wall_s);
     w.key("bytes").value(r.bytes);
     w.key("launches").value(r.launches);
+    // Additive neo.bench/1 fields (PR 6): graph replays and fused
+    // element-wise stages. Baseline compare() reads only `metrics`,
+    // so artifacts written before these fields existed still gate.
+    w.key("graph_launches").value(r.graph_launches);
+    w.key("fused_kernels").value(r.fused_kernels);
     w.key("bound").value(r.bound);
     w.key("ip_valid_proportion").value(r.ip_valid_proportion);
     w.end_object();

@@ -57,6 +57,22 @@ struct KernelRow
     std::string bound; ///< "compute" | "memory" | "launch"
 };
 
+/**
+ * Ablation switches for one profile run — the `--fuse` / `--graph`
+ * axes of neo-prof. Both default off so profile() without options
+ * reproduces the historical artifact exactly.
+ */
+struct ProfileOptions
+{
+    /// Fuse adjacent element-wise stages (ModDown fix into its BConv,
+    /// twiddle passes into the NTT GEMMs) in both the functional
+    /// pipeline and the cost model.
+    bool fuse = false;
+    /// Model CUDA-graph capture: the workload's kernel DAG replays
+    /// with one amortized launch.
+    bool graph = false;
+};
+
 /** Complete result of one profile run. */
 struct Result
 {
@@ -64,11 +80,16 @@ struct Result
     std::string engine; ///< "fp64_tcu" | "scalar" | "int8_tcu"
     std::string mode;   ///< "functional" | "modeled"
     size_t level = 0;   ///< ciphertext level the workload ran at
+    ProfileOptions options; ///< ablation switches this run used
 
     double modeled_total_s = 0; ///< per-batched-ciphertext model time
     double wall_s = 0;          ///< functional runs only, else 0
     double bytes = 0;           ///< whole-batch DRAM traffic
     double launches = 0;
+    /// Graph replays issued by the modeled schedule (0 with graph off).
+    double graph_launches = 0;
+    /// Element-wise stages the model folded into neighbours (0 unfused).
+    u64 fused_kernels = 0;
     std::string bound;            ///< schedule-level bottleneck class
     double ip_valid_proportion = 0; ///< §4.5.3 gate input at this level
 
@@ -101,10 +122,15 @@ const std::vector<std::string> &workload_names();
  * median of @p repeat steady-state samples. Span counters always come
  * from exactly one run. Modeled workloads ignore @p repeat.
  *
+ * @p opts selects the fusion / graph-capture ablation axes; the
+ * defaults reproduce the historical (unfused, per-kernel-launch)
+ * artifact bit for bit.
+ *
  * Throws std::invalid_argument for unknown names.
  */
 Result profile(const std::string &workload, const std::string &engine,
-               size_t level = 0, size_t repeat = 1);
+               size_t level = 0, size_t repeat = 1,
+               const ProfileOptions &opts = {});
 
 /// Human-readable attribution report (stdout form of the artifact).
 void print_report(const Result &r, std::ostream &out);

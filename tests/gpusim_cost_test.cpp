@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "ckks/paper_params.h"
 #include "gpusim/kernel_cost.h"
+#include "neo/kernel_model.h"
 
 using namespace neo;
 using gpusim::Bound;
@@ -202,4 +204,117 @@ TEST(RunSchedule, ScheduleBoundMatchesBreakdownRule)
     b.memory_s = r.memory_s;
     b.launch_s = r.launch_s;
     EXPECT_EQ(r.bound(), b.bound());
+}
+
+// ---------------------------------------------------------------------
+// Graph capture: closed-form launch model and schedule composition
+// ---------------------------------------------------------------------
+
+TEST(GraphCapture, LaunchCostMatchesClosedForm)
+{
+    const auto d = dev();
+    for (double n : {1.0, 3.0, 12.0, 100.0, 1e4}) {
+        EXPECT_DOUBLE_EQ(d.graph_launch_s(n),
+                         d.graph_replay_s +
+                             n * d.graph_capture_per_kernel_s /
+                                 d.graph_amortize_replays);
+        // Strictly cheaper than per-kernel dispatch for every n >= 1 —
+        // under serial launches AND under the multistream 0.5x
+        // amortization — so graph capture can never hurt a schedule.
+        EXPECT_LT(d.graph_launch_s(n), n * d.kernel_launch_s);
+        EXPECT_LT(d.graph_launch_s(n), n * d.kernel_launch_s * 0.5);
+    }
+}
+
+TEST(GraphCapture, OneTimeCaptureIsAmortizedAcrossReplays)
+{
+    auto d = dev();
+    const double n = 12;
+    // The per-replay cost splits into a fixed replay dispatch and the
+    // capture cost spread over graph_amortize_replays reuses; doubling
+    // the reuse count halves the capture share and leaves the replay
+    // term alone.
+    auto d2 = d;
+    d2.graph_amortize_replays *= 2;
+    EXPECT_DOUBLE_EQ(d2.graph_launch_s(n) - d2.graph_replay_s,
+                     (d.graph_launch_s(n) - d.graph_replay_s) / 2);
+    EXPECT_DOUBLE_EQ(d2.graph_launch_s(0), d2.graph_replay_s);
+}
+
+TEST(GraphCapture, ReplayCollapsesScheduleToOneLaunch)
+{
+    const auto d = dev();
+    std::vector<KernelCost> ks = {sample_kernel(1), sample_kernel(2),
+                                  sample_kernel(0.5)};
+    for (bool ms : {false, true}) {
+        SCOPED_TRACE(ms ? "multistream" : "serial");
+        const auto base =
+            gpusim::run_schedule(ks, d, gpusim::SchedulePolicy{ms, false});
+        const auto r =
+            gpusim::run_schedule(ks, d, gpusim::SchedulePolicy{ms, true});
+        EXPECT_DOUBLE_EQ(r.launches, 1.0);
+        EXPECT_DOUBLE_EQ(r.graph_launches, 1.0);
+        EXPECT_DOUBLE_EQ(r.captured_launches, base.launches);
+        EXPECT_DOUBLE_EQ(r.launch_s, d.graph_launch_s(base.launches));
+        // Only the launch term changes: compute/memory phases and
+        // bytes are the same kernels either way.
+        EXPECT_DOUBLE_EQ(r.compute_s, base.compute_s);
+        EXPECT_DOUBLE_EQ(r.memory_s, base.memory_s);
+        EXPECT_DOUBLE_EQ(r.bytes, base.bytes);
+        EXPECT_DOUBLE_EQ(r.seconds,
+                         base.seconds - base.launch_s + r.launch_s);
+        EXPECT_LT(r.seconds, base.seconds);
+    }
+}
+
+TEST(GraphCapture, EmptyScheduleCapturesNothing)
+{
+    const auto d = dev();
+    for (bool ms : {false, true}) {
+        const auto r = gpusim::run_schedule(
+            {}, d, gpusim::SchedulePolicy{ms, true});
+        EXPECT_EQ(r.seconds, 0.0);
+        EXPECT_EQ(r.launches, 0.0);
+        EXPECT_EQ(r.graph_launches, 0.0);
+        EXPECT_EQ(r.captured_launches, 0.0);
+    }
+}
+
+TEST(GraphCapture, MonotoneOverTable7KernelMixes)
+{
+    // Graph-on <= graph-off for every Table 7 operation's kernel mix,
+    // under both scheduling modes — capture is a pure launch-side
+    // optimization and must never regress a schedule.
+    const auto params = ckks::paper_set('C');
+    const model::ModelConfig cfg; // Neo defaults, graph decided below
+    const model::KernelModel m(params, cfg);
+    const auto named_costs = [](const auto &named) {
+        std::vector<KernelCost> out;
+        for (const auto &nk : named)
+            out.push_back(nk.cost);
+        return out;
+    };
+    for (size_t level : {params.max_level, size_t{20}, size_t{5}}) {
+        const std::vector<std::vector<KernelCost>> mixes = {
+            m.keyswitch_kernels(level),
+            named_costs(m.hmult_kernels_named(level)),
+            named_costs(m.hrotate_kernels_named(level)),
+        };
+        for (size_t i = 0; i < mixes.size(); ++i) {
+            for (bool ms : {false, true}) {
+                SCOPED_TRACE(::testing::Message()
+                             << "mix=" << i << " level=" << level
+                             << " ms=" << ms);
+                const auto off = gpusim::run_schedule(
+                    mixes[i], cfg.device,
+                    gpusim::SchedulePolicy{ms, false});
+                const auto on = gpusim::run_schedule(
+                    mixes[i], cfg.device,
+                    gpusim::SchedulePolicy{ms, true});
+                EXPECT_LE(on.seconds, off.seconds);
+                EXPECT_DOUBLE_EQ(on.launches, 1.0);
+                EXPECT_GT(off.launches, 1.0);
+            }
+        }
+    }
 }

@@ -150,6 +150,115 @@ TEST(ProfArtifact, MatchesGoldenFile)
     }
 }
 
+TEST(ProfOptions, FusedProfileFoldsModdownRows)
+{
+    prof::ProfileOptions fused;
+    fused.fuse = true;
+    const auto off = prof::profile("keyswitch", "fp64_tcu");
+    const auto on = prof::profile("keyswitch", "fp64_tcu", 0, 1, fused);
+
+    auto has_row = [](const prof::Result &r, const char *name) {
+        for (const auto &k : r.kernels)
+            if (k.name == name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has_row(off, "moddown_fix"));
+    EXPECT_TRUE(has_row(off, "moddown_bconv"));
+    EXPECT_FALSE(has_row(off, "moddown_fused"));
+    EXPECT_TRUE(has_row(on, "moddown_fused"));
+    EXPECT_FALSE(has_row(on, "moddown_fix"));
+
+    EXPECT_EQ(off.fused_kernels, 0u);
+    EXPECT_GT(on.fused_kernels, 0u);
+    EXPECT_LT(on.launches, off.launches);
+    EXPECT_LT(on.modeled_total_s, off.modeled_total_s);
+    // Fusion is an accounting change, not a precision change: the
+    // functional pipeline underneath stays bit-identical, so the rows
+    // still decompose the total exactly.
+    EXPECT_NEAR(rows_sum(on), on.modeled_total_s,
+                1e-9 * on.modeled_total_s);
+}
+
+TEST(ProfOptions, GraphCaptureRemovesLaunchBound)
+{
+    prof::ProfileOptions opts;
+    opts.fuse = true;
+    opts.graph = true;
+    const auto off = prof::profile("keyswitch", "fp64_tcu");
+    const auto on = prof::profile("keyswitch", "fp64_tcu", 0, 1, opts);
+
+    // ISSUE acceptance: one graph replay instead of 12 per-kernel
+    // launches, and the schedule is no longer launch-bound.
+    EXPECT_EQ(on.launches, 1.0);
+    EXPECT_EQ(on.graph_launches, 1.0);
+    EXPECT_GT(off.launches, 2.0);
+    EXPECT_EQ(off.graph_launches, 0.0);
+    EXPECT_NE(on.bound, "launch");
+    EXPECT_LT(on.modeled_total_s, off.modeled_total_s);
+    // Per-row attribution re-prices launches at the effective graph
+    // rate (schedule launch seconds spread over the captured nodes)
+    // but still sums to the schedule total.
+    EXPECT_NEAR(rows_sum(on), on.modeled_total_s,
+                1e-9 * on.modeled_total_s);
+    double on_launch = 0, off_launch = 0;
+    for (const auto &k : on.kernels)
+        on_launch += k.launch_s;
+    for (const auto &k : off.kernels)
+        off_launch += k.launch_s;
+    EXPECT_LT(on_launch / on.modeled_total_s,
+              off_launch / off.modeled_total_s);
+}
+
+TEST(ProfOptions, ArtifactCarriesOptionsAndNewTotals)
+{
+    prof::ProfileOptions opts;
+    opts.fuse = true;
+    opts.graph = true;
+    const auto r = prof::profile("mul", "fp64_tcu", 0, 1, opts);
+    const auto doc = artifact(r);
+    // The neo.bench/1 schema is extended, not broken: same schema id,
+    // new totals fields, and an options block recording the axes.
+    EXPECT_EQ(doc.at("schema").as_string(), prof::kSchema);
+    EXPECT_TRUE(doc.at("options").at("fuse").as_bool());
+    EXPECT_TRUE(doc.at("options").at("graph").as_bool());
+    EXPECT_DOUBLE_EQ(doc.at("totals").at("graph_launches").as_number(),
+                     r.graph_launches);
+    EXPECT_DOUBLE_EQ(doc.at("totals").at("fused_kernels").as_number(),
+                     static_cast<double>(r.fused_kernels));
+    EXPECT_EQ(doc.at("totals").at("launches").as_number(), 1.0);
+}
+
+TEST(ProfArtifact, MatchesFusedGoldenFile)
+{
+    // Same contract as MatchesGoldenFile, for the fuse+graph artifact:
+    // the metric map must match tests/data/prof_report_fused_golden.json
+    // key-for-key. The old golden (unfused) is still compared by
+    // MatchesGoldenFile above, so both schema generations stay pinned.
+    const auto golden = json::Value::parse_file(
+        std::string(NEO_TEST_DATA_DIR) + "/prof_report_fused_golden.json");
+    prof::ProfileOptions opts;
+    opts.fuse = true;
+    opts.graph = true;
+    const auto cur = artifact(prof::profile("mul", "fp64_tcu", 0, 1, opts));
+    EXPECT_EQ(cur.at("schema").as_string(),
+              golden.at("schema").as_string());
+    EXPECT_EQ(cur.at("workload").as_string(),
+              golden.at("workload").as_string());
+    EXPECT_TRUE(golden.at("options").at("fuse").as_bool());
+    EXPECT_TRUE(golden.at("options").at("graph").as_bool());
+    const auto want = metric_map(golden);
+    const auto got = metric_map(cur);
+    ASSERT_EQ(got.size(), want.size());
+    for (const auto &[k, v] : want) {
+        ASSERT_TRUE(got.count(k)) << k;
+        EXPECT_NEAR(got.at(k), v, 1e-9 * std::abs(v) + 1e-15) << k;
+    }
+    // The PR 3 parser contract: compare() accepts the extended
+    // artifact on both sides.
+    EXPECT_TRUE(prof::compare(golden, cur).empty());
+}
+
 TEST(ProfCompare, SelfCompareIsClean)
 {
     const auto doc = artifact(prof::profile("mul", "fp64_tcu"));

@@ -2,6 +2,7 @@
  * neo-prof — modeled-GPU roofline profiler CLI.
  *
  *   neo-prof <workload> [--engine E] [--level N] [--repeat N]
+ *            [--fuse on|off] [--graph on|off]
  *            [--json PATH] [--baseline PATH] [--threshold F]
  *            [--gate-wall]
  *   neo-prof --list
@@ -40,6 +41,12 @@ usage(const char *argv0)
         " the median\n"
         "                  wall time of N steady-state runs (default"
         " 1 = cold run)\n"
+        "  --fuse on|off   element-wise kernel fusion (default on;"
+        " library\n"
+        "                  default is off — the CLI ships the tuned"
+        " pipeline)\n"
+        "  --graph on|off  CUDA-graph capture/replay model (default"
+        " on)\n"
         "  --json PATH     write the neo.bench/1 artifact to PATH\n"
         "  --baseline B    compare against artifact B; exit 1 on"
         " regression\n"
@@ -60,6 +67,12 @@ main(int argc, char **argv)
     size_t level = 0;
     size_t repeat = 1;
     neo::prof::CompareOptions copts;
+    // The CLI profiles the shipped configuration: fusion and graph
+    // capture on. The library defaults stay off so programmatic
+    // profile() calls reproduce the historical artifact.
+    neo::prof::ProfileOptions popts;
+    popts.fuse = true;
+    popts.graph = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -69,6 +82,16 @@ main(int argc, char **argv)
                 std::exit(2);
             }
             return argv[++i];
+        };
+        auto on_off = [&](const char *flag) -> bool {
+            const std::string v = next(flag);
+            if (v == "on")
+                return true;
+            if (v == "off")
+                return false;
+            std::fprintf(stderr, "%s takes on|off, got '%s'\n", flag,
+                         v.c_str());
+            std::exit(2);
         };
         if (a == "--list") {
             for (const auto &n : neo::prof::workload_names())
@@ -80,6 +103,10 @@ main(int argc, char **argv)
             level = static_cast<size_t>(std::atoll(next("--level")));
         } else if (a == "--repeat") {
             repeat = static_cast<size_t>(std::atoll(next("--repeat")));
+        } else if (a == "--fuse") {
+            popts.fuse = on_off("--fuse");
+        } else if (a == "--graph") {
+            popts.graph = on_off("--graph");
         } else if (a == "--json") {
             json_path = next("--json");
         } else if (a == "--baseline") {
@@ -105,7 +132,7 @@ main(int argc, char **argv)
 
     try {
         const neo::prof::Result r =
-            neo::prof::profile(workload, engine, level, repeat);
+            neo::prof::profile(workload, engine, level, repeat, popts);
         neo::prof::print_report(r, std::cout);
         if (!json_path.empty()) {
             neo::prof::write_json(r, json_path);
