@@ -6,6 +6,7 @@
 
 #include "common/json.h"
 #include "common/thread_pool.h"
+#include "neo/engine.h"
 
 namespace neo::bench {
 
@@ -51,11 +52,26 @@ Options::parse(int argc, char **argv)
                 std::atoll(next("--repeat")));
             if (o.repeat == 0)
                 o.repeat = 1;
+        } else if (std::strcmp(a, "--engine") == 0) {
+            const char *name = next("--engine");
+            if (std::strcmp(name, "auto") == 0) {
+                o.policy.select = EngineSelect::autotune;
+            } else if (auto id = EngineRegistry::try_parse(name)) {
+                o.policy.select = EngineSelect::fixed;
+                o.policy.engine = *id;
+            } else {
+                std::fprintf(stderr,
+                             "unknown engine '%s' (valid: %s | auto)\n",
+                             name,
+                             EngineRegistry::help_list().c_str());
+                std::exit(2);
+            }
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
             std::printf("usage: %s [--json PATH] [--threads N]"
-                        " [--repeat N]\n",
-                        argv[0]);
+                        " [--repeat N] [--engine %s | auto]\n",
+                        argv[0],
+                        EngineRegistry::help_list().c_str());
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown argument %s "

@@ -15,6 +15,7 @@
 
 #include "common/table.h"
 #include "common/types.h"
+#include "neo/exec_policy.h"
 
 namespace neo::bench {
 
@@ -40,6 +41,10 @@ std::string vs_paper(double ours, double paper);
  *   --repeat N     warmup once, then report the median of N timed
  *                  runs (benchmarks that measure wall time honour it;
  *                  purely modeled ones ignore it)
+ *   --engine E     GEMM engine for the Neo rows: a registry name, or
+ *                  "auto" for per-site tuned dispatch (benchmarks
+ *                  that price GEMM kernels honour it; names are
+ *                  validated against neo::EngineRegistry)
  * parse() exits 2 on unknown arguments (and 0 after --help).
  */
 struct Options
@@ -47,6 +52,9 @@ struct Options
     std::string json_path;
     size_t threads = 0;
     size_t repeat = 1;
+    /// Typed form of --engine: fixed fp64_tcu unless overridden,
+    /// select == autotune for --engine auto.
+    ExecPolicy policy;
 
     static Options parse(int argc, char **argv);
 };

@@ -3,9 +3,13 @@
  * PackBootstrap, HELR (one iteration), ResNet-20/32/56, for CPU,
  * TensorFHE (SS / A / B / C), HEonGPU, Neo (C / D) and Neo_SS.
  */
+#include <memory>
+
 #include "apps/schedules.h"
 #include "baselines/backends.h"
 #include "bench_util.h"
+#include "neo/engine.h"
+#include "tune/tuner.h"
 
 using namespace neo;
 
@@ -71,6 +75,27 @@ main(int argc, char **argv)
     add_row(t, baselines::make_heongpu(), &heon);
     add_row(t, baselines::make_neo('C'), &neo_c);
     add_row(t, baselines::make_neo('D'), &neo_d);
+
+    // Autotuned Neo: the Set-C model with the tuner's per-site engine
+    // decisions dispatched through ModelConfig::stage_engine. No paper
+    // column — the paper's Neo rows are fixed-engine.
+    auto neo_auto = baselines::make_neo('C');
+    {
+        tune::TunerConfig tcfg;
+        tcfg.base = neo_auto.cfg;
+        const auto table = std::make_shared<const tune::TuningTable>(
+            tune::Tuner(tcfg).tune(neo_auto.params));
+        const size_t d_num = neo_auto.params.d_num;
+        const size_t n = neo_auto.params.n;
+        const model::MatMulEngine fallback = neo_auto.cfg.engine;
+        neo_auto.name = "Neo (C, auto)";
+        neo_auto.cfg.stage_engine =
+            [table, d_num, n, fallback](std::string_view st, size_t lvl) {
+                const auto id = table->lookup(st, lvl, d_num, n);
+                return id ? EngineRegistry::model_engine(*id) : fallback;
+            };
+    }
+    add_row(t, neo_auto, nullptr);
     t.print();
 
     // The headline speedup: Neo vs best TensorFHE configuration.
@@ -104,6 +129,27 @@ main(int argc, char **argv)
     // Speedup is higher-is-better; gate on its reciprocal.
     report.metric("neo_c.vs_tensorfhe.inverse_speedup",
                   neo_total / tfhe_total);
+
+    // The autotuner gate: the per-site mix must not lose to the fixed
+    // Set-C engine on the application schedules (ratio <= 1 modulo
+    // model noise; gated via the neo.bench/1 baseline compare).
+    {
+        auto m = neo_auto.model();
+        const double boot =
+            apps::run_schedule(apps::pack_bootstrap(neo_auto.params), m);
+        const double helr =
+            apps::run_schedule(apps::helr_iteration(neo_auto.params), m);
+        const double r20 =
+            apps::run_schedule(apps::resnet(neo_auto.params, 20), m);
+        report.metric("neo_c_auto.bootstrap_s", boot);
+        report.metric("neo_c_auto.helr_s", helr);
+        report.metric("neo_c_auto.resnet20_s", r20);
+        report.metric("neo_c_auto.vs_fixed_ratio",
+                      (boot + helr + r20) / neo_total);
+        std::printf("Autotuned Neo (C) vs fixed engine: %.4fx of the "
+                    "fixed-engine time on Bootstrap+HELR+ResNet-20.\n",
+                    (boot + helr + r20) / neo_total);
+    }
     report.write();
     return 0;
 }

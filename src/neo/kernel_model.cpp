@@ -67,6 +67,12 @@ KernelModel::gemm(size_t m, size_t n, size_t k, int wa, int wb,
 KernelCost
 KernelModel::ntt(size_t limbs, int word_bits) const
 {
+    return ntt(limbs, word_bits, cfg_.engine);
+}
+
+KernelCost
+KernelModel::ntt(size_t limbs, int word_bits, MatMulEngine engine) const
+{
     const double batch = static_cast<double>(params_.batch);
     const double n = static_cast<double>(params_.n);
     const double lb = static_cast<double>(limbs) * batch;
@@ -91,7 +97,7 @@ KernelModel::ntt(size_t limbs, int word_bits) const
     // Matrix products: one batched GEMM per stage; M is the batched
     // row count (always fragment-aligned at FHE sizes).
     const double per_limb_macs = static_cast<double>(cx.matmul_macs);
-    MatMulEngine eng = cfg_.engine;
+    MatMulEngine eng = engine;
     KernelCost g =
         gemm(static_cast<size_t>(lb * per_limb_macs / (radix * radix)),
              radix, radix, word_bits, word_bits, eng);
@@ -119,6 +125,13 @@ KernelCost
 KernelModel::bconv(size_t in_limbs, size_t out_limbs, int word_in,
                    int word_out) const
 {
+    return bconv(in_limbs, out_limbs, word_in, word_out, cfg_.engine);
+}
+
+KernelCost
+KernelModel::bconv(size_t in_limbs, size_t out_limbs, int word_in,
+                   int word_out, MatMulEngine engine) const
+{
     const double batch = static_cast<double>(params_.batch);
     const double n = static_cast<double>(params_.n);
     const double elems_in = static_cast<double>(in_limbs) * batch * n;
@@ -142,7 +155,7 @@ KernelModel::bconv(size_t in_limbs, size_t out_limbs, int word_in,
     c.cuda_modmul = elems_in; // the (B/b_i)^{-1} pre-scaling
     c.cuda_int_ops = 2.0 * (elems_in + elems_out); // fused reorders
     c += gemm(static_cast<size_t>(batch * n), out_limbs, in_limbs,
-              word_in, word_out, cfg_.engine);
+              word_in, word_out, engine);
     if (cfg_.kernel_fusion) {
         c.launches = 1;
     } else {
@@ -154,10 +167,20 @@ KernelModel::bconv(size_t in_limbs, size_t out_limbs, int word_in,
 }
 
 MatMulEngine
+KernelModel::engine_for_stage(std::string_view stage, size_t level) const
+{
+    return cfg_.stage_engine ? cfg_.stage_engine(stage, level)
+                             : cfg_.engine;
+}
+
+MatMulEngine
 KernelModel::ip_engine(size_t level) const
 {
-    if (cfg_.engine != MatMulEngine::tcu_fp64 || !cfg_.matmul_dataflow)
-        return cfg_.matmul_dataflow ? cfg_.engine : MatMulEngine::cuda_cores;
+    if (!cfg_.matmul_dataflow)
+        return MatMulEngine::cuda_cores;
+    const MatMulEngine eng = engine_for_stage("ip", level);
+    if (eng != MatMulEngine::tcu_fp64)
+        return eng;
     const size_t beta = params_.beta(level);
     const size_t beta_tilde = params_.beta_tilde(level);
     const double valid = TcuModel::valid_proportion_fp64(
@@ -169,6 +192,13 @@ KernelModel::ip_engine(size_t level) const
 KernelCost
 KernelModel::ip(size_t beta, size_t beta_tilde, size_t limbs,
                 int word_bits) const
+{
+    return ip(beta, beta_tilde, limbs, word_bits, cfg_.engine);
+}
+
+KernelCost
+KernelModel::ip(size_t beta, size_t beta_tilde, size_t limbs,
+                int word_bits, MatMulEngine engine) const
 {
     const double batch = static_cast<double>(params_.batch);
     const double n = static_cast<double>(params_.n);
@@ -198,7 +228,7 @@ KernelModel::ip(size_t beta, size_t beta_tilde, size_t limbs,
     c.bytes_read = 2.0 * (ct_elems + key_elems) * 8.0;
     c.bytes_written = 2.0 * out_elems * 8.0;
     c.cuda_int_ops = 2.0 * 2.0 * (ct_elems + out_elems); // reorders
-    MatMulEngine eng = cfg_.engine;
+    MatMulEngine eng = engine;
     if (eng == MatMulEngine::tcu_fp64) {
         const double valid = TcuModel::valid_proportion_fp64(
             params_.batch, beta_tilde, beta);
@@ -264,9 +294,16 @@ KernelModel::keyswitch_kernels_named(size_t level) const
     const size_t beta = params_.beta(l);
     const int w = params_.word_size;
     std::vector<NamedKernel> ks;
+    // Each named stage is priced with the engine the config's
+    // stage_engine hook resolves for it (uniform cfg_.engine when the
+    // hook is unset) — the model-side mirror of the pipeline's
+    // per-site dispatch.
+    const auto eng = [&](const char *st) {
+        return engine_for_stage(st, l);
+    };
 
     // INTT of the input (l+1 limbs).
-    ks.push_back({"intt_q", ntt(l + 1, w)});
+    ks.push_back({"intt_q", ntt(l + 1, w, eng("intt_q"))});
 
     if (cfg_.use_klss) {
         const size_t ap = params_.klss_alpha_prime();
@@ -274,23 +311,28 @@ KernelModel::keyswitch_kernels_named(size_t level) const
         const int wt = params_.klss.word_size_t;
         // Mod Up: β exact BConv(α -> α').
         for (size_t j = 0; j < beta; ++j)
-            ks.push_back({"modup_bconv", bconv(alpha, ap, w, wt)});
+            ks.push_back({"modup_bconv",
+                          bconv(alpha, ap, w, wt, eng("modup_bconv"))});
         // NTT over T.
-        ks.push_back({"ntt_t", ntt(beta * ap, wt)});
+        ks.push_back({"ntt_t", ntt(beta * ap, wt, eng("ntt_t"))});
         // IP over T.
-        ks.push_back({"ip", ip(beta, bt, ap, wt)});
+        ks.push_back({"ip", ip(beta, bt, ap, wt, eng("ip"))});
         // INTT over T (both components).
-        ks.push_back({"intt_t", ntt(2 * bt * ap, wt)});
+        ks.push_back({"intt_t", ntt(2 * bt * ap, wt, eng("intt_t"))});
         // Recover Limbs: exact BConv(α' -> ext), both components.
-        ks.push_back({"recover_bconv", bconv(ap, ext, wt, w)});
-        ks.push_back({"recover_bconv", bconv(ap, ext, wt, w)});
+        ks.push_back({"recover_bconv",
+                      bconv(ap, ext, wt, w, eng("recover_bconv"))});
+        ks.push_back({"recover_bconv",
+                      bconv(ap, ext, wt, w, eng("recover_bconv"))});
     } else {
         // Hybrid: ModUp per digit (α -> ext-α), NTT, IP over Q·P.
         for (size_t j = 0; j < beta; ++j)
-            ks.push_back({"modup_bconv", bconv(alpha, ext - alpha, w, w)});
-        ks.push_back({"ntt_qp", ntt(beta * ext, w)});
-        ks.push_back({"ip", ip(beta, 1, ext, w)});
-        ks.push_back({"intt_qp", ntt(2 * ext, w)}); // before ModDown
+            ks.push_back({"modup_bconv", bconv(alpha, ext - alpha, w, w,
+                                               eng("modup_bconv"))});
+        ks.push_back({"ntt_qp", ntt(beta * ext, w, eng("ntt_qp"))});
+        ks.push_back({"ip", ip(beta, 1, ext, w, eng("ip"))});
+        // before ModDown
+        ks.push_back({"intt_qp", ntt(2 * ext, w, eng("intt_qp"))});
     }
 
     // ModDown: BConv(P -> Q) + scalar fix, both components.
@@ -301,20 +343,25 @@ KernelModel::keyswitch_kernels_named(size_t level) const
         // modmuls remain on top of the BConv cost.
         const double fix_elems =
             static_cast<double>(l + 1) * params_.batch * params_.n;
+        // The fused kernel keys off "moddown_bconv" so the per-stage
+        // decision is independent of the fuse axis.
+        const MatMulEngine md = eng("moddown_bconv");
         for (int comp = 0; comp < 2; ++comp) {
-            KernelCost c = bconv(k_special, l + 1, w, w);
+            KernelCost c = bconv(k_special, l + 1, w, w, md);
             c.cuda_modmul += fix_elems;
             c.cuda_modadd += fix_elems; // the (src - corr) subtraction
             c.bytes_read += fix_elems * 8.0;
             ks.push_back({"moddown_fused", c, 1});
         }
     } else {
-        ks.push_back({"moddown_bconv", bconv(k_special, l + 1, w, w)});
-        ks.push_back({"moddown_bconv", bconv(k_special, l + 1, w, w)});
+        ks.push_back({"moddown_bconv",
+                      bconv(k_special, l + 1, w, w, eng("moddown_bconv"))});
+        ks.push_back({"moddown_bconv",
+                      bconv(k_special, l + 1, w, w, eng("moddown_bconv"))});
         ks.push_back({"moddown_fix", modmul(2 * (l + 1))});
     }
     // Final NTT back to eval form.
-    ks.push_back({"ntt_q", ntt(2 * (l + 1), w)});
+    ks.push_back({"ntt_q", ntt(2 * (l + 1), w, eng("ntt_q"))});
     if (cfg_.fuse_elementwise && cfg_.tcu_ntt) {
         // Mark the NTT kernels whose twiddle-scale pass was folded
         // into the GEMM (the byte fold happens inside ntt()).
@@ -524,13 +571,42 @@ KernelModel::padd_time(size_t level) const
     return run({modadd(level + 1)});
 }
 
+std::vector<KernelModel::NamedKernel>
+KernelModel::rescale_kernels_named(size_t level) const
+{
+    const int w = params_.word_size;
+    std::vector<NamedKernel> ks;
+    ks.push_back({"rescale_intt",
+                  ntt(2 * (level + 1), w,
+                      engine_for_stage("rescale_intt", level))});
+    ks.push_back({"rescale_fix", modmul(2 * level)});
+    ks.push_back({"rescale_ntt",
+                  ntt(2 * level, w,
+                      engine_for_stage("rescale_ntt", level))});
+    return ks;
+}
+
+std::vector<KernelModel::NamedKernel>
+KernelModel::double_rescale_kernels_named(size_t level) const
+{
+    const int w = params_.word_size;
+    std::vector<NamedKernel> ks;
+    ks.push_back({"rescale_intt",
+                  ntt(2 * (level + 1), w,
+                      engine_for_stage("rescale_intt", level))});
+    ks.push_back({"rescale_fix", modmul(4 * level - 2)});
+    ks.push_back({"rescale_ntt",
+                  ntt(2 * (level - 1), w,
+                      engine_for_stage("rescale_ntt", level))});
+    return ks;
+}
+
 double
 KernelModel::rescale_time(size_t level) const
 {
     std::vector<KernelCost> ks;
-    ks.push_back(ntt(2 * (level + 1), params_.word_size)); // INTT
-    ks.push_back(modmul(2 * level));                       // scalar fix
-    ks.push_back(ntt(2 * level, params_.word_size));       // NTT
+    for (const auto &nk : rescale_kernels_named(level))
+        ks.push_back(nk.cost);
     return run(ks);
 }
 
@@ -538,9 +614,8 @@ double
 KernelModel::double_rescale_time(size_t level) const
 {
     std::vector<KernelCost> ks;
-    ks.push_back(ntt(2 * (level + 1), params_.word_size));
-    ks.push_back(modmul(4 * level - 2));
-    ks.push_back(ntt(2 * (level - 1), params_.word_size));
+    for (const auto &nk : double_rescale_kernels_named(level))
+        ks.push_back(nk.cost);
     return run(ks);
 }
 

@@ -16,6 +16,8 @@
  */
 #pragma once
 
+#include <functional>
+#include <string_view>
 #include <vector>
 
 #include "ckks/params.h"
@@ -58,6 +60,16 @@ struct ModelConfig
     /// Kernel grids sized by the ciphertext batch (TensorFHE/Neo
     /// style); unbatched systems parallelise within one ciphertext.
     bool batched_pipeline = true;
+    /**
+     * Per-stage engine override for the named composite schedules
+     * (keyswitch/hmult/hrotate/rescale). When set, every named stage
+     * is priced with stage_engine(stage, level) instead of `engine` —
+     * this is how an autotune ExecPolicy's per-site decisions reach
+     * the model (neo::model_config wires it). Unset means uniform
+     * `engine`, the historical behaviour.
+     */
+    std::function<MatMulEngine(std::string_view stage, size_t level)>
+        stage_engine;
 };
 
 /** Per-kernel and per-operation cost calculator. */
@@ -73,6 +85,9 @@ class KernelModel
 
     /// NTT or INTT of @p limbs batched limbs at @p word_bits.
     gpusim::KernelCost ntt(size_t limbs, int word_bits) const;
+    /// Same, with the GEMM engine chosen per call (autotuned sites).
+    gpusim::KernelCost ntt(size_t limbs, int word_bits,
+                           MatMulEngine engine) const;
 
     /**
      * BConv of @p in_limbs batched input limbs to @p out_limbs output
@@ -80,6 +95,10 @@ class KernelModel
      */
     gpusim::KernelCost bconv(size_t in_limbs, size_t out_limbs,
                              int word_in, int word_out) const;
+    /// Same, with the GEMM engine chosen per call.
+    gpusim::KernelCost bconv(size_t in_limbs, size_t out_limbs,
+                             int word_in, int word_out,
+                             MatMulEngine engine) const;
 
     /**
      * IP over @p limbs auxiliary limbs with β input digits and β̃
@@ -87,6 +106,13 @@ class KernelModel
      */
     gpusim::KernelCost ip(size_t beta, size_t beta_tilde, size_t limbs,
                           int word_bits) const;
+    /**
+     * Same, with the GEMM engine chosen per call. The §4.5.3
+     * valid-proportion gate still downgrades FP64-TCU to CUDA cores
+     * when the fragment utilisation is below ip_tcu_threshold.
+     */
+    gpusim::KernelCost ip(size_t beta, size_t beta_tilde, size_t limbs,
+                          int word_bits, MatMulEngine engine) const;
 
     /// Element-wise modular multiply of @p limbs batched limbs.
     gpusim::KernelCost modmul(size_t limbs) const;
@@ -97,6 +123,13 @@ class KernelModel
 
     /// The GEMM engine IP actually uses at level @p level (§4.5.3).
     MatMulEngine ip_engine(size_t level) const;
+
+    /**
+     * The engine pricing @p stage at @p level: the config's
+     * stage_engine hook when set, otherwise the uniform engine.
+     */
+    MatMulEngine engine_for_stage(std::string_view stage,
+                                  size_t level) const;
 
     // ---- Composite costs ----------------------------------------------
 
@@ -166,6 +199,11 @@ class KernelModel
     std::vector<NamedKernel> hmult_kernels_named(size_t level) const;
     /// HROTATE = KeySwitch + automorphism + accumulate.
     std::vector<NamedKernel> hrotate_kernels_named(size_t level) const;
+    /// Rescale = INTT + scalar fix + NTT, with stage names.
+    std::vector<NamedKernel> rescale_kernels_named(size_t level) const;
+    /// Fused double rescale (PR 4), with stage names.
+    std::vector<NamedKernel>
+    double_rescale_kernels_named(size_t level) const;
 
     /// Wall time of one KeySwitch at @p level.
     double keyswitch_time(size_t level) const;

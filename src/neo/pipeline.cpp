@@ -13,6 +13,8 @@
 #include "common/static_operand.h"
 #include "common/thread_pool.h"
 #include "common/workspace.h"
+#include "gpusim/tcu_model.h"
+#include "neo/engine.h"
 #include "neo/kernel_model.h"
 #include "neo/kernels.h"
 #include "obs/obs.h"
@@ -137,74 +139,27 @@ ensure_level(PipelineCache &pc, const CkksContext &ctx, size_t level)
     return *pc.levels[level];
 }
 
-} // namespace
-
-PipelineEngines
-PipelineEngines::from_name(std::string_view name)
+/**
+ * Resolved per-stage GEMM bindings of one pipeline run. A fixed
+ * policy binds every slot to the same PipelineEngines bundle; an
+ * autotune policy may bind each dispatched stage to a different
+ * engine. All engines are bit-exact, so the bindings only choose
+ * *which* correct implementation executes.
+ */
+struct StageBindings
 {
-    if (name == "fp64_tcu")
-        return fp64_tcu();
-    if (name == "scalar")
-        return scalar();
-    if (name == "int8_tcu")
-        return int8_tcu();
-    std::string msg = "unknown pipeline engine '";
-    msg += name;
-    msg += "' (valid:";
-    for (auto n : names()) {
-        msg += ' ';
-        msg += n;
-    }
-    msg += ')';
-    throw std::invalid_argument(msg);
-}
-
-const std::vector<std::string_view> &
-PipelineEngines::names()
-{
-    static const std::vector<std::string_view> n = {"fp64_tcu", "scalar",
-                                                    "int8_tcu"};
-    return n;
-}
-
-PipelineKernelCounts
-keyswitch_pipeline_kernel_counts(const CkksContext &ctx, size_t level)
-{
-    const size_t n = ctx.n();
-    const size_t k_special = ctx.p_basis().size();
-    const size_t alpha_p = ctx.alpha_prime();
-    const size_t beta = ctx.digit_partition(level).size();
-    const size_t alpha_tilde = ctx.params().klss.alpha_tilde;
-    const size_t beta_tilde =
-        (level + 1 + k_special + alpha_tilde - 1) / alpha_tilde;
-
-    // MatrixNtt transforms: ModUp forwards over T (β·α'), IP inverses
-    // over T (2·β̃·α'), final forwards over Q (2·(l+1)). The input INTT
-    // over Q uses the radix-2 tables, not MatrixNtt.
-    const u64 mntt = static_cast<u64>(beta * alpha_p +
-                                      2 * beta_tilde * alpha_p +
-                                      2 * (level + 1));
-    const u64 gemms_per_mntt =
-        MatrixNtt::matmul_calls_for(n, std::min<size_t>(16, n));
-
-    PipelineKernelCounts c;
-    c.ntt = static_cast<u64>(level + 1) + mntt;
-    // ModUp's per-digit exact BConv, Recover's per-key-digit BConv for
-    // both components, plus ModDown's two approximate conversions.
-    c.bconv = static_cast<u64>(beta + 2 * beta_tilde + 2);
-    c.ip = 2; // one matrix IP per ciphertext component
-    // GEMM engine calls: MatrixNtt tiles, one multiply per BConv
-    // factor matrix, and one *batched* site GEMM per IP (all N·α'
-    // sites of a component ride in a single engine call).
-    c.gemm = mntt * gemms_per_mntt +
-             static_cast<u64>(beta + 2 * beta_tilde) + 2;
-    return c;
-}
+    const ModColMatMulFn *modup;
+    const ModMatMulFn *ntt_t;
+    const ModSiteMatMulFn *ip;
+    const ModMatMulFn *intt_t;
+    const ModColMatMulFn *recover;
+    const ModMatMulFn *ntt_q;
+};
 
 std::pair<RnsPoly, RnsPoly>
-keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
-                        const CkksContext &ctx,
-                        const PipelineEngines &engines, bool fuse)
+pipeline_run(const RnsPoly &d2, const KlssEvalKey &evk,
+             const CkksContext &ctx, const StageBindings &eng, bool fuse,
+             const model::ModelConfig &mcfg)
 {
     NEO_ASSERT(d2.form() == PolyForm::eval, "expects eval form");
     obs::Span pipeline_span("keyswitch_klss_pipeline", obs::cat::stage);
@@ -213,9 +168,9 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
         // Modeled device time of the same KeySwitch on the simulated
         // A100, accumulated next to the wall-clock span so exporters
         // can report modeled-vs-measured side by side — total plus the
-        // per-kernel roofline attribution (modeled.kernel.*).
-        model::ModelConfig mcfg;
-        mcfg.fuse_elementwise = fuse;
+        // per-kernel roofline attribution (modeled.kernel.*). The
+        // config mirrors the run's ExecPolicy, so an autotuned run's
+        // modeled cost prices the per-stage engines it dispatched.
         model::KernelModel model(ctx.params(), mcfg);
         const auto att = model.run_attributed(
             model.keyswitch_kernels_named(d2.limbs() - 1));
@@ -269,11 +224,11 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
                 const auto &g = groups[j];
                 lk.modup[j].run_matmul_exact(d2c.limb(g.first), 1, n,
                                              digits_t + j * alpha_p * n,
-                                             engines.per_column);
+                                             *eng.modup);
                 // --- NTT over T (ten-step on the emulated TCU). ------
                 for (size_t k = 0; k < alpha_p; ++k) {
                     t_ntt[k].forward(digits_t + (j * alpha_p + k) * n,
-                                     engines.same_mod, fuse);
+                                     *eng.ntt_t, fuse);
                 }
             }
         },
@@ -312,14 +267,14 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     for (size_t c = 0; c < 2; ++c) {
         s_data[c] = frame.alloc<u64>(beta_tilde * alpha_p * n);
         ip.run_matmul_reordered(digits_t, key_ops.reordered[c].data(), 1,
-                                n, s_data[c], engines.per_site);
+                                n, s_data[c], *eng.ip);
         // --- INTT over T: one independent transform per (i, k) limb.
         parallel_for(
             0, beta_tilde * alpha_p,
             [&](size_t b, size_t e) {
                 for (size_t s = b; s < e; ++s) {
                     t_ntt[s % alpha_p].inverse(s_data[c] + s * n,
-                                               engines.same_mod, fuse);
+                                               *eng.intt_t, fuse);
                 }
             },
             1);
@@ -349,7 +304,7 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
                 for (size_t c = 0; c < 2; ++c) {
                     recover.run_matmul_exact(s_data[c] + i * alpha_p * n,
                                              1, n, out,
-                                             engines.per_column);
+                                             *eng.recover);
                     RnsPoly &acc = c == 0 ? acc0 : acc1;
                     for (size_t t = grp.first; t < last; ++t) {
                         const size_t store_idx = t < k_special
@@ -374,13 +329,172 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
             [&](size_t ib, size_t ie) {
                 for (size_t i = ib; i < ie; ++i)
                     cache->qntt[i]->forward(p->limb(i),
-                                            engines.same_mod, fuse);
+                                            *eng.ntt_q, fuse);
             },
             1);
         p->set_form(PolyForm::eval);
     }
     stage_span.reset();
     return {std::move(k0), std::move(k1)};
+}
+
+} // namespace
+
+PipelineEngines
+PipelineEngines::from_name(std::string_view name)
+{
+    return EngineRegistry::engines(EngineRegistry::parse(name));
+}
+
+const std::vector<std::string_view> &
+PipelineEngines::names()
+{
+    // Mirrors EngineRegistry::ids() order; kept only for the
+    // deprecation window.
+    // neo-lint: allow(thread-unsafe-static)
+    static const std::vector<std::string_view> n = [] {
+        std::vector<std::string_view> out;
+        for (EngineId id : EngineRegistry::ids())
+            out.push_back(EngineRegistry::name(id));
+        return out;
+    }();
+    return n;
+}
+
+model::ModelConfig
+model_config(const ExecPolicy &policy, const ckks::CkksParams &params)
+{
+    model::ModelConfig cfg;
+    cfg.engine = EngineRegistry::model_engine(policy.engine);
+    cfg.fuse_elementwise = policy.fuse;
+    cfg.graph_capture = policy.graph;
+    if (policy.is_auto() && policy.site_engine) {
+        // Per-stage hook: the model prices each named keyswitch stage
+        // with the engine the policy would dispatch at that site.
+        cfg.stage_engine = [policy, params](std::string_view st,
+                                            size_t level) {
+            const double valid = gpusim::TcuModel::valid_proportion_fp64(
+                params.batch, params.beta_tilde(level),
+                params.beta(level));
+            return EngineRegistry::model_engine(policy.engine_at(
+                {st, level, params.d_num, params.n, valid}));
+        };
+    }
+    return cfg;
+}
+
+PipelineKernelCounts
+keyswitch_pipeline_kernel_counts(const CkksContext &ctx, size_t level)
+{
+    const size_t n = ctx.n();
+    const size_t k_special = ctx.p_basis().size();
+    const size_t alpha_p = ctx.alpha_prime();
+    const size_t beta = ctx.digit_partition(level).size();
+    const size_t alpha_tilde = ctx.params().klss.alpha_tilde;
+    const size_t beta_tilde =
+        (level + 1 + k_special + alpha_tilde - 1) / alpha_tilde;
+
+    // MatrixNtt transforms: ModUp forwards over T (β·α'), IP inverses
+    // over T (2·β̃·α'), final forwards over Q (2·(l+1)). The input INTT
+    // over Q uses the radix-2 tables, not MatrixNtt.
+    const u64 mntt = static_cast<u64>(beta * alpha_p +
+                                      2 * beta_tilde * alpha_p +
+                                      2 * (level + 1));
+    const u64 gemms_per_mntt =
+        MatrixNtt::matmul_calls_for(n, std::min<size_t>(16, n));
+
+    PipelineKernelCounts c;
+    c.ntt = static_cast<u64>(level + 1) + mntt;
+    // ModUp's per-digit exact BConv, Recover's per-key-digit BConv for
+    // both components, plus ModDown's two approximate conversions.
+    c.bconv = static_cast<u64>(beta + 2 * beta_tilde + 2);
+    c.ip = 2; // one matrix IP per ciphertext component
+    // GEMM engine calls: MatrixNtt tiles, one multiply per BConv
+    // factor matrix, and one *batched* site GEMM per IP (all N·α'
+    // sites of a component ride in a single engine call).
+    c.gemm = mntt * gemms_per_mntt +
+             static_cast<u64>(beta + 2 * beta_tilde) + 2;
+    return c;
+}
+
+std::pair<RnsPoly, RnsPoly>
+keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
+                        const CkksContext &ctx, const ExecPolicy &policy)
+{
+    NEO_ASSERT(d2.limbs() >= 1, "empty input");
+    const size_t level = d2.limbs() - 1;
+    const auto &pp = ctx.params();
+    const double valid = gpusim::TcuModel::valid_proportion_fp64(
+        pp.batch, pp.beta_tilde(level), pp.beta(level));
+    const auto resolve = [&](const char *st) {
+        return policy.engine_at({st, level, pp.d_num, pp.n, valid});
+    };
+    // The six engine-dispatched sites of the KLSS pipeline. A fixed
+    // policy resolves them all to policy.engine; an autotune policy
+    // consults its tuning table per (stage, level, d_num, N, valid).
+    const EngineId e_modup = resolve(stage::modup_bconv);
+    const EngineId e_ntt_t = resolve(stage::ntt_t);
+    const EngineId e_ip = resolve(stage::ip);
+    const EngineId e_intt_t = resolve(stage::intt_t);
+    const EngineId e_recover = resolve(stage::recover_bconv);
+    const EngineId e_ntt_q = resolve(stage::ntt_q);
+
+    if (policy.is_auto()) {
+        if (auto *r = obs::current()) {
+            // One counter per site decision: the differential suite
+            // asserts the engines that really executed match the
+            // tuning table's decisions bit for bit.
+            const std::pair<const char *, EngineId> sites[] = {
+                {stage::modup_bconv, e_modup}, {stage::ntt_t, e_ntt_t},
+                {stage::ip, e_ip},             {stage::intt_t, e_intt_t},
+                {stage::recover_bconv, e_recover},
+                {stage::ntt_q, e_ntt_q}};
+            for (const auto &[st, id] : sites) {
+                std::string key = "tune.site.";
+                key += st;
+                key += '.';
+                key += EngineRegistry::name(id);
+                r->add(key);
+            }
+        }
+    }
+
+    const StageBindings bindings{
+        &EngineRegistry::engines(e_modup).per_column,
+        &EngineRegistry::engines(e_ntt_t).same_mod,
+        &EngineRegistry::engines(e_ip).per_site,
+        &EngineRegistry::engines(e_intt_t).same_mod,
+        &EngineRegistry::engines(e_recover).per_column,
+        &EngineRegistry::engines(e_ntt_q).same_mod};
+    return pipeline_run(d2, evk, ctx, bindings, policy.fuse,
+                        model_config(policy, pp));
+}
+
+std::pair<RnsPoly, RnsPoly>
+keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
+                        const CkksContext &ctx,
+                        const PipelineEngines &engines, bool fuse)
+{
+    // Legacy raw-engine surface: one bundle drives every stage and
+    // the modeled span prices the default (FP64-TCU) configuration,
+    // exactly the pre-ExecPolicy behaviour.
+    model::ModelConfig mcfg;
+    mcfg.fuse_elementwise = fuse;
+    const StageBindings bindings{&engines.per_column, &engines.same_mod,
+                                 &engines.per_site,   &engines.same_mod,
+                                 &engines.per_column, &engines.same_mod};
+    return pipeline_run(d2, evk, ctx, bindings, fuse, mcfg);
+}
+
+std::function<std::pair<RnsPoly, RnsPoly>(
+    const RnsPoly &, const ckks::KlssEvalKey &, const ckks::CkksContext &)>
+klss_keyswitch_fn(ExecPolicy policy)
+{
+    return [policy = std::move(policy)](const RnsPoly &d2,
+                                        const ckks::KlssEvalKey &evk,
+                                        const ckks::CkksContext &ctx) {
+        return keyswitch_klss_pipeline(d2, evk, ctx, policy);
+    };
 }
 
 } // namespace neo

@@ -9,18 +9,23 @@
  *   Recover Limbs → BConvKernel::run_matmul_exact per key-digit group
  *   Mod Down      → shared with the reference implementation
  *
- * with all matrix multiplications executed by the *emulated FP64
- * tensor core* (bit-sliced double arithmetic). The output is required
- * to be bit-identical to the reference keyswitch_klss — the strongest
- * functional statement of the paper's claim that the TCU mapping is
- * exact, not approximate.
+ * with all matrix multiplications executed by an *emulated tensor
+ * core* (or the scalar reference engine), selected per run — or per
+ * kernel site — by a neo::ExecPolicy. The output is required to be
+ * bit-identical to the reference keyswitch_klss for every policy —
+ * the strongest functional statement of the paper's claim that the
+ * TCU mapping is exact, not approximate.
  */
 #pragma once
 
+#include <functional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "ckks/keyswitch.h"
+#include "neo/exec_policy.h"
+#include "neo/kernel_model.h"
 #include "poly/mat_mul.h"
 #include "tensor/gemm.h"
 
@@ -52,43 +57,80 @@ struct PipelineEngines
 
     /**
      * Named-registry constructor: "fp64_tcu", "scalar" or "int8_tcu".
-     * Throws std::invalid_argument on an unknown name, listing the
-     * valid ones. Lets benches/examples/configs select an engine by
-     * string instead of hand-wiring function pointers.
+     * Throws std::invalid_argument on an unknown name.
      */
+    [[deprecated("use EngineRegistry::parse + EngineRegistry::engines "
+                 "(or ExecPolicy::fixed) instead")]]
     static PipelineEngines from_name(std::string_view name);
 
     /// The names from_name accepts, for help text.
+    [[deprecated("use EngineRegistry::ids / EngineRegistry::help_list "
+                 "instead")]]
     static const std::vector<std::string_view> &names();
 };
 
 /**
- * KLSS key switch of @p d2 through the Neo kernel pipeline.
- * Same contract as ckks::keyswitch_klss; bit-identical output.
+ * KLSS key switch of @p d2 through the Neo kernel pipeline under
+ * @p policy. Same contract as ckks::keyswitch_klss; bit-identical
+ * output for every policy.
  *
- * @p fuse enables cross-kernel element-wise fusion: the NTT twiddle
- * passes fold into the matrix-NTT gathers/writebacks and the ModDown
- * scalar fix folds into its BConv epilogue. The fused pipeline is
- * bit-identical to the unfused one (and to keyswitch_klss) — it
- * changes which loop performs each modular operation, never the
- * operations themselves. tests/fusion_test.cpp is the differential
- * proof; span counts per obs category are unchanged, while the
- * "pass." / "fuse." counters record the eliminated element-wise
- * kernels.
+ * - policy.engine / policy.select: which bit-exact GEMM engine runs
+ *   each matrix stage. With EngineSelect::autotune and a site_engine
+ *   resolver (see tune::TuningTable::policy), each dispatched stage
+ *   (modup_bconv, ntt_t, ip, intt_t, recover_bconv, ntt_q) resolves
+ *   its engine from the (stage, level, d_num, N, valid) site key, and
+ *   the run records one `tune.site.<stage>.<engine>` obs counter per
+ *   decision so tests can prove which engine executed.
+ * - policy.fuse: cross-kernel element-wise fusion — the NTT twiddle
+ *   passes fold into the matrix-NTT gathers/writebacks and the
+ *   ModDown scalar fix folds into its BConv epilogue. Bit-identical
+ *   either way (tests/fusion_test.cpp is the differential proof).
+ * - policy.graph: forwarded to the modeled-cost span so the recorded
+ *   `modeled.keyswitch.s` prices the captured schedule.
  */
 std::pair<RnsPoly, RnsPoly>
 keyswitch_klss_pipeline(const RnsPoly &d2, const ckks::KlssEvalKey &evk,
                         const ckks::CkksContext &ctx,
-                        const PipelineEngines &engines =
-                            PipelineEngines::fp64_tcu(),
-                        bool fuse = false);
+                        const ExecPolicy &policy = {});
+
+/**
+ * Deprecated raw-engine overload (pre-ExecPolicy surface). Kept one
+ * PR for out-of-tree callers, like the PR 2 EvalKeyBundle migration;
+ * all in-tree callers pass an ExecPolicy.
+ */
+[[deprecated("pass a neo::ExecPolicy (ExecPolicy::fixed(EngineId, "
+             "fuse)) instead of PipelineEngines + bool")]]
+std::pair<RnsPoly, RnsPoly>
+keyswitch_klss_pipeline(const RnsPoly &d2, const ckks::KlssEvalKey &evk,
+                        const ckks::CkksContext &ctx,
+                        const PipelineEngines &engines, bool fuse = false);
+
+/**
+ * A ckks::Evaluator::KlssKeySwitchFn that routes every KLSS key
+ * switch through keyswitch_klss_pipeline under @p policy (captured by
+ * value). The one-liner for Evaluator::set_klss_keyswitch.
+ */
+std::function<std::pair<RnsPoly, RnsPoly>(
+    const RnsPoly &, const ckks::KlssEvalKey &, const ckks::CkksContext &)>
+klss_keyswitch_fn(ExecPolicy policy);
+
+/**
+ * The cost-model configuration matching @p policy for @p params:
+ * engine / fuse_elementwise / graph_capture, plus a per-stage engine
+ * hook when the policy autotunes — so modeled costs (the pipeline's
+ * modeled.keyswitch.s span, neo-prof artifacts) price exactly the
+ * engines the policy dispatches.
+ */
+model::ModelConfig model_config(const ExecPolicy &policy,
+                                const ckks::CkksParams &params);
 
 /**
  * Analytic kernel-invocation counts for ONE keyswitch_klss_pipeline
  * run. These are closed-form predictions of the obs span counters
  * ("span.gemm", "span.ntt", "span.bconv", "span.ip") a traced run
  * records — bench/table7_kernels prints them and tests/obs_test
- * asserts the traced pipeline matches them exactly.
+ * asserts the traced pipeline matches them exactly. Engine selection
+ * (fixed or autotuned) never changes them.
  */
 struct PipelineKernelCounts
 {

@@ -15,9 +15,11 @@
 #include "common/random.h"
 #include "common/table.h"
 #include "gpusim/tcu_model.h"
+#include "neo/engine.h"
 #include "neo/kernel_model.h"
 #include "neo/pipeline.h"
 #include "obs/obs.h"
+#include "tune/tuner.h"
 
 namespace neo::prof {
 
@@ -28,27 +30,14 @@ using model::ModelConfig;
 
 namespace {
 
-ModelConfig
-config_for_engine(const std::string &engine,
-                  const ProfileOptions &opts = {})
+/// Stamp the policy-derived identity fields of a result.
+void
+stamp_policy(Result &r, const ExecPolicy &policy)
 {
-    ModelConfig cfg;
-    cfg.fuse_elementwise = opts.fuse;
-    cfg.graph_capture = opts.graph;
-    if (engine == "fp64_tcu") {
-        // the default: every §4 optimization on
-    } else if (engine == "scalar") {
-        // Same algorithms (matrix dataflow, ten-step NTT), GEMMs
-        // priced on CUDA cores — the functional scalar engine's twin.
-        cfg.engine = model::MatMulEngine::cuda_cores;
-    } else if (engine == "int8_tcu") {
-        cfg.engine = model::MatMulEngine::tcu_int8;
-    } else {
-        throw std::invalid_argument(
-            "unknown engine '" + engine +
-            "' (valid: fp64_tcu scalar int8_tcu)");
-    }
-    return cfg;
+    r.engine = std::string(policy.engine_name());
+    r.options.fuse = policy.fuse;
+    r.options.graph = policy.graph;
+    r.tuning_table = policy.tuning_table;
 }
 
 /// Fold one attributed schedule, weighted by @p mult invocations,
@@ -128,8 +117,7 @@ primitive_params()
 }
 
 Result
-profile_keyswitch(const std::string &engine, size_t level, size_t repeat,
-                  const ProfileOptions &opts)
+profile_keyswitch(const ExecPolicy &policy, size_t level, size_t repeat)
 {
     CkksParams params = primitive_params();
     if (level == 0)
@@ -138,10 +126,9 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat,
 
     Result r;
     r.workload = "keyswitch";
-    r.engine = engine;
     r.mode = "functional";
     r.level = level;
-    r.options = opts;
+    stamp_policy(r, policy);
 
     CkksContext ctx(params);
     ckks::KeyGenerator keygen(ctx, 17);
@@ -154,11 +141,10 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat,
         for (size_t j = 0; j < d2.n(); ++j)
             d2.limb(i)[j] = rng.uniform(d2.modulus(i).value());
 
-    const PipelineEngines engines = PipelineEngines::from_name(engine);
     obs::Scope scope;
     const auto run_once = [&] {
         const auto t0 = std::chrono::steady_clock::now();
-        (void)keyswitch_klss_pipeline(d2, rlk, ctx, engines, opts.fuse);
+        (void)keyswitch_klss_pipeline(d2, rlk, ctx, policy);
         const auto t1 = std::chrono::steady_clock::now();
         return std::chrono::duration<double>(t1 - t0).count();
     };
@@ -175,7 +161,7 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat,
             name == "pipeline.keyswitch" ||
             name.rfind("gemm.plane_cache.", 0) == 0 ||
             name.rfind("ws.", 0) == 0 || name.rfind("pass.", 0) == 0 ||
-            name.rfind("fuse.", 0) == 0)
+            name.rfind("fuse.", 0) == 0 || name.rfind("tune.", 0) == 0)
             r.spans[name] = count;
     }
 
@@ -192,7 +178,7 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat,
     r.expected_spans["bconv"] = want.bconv;
     r.expected_spans["ip"] = want.ip;
 
-    KernelModel model(params, config_for_engine(engine, opts));
+    KernelModel model(params, model_config(policy, params));
     const auto att =
         model.run_attributed(model.keyswitch_kernels_named(level));
     r.modeled_total_s = att.seconds;
@@ -205,8 +191,8 @@ profile_keyswitch(const std::string &engine, size_t level, size_t repeat,
 }
 
 Result
-profile_primitive(const std::string &workload, const std::string &engine,
-                  size_t level, const ProfileOptions &opts)
+profile_primitive(const std::string &workload, const ExecPolicy &policy,
+                  size_t level)
 {
     CkksParams params = primitive_params();
     if (level == 0)
@@ -215,12 +201,11 @@ profile_primitive(const std::string &workload, const std::string &engine,
 
     Result r;
     r.workload = workload;
-    r.engine = engine;
     r.mode = "modeled";
     r.level = level;
-    r.options = opts;
+    stamp_policy(r, policy);
 
-    KernelModel model(params, config_for_engine(engine, opts));
+    KernelModel model(params, model_config(policy, params));
     const auto kernels = workload == "mul"
                              ? model.hmult_kernels_named(level)
                              : model.hrotate_kernels_named(level);
@@ -258,18 +243,10 @@ accumulate_schedule(Result &r, const apps::Schedule &s,
             ks.push_back({"padd", m.modadd(l + 1)});
             break;
         case apps::OpKind::rescale:
-            ks.push_back({"rescale_intt",
-                          m.ntt(2 * (l + 1), m.params().word_size)});
-            ks.push_back({"rescale_fix", m.modmul(2 * l)});
-            ks.push_back({"rescale_ntt",
-                          m.ntt(2 * l, m.params().word_size)});
+            ks = m.rescale_kernels_named(l);
             break;
         case apps::OpKind::double_rescale:
-            ks.push_back({"rescale_intt",
-                          m.ntt(2 * (l + 1), m.params().word_size)});
-            ks.push_back({"rescale_fix", m.modmul(4 * l - 2)});
-            ks.push_back({"rescale_ntt",
-                          m.ntt(2 * (l - 1), m.params().word_size)});
+            ks = m.double_rescale_kernels_named(l);
             break;
         }
         const auto att = m.run_attributed(ks);
@@ -285,19 +262,17 @@ accumulate_schedule(Result &r, const apps::Schedule &s,
 }
 
 Result
-profile_app(const std::string &workload, const std::string &engine,
-            const ProfileOptions &opts)
+profile_app(const std::string &workload, const ExecPolicy &policy)
 {
     baselines::Backend neo = baselines::make_neo('C');
-    ModelConfig cfg = config_for_engine(engine, opts);
+    ModelConfig cfg = model_config(policy, neo.params);
     cfg.device = neo.cfg.device; // same A100 either way
 
     Result r;
     r.workload = workload;
-    r.engine = engine;
     r.mode = "modeled";
     r.level = neo.params.max_level;
-    r.options = opts;
+    stamp_policy(r, policy);
 
     KernelModel model(neo.params, cfg);
     apps::Schedule sched;
@@ -332,20 +307,39 @@ workload_names()
     return names;
 }
 
-Result
-profile(const std::string &workload, const std::string &engine,
-        size_t level, size_t repeat, const ProfileOptions &opts)
+tune::TuningTable
+tuning_table_for_workloads()
 {
-    (void)config_for_engine(engine); // validate the name up front
+    const tune::Tuner tuner;
+    tune::TuningTable t;
+    tuner.tune(primitive_params(), t);
+    tuner.tune(baselines::make_neo('C').params, t);
+    return t;
+}
+
+Result
+profile(const std::string &workload, const ExecPolicy &policy,
+        size_t level, size_t repeat)
+{
+    // Complete an unresolved autotune policy: load the named table,
+    // or tune the canonical one in-memory.
+    ExecPolicy p = policy;
+    if (p.is_auto() && !p.site_engine) {
+        const tune::TuningTable table =
+            p.tuning_table.empty()
+                ? tuning_table_for_workloads()
+                : tune::TuningTable::load_file(p.tuning_table);
+        p = table.policy(p);
+    }
     if (repeat == 0)
         repeat = 1;
     if (workload == "keyswitch")
-        return profile_keyswitch(engine, level, repeat, opts);
+        return profile_keyswitch(p, level, repeat);
     if (workload == "mul" || workload == "rotate")
-        return profile_primitive(workload, engine, level, opts);
+        return profile_primitive(workload, p, level);
     for (const auto &n : workload_names())
         if (n == workload)
-            return profile_app(workload, engine, opts);
+            return profile_app(workload, p);
     std::string msg = "unknown workload '" + workload + "' (valid:";
     for (const auto &n : workload_names()) {
         msg += ' ';
@@ -355,13 +349,30 @@ profile(const std::string &workload, const std::string &engine,
     throw std::invalid_argument(msg);
 }
 
+Result
+profile(const std::string &workload, const std::string &engine,
+        size_t level, size_t repeat, const ProfileOptions &opts)
+{
+    ExecPolicy p;
+    p.fuse = opts.fuse;
+    p.graph = opts.graph;
+    if (engine == "auto")
+        p.select = EngineSelect::autotune;
+    else
+        p.engine = EngineRegistry::parse(engine); // validates up front
+    return profile(workload, p, level, repeat);
+}
+
 void
 print_report(const Result &r, std::ostream &out)
 {
     out << "neo-prof — workload '" << r.workload << "', engine '"
         << r.engine << "' (" << r.mode << ", level " << r.level
         << ", fuse " << (r.options.fuse ? "on" : "off") << ", graph "
-        << (r.options.graph ? "on" : "off") << ")\n";
+        << (r.options.graph ? "on" : "off");
+    if (!r.tuning_table.empty())
+        out << ", table " << r.tuning_table;
+    out << ")\n";
     out << "  modeled total: " << format_time(r.modeled_total_s);
     if (r.wall_s > 0)
         out << "   wall: " << format_time(r.wall_s);
@@ -416,6 +427,10 @@ to_json(const Result &r)
     w.key("options").begin_object();
     w.key("fuse").value(r.options.fuse);
     w.key("graph").value(r.options.graph);
+    // Auto-run provenance only; fixed-engine artifacts keep the
+    // historical key set (golden files compare it exactly).
+    if (!r.tuning_table.empty())
+        w.key("tuning_table").value(r.tuning_table);
     w.end_object();
 
     w.key("totals").begin_object();

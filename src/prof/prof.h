@@ -37,6 +37,8 @@
 
 #include "common/json.h"
 #include "common/types.h"
+#include "neo/exec_policy.h"
+#include "tune/tuning_table.h"
 
 namespace neo::prof {
 
@@ -77,10 +79,13 @@ struct ProfileOptions
 struct Result
 {
     std::string workload;
-    std::string engine; ///< "fp64_tcu" | "scalar" | "int8_tcu"
+    std::string engine; ///< a registry engine name, or "auto"
     std::string mode;   ///< "functional" | "modeled"
     size_t level = 0;   ///< ciphertext level the workload ran at
     ProfileOptions options; ///< ablation switches this run used
+    /// Tuning-table path backing an auto run ("" = tuned in-memory /
+    /// fixed engine). Provenance only; carried into the artifact.
+    std::string tuning_table;
 
     double modeled_total_s = 0; ///< per-batched-ciphertext model time
     double wall_s = 0;          ///< functional runs only, else 0
@@ -109,10 +114,18 @@ struct Result
 const std::vector<std::string> &workload_names();
 
 /**
- * Run @p workload under @p engine and collect the attribution.
+ * Run @p workload under @p policy and collect the attribution.
  * @p level selects the ciphertext level for the primitive workloads
  * (keyswitch/mul/rotate); 0 means "the parameter set's top level".
  * Application workloads price their full schedule and ignore @p level.
+ *
+ * Engine selection comes from the policy: a fixed policy reproduces
+ * the historical single-engine runs; an autotune policy dispatches
+ * per site. An autotune policy with no resolver is completed here —
+ * policy.tuning_table (when set) is loaded, otherwise the canonical
+ * table is tuned in-memory (tuning_table_for_workloads()). Functional
+ * auto runs record one `tune.site.<stage>.<engine>` span per site
+ * decision.
  *
  * @p repeat controls wall-clock sampling for functional workloads:
  * with repeat == 1 the single (cold) traced run is timed, matching the
@@ -122,15 +135,30 @@ const std::vector<std::string> &workload_names();
  * median of @p repeat steady-state samples. Span counters always come
  * from exactly one run. Modeled workloads ignore @p repeat.
  *
- * @p opts selects the fusion / graph-capture ablation axes; the
- * defaults reproduce the historical (unfused, per-kernel-launch)
- * artifact bit for bit.
- *
  * Throws std::invalid_argument for unknown names.
  */
+Result profile(const std::string &workload, const ExecPolicy &policy,
+               size_t level = 0, size_t repeat = 1);
+
+/**
+ * Deprecated engine-string surface (pre-ExecPolicy). "auto" selects
+ * autotune; other names resolve through EngineRegistry::parse. Kept
+ * one PR for out-of-tree callers.
+ */
+[[deprecated("pass a neo::ExecPolicy (ExecPolicy::fixed(EngineId) or "
+             "an autotune policy) instead of an engine string + "
+             "ProfileOptions")]]
 Result profile(const std::string &workload, const std::string &engine,
                size_t level = 0, size_t repeat = 1,
                const ProfileOptions &opts = {});
+
+/**
+ * The canonical tuning table: every site of the parameter sets
+ * neo-prof's workloads run at (the functional test-scale set and the
+ * paper's Set C). Deterministic — the checked-in neo.tune.json is
+ * exactly this table, and CI regenerates it to prove freshness.
+ */
+tune::TuningTable tuning_table_for_workloads();
 
 /// Human-readable attribution report (stdout form of the artifact).
 void print_report(const Result &r, std::ostream &out);

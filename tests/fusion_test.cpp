@@ -141,15 +141,17 @@ TEST_F(Fusion, FusedKeyswitchBitIdenticalAcrossConfigs)
         SCOPED_TRACE(::testing::Message()
                      << cfg.engine << " d_num="
                      << cfg.set->params.d_num << " level=" << cfg.level);
-        const auto engines = PipelineEngines::from_name(cfg.engine);
+        const EngineId engine = EngineRegistry::parse(cfg.engine);
         RnsPoly d2 = random_eval_poly(cfg.set->ctx, cfg.level,
                                       5000 + cfg.level);
         const auto ref =
             keyswitch_klss(d2, cfg.set->klss_rlk, cfg.set->ctx);
         const auto unfused = keyswitch_klss_pipeline(
-            d2, cfg.set->klss_rlk, cfg.set->ctx, engines, false);
+            d2, cfg.set->klss_rlk, cfg.set->ctx,
+            ExecPolicy::fixed(engine, /*fuse=*/false));
         const auto fused = keyswitch_klss_pipeline(
-            d2, cfg.set->klss_rlk, cfg.set->ctx, engines, true);
+            d2, cfg.set->klss_rlk, cfg.set->ctx,
+            ExecPolicy::fixed(engine, /*fuse=*/true));
         EXPECT_TRUE(poly_eq(unfused.first, ref.first));
         EXPECT_TRUE(poly_eq(unfused.second, ref.second));
         EXPECT_TRUE(poly_eq(fused.first, ref.first));
@@ -181,7 +183,8 @@ TEST_F(Fusion, FusedBitExactAcrossThreadCounts)
                          << cfg.level << " threads=" << threads);
             const auto got = keyswitch_klss_pipeline(
                 inputs[i], cfg.set->klss_rlk, cfg.set->ctx,
-                PipelineEngines::from_name(cfg.engine), true);
+                ExecPolicy::fixed(EngineRegistry::parse(cfg.engine),
+                                  /*fuse=*/true));
             EXPECT_TRUE(poly_eq(got.first, refs[i].first));
             EXPECT_TRUE(poly_eq(got.second, refs[i].second));
         }
@@ -197,18 +200,20 @@ TEST_F(Fusion, CountersProveEliminatedElementwisePasses)
 {
     auto &s = *set_a_;
     const size_t level = s.ctx.max_level();
-    const auto engines = PipelineEngines::fp64_tcu();
     RnsPoly d2 = random_eval_poly(s.ctx, level, 7001);
 
     std::map<std::string, u64, std::less<>> unfused;
     {
         obs::Scope scope;
-        (void)keyswitch_klss_pipeline(d2, s.klss_rlk, s.ctx, engines,
-                                      false);
+        (void)keyswitch_klss_pipeline(
+            d2, s.klss_rlk, s.ctx,
+            ExecPolicy::fixed(EngineId::fp64_tcu, /*fuse=*/false));
         unfused = scope.registry().counters();
     }
     obs::Scope scope;
-    (void)keyswitch_klss_pipeline(d2, s.klss_rlk, s.ctx, engines, true);
+    (void)keyswitch_klss_pipeline(
+        d2, s.klss_rlk, s.ctx,
+        ExecPolicy::fixed(EngineId::fp64_tcu, /*fuse=*/true));
     const auto fused = scope.registry().counters();
 
     auto get = [](const auto &m, const char *k) -> u64 {

@@ -206,14 +206,15 @@ struct ParallelPipelineFixture : public ::testing::Test
     /// outputs are bit-identical to each other and to the sequential
     /// reference keyswitch.
     static void
-    check_engine(const PipelineEngines &engines, const char *label)
+    check_engine(EngineId engine, const char *label)
     {
+        const ExecPolicy policy = ExecPolicy::fixed(engine);
         RnsPoly d2 = random_eval_poly(5, 42);
 
         use_threads(1);
         auto [r0, r1] = keyswitch_klss(d2, *klss_rlk_, *ctx_);
         auto [s0, s1] =
-            keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_, engines);
+            keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_, policy);
         const size_t count0 = r0.limbs() * r0.n();
         const size_t count1 = r1.limbs() * r1.n();
         ASSERT_TRUE(std::equal(r0.data(), r0.data() + count0, s0.data()))
@@ -224,7 +225,7 @@ struct ParallelPipelineFixture : public ::testing::Test
         for (size_t tc : kThreadCounts) {
             use_threads(tc);
             auto [p0, p1] =
-                keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_, engines);
+                keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_, policy);
             EXPECT_TRUE(
                 std::equal(s0.data(), s0.data() + count0, p0.data()))
                 << label << " c0 differs at threads=" << tc;
@@ -255,12 +256,12 @@ KlssEvalKey *ParallelPipelineFixture::klss_rlk_ = nullptr;
 
 TEST_F(ParallelPipelineFixture, ScalarEngineDeterministicAcrossThreads)
 {
-    check_engine(PipelineEngines::scalar(), "scalar");
+    check_engine(EngineId::scalar, "scalar");
 }
 
 TEST_F(ParallelPipelineFixture, Fp64TcuEngineDeterministicAcrossThreads)
 {
-    check_engine(PipelineEngines::fp64_tcu(), "fp64_tcu");
+    check_engine(EngineId::fp64_tcu, "fp64_tcu");
 }
 
 } // namespace

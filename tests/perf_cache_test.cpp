@@ -143,7 +143,8 @@ TEST_F(PerfCache, KeyswitchCachedAndUncachedMatchReference)
         SCOPED_TRACE(::testing::Message()
                      << cfg.engine << " d_num="
                      << cfg.set->params.d_num << " level=" << cfg.level);
-        const auto engines = PipelineEngines::from_name(cfg.engine);
+        const auto policy =
+            ExecPolicy::fixed(EngineRegistry::parse(cfg.engine));
         RnsPoly d2 = random_eval_poly(cfg.set->ctx, cfg.level,
                                       1000 + cfg.level);
         const auto ref =
@@ -153,16 +154,16 @@ TEST_F(PerfCache, KeyswitchCachedAndUncachedMatchReference)
         pc.clear();
         pc.set_enabled(false);
         const auto uncached = keyswitch_klss_pipeline(
-            d2, cfg.set->klss_rlk, cfg.set->ctx, engines);
+            d2, cfg.set->klss_rlk, cfg.set->ctx, policy);
         pc.set_enabled(true);
         EXPECT_TRUE(poly_eq(uncached.first, ref.first));
         EXPECT_TRUE(poly_eq(uncached.second, ref.second));
 
         // Cold run populates the caches; warm run consumes them.
         const auto cold = keyswitch_klss_pipeline(
-            d2, cfg.set->klss_rlk, cfg.set->ctx, engines);
+            d2, cfg.set->klss_rlk, cfg.set->ctx, policy);
         const auto warm = keyswitch_klss_pipeline(
-            d2, cfg.set->klss_rlk, cfg.set->ctx, engines);
+            d2, cfg.set->klss_rlk, cfg.set->ctx, policy);
         EXPECT_TRUE(poly_eq(cold.first, ref.first));
         EXPECT_TRUE(poly_eq(cold.second, ref.second));
         EXPECT_TRUE(poly_eq(warm.first, ref.first));
@@ -193,7 +194,7 @@ TEST_F(PerfCache, KeyswitchBitExactAcrossThreadCounts)
                          << cfg.level << " threads=" << threads);
             const auto got = keyswitch_klss_pipeline(
                 inputs[i], cfg.set->klss_rlk, cfg.set->ctx,
-                PipelineEngines::from_name(cfg.engine));
+                ExecPolicy::fixed(EngineRegistry::parse(cfg.engine)));
             EXPECT_TRUE(poly_eq(got.first, refs[i].first));
             EXPECT_TRUE(poly_eq(got.second, refs[i].second));
         }
@@ -229,13 +230,9 @@ TEST_F(PerfCache, MulAndRotateThroughPipelineMatchReference)
 
     for (const char *name : {"scalar", "fp64_tcu", "int8_tcu"}) {
         SCOPED_TRACE(name);
-        const auto engines = PipelineEngines::from_name(name);
         Evaluator ev(s.ctx, KeySwitchMethod::klss);
-        ev.set_klss_keyswitch([engines](const RnsPoly &d2,
-                                        const KlssEvalKey &k,
-                                        const CkksContext &c) {
-            return keyswitch_klss_pipeline(d2, k, c, engines);
-        });
+        ev.set_klss_keyswitch(klss_keyswitch_fn(
+            ExecPolicy::fixed(EngineRegistry::parse(name))));
         // Twice: the first populates the caches, the second hits them.
         for (int run = 0; run < 2; ++run) {
             EXPECT_TRUE(ct_eq(ev.mul(ca, cb, keys), mul_ref)) << run;
@@ -261,12 +258,8 @@ TEST_F(PerfCache, SecondMulHitsPlaneCacheWithoutMisses)
         s.ctx.encode(slots, s.ctx.max_level()), s.sk, s.keygen);
 
     Evaluator ev(s.ctx, KeySwitchMethod::klss);
-    const auto engines = PipelineEngines::fp64_tcu();
-    ev.set_klss_keyswitch([engines](const RnsPoly &d2,
-                                    const KlssEvalKey &k,
-                                    const CkksContext &c) {
-        return keyswitch_klss_pipeline(d2, k, c, engines);
-    });
+    ev.set_klss_keyswitch(
+        klss_keyswitch_fn(ExecPolicy::fixed(EngineId::fp64_tcu)));
 
     PlaneCache::global().clear();
     u64 first_hit = 0, first_miss = 0;

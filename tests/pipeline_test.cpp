@@ -68,8 +68,8 @@ TEST_F(PipelineFixture, BitExactAgainstReferenceScalarEngines)
     for (size_t level : {5u, 4u, 2u}) {
         RnsPoly d2 = random_eval_poly(level, 100 + level);
         auto [r0, r1] = keyswitch_klss(d2, *klss_rlk_, *ctx_);
-        auto [p0, p1] = keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_,
-                                                PipelineEngines::scalar());
+        auto [p0, p1] = keyswitch_klss_pipeline(
+            d2, *klss_rlk_, *ctx_, ExecPolicy::fixed(EngineId::scalar));
         EXPECT_TRUE(std::equal(r0.data(), r0.data() + r0.limbs() * r0.n(),
                                p0.data()))
             << "level " << level;
@@ -84,8 +84,8 @@ TEST_F(PipelineFixture, BitExactThroughEmulatedFp64TensorCore)
     // stage through the bit-sliced FP64 datapath changes nothing.
     RnsPoly d2 = random_eval_poly(5, 7);
     auto [r0, r1] = keyswitch_klss(d2, *klss_rlk_, *ctx_);
-    auto [p0, p1] = keyswitch_klss_pipeline(d2, *klss_rlk_, *ctx_,
-                                            PipelineEngines::fp64_tcu());
+    auto [p0, p1] = keyswitch_klss_pipeline(
+        d2, *klss_rlk_, *ctx_, ExecPolicy::fixed(EngineId::fp64_tcu));
     EXPECT_TRUE(std::equal(r0.data(), r0.data() + r0.limbs() * r0.n(),
                            p0.data()));
     EXPECT_TRUE(std::equal(r1.data(), r1.data() + r1.limbs() * r1.n(),

@@ -56,12 +56,14 @@ metric_map(const json::Value &doc)
 TEST(ProfModel, RowsSumToModeledTotal)
 {
     for (const char *workload : {"mul", "rotate", "bootstrap"}) {
-        for (const char *engine : {"fp64_tcu", "scalar", "int8_tcu"}) {
-            const auto r = prof::profile(workload, engine);
-            ASSERT_FALSE(r.kernels.empty()) << workload << "/" << engine;
+        for (const EngineId engine : EngineRegistry::ids()) {
+            const auto name = EngineRegistry::name(engine);
+            const auto r =
+                prof::profile(workload, ExecPolicy::fixed(engine));
+            ASSERT_FALSE(r.kernels.empty()) << workload << "/" << name;
             EXPECT_NEAR(rows_sum(r), r.modeled_total_s,
                         1e-9 * r.modeled_total_s)
-                << workload << "/" << engine;
+                << workload << "/" << name;
             double frac = 0;
             for (const auto &k : r.kernels) {
                 frac += k.fraction;
@@ -76,23 +78,35 @@ TEST(ProfModel, RowsSumToModeledTotal)
 
 TEST(ProfModel, EnginesProduceDistinctTotals)
 {
-    const auto fp64 = prof::profile("mul", "fp64_tcu");
-    const auto scalar = prof::profile("mul", "scalar");
-    const auto int8 = prof::profile("mul", "int8_tcu");
+    const auto fp64 =
+        prof::profile("mul", ExecPolicy::fixed(EngineId::fp64_tcu));
+    const auto scalar =
+        prof::profile("mul", ExecPolicy::fixed(EngineId::scalar));
+    const auto int8 =
+        prof::profile("mul", ExecPolicy::fixed(EngineId::int8_tcu));
     EXPECT_NE(fp64.modeled_total_s, scalar.modeled_total_s);
     EXPECT_NE(fp64.modeled_total_s, int8.modeled_total_s);
 }
 
 TEST(ProfModel, UnknownNamesThrow)
 {
+    EXPECT_THROW(prof::profile("nope", ExecPolicy{}),
+                 std::invalid_argument);
+    EXPECT_THROW(EngineRegistry::parse("warp_tcu"),
+                 std::invalid_argument);
+    // The deprecated engine-string surface must keep validating both
+    // axes until it is removed (one deliberate deprecated call).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     EXPECT_THROW(prof::profile("nope", "fp64_tcu"),
                  std::invalid_argument);
     EXPECT_THROW(prof::profile("mul", "warp_tcu"), std::invalid_argument);
+#pragma GCC diagnostic pop
 }
 
 TEST(ProfKeyswitch, SpansMatchAnalyticCountsAndObsCounters)
 {
-    const auto r = prof::profile("keyswitch", "fp64_tcu");
+    const auto r = prof::profile("keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu));
     EXPECT_EQ(r.mode, "functional");
     ASSERT_FALSE(r.expected_spans.empty());
     for (const auto &[name, want] : r.expected_spans) {
@@ -111,7 +125,7 @@ TEST(ProfKeyswitch, SpansMatchAnalyticCountsAndObsCounters)
 
 TEST(ProfArtifact, JsonCarriesSchemaAndTotals)
 {
-    const auto r = prof::profile("mul", "fp64_tcu");
+    const auto r = prof::profile("mul", ExecPolicy::fixed(EngineId::fp64_tcu));
     const auto doc = artifact(r);
     EXPECT_EQ(doc.at("schema").as_string(), prof::kSchema);
     EXPECT_EQ(doc.at("kind").as_string(), "profile");
@@ -136,7 +150,7 @@ TEST(ProfArtifact, MatchesGoldenFile)
 {
     const auto golden = json::Value::parse_file(
         std::string(NEO_TEST_DATA_DIR) + "/prof_report_golden.json");
-    const auto cur = artifact(prof::profile("mul", "fp64_tcu"));
+    const auto cur = artifact(prof::profile("mul", ExecPolicy::fixed(EngineId::fp64_tcu)));
     EXPECT_EQ(cur.at("schema").as_string(),
               golden.at("schema").as_string());
     EXPECT_EQ(cur.at("workload").as_string(),
@@ -152,10 +166,11 @@ TEST(ProfArtifact, MatchesGoldenFile)
 
 TEST(ProfOptions, FusedProfileFoldsModdownRows)
 {
-    prof::ProfileOptions fused;
-    fused.fuse = true;
-    const auto off = prof::profile("keyswitch", "fp64_tcu");
-    const auto on = prof::profile("keyswitch", "fp64_tcu", 0, 1, fused);
+    const auto off = prof::profile(
+        "keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu));
+    const auto on = prof::profile(
+        "keyswitch",
+        ExecPolicy::fixed(EngineId::fp64_tcu, /*fuse=*/true));
 
     auto has_row = [](const prof::Result &r, const char *name) {
         for (const auto &k : r.kernels)
@@ -182,11 +197,11 @@ TEST(ProfOptions, FusedProfileFoldsModdownRows)
 
 TEST(ProfOptions, GraphCaptureRemovesLaunchBound)
 {
-    prof::ProfileOptions opts;
-    opts.fuse = true;
-    opts.graph = true;
-    const auto off = prof::profile("keyswitch", "fp64_tcu");
-    const auto on = prof::profile("keyswitch", "fp64_tcu", 0, 1, opts);
+    const auto off = prof::profile(
+        "keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu));
+    const auto on = prof::profile(
+        "keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu,
+                                       /*fuse=*/true, /*graph=*/true));
 
     // ISSUE acceptance: one graph replay instead of 12 per-kernel
     // launches, and the schedule is no longer launch-bound.
@@ -212,10 +227,9 @@ TEST(ProfOptions, GraphCaptureRemovesLaunchBound)
 
 TEST(ProfOptions, ArtifactCarriesOptionsAndNewTotals)
 {
-    prof::ProfileOptions opts;
-    opts.fuse = true;
-    opts.graph = true;
-    const auto r = prof::profile("mul", "fp64_tcu", 0, 1, opts);
+    const auto r = prof::profile(
+        "mul", ExecPolicy::fixed(EngineId::fp64_tcu, /*fuse=*/true,
+                                 /*graph=*/true));
     const auto doc = artifact(r);
     // The neo.bench/1 schema is extended, not broken: same schema id,
     // new totals fields, and an options block recording the axes.
@@ -237,10 +251,9 @@ TEST(ProfArtifact, MatchesFusedGoldenFile)
     // MatchesGoldenFile above, so both schema generations stay pinned.
     const auto golden = json::Value::parse_file(
         std::string(NEO_TEST_DATA_DIR) + "/prof_report_fused_golden.json");
-    prof::ProfileOptions opts;
-    opts.fuse = true;
-    opts.graph = true;
-    const auto cur = artifact(prof::profile("mul", "fp64_tcu", 0, 1, opts));
+    const auto cur = artifact(prof::profile(
+        "mul", ExecPolicy::fixed(EngineId::fp64_tcu, /*fuse=*/true,
+                                 /*graph=*/true)));
     EXPECT_EQ(cur.at("schema").as_string(),
               golden.at("schema").as_string());
     EXPECT_EQ(cur.at("workload").as_string(),
@@ -261,13 +274,13 @@ TEST(ProfArtifact, MatchesFusedGoldenFile)
 
 TEST(ProfCompare, SelfCompareIsClean)
 {
-    const auto doc = artifact(prof::profile("mul", "fp64_tcu"));
+    const auto doc = artifact(prof::profile("mul", ExecPolicy::fixed(EngineId::fp64_tcu)));
     EXPECT_TRUE(prof::compare(doc, doc).empty());
 }
 
 TEST(ProfCompare, DetectsInjectedRegression)
 {
-    const auto r = prof::profile("mul", "fp64_tcu");
+    const auto r = prof::profile("mul", ExecPolicy::fixed(EngineId::fp64_tcu));
     const auto cur = artifact(r);
     // Baseline with every metric 20% lower than current -> everything
     // regresses past the default 10% threshold.
@@ -287,7 +300,7 @@ TEST(ProfCompare, DetectsInjectedRegression)
 
 TEST(ProfCompare, MissingMetricIsARegression)
 {
-    auto r = prof::profile("mul", "fp64_tcu");
+    auto r = prof::profile("mul", ExecPolicy::fixed(EngineId::fp64_tcu));
     const auto base = artifact(r);
     r.metrics.erase("bytes.total");
     const auto cur = artifact(r);
@@ -299,7 +312,7 @@ TEST(ProfCompare, MissingMetricIsARegression)
 
 TEST(ProfCompare, WallTimeSkippedUnlessGated)
 {
-    auto slow = prof::profile("keyswitch", "fp64_tcu");
+    auto slow = prof::profile("keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu));
     auto fast = slow;
     fast.wall_s = slow.wall_s / 100.0;
     fast.metrics["wall.total_s"] = fast.wall_s;
@@ -343,7 +356,7 @@ TEST(ProfCli, BaselineGateExitsNonzeroOnRegression)
 
     // Perturb the baseline 20% downward: the live run now reads as a
     // >=10% regression and the gate must fail the build.
-    auto r = prof::profile("mul", "fp64_tcu");
+    auto r = prof::profile("mul", ExecPolicy::fixed(EngineId::fp64_tcu));
     for (auto &[k, v] : r.metrics)
         v /= 1.2;
     prof::write_json(r, base_path);

@@ -3,14 +3,19 @@
  *
  *   neo-prof <workload> [--engine E] [--level N] [--repeat N]
  *            [--fuse on|off] [--graph on|off]
+ *            [--tuning-table PATH]
  *            [--json PATH] [--baseline PATH] [--threshold F]
  *            [--gate-wall]
+ *   neo-prof --tune [--tuning-table PATH]
  *   neo-prof --list
  *
- * Runs one named workload under the chosen engine, prints the
- * per-kernel roofline attribution report, optionally writes the
+ * Runs one named workload under the chosen execution policy, prints
+ * the per-kernel roofline attribution report, optionally writes the
  * schema-versioned artifact (BENCH_<workload>.json by convention) and
  * optionally compares the run against a baseline artifact.
+ * `--engine auto` dispatches each kernel site through the tuning
+ * table (`--tuning-table`, or tuned in-memory); `--tune` writes the
+ * canonical `neo.tune/1` table and exits.
  *
  * Exit codes: 0 ok, 1 at least one metric regressed past the
  * threshold, 2 usage / runtime error — so CI can gate on the result.
@@ -21,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "neo/engine.h"
 #include "prof/prof.h"
 
 namespace {
@@ -28,13 +34,16 @@ namespace {
 int
 usage(const char *argv0)
 {
+    const std::string engines = neo::EngineRegistry::help_list() +
+                                " | auto";
     std::fprintf(
         stderr,
         "usage: %s <workload> [options]\n"
+        "       %s --tune [--tuning-table PATH]\n"
         "       %s --list\n"
         "options:\n"
-        "  --engine E      GEMM engine: fp64_tcu (default) | scalar |"
-        " int8_tcu\n"
+        "  --engine E      GEMM engine: %s\n"
+        "                  (default fp64_tcu; auto = per-site tuned)\n"
         "  --level N       ciphertext level (primitive workloads;"
         " default: top)\n"
         "  --repeat N      functional workloads: warmup once, report"
@@ -47,6 +56,14 @@ usage(const char *argv0)
         " pipeline)\n"
         "  --graph on|off  CUDA-graph capture/replay model (default"
         " on)\n"
+        "  --tuning-table PATH\n"
+        "                  with --engine auto: load per-site decisions"
+        " from PATH\n"
+        "                  (default: tune in-memory); with --tune:"
+        " output path\n"
+        "                  (default neo.tune.json)\n"
+        "  --tune          write the canonical neo.tune/1 table and"
+        " exit\n"
         "  --json PATH     write the neo.bench/1 artifact to PATH\n"
         "  --baseline B    compare against artifact B; exit 1 on"
         " regression\n"
@@ -54,7 +71,7 @@ usage(const char *argv0)
         " 0.10)\n"
         "  --gate-wall     also gate machine-dependent wall-clock"
         " metrics\n",
-        argv0, argv0);
+        argv0, argv0, argv0, engines.c_str());
     return 2;
 }
 
@@ -64,15 +81,17 @@ int
 main(int argc, char **argv)
 {
     std::string workload, engine = "fp64_tcu", json_path, baseline_path;
+    std::string tuning_table;
+    bool tune_mode = false;
     size_t level = 0;
     size_t repeat = 1;
     neo::prof::CompareOptions copts;
     // The CLI profiles the shipped configuration: fusion and graph
     // capture on. The library defaults stay off so programmatic
     // profile() calls reproduce the historical artifact.
-    neo::prof::ProfileOptions popts;
-    popts.fuse = true;
-    popts.graph = true;
+    neo::ExecPolicy policy;
+    policy.fuse = true;
+    policy.graph = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -104,9 +123,13 @@ main(int argc, char **argv)
         } else if (a == "--repeat") {
             repeat = static_cast<size_t>(std::atoll(next("--repeat")));
         } else if (a == "--fuse") {
-            popts.fuse = on_off("--fuse");
+            policy.fuse = on_off("--fuse");
         } else if (a == "--graph") {
-            popts.graph = on_off("--graph");
+            policy.graph = on_off("--graph");
+        } else if (a == "--tuning-table") {
+            tuning_table = next("--tuning-table");
+        } else if (a == "--tune") {
+            tune_mode = true;
         } else if (a == "--json") {
             json_path = next("--json");
         } else if (a == "--baseline") {
@@ -127,12 +150,39 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+
+    if (tune_mode) {
+        const std::string out =
+            tuning_table.empty() ? "neo.tune.json" : tuning_table;
+        try {
+            const neo::tune::TuningTable table =
+                neo::prof::tuning_table_for_workloads();
+            table.write_file(out);
+            std::printf("wrote %s (%zu site decisions)\n", out.c_str(),
+                        table.size());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "neo-prof: %s\n", e.what());
+            return 2;
+        }
+        return 0;
+    }
     if (workload.empty())
         return usage(argv[0]);
 
     try {
+        if (engine == "auto") {
+            policy.select = neo::EngineSelect::autotune;
+            policy.tuning_table = tuning_table;
+        } else {
+            policy.engine = neo::EngineRegistry::parse(engine);
+            if (!tuning_table.empty()) {
+                std::fprintf(stderr, "--tuning-table requires "
+                                     "--engine auto\n");
+                return 2;
+            }
+        }
         const neo::prof::Result r =
-            neo::prof::profile(workload, engine, level, repeat, popts);
+            neo::prof::profile(workload, policy, level, repeat);
         neo::prof::print_report(r, std::cout);
         if (!json_path.empty()) {
             neo::prof::write_json(r, json_path);
