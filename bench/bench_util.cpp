@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -96,6 +97,23 @@ Report::metric(std::string_view name, double value)
 }
 
 void
+Report::sample(std::string_view name, std::vector<double> samples)
+{
+    if (samples.empty())
+        return;
+    std::sort(samples.begin(), samples.end());
+    const size_t n = samples.size();
+    metric(name, samples[n / 2]);
+    if (n > 1) {
+        Dist d;
+        d.p50 = samples[n / 2];
+        d.p95 = samples[(19 * n + 19) / 20 - 1];
+        d.max = samples.back();
+        dists_.emplace_back(std::string(name), d);
+    }
+}
+
+void
 Report::note(std::string_view key, std::string_view value)
 {
     notes_.emplace_back(std::string(key), std::string(value));
@@ -120,6 +138,17 @@ Report::write() const
     for (const auto &[k, v] : metrics_)
         w.key(k).value(v);
     w.end_object();
+    if (!dists_.empty()) {
+        w.key("dist").begin_object();
+        for (const auto &[k, d] : dists_) {
+            w.key(k).begin_object();
+            w.key("p50").value(d.p50);
+            w.key("p95").value(d.p95);
+            w.key("max").value(d.max);
+            w.end_object();
+        }
+        w.end_object();
+    }
     w.end_object();
     w.write_file(json_path_);
     std::printf("\nwrote %s\n", json_path_.c_str());

@@ -67,6 +67,10 @@ struct Options
  *   { "schema": "neo.bench/1", "kind": "bench", "id": ..,
  *     "title": .., "notes": {..}, "metrics": {..} }
  *
+ * plus a "dist" sub-object (per-metric p50/p95/max) when any metric
+ * was recorded via sample() with more than one sample — additive, so
+ * single-run artifacts keep the historical key set.
+ *
  * to the --json path (no-op when none was given), so every benchmark
  * gains a gate-able artifact without touching its stdout format.
  */
@@ -79,6 +83,13 @@ class Report
     /// gating purposes; wall-clock metrics should embed "wall" in the
     /// key so the default compare skips them).
     void metric(std::string_view name, double value);
+    /// Record a repeated measurement: the median becomes the flat
+    /// metric @p name and, when more than one sample was taken, the
+    /// p50/p95/max order statistics enter the artifact's `dist`
+    /// sub-object (p50 = sorted element n/2, p95 = element
+    /// ceil(0.95·n)−1 — the same convention as neo-prof --repeat).
+    /// Samples need not be pre-sorted; empty is a no-op.
+    void sample(std::string_view name, std::vector<double> samples);
     /// Free-form context (parameter set, units) carried in `notes`.
     void note(std::string_view key, std::string_view value);
 
@@ -87,11 +98,17 @@ class Report
     std::string write() const;
 
   private:
+    struct Dist
+    {
+        double p50, p95, max;
+    };
+
     std::string json_path_;
     std::string id_;
     std::string title_;
     std::vector<std::pair<std::string, std::string>> notes_;
     std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, Dist>> dists_;
 };
 
 } // namespace neo::bench

@@ -275,8 +275,13 @@ Ciphertext
 Bootstrapper::bootstrap(const Ciphertext &ct) const
 {
     obs::Span span("bootstrap", obs::cat::stage);
-    if (auto *r = obs::current())
+    if (auto *r = obs::current()) {
         r->add("op.bootstrap");
+        // Work histogram: input level per bootstrap invocation
+        // (deterministic across thread counts, like the op counters).
+        r->observe("work.boot.input_limbs",
+                   static_cast<double>(ct.level + 1));
+    }
     const double delta_in = ct.scale;
     const u64 q0 = ctx_.q_basis()[0].value();
 

@@ -122,6 +122,7 @@ Evaluator::mul_impl(const Ciphertext &a, const Ciphertext &b,
 {
     obs::Span span("hmult", obs::cat::op);
     op_count("op.hmult");
+    obs::observe("work.op.limbs", static_cast<double>(a.level + 1));
     // Multiplication only needs matching levels: the scales multiply.
     NEO_CHECK(a.level == b.level, "ciphertext level mismatch");
     // d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1.
@@ -158,6 +159,7 @@ Evaluator::rotate_impl(const Ciphertext &a, i64 steps,
 {
     obs::Span span("hrotate", obs::cat::op);
     op_count("op.hrotate");
+    obs::observe("work.op.limbs", static_cast<double>(a.level + 1));
     const u64 g = ctx_.encoder().galois_element(steps);
     RnsPoly r0 = automorphism(a.c0, g);
     RnsPoly r1 = automorphism(a.c1, g);
@@ -185,6 +187,7 @@ Evaluator::conjugate_impl(const Ciphertext &a, const GaloisKeys &gk) const
 {
     obs::Span span("hconj", obs::cat::op);
     op_count("op.hconj");
+    obs::observe("work.op.limbs", static_cast<double>(a.level + 1));
     const u64 g = ctx_.encoder().galois_element(0, true);
     RnsPoly r0 = automorphism(a.c0, g);
     RnsPoly r1 = automorphism(a.c1, g);
@@ -212,6 +215,7 @@ Evaluator::rescale_by(const Ciphertext &a, size_t count) const
     NEO_EVAL_SINK();
     obs::Span span("rescale", obs::cat::op);
     op_count("op.rescale");
+    obs::observe("work.op.limbs", static_cast<double>(a.level + 1));
     NEO_CHECK(a.level >= count, "not enough levels to rescale");
     Ciphertext out = a;
     for (size_t step = 0; step < count; ++step) {

@@ -135,6 +135,7 @@ keyswitch_hybrid(const RnsPoly &d2, const EvalKey &evk,
     obs::Span span("keyswitch_hybrid", obs::cat::op);
     const size_t n = d2.n();
     const size_t level = d2.limbs() - 1;
+    obs::observe("work.keyswitch.limbs", static_cast<double>(level + 1));
     const auto &lv = ctx.precomp().level(level);
     const auto &ext_mods = lv.extended;
     const auto &groups = lv.groups;
@@ -212,6 +213,7 @@ keyswitch_klss(const RnsPoly &d2, const KlssEvalKey &evk,
     obs::Span span("keyswitch_klss", obs::cat::op);
     const size_t n = d2.n();
     const size_t level = d2.limbs() - 1;
+    obs::observe("work.keyswitch.limbs", static_cast<double>(level + 1));
     const size_t k_special = ctx.p_basis().size();
     const size_t alpha_p = ctx.alpha_prime();
     const auto &lv = ctx.precomp().level(level);

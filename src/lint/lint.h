@@ -39,6 +39,7 @@ inline constexpr const char *thread_unsafe_static = "thread-unsafe-static";
 inline constexpr const char *banned_rng = "banned-rng";
 inline constexpr const char *naked_new = "naked-new";
 inline constexpr const char *header_hygiene = "header-hygiene";
+inline constexpr const char *obs_span_leak = "obs-span-leak";
 } // namespace rule
 
 /// Every rule id, in report order.

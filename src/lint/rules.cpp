@@ -6,6 +6,7 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "common/check.h"
 #include "common/json.h"
@@ -509,6 +510,58 @@ rule_header_hygiene(const std::string &path, const std::vector<Line> &lines,
                  lines[i].raw);
 }
 
+void
+rule_obs_span_leak(const std::string &path, const std::vector<Line> &lines,
+                   Sink &out)
+{
+    (void)path;
+    constexpr std::string_view kType = "obs::Span";
+    const auto ident = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    };
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &code = lines[i].code;
+        size_t pos = 0;
+        while ((pos = code.find(kType, pos)) != std::string::npos) {
+            const size_t start = pos;
+            const size_t after = pos + kType.size();
+            pos = after;
+            // Longer identifier (obs::SpanLike, myobs::Span): not the
+            // Span type.
+            if (after < code.size() && ident(code[after]))
+                continue;
+            if (start > 0 && ident(code[start - 1]))
+                continue;
+            // A temporary is a construction: the type name directly
+            // followed by '(' or '{'. `obs::Span name(...)` has the
+            // variable name in between and is fine.
+            const size_t nx = code.find_first_not_of(" \t", after);
+            if (nx == std::string::npos ||
+                (code[nx] != '(' && code[nx] != '{'))
+                continue;
+            // Only a *discarded* temporary measures nothing: at
+            // statement start the construction is the whole expression
+            // and dies immediately. Bound or passed temporaries
+            // (`auto s = obs::Span(..)`, `f(obs::Span(..))`) live on.
+            size_t head = start;
+            while (head > 0 && (ident(code[head - 1]) ||
+                                code[head - 1] == ':'))
+                --head; // back over the rest of the qualified id
+            const size_t prev =
+                head == 0 ? std::string::npos
+                          : code.find_last_not_of(" \t", head - 1);
+            if (prev != std::string::npos && code[prev] != ';' &&
+                code[prev] != '{' && code[prev] != '}')
+                continue;
+            emit(out, rule::obs_span_leak, path, static_cast<int>(i + 1),
+                 "obs::Span constructed as a temporary is destroyed "
+                 "immediately and measures nothing; name it so it "
+                 "spans the scope",
+                 lines[i].raw);
+        }
+    }
+}
+
 } // namespace
 
 /* ------------------------------------------------------------------ */
@@ -521,7 +574,8 @@ all_rules()
     static const std::vector<std::string> rules = {
         rule::raw_mod,        rule::float_on_limb,
         rule::thread_unsafe_static, rule::banned_rng,
-        rule::naked_new,      rule::header_hygiene};
+        rule::naked_new,      rule::header_hygiene,
+        rule::obs_span_leak};
     return rules;
 }
 
@@ -547,6 +601,7 @@ scan_source(const std::string &path, const std::string &text,
     rule_banned_rng(eff_path, lines, raw);
     rule_naked_new(eff_path, lines, raw);
     rule_header_hygiene(eff_path, lines, raw);
+    rule_obs_span_leak(eff_path, lines, raw);
 
     // allow(...) on line N silences N and N+1, so annotations can sit
     // on their own line directly above the deliberate exception.

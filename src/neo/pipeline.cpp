@@ -13,6 +13,7 @@
 #include "common/static_operand.h"
 #include "common/thread_pool.h"
 #include "common/workspace.h"
+#include "gpusim/memory_model.h"
 #include "gpusim/tcu_model.h"
 #include "neo/engine.h"
 #include "neo/kernel_model.h"
@@ -86,7 +87,9 @@ pipeline_cache_for(const CkksContext &ctx)
             if (it->second->last_use < victim->second->last_use)
                 victim = it;
         reg.erase(victim);
+        obs::add_gauge("ks.cache.evictions", 1.0);
     }
+    obs::set_gauge("ks.cache.contexts", static_cast<double>(reg.size()));
     return out;
 }
 
@@ -179,6 +182,15 @@ pipeline_run(const RnsPoly &d2, const KlssEvalKey &evk,
             r->add_modeled_cost(row.name, row.modeled_s, row.compute_s,
                                 row.memory_s, row.launch_s, row.bytes,
                                 row.calls);
+        // Modeled HBM telemetry: per-run DRAM traffic distribution
+        // plus the footprint gauges (working set, keys, ciphertext).
+        r->observe("work.keyswitch.hbm_bytes", att.schedule.bytes);
+        r->set_gauge("hbm.modeled.traffic_bytes", att.schedule.bytes);
+        gpusim::MemoryModel(ctx.params()).record_gauges(d2.limbs() - 1);
+        // Work histogram: limb count per keyswitch — deterministic
+        // (depends only on the op mix, never on timing or threads).
+        r->observe("work.keyswitch.limbs",
+                   static_cast<double>(d2.limbs()));
     }
     const size_t n = d2.n();
     const size_t level = d2.limbs() - 1;

@@ -3,16 +3,20 @@
  * neo::obs — low-overhead tracing + metrics layer.
  *
  * The layer is built around a Registry: a sink for named monotonic
- * counters, accumulated values (bytes, modeled seconds), a GEMM shape
- * histogram and (optionally) timestamped trace events. A process-wide
- * "current" registry pointer selects the active sink:
+ * counters, accumulated values (bytes, modeled seconds), deterministic
+ * log-bucketed latency/work histograms, gauges with high-water marks,
+ * a GEMM shape histogram and (optionally) timestamped trace events. A
+ * process-wide "current" registry pointer selects the active sink:
  *
  *  - When no registry is installed (the default), every probe —
- *    Span construction, counter adds — reduces to one relaxed atomic
- *    load and a branch, so instrumented hot paths run at full speed.
- *  - `NEO_TRACE=summary|json[:path]` installs a process-global
- *    registry at startup and exports it at exit (plain-text summary
- *    table or chrome://tracing JSON loadable in Perfetto).
+ *    Span construction, counter adds, observe()/set_gauge() — reduces
+ *    to one relaxed atomic load and a branch, so instrumented hot
+ *    paths run at full speed.
+ *  - `NEO_TRACE=summary|json|openmetrics|flamegraph[:path]` installs a
+ *    process-global registry at startup and exports it at exit
+ *    (plain-text summary table, chrome://tracing JSON loadable in
+ *    Perfetto, OpenMetrics text exposition, or a collapsed-stack
+ *    flamegraph loadable in speedscope).
  *  - Tests install a Scope, which owns a private registry, makes it
  *    current for the scope's lifetime and restores the previous sink
  *    on destruction, so counter assertions stay deterministic even
@@ -81,6 +85,60 @@ struct GemmShape {
 };
 
 /**
+ * Snapshot of a deterministic log-bucketed value histogram.
+ *
+ * Bucket boundaries are fixed at compile time: every power-of-two
+ * octave [2^e, 2^(e+1)) is split into four log-linear sub-buckets
+ * with edges 2^e·{1, 1.25, 1.5, 1.75} for e in [0, 63]; everything
+ * below 1 (including 0 and negatives) lands in bucket 0 and anything
+ * at or above 2^64 in the top bucket. All edges are exactly
+ * representable doubles, so bucket placement is bit-deterministic.
+ *
+ * Because bucket placement depends only on the observed value — never
+ * on arrival order or thread — per-bucket counts, count, min and max
+ * are identical across thread counts, and two snapshots merge by
+ * adding counts. `sum` is an FP accumulation: exact (hence
+ * order-independent) for integer observations totalling < 2^53, which
+ * covers the integer-ns latency and integer work/byte series recorded
+ * by the built-in probes.
+ */
+struct HistogramSnapshot {
+    /// Per-octave sub-buckets; boundary ratio ≤ 1.25 between edges.
+    static constexpr int kSubBuckets = 4;
+    /// Highest octave exponent; values ≥ 2^(kMaxExp+1) clamp to the
+    /// top bucket.
+    static constexpr int kMaxExp = 63;
+    /// Total addressable buckets (index 0 is the underflow bucket).
+    static constexpr i32 kNumBuckets = 1 + kSubBuckets * (kMaxExp + 1);
+
+    /// (bucket index, count), ascending by index, zero counts omitted.
+    std::vector<std::pair<i32, u64>> buckets;
+    u64 count = 0;
+    double sum = 0;
+    double min = 0; ///< exact smallest observation (valid when count>0)
+    double max = 0; ///< exact largest observation (valid when count>0)
+
+    /// Bucket index for value v (0 ≤ index < kNumBuckets).
+    static i32 bucket_index(double v);
+    /// Inclusive lower edge of bucket `idx` (bucket 0 → 0).
+    static double bucket_lower(i32 idx);
+    /// Exclusive upper edge of bucket `idx` (top bucket → 2^64).
+    static double bucket_upper(i32 idx);
+
+    /**
+     * Deterministic quantile: the upper edge of the bucket holding
+     * the ceil(p·count)-th smallest observation — except that the
+     * highest populated bucket reports the exact max, so p≥1 returns
+     * max; p≤0 returns the exact min. Relative overestimate is
+     * bounded by the ≤1.25 edge ratio. Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /// Fold `other` into this snapshot (bucket-wise count addition).
+    void merge(const HistogramSnapshot &other);
+};
+
+/**
  * Metrics + trace sink. All mutating methods are thread-safe; reads
  * taken while workers are still recording see a consistent snapshot.
  */
@@ -94,12 +152,28 @@ class Registry
         size_t max_events = 1u << 20;
     };
 
+    /// Instantaneous level with a high-water mark (resident bytes,
+    /// cache occupancy). Unlike counters/values, a gauge can go down.
+    struct Gauge {
+        double current = 0;
+        double high_water = 0;
+    };
+
     Registry();
     explicit Registry(Options opts);
 
     // -- recording -----------------------------------------------------
     void add(std::string_view name, u64 delta = 1);
     void add_value(std::string_view name, double delta);
+    /// Record one observation into the named log-bucketed histogram
+    /// (see HistogramSnapshot for the bucket scheme).
+    void observe(std::string_view name, double v);
+    /// Set a gauge to an absolute level (high-water mark keeps max).
+    void set_gauge(std::string_view name, double v);
+    /// Adjust a gauge by a (possibly negative) delta.
+    void add_gauge(std::string_view name, double delta);
+    /// Raise a gauge to at least `v` (for peak-only reporters).
+    void max_gauge(std::string_view name, double v);
     /// Keep the maximum of @p v and the stored value (for high-water
     /// marks). Max is commutative/associative, so totals stay
     /// deterministic across thread counts like the sum counters.
@@ -123,17 +197,35 @@ class Registry
                           double compute_s, double memory_s,
                           double launch_s, double bytes,
                           u64 invocations = 1);
-    /// Record a finished span: bumps `span.<cat>` and `wall.<cat>.ns`
-    /// and (when events are on) appends a TraceEvent. Exposed so the
-    /// golden-file test can inject fixed-timestamp events.
+    /// Record a finished span: bumps `span.<cat>` and `wall.<cat>.ns`,
+    /// feeds the `lat.<cat>.ns` latency histogram (per-name
+    /// `lat.<cat>.<name>.ns` for op/stage spans) and (when events are
+    /// on) appends a TraceEvent. Exposed so the golden-file test can
+    /// inject fixed-timestamp events.
     void record_event(std::string_view name, const char *cat, u32 tid,
                       i64 ts_ns, i64 dur_ns);
+
+    /**
+     * Fold a snapshot of `other` into this registry: counters, values
+     * and histograms add; gauges take `other`'s current level (the
+     * newer reading) and the max of the high-water marks; trace events
+     * are appended with timestamps re-based onto this registry's epoch
+     * (both epochs come from the same steady clock). Used by neo-prof
+     * to publish a scoped profiling run into the ambient NEO_TRACE
+     * sink. Not an event re-record: span counters are merged from
+     * `other`'s counters, not re-derived.
+     */
+    void merge_from(const Registry &other);
 
     // -- reading -------------------------------------------------------
     u64 counter(std::string_view name) const;
     double value(std::string_view name) const;
+    Gauge gauge(std::string_view name) const;
+    HistogramSnapshot histogram(std::string_view name) const;
     std::map<std::string, u64, std::less<>> counters() const;
     std::map<std::string, double, std::less<>> values() const;
+    std::map<std::string, Gauge, std::less<>> gauges() const;
+    std::map<std::string, HistogramSnapshot, std::less<>> histograms() const;
     std::map<GemmShape, u64> gemm_shapes() const;
     std::vector<TraceEvent> events() const;
     u64 dropped_events() const;
@@ -147,11 +239,24 @@ class Registry
     i64 now_ns() const;
 
   private:
+    /// Internal histogram accumulator (sparse bucket map).
+    struct Hist {
+        std::map<i32, u64> buckets;
+        u64 count = 0;
+        double sum = 0;
+        double min = 0;
+        double max = 0;
+    };
+
+    void observe_locked(std::string_view name, double v);
+
     Options opts_;
     i64 epoch_ns_; ///< steady_clock ns at construction
     mutable std::mutex mu_;
     std::map<std::string, u64, std::less<>> counters_;
     std::map<std::string, double, std::less<>> values_;
+    std::map<std::string, Gauge, std::less<>> gauges_;
+    std::map<std::string, Hist, std::less<>> hists_;
     std::map<GemmShape, u64> gemm_shapes_;
     std::vector<TraceEvent> events_;
     u64 dropped_ = 0;
@@ -266,19 +371,77 @@ class Span
     i64 start_ns_ = 0;
 };
 
+// -- hot-path convenience probes ---------------------------------------
+// Each reduces to one relaxed atomic load and a branch when no
+// registry is installed.
+
+/// Record one histogram observation into the current sink (if any).
+inline void
+observe(std::string_view name, double v)
+{
+    if (Registry *r = current())
+        r->observe(name, v);
+}
+
+/// Set a gauge level in the current sink (if any).
+inline void
+set_gauge(std::string_view name, double v)
+{
+    if (Registry *r = current())
+        r->set_gauge(name, v);
+}
+
+/// Adjust a gauge in the current sink (if any).
+inline void
+add_gauge(std::string_view name, double delta)
+{
+    if (Registry *r = current())
+        r->add_gauge(name, delta);
+}
+
+/// Raise a gauge to at least `v` in the current sink (if any).
+inline void
+max_gauge(std::string_view name, double v)
+{
+    if (Registry *r = current())
+        r->max_gauge(name, v);
+}
+
 // -- exporters ---------------------------------------------------------
 
 /// chrome://tracing JSON (object form). Extra top-level keys carry the
-/// counters/values/shape histogram; Perfetto ignores them.
+/// counters/values/shape histogram; Perfetto ignores them. Events are
+/// sorted by (tid, ts, name, dur) so the export is byte-stable at
+/// fixed inputs regardless of thread-index assignment order.
 void export_chrome_json(const Registry &reg, std::ostream &out);
-/// Plain-text summary table: counters, values, GEMM shape histogram.
+/// Plain-text summary table: counters, values, gauges, histogram
+/// percentiles, GEMM shape histogram.
 void export_summary(const Registry &reg, std::ostream &out);
+/**
+ * OpenMetrics/Prometheus text exposition: counters as `<name>_total`,
+ * values and gauges as gauges (`<name>_high_water` for marks),
+ * histograms as cumulative `_bucket{le="..."}` series plus
+ * `_sum`/`_count` and derived `_p50/_p95/_p99/_max` gauges.
+ * Metric names are `neo_` + the registry name with every
+ * non-[a-zA-Z0-9_] byte mapped to '_'. Terminated by `# EOF`.
+ */
+void export_openmetrics(const Registry &reg, std::ostream &out);
+/**
+ * Collapsed-stack flamegraph (Brendan Gregg / speedscope format):
+ * one `root;frame;...;leaf <self_ns>` line per stack, sorted
+ * lexicographically. Stacks are reconstructed per thread from the
+ * span parent chain (an event is a child of the enclosing event on
+ * the same tid); values are exclusive nanoseconds. Requires the
+ * registry to record events.
+ */
+void export_flamegraph(const Registry &reg, std::ostream &out);
 
-/// Parse NEO_TRACE ("summary", "json", "summary:PATH", "json:PATH"),
-/// install a process-global registry and register an atexit exporter.
-/// Called once from a static initializer; safe to call again (no-op).
-/// NEO_TRACE_FILE overrides the output path (default: stderr for
-/// summary, neo_trace.json for json).
+/// Parse NEO_TRACE ("summary", "json", "openmetrics", "flamegraph",
+/// each optionally ":PATH"), install a process-global registry and
+/// register an atexit exporter. Called once from a static
+/// initializer; safe to call again (no-op). NEO_TRACE_FILE overrides
+/// the output path (defaults: stderr for summary, neo_trace.json,
+/// neo_metrics.txt, neo_flame.txt).
 void init_from_env();
 
 } // namespace neo::obs

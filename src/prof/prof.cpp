@@ -141,7 +141,17 @@ profile_keyswitch(const ExecPolicy &policy, size_t level, size_t repeat)
         for (size_t j = 0; j < d2.n(); ++j)
             d2.limb(i)[j] = rng.uniform(d2.modulus(i).value());
 
-    obs::Scope scope;
+    // The run records into a private Scope so the snapshot below is
+    // deterministic even under an ambient NEO_TRACE sink — but the
+    // ambient sink still deserves the telemetry (NEO_TRACE=openmetrics
+    // on a neo-prof run must export the keyswitch series), so the
+    // scope's registry is merged back into it at the end. Events are
+    // recorded only when the ambient sink wants them (flamegraph/json).
+    obs::Registry *ambient = obs::current();
+    obs::Scope::Options sopts;
+    sopts.registry.record_events =
+        ambient != nullptr && ambient->recording_events();
+    obs::Scope scope(sopts);
     const auto run_once = [&] {
         const auto t0 = std::chrono::steady_clock::now();
         (void)keyswitch_klss_pipeline(d2, rlk, ctx, policy);
@@ -160,7 +170,8 @@ profile_keyswitch(const ExecPolicy &policy, size_t level, size_t repeat)
         if (name.rfind("span.", 0) == 0 || name == "gemm.calls" ||
             name == "pipeline.keyswitch" ||
             name.rfind("gemm.plane_cache.", 0) == 0 ||
-            name.rfind("ws.", 0) == 0 || name.rfind("pass.", 0) == 0 ||
+            name.rfind("ws.", 0) == 0 || name.rfind("ks.", 0) == 0 ||
+            name.rfind("pass.", 0) == 0 ||
             name.rfind("fuse.", 0) == 0 || name.rfind("tune.", 0) == 0)
             r.spans[name] = count;
     }
@@ -171,7 +182,14 @@ profile_keyswitch(const ExecPolicy &policy, size_t level, size_t repeat)
             s = run_once();
         std::sort(samples.begin(), samples.end());
         r.wall_s = samples[samples.size() / 2];
+        Dist d;
+        d.p50 = r.wall_s;
+        d.p95 = samples[(19 * samples.size() + 19) / 20 - 1];
+        d.max = samples.back();
+        r.dist["wall.total_s"] = d;
     }
+    if (ambient != nullptr)
+        ambient->merge_from(scope.registry());
     const auto want = keyswitch_pipeline_kernel_counts(ctx, level);
     r.expected_spans["gemm"] = want.gemm;
     r.expected_spans["ntt"] = want.ntt;
@@ -478,6 +496,21 @@ to_json(const Result &r)
         w.key(name).value(v);
     w.end_object();
 
+    // Additive neo.bench/1 field (PR 8): sample distributions for
+    // repeated metrics. Omitted when empty so repeat==1 artifacts keep
+    // the historical key set byte for byte.
+    if (!r.dist.empty()) {
+        w.key("dist").begin_object();
+        for (const auto &[name, d] : r.dist) {
+            w.key(name).begin_object();
+            w.key("p50").value(d.p50);
+            w.key("p95").value(d.p95);
+            w.key("max").value(d.max);
+            w.end_object();
+        }
+        w.end_object();
+    }
+
     w.end_object();
     return w.str();
 }
@@ -518,6 +551,233 @@ compare(const json::Value &baseline, const json::Value &current,
         }
     }
     return out;
+}
+
+namespace {
+
+DiffRow
+make_row(const std::string &name, double base, double cur)
+{
+    DiffRow row;
+    row.name = name;
+    row.base = base;
+    row.cur = cur;
+    row.delta = cur - base;
+    row.ratio = base != 0 ? cur / base : 0;
+    return row;
+}
+
+std::string
+opt_string(const json::Value &doc, const char *key)
+{
+    const json::Value *v = doc.find(key);
+    return v != nullptr ? v->as_string() : std::string();
+}
+
+/// kernel name -> modeled_s from an artifact's `kernels` array
+/// (empty for artifacts without one, e.g. bench-harness reports).
+std::map<std::string, double>
+kernel_times(const json::Value &doc)
+{
+    std::map<std::string, double> out;
+    const json::Value *kernels = doc.find("kernels");
+    if (kernels == nullptr)
+        return out;
+    for (const auto &row : kernels->as_array())
+        out[row.at("name").as_string()] = row.at("modeled_s").as_number();
+    return out;
+}
+
+std::map<std::string, double>
+number_map(const json::Value &doc, const char *key)
+{
+    std::map<std::string, double> out;
+    const json::Value *obj = doc.find(key);
+    if (obj == nullptr)
+        return out;
+    for (const auto &[name, v] : obj->as_object())
+        out[name] = v.as_number();
+    return out;
+}
+
+/// Union the two maps into changed-only DiffRows (absent side -> 0),
+/// sorted by name (map order).
+std::vector<DiffRow>
+changed_rows(const std::map<std::string, double> &base,
+             const std::map<std::string, double> &cur)
+{
+    std::map<std::string, std::pair<double, double>> joined;
+    for (const auto &[name, v] : base)
+        joined[name].first = v;
+    for (const auto &[name, v] : cur)
+        joined[name].second = v;
+    std::vector<DiffRow> out;
+    for (const auto &[name, bc] : joined) {
+        if (bc.first == bc.second)
+            continue;
+        out.push_back(make_row(name, bc.first, bc.second));
+    }
+    return out;
+}
+
+} // namespace
+
+DiffReport
+diff(const json::Value &baseline, const json::Value &current,
+     const CompareOptions &opts)
+{
+    DiffReport d;
+    d.regressions = compare(baseline, current, opts); // also checks schema
+    d.threshold = opts.threshold;
+    d.base_workload = opt_string(baseline, "workload");
+    d.cur_workload = opt_string(current, "workload");
+    d.base_engine = opt_string(baseline, "engine");
+    d.cur_engine = opt_string(current, "engine");
+    if (const json::Value *t = baseline.find("totals"))
+        d.base_total_s = t->at("modeled_s").as_number();
+    if (const json::Value *t = current.find("totals"))
+        d.cur_total_s = t->at("modeled_s").as_number();
+
+    // Kernel attribution: every kernel of either side, with its share
+    // of the total modeled-time movement. Shares of an exact kernel
+    // decomposition sum to 1 when the totals moved.
+    const double total_delta = d.cur_total_s - d.base_total_s;
+    const auto base_k = kernel_times(baseline);
+    const auto cur_k = kernel_times(current);
+    std::map<std::string, std::pair<double, double>> joined;
+    for (const auto &[name, v] : base_k)
+        joined[name].first = v;
+    for (const auto &[name, v] : cur_k)
+        joined[name].second = v;
+    for (const auto &[name, bc] : joined) {
+        DiffRow row = make_row(name, bc.first, bc.second);
+        if (total_delta != 0)
+            row.share = row.delta / total_delta;
+        d.kernels.push_back(row);
+    }
+    std::sort(d.kernels.begin(), d.kernels.end(),
+              [](const DiffRow &a, const DiffRow &b) {
+                  const double da = std::abs(a.delta);
+                  const double db = std::abs(b.delta);
+                  if (da != db)
+                      return da > db;
+                  return a.name < b.name;
+              });
+
+    d.spans = changed_rows(number_map(baseline, "spans"),
+                           number_map(current, "spans"));
+
+    // Per-kernel modeled times already live in the kernels table;
+    // keep the metrics table to the schedule-level rows.
+    auto base_m = number_map(baseline, "metrics");
+    auto cur_m = number_map(current, "metrics");
+    const auto strip_kernel_rows = [](std::map<std::string, double> &m) {
+        for (auto it = m.begin(); it != m.end();) {
+            if (it->first.rfind("modeled.kernel.", 0) == 0)
+                it = m.erase(it);
+            else
+                ++it;
+        }
+    };
+    strip_kernel_rows(base_m);
+    strip_kernel_rows(cur_m);
+    d.metrics = changed_rows(base_m, cur_m);
+    return d;
+}
+
+void
+print_diff(const DiffReport &d, std::ostream &out)
+{
+    out << "neo-prof diff: " << d.base_workload << " (" << d.base_engine
+        << ") -> " << d.cur_workload << " (" << d.cur_engine << ")\n";
+    out << "modeled total: " << d.base_total_s << " s -> " << d.cur_total_s
+        << " s (delta " << d.cur_total_s - d.base_total_s << " s)\n";
+
+    if (!d.kernels.empty()) {
+        out << "\nkernel attribution (|delta| descending):\n";
+        for (const auto &k : d.kernels) {
+            out << "  " << k.name << ": " << k.base << " -> " << k.cur
+                << " s (delta " << k.delta;
+            if (k.share != 0)
+                out << ", " << k.share * 100.0 << "% of movement";
+            out << ")\n";
+        }
+    }
+    if (!d.spans.empty()) {
+        out << "\nchanged spans:\n";
+        for (const auto &s : d.spans)
+            out << "  " << s.name << ": " << s.base << " -> " << s.cur
+                << "\n";
+    }
+    if (!d.metrics.empty()) {
+        out << "\nchanged metrics:\n";
+        for (const auto &m : d.metrics)
+            out << "  " << m.name << ": " << m.base << " -> " << m.cur
+                << " (delta " << m.delta << ")\n";
+    }
+    if (d.regressions.empty()) {
+        out << "\ngate: PASS (threshold " << d.threshold * 100 << "%)\n";
+    } else {
+        out << "\ngate: FAIL (threshold " << d.threshold * 100 << "%)\n";
+        for (const auto &reg : d.regressions)
+            out << "  " << reg.metric << ": " << reg.baseline << " -> "
+                << reg.current << "\n";
+    }
+}
+
+std::string
+diff_to_json(const DiffReport &d)
+{
+    json::Writer w;
+    const auto write_rows = [&w](const char *key,
+                                 const std::vector<DiffRow> &rows,
+                                 bool with_share) {
+        w.key(key).begin_array();
+        for (const auto &r : rows) {
+            w.begin_object();
+            w.key("name").value(r.name);
+            w.key("base").value(r.base);
+            w.key("cur").value(r.cur);
+            w.key("delta").value(r.delta);
+            w.key("ratio").value(r.ratio);
+            if (with_share)
+                w.key("share").value(r.share);
+            w.end_object();
+        }
+        w.end_array();
+    };
+
+    w.begin_object();
+    w.key("schema").value(kDiffSchema);
+    w.key("base").begin_object();
+    w.key("workload").value(d.base_workload);
+    w.key("engine").value(d.base_engine);
+    w.key("modeled_total_s").value(d.base_total_s);
+    w.end_object();
+    w.key("cur").begin_object();
+    w.key("workload").value(d.cur_workload);
+    w.key("engine").value(d.cur_engine);
+    w.key("modeled_total_s").value(d.cur_total_s);
+    w.end_object();
+    w.key("threshold").value(d.threshold);
+    write_rows("kernels", d.kernels, true);
+    write_rows("spans", d.spans, false);
+    write_rows("metrics", d.metrics, false);
+    w.key("regressions").begin_array();
+    for (const auto &reg : d.regressions) {
+        w.begin_object();
+        w.key("metric").value(reg.metric);
+        w.key("baseline").value(reg.baseline);
+        w.key("current").value(reg.current);
+        // inf (zero-baseline regression) is not a JSON number; exports
+        // as 0 like DiffRow::ratio.
+        w.key("ratio").value(std::isfinite(reg.ratio) ? reg.ratio : 0.0);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("gated").value(d.gated());
+    w.end_object();
+    return w.str();
 }
 
 } // namespace neo::prof

@@ -75,6 +75,18 @@ struct ProfileOptions
     bool graph = false;
 };
 
+/**
+ * Distribution summary of repeated samples of one metric. Quantiles
+ * are order statistics of the sorted sample vector (p50 = element
+ * n/2, matching the median wall_s; p95 = element ceil(0.95·n)-1).
+ */
+struct Dist
+{
+    double p50 = 0;
+    double p95 = 0;
+    double max = 0;
+};
+
 /** Complete result of one profile run. */
 struct Result
 {
@@ -108,6 +120,11 @@ struct Result
     /// "wall" are machine-dependent and skipped by compare() unless
     /// gate_wall is set.
     std::map<std::string, double> metrics;
+    /// Sample distributions for repeated metrics ("wall.total_s" when
+    /// repeat > 1). Serialized as the artifact's "dist" sub-object;
+    /// omitted when empty, so single-run artifacts keep the
+    /// historical key set byte for byte.
+    std::map<std::string, Dist> dist;
 };
 
 /// Workloads profile() accepts, in display order.
@@ -199,5 +216,70 @@ struct Regression
 std::vector<Regression> compare(const json::Value &baseline,
                                 const json::Value &current,
                                 const CompareOptions &opts = {});
+
+// ------------------------------------------------------------------ diff
+
+/// Schema identifier of diff_to_json documents.
+inline constexpr const char *kDiffSchema = "neo.diff/1";
+
+/** One named quantity compared across two artifacts. */
+struct DiffRow
+{
+    std::string name;
+    double base = 0;
+    double cur = 0;
+    double delta = 0; ///< cur - base
+    /// cur / base; 0 when base == 0 (kept finite for JSON export).
+    double ratio = 0;
+    /// delta / (cur total - base total): this row's share of the
+    /// total modeled-time movement. 0 when the totals are equal or
+    /// the row is not a time (spans/metrics rows).
+    double share = 0;
+};
+
+/**
+ * Explainable comparison of two neo.bench/1 artifacts (`neo-prof
+ * --diff`): the total delta attributed per kernel, the changed span
+ * counters and metrics, plus the same threshold gate compare()
+ * applies — one report answers both "did it regress?" and "which
+ * kernel moved?".
+ */
+struct DiffReport
+{
+    std::string base_workload, cur_workload;
+    std::string base_engine, cur_engine;
+    double base_total_s = 0, cur_total_s = 0; ///< totals.modeled_s
+    double threshold = 0;
+    /// All kernels of either artifact, |delta| descending (name
+    /// ascending on ties); rows carry the delta share.
+    std::vector<DiffRow> kernels;
+    /// Changed span.*/counter rows (from the artifacts' `spans`).
+    std::vector<DiffRow> spans;
+    /// Changed metrics, excluding per-kernel times (in `kernels`).
+    std::vector<DiffRow> metrics;
+    /// Gate result: compare(baseline, current, opts).
+    std::vector<Regression> regressions;
+
+    bool
+    gated() const
+    {
+        return !regressions.empty();
+    }
+};
+
+/**
+ * Build the attribution diff (baseline first). Both documents must
+ * carry schema kSchema; artifacts without kernel rows (bench-harness
+ * reports) yield an empty kernels table and still diff metrics.
+ */
+DiffReport diff(const json::Value &baseline, const json::Value &current,
+                const CompareOptions &opts = {});
+
+/// Human-readable attribution report (stdout form of --diff).
+void print_diff(const DiffReport &d, std::ostream &out);
+
+/// The diff as a JSON document (schema kDiffSchema); deterministic
+/// given the two inputs, so reports golden-test cleanly.
+std::string diff_to_json(const DiffReport &d);
 
 } // namespace neo::prof

@@ -64,20 +64,74 @@ note(bool hit)
         r->add(hit ? "gemm.plane_cache.hit" : "gemm.plane_cache.miss");
 }
 
+/// Payload bytes held by one cache entry (keys are negligible).
+size_t
+entry_bytes(const PlaneCache::F64Ptr &p)
+{
+    return p == nullptr ? 0 : p->size() * sizeof(double);
+}
+
+size_t
+entry_bytes(const PlaneCache::I32Ptr &p)
+{
+    return p == nullptr ? 0 : p->size() * sizeof(i32);
+}
+
+size_t
+entry_bytes(int)
+{
+    return sizeof(int);
+}
+
+size_t
+entry_bytes(const PlaneCache::Pow2Ptr &p)
+{
+    return p == nullptr ? 0 : p->size() * sizeof(u64);
+}
+
+/// Publish the resident-size gauges (call after any mutation).
+void
+publish(size_t resident_bytes, size_t entry_count)
+{
+    if (auto *r = obs::current()) {
+        r->set_gauge("plane_cache.resident_bytes",
+                     static_cast<double>(resident_bytes));
+        r->set_gauge("plane_cache.entries",
+                     static_cast<double>(entry_count));
+    }
+}
+
+void
+note_evicted(u64 evicted, size_t freed_bytes)
+{
+    if (evicted == 0)
+        return;
+    if (auto *r = obs::current()) {
+        r->add("gemm.plane_cache.evict", evicted);
+        r->add_value("gemm.plane_cache.evicted_bytes",
+                     static_cast<double>(freed_bytes));
+    }
+}
+
 /// Drop other-generation entries for the same address range: once the
 /// pin's generation moved, the old derived forms can never hit again.
+/// Freed payload bytes and eviction count accumulate into the
+/// out-params so the caller can settle the resident-size gauges.
 template <class Map, class Key>
 void
-evict_stale(Map &m, const Key &key)
+evict_stale(Map &m, const Key &key, size_t &freed_bytes, u64 &evicted)
 {
     Key lo{};
     lo.addr = key.addr;
     for (auto it = m.lower_bound(lo);
          it != m.end() && it->first.addr == key.addr;) {
-        if (it->first.gen != key.gen)
+        if (it->first.gen != key.gen) {
+            freed_bytes += entry_bytes(it->second);
+            ++evicted;
             it = m.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
 }
 
@@ -91,6 +145,8 @@ struct PlaneCache::Impl
     std::map<WidthKey, int> width;
     std::map<Pow2Key, Pow2Ptr> pow2;
     std::atomic<bool> enabled{true};
+    size_t resident_bytes = 0; ///< payload bytes across all maps (mu)
+    size_t entry_count = 0;    ///< entries across all maps (mu)
 };
 
 PlaneCache::PlaneCache() : impl_(std::make_unique<Impl>()) {}
@@ -124,6 +180,9 @@ PlaneCache::clear()
     impl_->i32.clear();
     impl_->width.clear();
     impl_->pow2.clear();
+    impl_->resident_bytes = 0;
+    impl_->entry_count = 0;
+    publish(0, 0);
 }
 
 PlaneCache::F64Ptr
@@ -148,8 +207,18 @@ PlaneCache::f64_planes(const u64 *p, size_t count, int planes, int plane_bits)
         static_cast<size_t>(planes) * count);
     slice_to_f64(p, count, planes, plane_bits, built->data());
     std::unique_lock lock(impl_->mu);
-    evict_stale(impl_->f64, key);
+    size_t freed = 0;
+    u64 evicted = 0;
+    evict_stale(impl_->f64, key, freed, evicted);
     auto [it, inserted] = impl_->f64.emplace(key, std::move(built));
+    if (inserted) {
+        impl_->resident_bytes += entry_bytes(it->second);
+        ++impl_->entry_count;
+    }
+    impl_->resident_bytes -= freed;
+    impl_->entry_count -= evicted;
+    publish(impl_->resident_bytes, impl_->entry_count);
+    note_evicted(evicted, freed);
     note(!inserted); // lost race to another thread = a hit after all
     return it->second;
 }
@@ -176,8 +245,18 @@ PlaneCache::i32_planes(const u64 *p, size_t count, int planes, int plane_bits)
         static_cast<size_t>(planes) * count);
     slice_to_i32(p, count, planes, plane_bits, built->data());
     std::unique_lock lock(impl_->mu);
-    evict_stale(impl_->i32, key);
+    size_t freed = 0;
+    u64 evicted = 0;
+    evict_stale(impl_->i32, key, freed, evicted);
     auto [it, inserted] = impl_->i32.emplace(key, std::move(built));
+    if (inserted) {
+        impl_->resident_bytes += entry_bytes(it->second);
+        ++impl_->entry_count;
+    }
+    impl_->resident_bytes -= freed;
+    impl_->entry_count -= evicted;
+    publish(impl_->resident_bytes, impl_->entry_count);
+    note_evicted(evicted, freed);
     note(!inserted);
     return it->second;
 }
@@ -202,8 +281,18 @@ PlaneCache::width_bits(const u64 *p, size_t count)
         m |= p[i];
     const int bits = bit_size(m);
     std::unique_lock lock(impl_->mu);
-    evict_stale(impl_->width, key);
-    impl_->width.emplace(key, bits);
+    size_t freed = 0;
+    u64 evicted = 0;
+    evict_stale(impl_->width, key, freed, evicted);
+    const bool inserted = impl_->width.emplace(key, bits).second;
+    if (inserted) {
+        impl_->resident_bytes += entry_bytes(bits);
+        ++impl_->entry_count;
+    }
+    impl_->resident_bytes -= freed;
+    impl_->entry_count -= evicted;
+    publish(impl_->resident_bytes, impl_->entry_count);
+    note_evicted(evicted, freed);
     return bits;
 }
 
@@ -228,7 +317,11 @@ PlaneCache::pow2(const SplitPlan &plan, u64 q_value)
         return built;
     std::unique_lock lock(impl_->mu);
     auto [it, inserted] = impl_->pow2.emplace(key, std::move(built));
-    (void)inserted;
+    if (inserted) {
+        impl_->resident_bytes += entry_bytes(it->second);
+        ++impl_->entry_count;
+        publish(impl_->resident_bytes, impl_->entry_count);
+    }
     return it->second;
 }
 

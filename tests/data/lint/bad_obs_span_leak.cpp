@@ -1,0 +1,8 @@
+// Fixture: obs::Span constructed as a discarded temporary — it is
+// destroyed at the end of the full expression and measures nothing.
+void
+f()
+{
+    obs::Span("kernel", "ntt");
+    neo::obs::Span("kernel", "bconv");
+}

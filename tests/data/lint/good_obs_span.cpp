@@ -1,0 +1,18 @@
+// Fixture: legitimate obs::Span uses — named spans, bound or passed
+// temporaries, optionals and longer identifiers must not match.
+void
+f(bool deep)
+{
+    obs::Span span("kernel", "ntt");          // named: spans the scope
+    auto s = obs::Span("kernel", "bconv");    // bound temporary
+    take(obs::Span("kernel", "ip"));          // passed temporary
+    std::optional<obs::Span> opt;             // type position
+    if (deep)
+        opt.emplace("stage", "modup");
+    obs::SpanTimer("kernel", "merge");        // different type
+    myobs::Span("kernel", "split");           // different namespace
+    // neo-lint: allow(obs-span-leak) — deliberate: times the ctor only
+    obs::Span("kernel", "ctor");
+    (void)span;
+    (void)s;
+}

@@ -132,6 +132,22 @@ TEST(LintRules, HeaderHygienePassesCleanHeader)
     EXPECT_TRUE(scan_fixture("good_header.h").empty());
 }
 
+TEST(LintRules, ObsSpanLeakFlagsDiscardedTemporaries)
+{
+    const auto fs = scan_fixture("bad_obs_span_leak.cpp");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, rule::obs_span_leak);
+    EXPECT_EQ(fs[0].line, 6); // obs::Span(...)
+    EXPECT_EQ(fs[1].line, 7); // fully qualified neo::obs::Span(...)
+}
+
+TEST(LintRules, ObsSpanLeakPassesNamedBoundAndPassedSpans)
+{
+    int suppressed = 0;
+    EXPECT_TRUE(scan_fixture("good_obs_span.cpp", &suppressed).empty());
+    EXPECT_EQ(suppressed, 1); // the annotated deliberate temporary
+}
+
 TEST(LintRules, AllowSuppressesOwnAndNextLineOnlyForNamedRule)
 {
     int suppressed = 0;
@@ -148,7 +164,8 @@ TEST(LintRules, AllRulesAreCoveredByFixtures)
     std::vector<std::string> seen;
     for (const char *f :
          {"bad_raw_mod.cpp", "bad_float_on_limb.cpp", "bad_static.cpp",
-          "bad_rng.cpp", "bad_naked_new.cpp", "bad_header.h"})
+          "bad_rng.cpp", "bad_naked_new.cpp", "bad_header.h",
+          "bad_obs_span_leak.cpp"})
         for (const std::string &r : rules_of(scan_fixture(f)))
             seen.push_back(r);
     for (const std::string &r : all_rules())

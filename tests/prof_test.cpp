@@ -6,12 +6,18 @@
  *  - the artifact matches the committed golden file
  *    (tests/data/prof_report_golden.json),
  *  - compare() gates regressions / dropped metrics and skips wall
- *    time, and
- *  - the neo-prof CLI exits nonzero against a perturbed baseline.
+ *    time,
+ *  - diff() attributes the delta between two artifacts per kernel and
+ *    reproduces tests/data/prof_diff_golden.json byte for byte, and
+ *  - the neo-prof CLI exits nonzero against a perturbed baseline and
+ *    honours the --diff exit-code contract (0 clean / 1 gated /
+ *    2 usage).
  */
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -326,6 +332,143 @@ TEST(ProfCompare, WallTimeSkippedUnlessGated)
     EXPECT_EQ(regs[0].metric, "wall.total_s");
 }
 
+TEST(ProfDist, RepeatEmitsDistSubObject)
+{
+    const auto r = prof::profile(
+        "keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu), 0,
+        /*repeat=*/3);
+    ASSERT_TRUE(r.dist.count("wall.total_s"));
+    const prof::Dist &d = r.dist.at("wall.total_s");
+    // The median sample is both the headline wall time and the p50.
+    EXPECT_EQ(d.p50, r.wall_s);
+    EXPECT_LE(d.p50, d.p95);
+    EXPECT_LE(d.p95, d.max);
+    EXPECT_GT(d.p50, 0.0);
+    const auto doc = artifact(r);
+    const json::Value *dist = doc.find("dist");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_DOUBLE_EQ(
+        dist->at("wall.total_s").at("p95").as_number(), d.p95);
+}
+
+TEST(ProfDist, SingleRunArtifactOmitsDistKey)
+{
+    // repeat == 1 must keep the historical key set byte for byte.
+    const auto r = prof::profile(
+        "keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu));
+    EXPECT_TRUE(r.dist.empty());
+    EXPECT_EQ(artifact(r).find("dist"), nullptr);
+    EXPECT_EQ(prof::to_json(r).find("\"dist\""), std::string::npos);
+}
+
+namespace {
+
+json::Value
+diff_fixture(const char *name)
+{
+    return json::Value::parse_file(std::string(NEO_TEST_DATA_DIR) + "/" +
+                                   name);
+}
+
+} // namespace
+
+TEST(ProfDiff, SelfDiffIsCleanAndFullyAttributed)
+{
+    const auto doc = artifact(
+        prof::profile("mul", ExecPolicy::fixed(EngineId::fp64_tcu)));
+    const auto d = prof::diff(doc, doc);
+    EXPECT_FALSE(d.gated());
+    EXPECT_TRUE(d.spans.empty());
+    EXPECT_TRUE(d.metrics.empty());
+    ASSERT_FALSE(d.kernels.empty()); // every kernel listed, all flat
+    for (const auto &k : d.kernels) {
+        EXPECT_EQ(k.delta, 0.0) << k.name;
+        EXPECT_EQ(k.ratio, 1.0) << k.name;
+    }
+}
+
+TEST(ProfDiff, AttributesDeltaAcrossKernelUnion)
+{
+    // fuse off vs on changes the kernel set (moddown_fix/_bconv fold
+    // into moddown_fused): the diff must cover the union and its
+    // kernel shares must decompose the total movement exactly.
+    const auto base = artifact(prof::profile(
+        "keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu)));
+    const auto cur = artifact(prof::profile(
+        "keyswitch",
+        ExecPolicy::fixed(EngineId::fp64_tcu, /*fuse=*/true)));
+    const auto d = prof::diff(base, cur);
+    EXPECT_LT(d.cur_total_s, d.base_total_s);
+
+    bool fused = false, fix = false;
+    double share_sum = 0;
+    for (const auto &k : d.kernels) {
+        fused |= k.name == "moddown_fused";
+        fix |= k.name == "moddown_fix";
+        share_sum += k.share;
+    }
+    EXPECT_TRUE(fused);
+    EXPECT_TRUE(fix);
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+    // |delta| descending.
+    for (size_t i = 1; i < d.kernels.size(); ++i)
+        EXPECT_GE(std::abs(d.kernels[i - 1].delta),
+                  std::abs(d.kernels[i].delta));
+    // The fused run is faster, but fusion renames kernel rows — the
+    // gate still fires on the dropped modeled.kernel.moddown_* keys
+    // (ratio 0 marks a dropped metric, not a slowdown), preserving
+    // compare()'s renames-can't-drop-coverage contract.
+    EXPECT_TRUE(d.gated());
+    for (const auto &reg : d.regressions)
+        EXPECT_EQ(reg.ratio, 0.0) << reg.metric;
+    // The reverse direction carries genuine slowdowns (ratio > 1).
+    const auto rev = prof::diff(cur, base);
+    ASSERT_TRUE(rev.gated());
+    bool real_slowdown = false;
+    for (const auto &reg : rev.regressions)
+        real_slowdown |= reg.ratio > 1.0;
+    EXPECT_TRUE(real_slowdown);
+}
+
+TEST(ProfDiff, MatchesGoldenFile)
+{
+    const auto d = prof::diff(diff_fixture("prof_diff_base.json"),
+                              diff_fixture("prof_diff_cur.json"));
+    // The checked-in pair encodes an ntt regression plus a new ip
+    // kernel: attribution splits the 0.3 ms movement 2:1.
+    ASSERT_GE(d.kernels.size(), 3u);
+    EXPECT_EQ(d.kernels[0].name, "ntt");
+    EXPECT_NEAR(d.kernels[0].share, 2.0 / 3.0, 1e-9);
+    EXPECT_EQ(d.kernels[1].name, "ip");
+    EXPECT_NEAR(d.kernels[1].share, 1.0 / 3.0, 1e-9);
+    EXPECT_TRUE(d.gated());
+
+    std::ifstream golden(std::string(NEO_TEST_DATA_DIR) +
+                         "/prof_diff_golden.json");
+    ASSERT_TRUE(golden.is_open());
+    std::stringstream want;
+    want << golden.rdbuf();
+    EXPECT_EQ(prof::diff_to_json(d) + "\n", want.str());
+}
+
+TEST(ProfDiff, HandlesBenchKindArtifactsWithoutKernels)
+{
+    // bench_util artifacts have no kernels array: the diff degrades to
+    // a metrics comparison instead of throwing.
+    const auto base = json::Value::parse(
+        R"({"schema":"neo.bench/1","kind":"bench","id":"x",)"
+        R"("metrics":{"a":1,"b":2}})");
+    const auto cur = json::Value::parse(
+        R"({"schema":"neo.bench/1","kind":"bench","id":"x",)"
+        R"("metrics":{"a":1,"b":3}})");
+    const auto d = prof::diff(base, cur);
+    EXPECT_TRUE(d.kernels.empty());
+    ASSERT_EQ(d.metrics.size(), 1u);
+    EXPECT_EQ(d.metrics[0].name, "b");
+    EXPECT_EQ(d.metrics[0].delta, 1.0);
+    EXPECT_TRUE(d.gated()); // b regressed 50%
+}
+
 #ifdef NEO_PROF_BIN
 namespace {
 
@@ -366,5 +509,36 @@ TEST(ProfCli, BaselineGateExitsNonzeroOnRegression)
 
     // Usage errors are distinct from regressions.
     EXPECT_EQ(run_cli("definitely-not-a-workload >/dev/null 2>&1"), 2);
+}
+
+TEST(ProfCli, DiffExitCodeContract)
+{
+    const std::string base =
+        std::string(NEO_TEST_DATA_DIR) + "/prof_diff_base.json";
+    const std::string cur =
+        std::string(NEO_TEST_DATA_DIR) + "/prof_diff_cur.json";
+    // Self-diff: clean.
+    EXPECT_EQ(run_cli("--diff " + base + " " + base + " >/dev/null"), 0);
+    // The checked-in pair regresses past the default threshold.
+    EXPECT_EQ(run_cli("--diff " + base + " " + cur + " >/dev/null"), 1);
+    // A loose threshold tolerates it.
+    EXPECT_EQ(run_cli("--diff " + base + " " + cur +
+                      " --threshold 0.6 >/dev/null"),
+              0);
+    // Usage / IO errors are distinct from gating.
+    EXPECT_EQ(run_cli("--diff " + base + " /no/such.json"
+                      " >/dev/null 2>&1"),
+              2);
+    EXPECT_EQ(run_cli("--diff " + base + " >/dev/null 2>&1"), 2);
+
+    // --json writes the machine-readable report (golden-pinned via
+    // the library test above).
+    const std::string out = ::testing::TempDir() + "/prof_cli_diff.json";
+    EXPECT_EQ(run_cli("--diff " + base + " " + cur + " --json " + out +
+                      " >/dev/null"),
+              1);
+    const auto doc = json::Value::parse_file(out);
+    EXPECT_EQ(doc.at("schema").as_string(), prof::kDiffSchema);
+    EXPECT_TRUE(doc.at("gated").as_bool());
 }
 #endif

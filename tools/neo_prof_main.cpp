@@ -7,6 +7,8 @@
  *            [--json PATH] [--baseline PATH] [--threshold F]
  *            [--gate-wall]
  *   neo-prof --tune [--tuning-table PATH]
+ *   neo-prof --diff BASE.json CUR.json [--threshold F] [--gate-wall]
+ *            [--json PATH]
  *   neo-prof --list
  *
  * Runs one named workload under the chosen execution policy, prints
@@ -15,7 +17,9 @@
  * optionally compares the run against a baseline artifact.
  * `--engine auto` dispatches each kernel site through the tuning
  * table (`--tuning-table`, or tuned in-memory); `--tune` writes the
- * canonical `neo.tune/1` table and exits.
+ * canonical `neo.tune/1` table and exits; `--diff` compares two
+ * existing neo.bench/1 artifacts offline, attributing the delta per
+ * kernel / span / metric and applying the same regression gate.
  *
  * Exit codes: 0 ok, 1 at least one metric regressed past the
  * threshold, 2 usage / runtime error — so CI can gate on the result.
@@ -23,6 +27,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -40,6 +45,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s <workload> [options]\n"
         "       %s --tune [--tuning-table PATH]\n"
+        "       %s --diff BASE.json CUR.json [--threshold F]"
+        " [--gate-wall] [--json PATH]\n"
         "       %s --list\n"
         "options:\n"
         "  --engine E      GEMM engine: %s\n"
@@ -70,8 +77,14 @@ usage(const char *argv0)
         "  --threshold F   relative regression threshold (default"
         " 0.10)\n"
         "  --gate-wall     also gate machine-dependent wall-clock"
-        " metrics\n",
-        argv0, argv0, argv0, engines.c_str());
+        " metrics\n"
+        "  --diff B C      compare artifacts B (baseline) and C:"
+        " per-kernel\n"
+        "                  delta attribution + regression gate; with"
+        " --json,\n"
+        "                  write the neo.diff/1 report; exit 1 if"
+        " gated\n",
+        argv0, argv0, argv0, argv0, engines.c_str());
     return 2;
 }
 
@@ -81,8 +94,8 @@ int
 main(int argc, char **argv)
 {
     std::string workload, engine = "fp64_tcu", json_path, baseline_path;
-    std::string tuning_table;
-    bool tune_mode = false;
+    std::string tuning_table, diff_base, diff_cur;
+    bool tune_mode = false, diff_mode = false;
     size_t level = 0;
     size_t repeat = 1;
     neo::prof::CompareOptions copts;
@@ -130,6 +143,10 @@ main(int argc, char **argv)
             tuning_table = next("--tuning-table");
         } else if (a == "--tune") {
             tune_mode = true;
+        } else if (a == "--diff") {
+            diff_mode = true;
+            diff_base = next("--diff");
+            diff_cur = next("--diff");
         } else if (a == "--json") {
             json_path = next("--json");
         } else if (a == "--baseline") {
@@ -148,6 +165,36 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr, "extra argument %s\n", a.c_str());
             return usage(argv[0]);
+        }
+    }
+
+    if (diff_mode) {
+        if (!workload.empty()) {
+            std::fprintf(stderr, "--diff takes no workload argument\n");
+            return 2;
+        }
+        try {
+            const neo::json::Value base =
+                neo::json::Value::parse_file(diff_base);
+            const neo::json::Value cur =
+                neo::json::Value::parse_file(diff_cur);
+            const neo::prof::DiffReport d =
+                neo::prof::diff(base, cur, copts);
+            neo::prof::print_diff(d, std::cout);
+            if (!json_path.empty()) {
+                std::ofstream f(json_path);
+                if (!f.good()) {
+                    std::fprintf(stderr, "neo-prof: cannot open %s\n",
+                                 json_path.c_str());
+                    return 2;
+                }
+                f << neo::prof::diff_to_json(d) << '\n';
+                std::printf("\nwrote %s\n", json_path.c_str());
+            }
+            return d.gated() ? 1 : 0;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "neo-prof: %s\n", e.what());
+            return 2;
         }
     }
 
