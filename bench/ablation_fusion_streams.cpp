@@ -93,11 +93,8 @@ main(int argc, char **argv)
     {
         auto kernels = m.keyswitch_kernels(l);
         gpusim::EventSimulator sim(base.cfg.device);
-        std::vector<gpusim::SimKernel> two_streams;
-        for (int stream = 0; stream < 2; ++stream)
-            for (const auto &k : kernels)
-                two_streams.push_back({k, stream, {}});
-        const double fluid = sim.run(two_streams).makespan;
+        const double fluid =
+            sim.run_queues({kernels, kernels}).makespan;
         const double serial =
             2 * gpusim::run_schedule(kernels, base.cfg.device, false)
                     .seconds;

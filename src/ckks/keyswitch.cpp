@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/workspace.h"
 #include "obs/obs.h"
+#include "rns/partition.h"
 
 namespace neo::ckks {
 
@@ -43,8 +44,9 @@ ks_count(std::string_view name, u64 delta)
 
 RnsPoly
 mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
-         bool fuse)
+         bool fuse, size_t devices)
 {
+    NEO_ASSERT(devices >= 1, "mod_down needs at least one device");
     NEO_ASSERT(ext_poly.form() == PolyForm::coeff,
                "mod_down expects coefficient form");
     obs::Span span("mod_down", obs::cat::stage);
@@ -81,7 +83,10 @@ mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
         }
         u64 *scaled = frame.alloc<u64>(k_special * n);
         conv.scale_inputs(p_part, n, scaled);
-        for (size_t j = 0; j <= level; ++j) {
+        // Device-major over the per-device Q-limb shards; identical
+        // per-limb work in identical order within each limb.
+        for (const auto &shard : make_even_partition(level + 1, devices)) {
+        for (size_t j = shard.first; j < shard.first + shard.count; ++j) {
             const Modulus &tj = conv.to()[j];
             const Modulus &qj = lv.active[j];
             const u64 p_inv = lv.p_inv[j];
@@ -100,7 +105,10 @@ mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
                                    p_inv, ps, qj.value());
             }
         }
+        }
         ks_count("ks.moddown_products", k_special * (level + 1));
+        if (devices > 1)
+            ks_count("ks.moddown.shards", devices);
         return out;
     }
 
@@ -113,7 +121,10 @@ mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
     obs::Span fix_span("moddown_fix", obs::cat::stage);
     if (auto *r = obs::current())
         r->add("pass.moddown_fix");
-    for (size_t i = 0; i <= level; ++i) {
+    if (devices > 1)
+        ks_count("ks.moddown.shards", devices);
+    for (const auto &shard : make_even_partition(level + 1, devices)) {
+    for (size_t i = shard.first; i < shard.first + shard.count; ++i) {
         const Modulus &qi = lv.active[i];
         const u64 p_inv = lv.p_inv[i];
         const u64 ps = lv.p_inv_shoup[i];
@@ -123,6 +134,7 @@ mod_down(const RnsPoly &ext_poly, size_t level, const CkksContext &ctx,
         for (size_t l = 0; l < n; ++l)
             dst[l] = mul_shoup(qi.sub(src[l], cr[l]), p_inv, ps,
                                qi.value());
+    }
     }
     return out;
 }

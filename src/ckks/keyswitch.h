@@ -49,8 +49,15 @@ std::pair<RnsPoly, RnsPoly> keyswitch_klss(const RnsPoly &d2,
  * per-element order, so its output is bit-identical; the difference
  * is one kernel launch and one DRAM round trip of the correction
  * term — the fusion tests/fusion_test.cpp locks in.
+ *
+ * With @p devices > 1 the output limbs are visited device-major over
+ * the contiguous per-device ranges of rns::make_even_partition — the
+ * reduce-scatter ownership of the sharded schedule. Each limb's
+ * element loop is untouched and limb ranges are disjoint, so results
+ * are bit-identical for every device count (ctest -L shard).
  */
 RnsPoly mod_down(const RnsPoly &ext_poly, size_t level,
-                 const CkksContext &ctx, bool fuse = false);
+                 const CkksContext &ctx, bool fuse = false,
+                 size_t devices = 1);
 
 } // namespace neo::ckks

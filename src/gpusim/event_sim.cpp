@@ -11,10 +11,12 @@ namespace neo::gpusim {
 namespace {
 
 /// Per-resource seconds-of-service a kernel demands at full rate.
-std::array<double, 3>
-demands(const KernelCost &k, const DeviceSpec &d)
+/// Resources: CUDA cores, tensor cores, DRAM, interconnect link.
+std::array<double, 4>
+demands(const SimKernel &k, const DeviceSpec &d)
 {
-    return {k.cuda_time(d), k.tcu_time(d), k.mem_time(d)};
+    return {k.cost.cuda_time(d), k.cost.tcu_time(d),
+            k.cost.mem_time(d), k.link_s};
 }
 
 } // namespace
@@ -30,10 +32,10 @@ EventSimulator::run(const std::vector<SimKernel> &kernels) const
 
     // Remaining service per resource, plus fixed launch latency served
     // before the kernel's work begins.
-    std::vector<std::array<double, 3>> remaining(n);
+    std::vector<std::array<double, 4>> remaining(n);
     std::vector<double> launch_left(n);
     for (size_t i = 0; i < n; ++i) {
-        remaining[i] = demands(kernels[i].cost, dev_);
+        remaining[i] = demands(kernels[i], dev_);
         launch_left[i] = kernels[i].cost.launches * dev_.kernel_launch_s;
     }
 
@@ -70,9 +72,9 @@ EventSimulator::run(const std::vector<SimKernel> &kernels) const
 
         // Resource shares: each resource splits evenly among active
         // kernels that still demand it.
-        std::array<int, 3> users{0, 0, 0};
+        std::array<int, 4> users{0, 0, 0, 0};
         for (size_t i : active) {
-            for (int r = 0; r < 3; ++r) {
+            for (int r = 0; r < 4; ++r) {
                 if (remaining[i][r] > 0)
                     ++users[r];
             }
@@ -83,7 +85,7 @@ EventSimulator::run(const std::vector<SimKernel> &kernels) const
         double dt = std::numeric_limits<double>::infinity();
         for (size_t i : active) {
             double t = launch_left[i];
-            for (int r = 0; r < 3; ++r) {
+            for (int r = 0; r < 4; ++r) {
                 if (remaining[i][r] > 0)
                     t = std::max(t, launch_left[i] +
                                         remaining[i][r] * users[r]);
@@ -99,7 +101,7 @@ EventSimulator::run(const std::vector<SimKernel> &kernels) const
             served -= l;
             if (served <= 0)
                 continue;
-            for (int r = 0; r < 3; ++r) {
+            for (int r = 0; r < 4; ++r) {
                 if (remaining[i][r] > 0) {
                     remaining[i][r] -= served / users[r];
                     if (remaining[i][r] < 1e-15)
@@ -112,7 +114,7 @@ EventSimulator::run(const std::vector<SimKernel> &kernels) const
         // Retire finished kernels.
         for (size_t i : active) {
             bool fin = launch_left[i] <= 0;
-            for (int r = 0; r < 3 && fin; ++r)
+            for (int r = 0; r < 4 && fin; ++r)
                 fin = remaining[i][r] <= 0;
             if (fin) {
                 done[i] = true;
@@ -123,6 +125,18 @@ EventSimulator::run(const std::vector<SimKernel> &kernels) const
     }
     res.makespan = now;
     return res;
+}
+
+EventSimulator::Result
+EventSimulator::run_queues(
+    const std::vector<std::vector<KernelCost>> &queues) const
+{
+    std::vector<SimKernel> flat;
+    for (size_t q = 0; q < queues.size(); ++q) {
+        for (const auto &k : queues[q])
+            flat.push_back({k, static_cast<int>(q), {}, 0.0});
+    }
+    return run(flat);
 }
 
 } // namespace neo::gpusim

@@ -32,6 +32,14 @@ struct SimKernel
     /// Indices of kernels (in submission order) that must complete
     /// before this one may start, in addition to stream order.
     std::vector<size_t> deps;
+    /**
+     * Seconds of interconnect service this entry demands (a fourth
+     * resource alongside CUDA/TCU/DRAM). Collectives priced by
+     * gpusim::CollectiveModel enter the simulation as entries with
+     * link_s set and an empty KernelCost, so communication overlaps
+     * compute exactly the way concurrent kernels share the device.
+     */
+    double link_s = 0;
 };
 
 /** Fluid-rate event simulator. */
@@ -49,6 +57,14 @@ class EventSimulator
 
     /// Simulate the kernel set to completion.
     Result run(const std::vector<SimKernel> &kernels) const;
+
+    /**
+     * Convenience wrapper: each queue is one in-order stream (queue
+     * index = stream id, no cross-stream dependencies). Replaces the
+     * hand-rolled stream-assignment loops callers used to write.
+     */
+    Result run_queues(
+        const std::vector<std::vector<KernelCost>> &queues) const;
 
   private:
     DeviceSpec dev_;

@@ -1,0 +1,167 @@
+#include "gpusim/topology.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace neo::gpusim {
+
+const char *
+interconnect_name(Interconnect ic)
+{
+    return ic == Interconnect::nvlink ? "nvlink" : "pcie";
+}
+
+bool
+parse_interconnect(const std::string &s, Interconnect *out)
+{
+    if (s == "nvlink") {
+        *out = Interconnect::nvlink;
+        return true;
+    }
+    if (s == "pcie") {
+        *out = Interconnect::pcie;
+        return true;
+    }
+    return false;
+}
+
+Topology
+Topology::nvlink(size_t devices, const DeviceSpec &dev)
+{
+    NEO_CHECK(devices >= 1, "topology needs at least one device");
+    Topology t;
+    t.device = dev;
+    t.devices = devices;
+    t.shape = TopologyShape::fully_connected;
+    // 300 GB/s egress per device (NVLink3, one direction), split
+    // evenly across the n−1 peer links of the full mesh.
+    const double egress = 300e9;
+    const size_t peers = devices > 1 ? devices - 1 : 1;
+    t.link.bandwidth = egress / static_cast<double>(peers);
+    t.link.latency_s = 2e-6;
+    return t;
+}
+
+Topology
+Topology::pcie(size_t devices, const DeviceSpec &dev)
+{
+    NEO_CHECK(devices >= 1, "topology needs at least one device");
+    Topology t;
+    t.device = dev;
+    t.devices = devices;
+    t.shape = TopologyShape::ring;
+    t.link.bandwidth = 25e9; // PCIe 4.0 x16 effective
+    t.link.latency_s = 5e-6;
+    return t;
+}
+
+Topology
+Topology::single(const DeviceSpec &dev)
+{
+    Topology t;
+    t.device = dev;
+    t.devices = 1;
+    t.shape = TopologyShape::fully_connected;
+    t.link.bandwidth = 0;
+    t.link.latency_s = 0;
+    return t;
+}
+
+Topology
+Topology::preset(Interconnect ic, size_t devices, const DeviceSpec &dev)
+{
+    return ic == Interconnect::nvlink ? nvlink(devices, dev)
+                                      : pcie(devices, dev);
+}
+
+CollectiveCost
+CollectiveModel::priced(size_t steps, double per_step_bytes,
+                        double bytes_per_link, double total_bytes,
+                        size_t chunks) const
+{
+    NEO_CHECK(chunks >= 1, "chunk count must be positive");
+    CollectiveCost c;
+    c.steps = steps;
+    c.bytes_per_link = bytes_per_link;
+    c.total_bytes = total_bytes;
+    if (topo_.devices <= 1 || steps == 0) {
+        c.steps = 0;
+        c.bytes_per_link = 0;
+        c.total_bytes = 0;
+        return c;
+    }
+    NEO_CHECK(topo_.link.bandwidth > 0, "link bandwidth must be positive");
+    const double cd = static_cast<double>(chunks);
+    const double sd = static_cast<double>(steps);
+    // Pipelined α–β: the chunked schedule has steps + C − 1 rounds,
+    // each paying one α and moving per_step/C bytes over the link.
+    c.time_s = (sd + cd - 1.0) *
+               (topo_.link.latency_s +
+                per_step_bytes / (cd * topo_.link.bandwidth));
+    return c;
+}
+
+CollectiveCost
+CollectiveModel::all_gather(double shard_bytes, size_t chunks) const
+{
+    const size_t n = topo_.devices;
+    if (n <= 1)
+        return priced(0, 0, 0, 0, chunks);
+    const double m = shard_bytes;
+    const double nd = static_cast<double>(n);
+    if (topo_.shape == TopologyShape::ring) {
+        // Ring all-gather: n−1 steps, each device forwards one shard
+        // per step; every directed link carries n−1 shards in total.
+        return priced(n - 1, m, (nd - 1.0) * m, nd * (nd - 1.0) * m,
+                      chunks);
+    }
+    // Fully connected: one step, every device broadcasts its shard to
+    // the other n−1 peers over dedicated links.
+    return priced(1, m, m, nd * (nd - 1.0) * m, chunks);
+}
+
+CollectiveCost
+CollectiveModel::reduce_scatter(double shard_bytes, size_t chunks) const
+{
+    // Byte-flow dual of all-gather: same steps, same per-link and
+    // total traffic, partial sums flowing toward the shard owner.
+    return all_gather(shard_bytes, chunks);
+}
+
+CollectiveCost
+CollectiveModel::all_to_all(double pair_bytes, size_t chunks) const
+{
+    const size_t n = topo_.devices;
+    if (n <= 1)
+        return priced(0, 0, 0, 0, chunks);
+    const double p = pair_bytes;
+    const double nd = static_cast<double>(n);
+    const double total = nd * (nd - 1.0) * p;
+    if (topo_.shape == TopologyShape::ring) {
+        // Ring all-to-all: n−1 steps; at each step a link relays the
+        // pairwise payloads still in transit — on average n/2 of them.
+        const double per_step = p * nd / 2.0;
+        return priced(n - 1, per_step,
+                      per_step * (nd - 1.0), total, chunks);
+    }
+    // Fully connected: every pair exchanges directly in one step.
+    return priced(1, p, p, total, chunks);
+}
+
+size_t
+CollectiveModel::best_chunks(double shard_bytes) const
+{
+    size_t best = 1;
+    double best_t = all_gather(shard_bytes, 1).time_s;
+    for (size_t c = 2; c <= 64; c *= 2) {
+        const double t = all_gather(shard_bytes, c).time_s;
+        if (t < best_t) {
+            best_t = t;
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace neo::gpusim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multi-device topology and collective-communication cost model.
+ *
+ * The single-device model (device_spec.h / kernel_cost.h) prices
+ * kernels against one A100. Scaling keyswitch past one device shards
+ * limbs and digits across N identical GPUs joined by an interconnect,
+ * and the question Fig 2's bandwidth argument raises is *whether the
+ * collective traffic the shards exchange costs less than the DRAM
+ * passes they save*. This header models the fabric: a Topology is N
+ * DeviceSpecs plus per-link bandwidth/latency constants and a shape
+ * (ring or fully connected), and a CollectiveModel prices all-gather,
+ * reduce-scatter, and all-to-all on it with the classic α–β model —
+ * per-step time = link latency α plus bytes over link bandwidth —
+ * optionally pipelined over chunks so latency and bandwidth terms
+ * amortize (the FlagCX AlgoTimeEstimator style). The formulas are
+ * closed-form and cross-checked by tests/gpusim_comm_test.cpp the
+ * same way gpusim_cost checks the kernel model.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/device_spec.h"
+
+namespace neo::gpusim {
+
+/** One directed inter-device link. */
+struct LinkSpec
+{
+    double bandwidth = 0;  ///< bytes/second per direction
+    double latency_s = 0;  ///< per-message (α) latency, seconds
+};
+
+/** How the devices are wired. */
+enum class TopologyShape
+{
+    ring,            ///< each device talks to two neighbours
+    fully_connected, ///< every pair has a direct link
+};
+
+/** Interconnect preset selector (CLI-facing). */
+enum class Interconnect
+{
+    nvlink, ///< NVSwitch-style all-to-all fabric
+    pcie,   ///< PCIe ring through the host
+};
+
+const char *interconnect_name(Interconnect ic);
+/// Parse "nvlink" / "pcie"; returns false on anything else.
+bool parse_interconnect(const std::string &s, Interconnect *out);
+
+/** N identical devices plus the fabric joining them. */
+struct Topology
+{
+    DeviceSpec device;  ///< every device is this spec
+    size_t devices = 1;
+    TopologyShape shape = TopologyShape::fully_connected;
+    LinkSpec link;
+
+    /// Directed links the shape provides (ring: n, FC: n·(n−1)).
+    size_t num_links() const
+    {
+        if (devices <= 1)
+            return 0;
+        return shape == TopologyShape::ring
+                   ? devices
+                   : devices * (devices - 1);
+    }
+
+    /**
+     * NVSwitch-style fabric: every device owns 300 GB/s of egress
+     * (A100 NVLink3 aggregate, one direction), split evenly across
+     * its n−1 peers, with a short switch-hop latency.
+     */
+    static Topology nvlink(size_t devices,
+                           const DeviceSpec &dev = DeviceSpec::a100());
+
+    /**
+     * PCIe 4.0 x16 ring through the host: one 25 GB/s pipe per
+     * device and a longer per-message latency.
+     */
+    static Topology pcie(size_t devices,
+                         const DeviceSpec &dev = DeviceSpec::a100());
+
+    /// Degenerate single-device topology (all collectives are free).
+    static Topology single(const DeviceSpec &dev = DeviceSpec::a100());
+
+    static Topology preset(Interconnect ic, size_t devices,
+                           const DeviceSpec &dev = DeviceSpec::a100());
+};
+
+/** Priced collective: time plus the byte accounting behind it. */
+struct CollectiveCost
+{
+    double time_s = 0;         ///< modeled wall time of the collective
+    size_t steps = 0;          ///< serial communication steps
+    double bytes_per_link = 0; ///< bytes crossing the busiest link
+    double total_bytes = 0;    ///< bytes crossing the whole fabric
+};
+
+/**
+ * Prices collectives on a Topology. All three collectives take the
+ * *per-device shard size* in bytes (the m in the α–β literature):
+ * after an all-gather every device holds devices·m bytes; a
+ * reduce-scatter starts from devices·m bytes per device and leaves m.
+ * With chunking C, a steps-deep schedule pipelines as
+ *   time = (steps + C − 1) · (α + per_step_bytes / (C · bandwidth)),
+ * the standard pipelined-collective amortization.
+ */
+class CollectiveModel
+{
+  public:
+    explicit CollectiveModel(const Topology &topo) : topo_(topo) {}
+
+    CollectiveCost all_gather(double shard_bytes, size_t chunks = 1) const;
+    CollectiveCost reduce_scatter(double shard_bytes,
+                                  size_t chunks = 1) const;
+    /// @p pair_bytes is what each device sends to each *other* device.
+    CollectiveCost all_to_all(double pair_bytes, size_t chunks = 1) const;
+
+    /// Chunk count (power of two ≤ 64) minimizing all-gather time.
+    size_t best_chunks(double shard_bytes) const;
+
+    const Topology &topology() const { return topo_; }
+
+  private:
+    CollectiveCost priced(size_t steps, double per_step_bytes,
+                          double bytes_per_link, double total_bytes,
+                          size_t chunks) const;
+
+    Topology topo_;
+};
+
+} // namespace neo::gpusim

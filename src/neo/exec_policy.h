@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "gpusim/topology.h"
 #include "neo/engine.h"
 
 namespace neo {
@@ -60,6 +61,10 @@ struct SiteKey
     size_t d_num = 0;       ///< gadget digit count of the parameter set
     size_t n = 0;           ///< polynomial degree N
     double valid = 0;       ///< FP64 fragment valid proportion (§4.5.3)
+    /// Devices the run shards over (1 = single device). Tuning-table
+    /// entries may pin a decision to a device count; device-agnostic
+    /// entries match any.
+    size_t devices = 1;
 };
 
 /// Per-site engine resolver an autotune policy dispatches through.
@@ -83,6 +88,15 @@ struct ExecPolicy
     /// Resolver for autotune mode. Empty + autotune means "resolve at
     /// profile time" (load tuning_table, or tune in-memory).
     SiteEngineFn site_engine;
+    /**
+     * Devices the keyswitch shards across (neo::shard). 1 — the
+     * default — is the single-device pipeline. N > 1 runs the same
+     * kernels device-major over per-device limb/digit ranges
+     * (bit-identical) and prices collectives on `interconnect`.
+     */
+    size_t devices = 1;
+    /// Fabric preset the cost model prices when devices > 1.
+    gpusim::Interconnect interconnect = gpusim::Interconnect::nvlink;
 
     /// Fixed-engine policy (the common case).
     static ExecPolicy fixed(EngineId e, bool fuse = false,

@@ -23,6 +23,7 @@
 #include "ckks/params.h"
 #include "gpusim/kernel_cost.h"
 #include "gpusim/tcu_model.h"
+#include "gpusim/topology.h"
 
 namespace neo::model {
 
@@ -60,6 +61,15 @@ struct ModelConfig
     /// Kernel grids sized by the ciphertext batch (TensorFHE/Neo
     /// style); unbatched systems parallelise within one ciphertext.
     bool batched_pipeline = true;
+    /**
+     * Devices the keyswitch shards across (neo::shard). 1 — the
+     * default and every baseline — keeps the single-device schedule;
+     * N > 1 partitions limbs/digits per device and prices the
+     * collectives on the selected interconnect.
+     */
+    size_t devices = 1;
+    /// Fabric preset used when devices > 1.
+    gpusim::Interconnect interconnect = gpusim::Interconnect::nvlink;
     /**
      * Per-stage engine override for the named composite schedules
      * (keyswitch/hmult/hrotate/rescale). When set, every named stage

@@ -18,6 +18,7 @@
 #include "neo/engine.h"
 #include "neo/kernel_model.h"
 #include "neo/kernels.h"
+#include "neo/shard.h"
 #include "obs/obs.h"
 #include "poly/matrix_ntt.h"
 #include "tensor/layout.h"
@@ -177,11 +178,42 @@ pipeline_run(const RnsPoly &d2, const KlssEvalKey &evk,
         model::KernelModel model(ctx.params(), mcfg);
         const auto att = model.run_attributed(
             model.keyswitch_kernels_named(d2.limbs() - 1));
-        r->add_value("modeled.keyswitch.s", att.seconds);
-        for (const auto &row : att.kernels)
-            r->add_modeled_cost(row.name, row.modeled_s, row.compute_s,
-                                row.memory_s, row.launch_s, row.bytes,
-                                row.calls);
+        if (mcfg.devices > 1) {
+            // Sharded run: the modeled cost is the multi-device
+            // makespan (compute + collectives overlapping), with
+            // comm.* rows and counters recorded next to the kernels
+            // so exporters and --diff see communication the same way
+            // they see kernels.
+            const auto sc = shard::model_sharded_keyswitch(
+                ctx.params(), d2.limbs() - 1, mcfg);
+            r->add_value("modeled.keyswitch.s", sc.seconds);
+            r->add_value("modeled.keyswitch.single_device.s",
+                         sc.single_seconds);
+            for (const auto &row : sc.kernels)
+                r->add_modeled_cost(row.name, row.modeled_s,
+                                    row.compute_s, row.memory_s,
+                                    row.launch_s, row.bytes, row.calls);
+            r->add_value("comm.bytes.allgather",
+                         sc.plan.allgather_bytes());
+            r->add_value("comm.bytes.reducescatter",
+                         sc.plan.reducescatter_bytes());
+            r->add_value("comm.bytes.total", sc.plan.total_bytes());
+            r->add_value("comm.modeled.s", sc.comm_s);
+            for (const auto &lk : sc.links) {
+                std::string key = "comm.link.";
+                key += std::to_string(lk.link);
+                r->set_gauge(key + ".utilization", lk.utilization);
+                r->set_gauge(key + ".bytes", lk.bytes);
+            }
+            r->set_gauge("shard.devices",
+                         static_cast<double>(mcfg.devices));
+        } else {
+            r->add_value("modeled.keyswitch.s", att.seconds);
+            for (const auto &row : att.kernels)
+                r->add_modeled_cost(row.name, row.modeled_s,
+                                    row.compute_s, row.memory_s,
+                                    row.launch_s, row.bytes, row.calls);
+        }
         // Modeled HBM telemetry: per-run DRAM traffic distribution
         // plus the footprint gauges (working set, keys, ciphertext).
         r->observe("work.keyswitch.hbm_bytes", att.schedule.bytes);
@@ -229,22 +261,33 @@ pipeline_run(const RnsPoly &d2, const KlssEvalKey &evk,
     // without pushing the stage bodies into nested blocks.
     std::optional<obs::Span> stage_span;
     stage_span.emplace("pipeline_modup", obs::cat::stage);
-    parallel_for(
-        0, beta,
-        [&](size_t jb, size_t je) {
-            for (size_t j = jb; j < je; ++j) {
-                const auto &g = groups[j];
-                lk.modup[j].run_matmul_exact(d2c.limb(g.first), 1, n,
-                                             digits_t + j * alpha_p * n,
-                                             *eng.modup);
-                // --- NTT over T (ten-step on the emulated TCU). ------
-                for (size_t k = 0; k < alpha_p; ++k) {
-                    t_ntt[k].forward(digits_t + (j * alpha_p + k) * n,
-                                     *eng.ntt_t, fuse);
+    // Device-major shard order: each device owns a contiguous digit
+    // range (shard::shard_range), runs the same kernels over it and
+    // writes its own disjoint slice of digits_t — the sharded
+    // schedule is the single-device schedule re-grouped, so results
+    // are bit-identical for every device count.
+    const size_t dev_count = std::max<size_t>(size_t{1}, mcfg.devices);
+    for (size_t dev = 0; dev < dev_count; ++dev) {
+        const auto sr = shard::shard_range(beta, dev_count, dev);
+        if (sr.count == 0)
+            continue;
+        parallel_for(
+            sr.first, sr.first + sr.count,
+            [&](size_t jb, size_t je) {
+                for (size_t j = jb; j < je; ++j) {
+                    const auto &g = groups[j];
+                    lk.modup[j].run_matmul_exact(
+                        d2c.limb(g.first), 1, n,
+                        digits_t + j * alpha_p * n, *eng.modup);
+                    // --- NTT over T (ten-step on the emulated TCU). --
+                    for (size_t k = 0; k < alpha_p; ++k) {
+                        t_ntt[k].forward(digits_t + (j * alpha_p + k) * n,
+                                         *eng.ntt_t, fuse);
+                    }
                 }
-            }
-        },
-        1);
+            },
+            1);
+    }
 
     // --- IP: matrix form (Alg 4) for both components. -----------------
     stage_span.emplace("pipeline_ip", obs::cat::stage);
@@ -280,16 +323,22 @@ pipeline_run(const RnsPoly &d2, const KlssEvalKey &evk,
         s_data[c] = frame.alloc<u64>(beta_tilde * alpha_p * n);
         ip.run_matmul_reordered(digits_t, key_ops.reordered[c].data(), 1,
                                 n, s_data[c], *eng.ip);
-        // --- INTT over T: one independent transform per (i, k) limb.
-        parallel_for(
-            0, beta_tilde * alpha_p,
-            [&](size_t b, size_t e) {
-                for (size_t s = b; s < e; ++s) {
-                    t_ntt[s % alpha_p].inverse(s_data[c] + s * n,
-                                               *eng.intt_t, fuse);
-                }
-            },
-            1);
+        // --- INTT over T: one independent transform per (i, k) limb,
+        // sharded by key digit (each device owns its β̃ rows).
+        for (size_t dev = 0; dev < dev_count; ++dev) {
+            const auto sr = shard::shard_range(beta_tilde, dev_count, dev);
+            if (sr.count == 0)
+                continue;
+            parallel_for(
+                sr.first * alpha_p, (sr.first + sr.count) * alpha_p,
+                [&](size_t b, size_t e) {
+                    for (size_t s = b; s < e; ++s) {
+                        t_ntt[s % alpha_p].inverse(s_data[c] + s * n,
+                                                   *eng.intt_t, fuse);
+                    }
+                },
+                1);
+        }
     }
 
     // --- Recover Limbs: exact matrix-form BConv per key-digit group.
@@ -298,9 +347,14 @@ pipeline_run(const RnsPoly &d2, const KlssEvalKey &evk,
     RnsPoly acc1(n, ext_mods, PolyForm::coeff);
     const size_t active = level + 1 + k_special;
     // Per-digit fan-out: the key partition's groups are disjoint limb
-    // ranges, so each digit writes its own limbs of acc0/acc1.
+    // ranges, so each digit writes its own limbs of acc0/acc1 — no
+    // inter-device communication (the shard.h determinism argument).
+    for (size_t dev = 0; dev < dev_count; ++dev) {
+    const auto rsr = shard::shard_range(beta_tilde, dev_count, dev);
+    if (rsr.count == 0)
+        continue;
     parallel_for(
-        0, beta_tilde,
+        rsr.first, rsr.first + rsr.count,
         [&](size_t ib, size_t ie) {
             // Worker-local frame: each digit reuses the same scratch.
             Workspace::Frame wframe;
@@ -330,20 +384,27 @@ pipeline_run(const RnsPoly &d2, const KlssEvalKey &evk,
             }
         },
         1);
+    }
 
     // --- Mod Down (shared with the reference), NTT back. --------------
     stage_span.emplace("pipeline_moddown", obs::cat::stage);
-    RnsPoly k0 = ckks::mod_down(acc0, level, ctx, fuse);
-    RnsPoly k1 = ckks::mod_down(acc1, level, ctx, fuse);
+    RnsPoly k0 = ckks::mod_down(acc0, level, ctx, fuse, dev_count);
+    RnsPoly k1 = ckks::mod_down(acc1, level, ctx, fuse, dev_count);
     for (RnsPoly *p : {&k0, &k1}) {
-        parallel_for(
-            0, level + 1,
-            [&](size_t ib, size_t ie) {
-                for (size_t i = ib; i < ie; ++i)
-                    cache->qntt[i]->forward(p->limb(i),
-                                            *eng.ntt_q, fuse);
-            },
-            1);
+        for (size_t dev = 0; dev < dev_count; ++dev) {
+            const auto sr =
+                shard::shard_range(level + 1, dev_count, dev);
+            if (sr.count == 0)
+                continue;
+            parallel_for(
+                sr.first, sr.first + sr.count,
+                [&](size_t ib, size_t ie) {
+                    for (size_t i = ib; i < ie; ++i)
+                        cache->qntt[i]->forward(p->limb(i),
+                                                *eng.ntt_q, fuse);
+                },
+                1);
+        }
         p->set_form(PolyForm::eval);
     }
     stage_span.reset();
@@ -380,6 +441,8 @@ model_config(const ExecPolicy &policy, const ckks::CkksParams &params)
     cfg.engine = EngineRegistry::model_engine(policy.engine);
     cfg.fuse_elementwise = policy.fuse;
     cfg.graph_capture = policy.graph;
+    cfg.devices = policy.devices;
+    cfg.interconnect = policy.interconnect;
     if (policy.is_auto() && policy.site_engine) {
         // Per-stage hook: the model prices each named keyswitch stage
         // with the engine the policy would dispatch at that site.
@@ -389,7 +452,8 @@ model_config(const ExecPolicy &policy, const ckks::CkksParams &params)
                 params.batch, params.beta_tilde(level),
                 params.beta(level));
             return EngineRegistry::model_engine(policy.engine_at(
-                {st, level, params.d_num, params.n, valid}));
+                {st, level, params.d_num, params.n, valid,
+                 policy.devices}));
         };
     }
     return cfg;
@@ -439,7 +503,8 @@ keyswitch_klss_pipeline(const RnsPoly &d2, const KlssEvalKey &evk,
     const double valid = gpusim::TcuModel::valid_proportion_fp64(
         pp.batch, pp.beta_tilde(level), pp.beta(level));
     const auto resolve = [&](const char *st) {
-        return policy.engine_at({st, level, pp.d_num, pp.n, valid});
+        return policy.engine_at(
+            {st, level, pp.d_num, pp.n, valid, policy.devices});
     };
     // The six engine-dispatched sites of the KLSS pipeline. A fixed
     // policy resolves them all to policy.engine; an autotune policy

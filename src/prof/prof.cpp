@@ -18,6 +18,7 @@
 #include "neo/engine.h"
 #include "neo/kernel_model.h"
 #include "neo/pipeline.h"
+#include "neo/shard.h"
 #include "obs/obs.h"
 #include "tune/tuner.h"
 
@@ -38,6 +39,9 @@ stamp_policy(Result &r, const ExecPolicy &policy)
     r.options.fuse = policy.fuse;
     r.options.graph = policy.graph;
     r.tuning_table = policy.tuning_table;
+    r.devices = policy.devices;
+    if (policy.devices > 1)
+        r.topology = gpusim::interconnect_name(policy.interconnect);
 }
 
 /// Fold one attributed schedule, weighted by @p mult invocations,
@@ -166,7 +170,12 @@ profile_keyswitch(const ExecPolicy &policy, size_t level, size_t repeat)
     r.wall_s = run_once();
 
     // Snapshot the counters before any extra sample runs inflate them.
+    // gemm.plane_cache.evict stays out of the gate-able set: evictions
+    // fire on heap-address reuse across pin generations, which the
+    // allocator does not reproduce run to run.
     for (const auto &[name, count] : scope.registry().counters()) {
+        if (name == "gemm.plane_cache.evict")
+            continue;
         if (name.rfind("span.", 0) == 0 || name == "gemm.calls" ||
             name == "pipeline.keyswitch" ||
             name.rfind("gemm.plane_cache.", 0) == 0 ||
@@ -174,6 +183,17 @@ profile_keyswitch(const ExecPolicy &policy, size_t level, size_t repeat)
             name.rfind("pass.", 0) == 0 ||
             name.rfind("fuse.", 0) == 0 || name.rfind("tune.", 0) == 0)
             r.spans[name] = count;
+    }
+
+    // Sharded runs: the pipeline records comm.* byte/time values and
+    // per-link gauges; surface them as gate-able metrics (additive —
+    // single-device artifacts never see these keys). Snapshot before
+    // the extra sample runs, like the counters above: the byte values
+    // accumulate per keyswitch, and the gated figure is one run's.
+    if (policy.devices > 1) {
+        for (const auto &[name, v] : scope.registry().values())
+            if (name.rfind("comm.", 0) == 0)
+                r.metrics[name] = v;
     }
 
     if (repeat > 1) {
@@ -196,11 +216,48 @@ profile_keyswitch(const ExecPolicy &policy, size_t level, size_t repeat)
     r.expected_spans["bconv"] = want.bconv;
     r.expected_spans["ip"] = want.ip;
 
-    KernelModel model(params, model_config(policy, params));
-    const auto att =
-        model.run_attributed(model.keyswitch_kernels_named(level));
-    r.modeled_total_s = att.seconds;
-    accumulate_rows(r, att, 1.0);
+    const ModelConfig mcfg = model_config(policy, params);
+    KernelModel model(params, mcfg);
+    if (policy.devices > 1) {
+        // Sharded schedule: rows come from the multi-device makespan
+        // attribution (kernel stages + comm.* rows, summing to the
+        // total exactly — the same invariant as run_attributed).
+        const auto sc =
+            shard::model_sharded_keyswitch(params, level, mcfg);
+        r.modeled_total_s = sc.seconds;
+        for (const auto &row : sc.kernels) {
+            KernelRow k;
+            k.name = row.name;
+            k.calls = row.calls;
+            k.modeled_s = row.modeled_s;
+            k.compute_s = row.compute_s;
+            k.memory_s = row.memory_s;
+            k.launch_s = row.launch_s;
+            k.bytes = row.bytes;
+            r.kernels.push_back(std::move(k));
+            r.bytes += row.bytes;
+        }
+        const auto att = model.run_attributed(
+            model.keyswitch_kernels_named(level));
+        r.launches =
+            att.schedule.launches * static_cast<double>(policy.devices);
+        r.graph_launches = att.schedule.graph_launches *
+                           static_cast<double>(policy.devices);
+        r.fused_kernels = att.fused_kernels;
+        r.metrics["modeled.single_device.s"] = sc.single_seconds;
+        r.metrics["comm.modeled.s"] = sc.comm_s;
+        for (const auto &dv : sc.per_device)
+            r.per_device.push_back(
+                {dv.device, dv.compute_s, dv.comm_s});
+        for (const auto &lk : sc.links)
+            r.links.push_back(
+                {lk.link, lk.bytes, lk.busy_s, lk.utilization});
+    } else {
+        const auto att = model.run_attributed(
+            model.keyswitch_kernels_named(level));
+        r.modeled_total_s = att.seconds;
+        accumulate_rows(r, att, 1.0);
+    }
     r.ip_valid_proportion = gpusim::TcuModel::valid_proportion_fp64(
         params.batch, params.beta_tilde(level), params.beta(level));
     finalize_rows(r);
@@ -351,6 +408,9 @@ profile(const std::string &workload, const ExecPolicy &policy,
     }
     if (repeat == 0)
         repeat = 1;
+    if (p.devices > 1 && workload != "keyswitch")
+        throw std::invalid_argument(
+            "--devices > 1 is only modeled for the keyswitch workload");
     if (workload == "keyswitch")
         return profile_keyswitch(p, level, repeat);
     if (workload == "mul" || workload == "rotate")
@@ -418,6 +478,24 @@ print_report(const Result &r, std::ostream &out)
     }
     out << t.str();
 
+    if (r.devices > 1) {
+        out << "\nsharded over " << r.devices << " devices ("
+            << r.topology << "):\n";
+        TextTable d;
+        d.header({"device", "compute", "comm"});
+        for (const auto &dv : r.per_device)
+            d.row({strfmt("%zu", dv.device), format_time(dv.compute_s),
+                   format_time(dv.comm_s)});
+        out << d.str() << "\n";
+        TextTable l;
+        l.header({"link", "bytes", "busy", "utilization"});
+        for (const auto &lk : r.links)
+            l.row({strfmt("%zu", lk.link), format_bytes(lk.bytes),
+                   format_time(lk.busy_s),
+                   strfmt("%5.1f%%", 100.0 * lk.utilization)});
+        out << l.str();
+    }
+
     if (!r.spans.empty()) {
         out << "\ntraced spans";
         if (!r.expected_spans.empty())
@@ -441,6 +519,12 @@ to_json(const Result &r)
     w.key("engine").value(r.engine);
     w.key("mode").value(r.mode);
     w.key("level").value(static_cast<u64>(r.level));
+    // Additive neo.bench/1 fields (multi-device sharding): absent from
+    // single-device artifacts so historical goldens stay byte-exact.
+    if (r.devices > 1) {
+        w.key("devices").value(static_cast<u64>(r.devices));
+        w.key("topology").value(r.topology);
+    }
 
     w.key("options").begin_object();
     w.key("fuse").value(r.options.fuse);
@@ -480,6 +564,31 @@ to_json(const Result &r)
         w.end_object();
     }
     w.end_array();
+
+    // Additive neo.bench/1 arrays (multi-device sharding): per-device
+    // compute/comm split and per-link traffic. Absent from
+    // single-device artifacts so historical goldens stay byte-exact.
+    if (r.devices > 1) {
+        w.key("per_device").begin_array();
+        for (const auto &dv : r.per_device) {
+            w.begin_object();
+            w.key("device").value(static_cast<u64>(dv.device));
+            w.key("compute_s").value(dv.compute_s);
+            w.key("comm_s").value(dv.comm_s);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("links").begin_array();
+        for (const auto &lk : r.links) {
+            w.begin_object();
+            w.key("link").value(static_cast<u64>(lk.link));
+            w.key("bytes").value(lk.bytes);
+            w.key("busy_s").value(lk.busy_s);
+            w.key("utilization").value(lk.utilization);
+            w.end_object();
+        }
+        w.end_array();
+    }
 
     w.key("spans").begin_object();
     for (const auto &[name, count] : r.spans)

@@ -98,6 +98,11 @@ struct Result
     /// Tuning-table path backing an auto run ("" = tuned in-memory /
     /// fixed engine). Provenance only; carried into the artifact.
     std::string tuning_table;
+    /// Devices the keyswitch sharded over (1 = single device; the
+    /// historical artifacts). Serialized only when > 1.
+    size_t devices = 1;
+    /// Interconnect preset name ("nvlink"/"pcie") when devices > 1.
+    std::string topology;
 
     double modeled_total_s = 0; ///< per-batched-ciphertext model time
     double wall_s = 0;          ///< functional runs only, else 0
@@ -111,6 +116,25 @@ struct Result
     double ip_valid_proportion = 0; ///< §4.5.3 gate input at this level
 
     std::vector<KernelRow> kernels;
+    /// Per-device compute/communication split of the sharded makespan.
+    /// Populated (and serialized) only when devices > 1.
+    struct DeviceRow
+    {
+        size_t device = 0;
+        double compute_s = 0;
+        double comm_s = 0;
+    };
+    std::vector<DeviceRow> per_device;
+    /// Per-link interconnect traffic and utilization over the modeled
+    /// makespan. Populated (and serialized) only when devices > 1.
+    struct LinkRow
+    {
+        size_t link = 0;
+        double bytes = 0;
+        double busy_s = 0;
+        double utilization = 0;
+    };
+    std::vector<LinkRow> links;
     /// span.* / gemm.calls counters from the run's obs::Scope
     /// (functional mode only).
     std::map<std::string, u64> spans;

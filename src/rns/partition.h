@@ -41,6 +41,24 @@ make_partition(size_t total, size_t group_size)
     return groups;
 }
 
+/**
+ * Partition @p total primes into @p parts contiguous near-even groups
+ * (⌈total/parts⌉ each, trailing groups possibly empty) — the
+ * multi-device shard rule: device d owns group d. Deterministic in
+ * (total, parts) only, so sharded schedules are reproducible.
+ */
+inline std::vector<DigitGroup>
+make_even_partition(size_t total, size_t parts)
+{
+    std::vector<DigitGroup> groups;
+    const size_t chunk = parts > 0 ? (total + parts - 1) / parts : total;
+    for (size_t p = 0; p < parts; ++p) {
+        const size_t first = std::min(p * chunk, total);
+        groups.push_back({first, std::min(chunk, total - first)});
+    }
+    return groups;
+}
+
 /// Index of the group containing prime @p idx.
 inline size_t
 group_of(const std::vector<DigitGroup> &groups, size_t idx)

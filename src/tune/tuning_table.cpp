@@ -28,16 +28,18 @@ canonical_stages()
 auto
 order_key(const SiteDecision &d)
 {
+    // devices sorts last so historical (device-agnostic) tables keep
+    // their exact canonical order.
     return std::make_tuple(d.n, d.d_num, d.level, stage_rank(d.stage),
-                           std::string_view(d.stage));
+                           std::string_view(d.stage), d.devices);
 }
 
 bool
 same_site(const SiteDecision &d, std::string_view stage, size_t level,
-          size_t d_num, size_t n)
+          size_t d_num, size_t n, size_t devices)
 {
     return d.n == n && d.d_num == d_num && d.level == level &&
-           d.stage == stage;
+           d.devices == devices && d.stage == stage;
 }
 
 } // namespace
@@ -56,7 +58,7 @@ void
 TuningTable::add(SiteDecision d)
 {
     for (auto &e : entries_) {
-        if (same_site(e, d.stage, d.level, d.d_num, d.n)) {
+        if (same_site(e, d.stage, d.level, d.d_num, d.n, d.devices)) {
             e = std::move(d);
             return;
         }
@@ -70,19 +72,26 @@ TuningTable::add(SiteDecision d)
 
 const SiteDecision *
 TuningTable::find(std::string_view stage, size_t level, size_t d_num,
-                  size_t n) const
+                  size_t n, size_t devices) const
 {
+    // A decision pinned to this exact device count wins...
+    if (devices != 0) {
+        for (const auto &e : entries_)
+            if (same_site(e, stage, level, d_num, n, devices))
+                return &e;
+    }
+    // ...else a device-agnostic entry matches any run.
     for (const auto &e : entries_)
-        if (same_site(e, stage, level, d_num, n))
+        if (same_site(e, stage, level, d_num, n, 0))
             return &e;
     return nullptr;
 }
 
 std::optional<EngineId>
 TuningTable::lookup(std::string_view stage, size_t level, size_t d_num,
-                    size_t n) const
+                    size_t n, size_t devices) const
 {
-    if (const SiteDecision *d = find(stage, level, d_num, n))
+    if (const SiteDecision *d = find(stage, level, d_num, n, devices))
         return d->engine;
     return std::nullopt;
 }
@@ -97,7 +106,7 @@ TuningTable::policy(ExecPolicy base) const
     base.select = EngineSelect::autotune;
     base.site_engine = [table, fallback](const SiteKey &site) {
         if (auto e = table->lookup(site.stage, site.level, site.d_num,
-                                   site.n))
+                                   site.n, site.devices))
             return *e;
         return fallback;
     };
@@ -117,6 +126,10 @@ TuningTable::to_json() const
         w.key("level").value(static_cast<u64>(e.level));
         w.key("d_num").value(static_cast<u64>(e.d_num));
         w.key("n").value(static_cast<u64>(e.n));
+        // Additive field: absent means device-agnostic, so historical
+        // neo.tune/1 documents round-trip byte-identically.
+        if (e.devices != 0)
+            w.key("devices").value(static_cast<u64>(e.devices));
         w.key("valid").value(e.valid);
         w.key("engine").value(EngineRegistry::name(e.engine));
         w.key("scores").begin_object();
@@ -153,6 +166,8 @@ TuningTable::parse(const json::Value &v)
         d.level = static_cast<size_t>(ev.at("level").as_number());
         d.d_num = static_cast<size_t>(ev.at("d_num").as_number());
         d.n = static_cast<size_t>(ev.at("n").as_number());
+        if (const json::Value *devices = ev.find("devices"))
+            d.devices = static_cast<size_t>(devices->as_number());
         if (const json::Value *valid = ev.find("valid"))
             d.valid = valid->as_number();
         d.engine = EngineRegistry::parse(ev.at("engine").as_string());

@@ -47,6 +47,14 @@ struct SiteDecision
     /// FP64 fragment valid proportion at this site (§4.5.3) —
     /// informational, not part of the lookup key.
     double valid = 0;
+    /**
+     * Device count this decision is pinned to; 0 — the default and
+     * the only value historical tables contain — means
+     * device-agnostic (matches a run with any --devices). Nonzero
+     * entries win over agnostic ones at their exact device count.
+     * Serialized only when nonzero, so `neo.tune/1` is unchanged.
+     */
+    size_t devices = 0;
     EngineId engine = EngineId::fp64_tcu; ///< the decision
     /// Per-engine scores, in EngineRegistry::ids() order.
     std::vector<SiteScore> scores;
@@ -62,13 +70,21 @@ class TuningTable
     /// Insert @p d, replacing any entry with the same key.
     void add(SiteDecision d);
 
-    /// Exact-match lookup; nullopt when the site was never tuned.
+    /**
+     * Lookup for a run on @p devices devices (0 = "agnostic only",
+     * the historical call): a decision pinned to exactly @p devices
+     * wins; otherwise a device-agnostic entry (devices == 0) matches;
+     * nullopt when the site was never tuned.
+     */
     std::optional<EngineId> lookup(std::string_view stage, size_t level,
-                                   size_t d_num, size_t n) const;
+                                   size_t d_num, size_t n,
+                                   size_t devices = 0) const;
 
     /// The full entry for a site (scores included); nullptr if absent.
+    /// Same exact-then-agnostic device matching as lookup().
     const SiteDecision *find(std::string_view stage, size_t level,
-                             size_t d_num, size_t n) const;
+                             size_t d_num, size_t n,
+                             size_t devices = 0) const;
 
     /// Entries in canonical (n, d_num, level, stage) order.
     const std::vector<SiteDecision> &entries() const { return entries_; }

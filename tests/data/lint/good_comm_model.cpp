@@ -1,0 +1,18 @@
+// Fixture: interconnect/shard cost-model code — float math over byte
+// counts and shard sizes (never limb data) plus index math must pass
+// raw-mod and float-on-limb tree-clean.
+// neo-lint: as-path(src/neo/fixture.cpp)
+double
+collective_time(size_t shard_limbs, size_t n, size_t batch,
+                size_t devices, size_t steps, double bandwidth,
+                double latency_s)
+{
+    const double shard_bytes = static_cast<double>(shard_limbs) *
+                               static_cast<double>(n) * 8.0 *
+                               static_cast<double>(batch);
+    const size_t chunk = (shard_limbs + devices - 1) / devices;
+    const size_t ring_peer = (devices + 1) % devices; // neighbour index
+    const double per_step =
+        latency_s + shard_bytes / (static_cast<double>(chunk) * bandwidth);
+    return static_cast<double>(steps + ring_peer) * per_step;
+}

@@ -1,0 +1,261 @@
+/**
+ * Closed-form cross-checks of the interconnect cost model
+ * (gpusim/topology): the CollectiveModel's α–β prices must equal the
+ * textbook formulas for ring and fully-connected all-gather /
+ * reduce-scatter / all-to-all, chunk pipelining must amortize exactly
+ * as (steps + C − 1)·(α + m/(C·bw)), degenerate topologies must price
+ * everything at zero, and the presets must keep the properties the
+ * sharded keyswitch model relies on. Mirrors gpusim_cost_test for the
+ * communication side (ctest label `gpusim`).
+ */
+#include <gtest/gtest.h>
+
+#include "gpusim/topology.h"
+
+using namespace neo;
+using gpusim::CollectiveCost;
+using gpusim::CollectiveModel;
+using gpusim::Interconnect;
+using gpusim::Topology;
+using gpusim::TopologyShape;
+
+namespace {
+
+Topology
+ring(size_t n, double bw = 50e9, double lat = 1e-6)
+{
+    Topology t;
+    t.devices = n;
+    t.shape = TopologyShape::ring;
+    t.link = {bw, lat};
+    return t;
+}
+
+Topology
+fc(size_t n, double bw = 50e9, double lat = 1e-6)
+{
+    Topology t;
+    t.devices = n;
+    t.shape = TopologyShape::fully_connected;
+    t.link = {bw, lat};
+    return t;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Ring collectives: the classic (n−1)-step formulas
+// ---------------------------------------------------------------------
+
+TEST(CollectiveRing, AllGatherMatchesClosedForm)
+{
+    for (size_t n : {2u, 4u, 8u}) {
+        const auto topo = ring(n);
+        const CollectiveModel cm(topo);
+        const double m = 3e6; // shard bytes
+        const auto c = cm.all_gather(m);
+        // Ring all-gather: n−1 steps, each device forwards one shard
+        // of m bytes per step.
+        EXPECT_EQ(c.steps, n - 1);
+        EXPECT_DOUBLE_EQ(c.bytes_per_link,
+                         static_cast<double>(n - 1) * m);
+        EXPECT_DOUBLE_EQ(c.total_bytes,
+                         static_cast<double>(n) *
+                             static_cast<double>(n - 1) * m);
+        EXPECT_DOUBLE_EQ(
+            c.time_s, static_cast<double>(n - 1) *
+                          (topo.link.latency_s + m / topo.link.bandwidth));
+    }
+}
+
+TEST(CollectiveRing, ReduceScatterIsAllGatherDual)
+{
+    // Reduce-scatter traverses the same ring schedule in reverse:
+    // identical steps, bytes and time.
+    const auto topo = ring(4);
+    const CollectiveModel cm(topo);
+    const double m = 7e5;
+    const auto ag = cm.all_gather(m);
+    const auto rs = cm.reduce_scatter(m);
+    EXPECT_EQ(rs.steps, ag.steps);
+    EXPECT_DOUBLE_EQ(rs.bytes_per_link, ag.bytes_per_link);
+    EXPECT_DOUBLE_EQ(rs.total_bytes, ag.total_bytes);
+    EXPECT_DOUBLE_EQ(rs.time_s, ag.time_s);
+}
+
+TEST(CollectiveRing, AllToAllRoutesHalfRing)
+{
+    for (size_t n : {2u, 4u, 8u}) {
+        const auto topo = ring(n);
+        const CollectiveModel cm(topo);
+        const double p = 1e6; // bytes per (src, dst) pair
+        const auto c = cm.all_to_all(p);
+        EXPECT_EQ(c.steps, n - 1);
+        // Every pair's payload travels ring hops; total fabric bytes
+        // are the n(n−1) pairs' payloads.
+        EXPECT_DOUBLE_EQ(c.total_bytes,
+                         static_cast<double>(n) *
+                             static_cast<double>(n - 1) * p);
+        EXPECT_GE(c.bytes_per_link, p);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fully-connected collectives: one step, direct links
+// ---------------------------------------------------------------------
+
+TEST(CollectiveFC, AllGatherIsOneDirectStep)
+{
+    for (size_t n : {2u, 4u, 8u}) {
+        const auto topo = fc(n);
+        const CollectiveModel cm(topo);
+        const double m = 2e6;
+        const auto c = cm.all_gather(m);
+        EXPECT_EQ(c.steps, 1u);
+        EXPECT_DOUBLE_EQ(c.bytes_per_link, m);
+        // Same fabric total as the ring: n devices each receive
+        // (n−1)·m bytes, just over direct links in parallel.
+        EXPECT_DOUBLE_EQ(c.total_bytes,
+                         static_cast<double>(n) *
+                             static_cast<double>(n - 1) * m);
+        EXPECT_DOUBLE_EQ(c.time_s, topo.link.latency_s +
+                                       m / topo.link.bandwidth);
+    }
+}
+
+TEST(CollectiveFC, FasterThanRingAtEqualLinkSpeed)
+{
+    // With identical per-link constants the FC schedule's single step
+    // beats the ring's n−1 serial steps.
+    for (size_t n : {4u, 8u}) {
+        const CollectiveModel r(ring(n));
+        const CollectiveModel f(fc(n));
+        const double m = 5e6;
+        EXPECT_LT(f.all_gather(m).time_s, r.all_gather(m).time_s);
+        EXPECT_LT(f.reduce_scatter(m).time_s,
+                  r.reduce_scatter(m).time_s);
+        EXPECT_LT(f.all_to_all(m).time_s, r.all_to_all(m).time_s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunk pipelining
+// ---------------------------------------------------------------------
+
+TEST(CollectiveChunks, PipelineFormulaIsExact)
+{
+    const auto topo = ring(4);
+    const CollectiveModel cm(topo);
+    const double m = 8e6;
+    for (size_t chunks : {1u, 2u, 4u, 16u}) {
+        const auto c = cm.all_gather(m, chunks);
+        const double s = static_cast<double>(topo.devices - 1);
+        const double cd = static_cast<double>(chunks);
+        const double expect =
+            (s + cd - 1.0) *
+            (topo.link.latency_s + m / (cd * topo.link.bandwidth));
+        EXPECT_DOUBLE_EQ(c.time_s, expect) << "chunks=" << chunks;
+        // Byte accounting is chunk-invariant.
+        EXPECT_DOUBLE_EQ(c.total_bytes, cm.all_gather(m).total_bytes);
+    }
+}
+
+TEST(CollectiveChunks, AmortizationHelpsDeepSchedulesOnly)
+{
+    const double m = 64e6;
+    // Ring (steps > 1): pipelining hides all but one chunk's latency,
+    // so some chunking beats none for a bandwidth-heavy payload.
+    {
+        const CollectiveModel cm(ring(8));
+        EXPECT_LT(cm.all_gather(m, 8).time_s, cm.all_gather(m, 1).time_s);
+    }
+    // FC (one step): extra chunks only add latency terms.
+    {
+        const CollectiveModel cm(fc(8));
+        EXPECT_GE(cm.all_gather(m, 8).time_s, cm.all_gather(m, 1).time_s);
+        EXPECT_EQ(cm.best_chunks(m), 1u);
+    }
+}
+
+TEST(CollectiveChunks, BestChunksMinimizesTime)
+{
+    for (const auto &topo : {ring(8), fc(8), ring(2, 25e9, 5e-6)}) {
+        const CollectiveModel cm(topo);
+        for (double m : {1e3, 1e6, 64e6}) {
+            const size_t best = cm.best_chunks(m);
+            const double t_best = cm.all_gather(m, best).time_s;
+            for (size_t c : {1u, 2u, 4u, 8u, 16u, 32u, 64u})
+                EXPECT_LE(t_best, cm.all_gather(m, c).time_s)
+                    << "m=" << m << " challenger=" << c;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate and preset topologies
+// ---------------------------------------------------------------------
+
+TEST(TopologyDegenerate, SingleDevicePricesEverythingZero)
+{
+    const auto topo = Topology::single();
+    const CollectiveModel cm(topo);
+    EXPECT_EQ(topo.devices, 1u);
+    EXPECT_EQ(topo.num_links(), 0u);
+    for (const auto &c :
+         {cm.all_gather(1e6), cm.reduce_scatter(1e6), cm.all_to_all(1e6)}) {
+        EXPECT_EQ(c.steps, 0u);
+        EXPECT_DOUBLE_EQ(c.time_s, 0.0);
+        EXPECT_DOUBLE_EQ(c.bytes_per_link, 0.0);
+        EXPECT_DOUBLE_EQ(c.total_bytes, 0.0);
+    }
+}
+
+TEST(TopologyPresets, ShapesLinksAndNames)
+{
+    const auto nv = Topology::nvlink(4);
+    EXPECT_EQ(nv.shape, TopologyShape::fully_connected);
+    EXPECT_EQ(nv.num_links(), 12u); // 4·3 directed pairs
+    // 300 GB/s egress split across 3 peers.
+    EXPECT_DOUBLE_EQ(nv.link.bandwidth, 300e9 / 3);
+
+    const auto pc = Topology::pcie(4);
+    EXPECT_EQ(pc.shape, TopologyShape::ring);
+    EXPECT_EQ(pc.num_links(), 4u);
+    EXPECT_GT(nv.link.bandwidth, pc.link.bandwidth);
+    EXPECT_LT(nv.link.latency_s, pc.link.latency_s);
+
+    EXPECT_STREQ(gpusim::interconnect_name(Interconnect::nvlink),
+                 "nvlink");
+    EXPECT_STREQ(gpusim::interconnect_name(Interconnect::pcie), "pcie");
+    Interconnect ic;
+    EXPECT_TRUE(gpusim::parse_interconnect("pcie", &ic));
+    EXPECT_EQ(ic, Interconnect::pcie);
+    EXPECT_TRUE(gpusim::parse_interconnect("nvlink", &ic));
+    EXPECT_EQ(ic, Interconnect::nvlink);
+    EXPECT_FALSE(gpusim::parse_interconnect("infiniband", &ic));
+}
+
+TEST(TopologyPresets, PresetDispatchMatchesFactories)
+{
+    const auto a = Topology::preset(Interconnect::nvlink, 8);
+    const auto b = Topology::nvlink(8);
+    EXPECT_EQ(a.devices, b.devices);
+    EXPECT_EQ(a.shape, b.shape);
+    EXPECT_DOUBLE_EQ(a.link.bandwidth, b.link.bandwidth);
+    const auto c = Topology::preset(Interconnect::pcie, 8);
+    EXPECT_EQ(c.shape, TopologyShape::ring);
+}
+
+TEST(TopologyPresets, NvlinkBeatsPcieOnKeyswitchScalePayloads)
+{
+    // The crossover argument's fabric half: at the ~100 MB payloads a
+    // batched keyswitch exchanges, NVLink collectives are an order of
+    // magnitude cheaper than the PCIe ring.
+    for (size_t n : {2u, 4u}) {
+        const CollectiveModel nv(Topology::nvlink(n));
+        const CollectiveModel pc(Topology::pcie(n));
+        const double m = 128e6;
+        EXPECT_LT(nv.all_gather(m, nv.best_chunks(m)).time_s,
+                  pc.all_gather(m, pc.best_chunks(m)).time_s / 4);
+    }
+}

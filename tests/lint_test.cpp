@@ -90,6 +90,15 @@ TEST(LintRules, FloatOnLimbPassesScalarsAndTensorCode)
     EXPECT_TRUE(scan_fixture("good_float_tensor.cpp").empty());
 }
 
+TEST(LintRules, CommModelCodePassesRawModAndFloatOnLimb)
+{
+    // The interconnect/shard cost model (as-path src/neo/) lives in
+    // the strictest rule scope: float math over byte counts and
+    // ceil-partition index math must stay tree-clean under both the
+    // raw-mod and float-on-limb rules.
+    EXPECT_TRUE(scan_fixture("good_comm_model.cpp").empty());
+}
+
 TEST(LintRules, ThreadUnsafeStaticSkipsConstMutexAtomic)
 {
     const auto fs = scan_fixture("bad_static.cpp");

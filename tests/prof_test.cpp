@@ -249,6 +249,56 @@ TEST(ProfOptions, ArtifactCarriesOptionsAndNewTotals)
     EXPECT_EQ(doc.at("totals").at("launches").as_number(), 1.0);
 }
 
+TEST(ProfSharded, ArtifactCarriesDevicesCommAndPerLinkRows)
+{
+    ExecPolicy p = ExecPolicy::fixed(EngineId::fp64_tcu,
+                                     /*fuse=*/true, /*graph=*/true);
+    p.devices = 2;
+    p.interconnect = gpusim::Interconnect::nvlink;
+    const auto r = prof::profile("keyswitch", p);
+    EXPECT_EQ(r.devices, 2u);
+    EXPECT_EQ(r.topology, "nvlink");
+    // Per-device rows: one per device, their compute+comm shares
+    // matching the totals the metrics gate on.
+    ASSERT_EQ(r.per_device.size(), 2u);
+    // nvlink(2) is fully connected: n(n-1) directed links.
+    ASSERT_EQ(r.links.size(), 2u);
+    for (const auto &lk : r.links) {
+        EXPECT_GT(lk.bytes, 0.0);
+        EXPECT_GT(lk.busy_s, 0.0);
+        EXPECT_GT(lk.utilization, 0.0);
+    }
+    const auto doc = artifact(r);
+    EXPECT_EQ(doc.at("devices").as_number(), 2.0);
+    EXPECT_EQ(doc.at("topology").as_string(), "nvlink");
+    ASSERT_EQ(doc.at("per_device").as_array().size(), 2u);
+    ASSERT_EQ(doc.at("links").as_array().size(), 2u);
+    const auto m = metric_map(doc);
+    EXPECT_GT(m.at("comm.bytes.total"), 0.0);
+    EXPECT_GT(m.at("comm.modeled.s"), 0.0);
+    EXPECT_GT(m.at("modeled.single_device.s"), 0.0);
+    // comm rows ride the kernel table, so --diff attributes them.
+    bool comm_row = false;
+    for (const auto &k : r.kernels)
+        comm_row |= k.name.rfind("comm.", 0) == 0;
+    EXPECT_TRUE(comm_row);
+}
+
+TEST(ProfSharded, SingleDeviceArtifactOmitsShardKeys)
+{
+    // Historical artifacts must stay byte-identical: no devices /
+    // topology / per_device / links keys and no comm.* metrics
+    // without --devices > 1.
+    const auto doc = artifact(prof::profile(
+        "keyswitch", ExecPolicy::fixed(EngineId::fp64_tcu)));
+    EXPECT_EQ(doc.find("devices"), nullptr);
+    EXPECT_EQ(doc.find("topology"), nullptr);
+    EXPECT_EQ(doc.find("per_device"), nullptr);
+    EXPECT_EQ(doc.find("links"), nullptr);
+    for (const auto &[k, v] : doc.at("metrics").as_object())
+        EXPECT_NE(k.rfind("comm.", 0), 0u) << k;
+}
+
 TEST(ProfArtifact, MatchesFusedGoldenFile)
 {
     // Same contract as MatchesGoldenFile, for the fuse+graph artifact:

@@ -3,6 +3,7 @@
  *
  *   neo-prof <workload> [--engine E] [--level N] [--repeat N]
  *            [--fuse on|off] [--graph on|off]
+ *            [--devices N] [--topology nvlink|pcie]
  *            [--tuning-table PATH]
  *            [--json PATH] [--baseline PATH] [--threshold F]
  *            [--gate-wall]
@@ -31,6 +32,7 @@
 #include <iostream>
 #include <string>
 
+#include "gpusim/topology.h"
 #include "neo/engine.h"
 #include "prof/prof.h"
 
@@ -63,6 +65,14 @@ usage(const char *argv0)
         " pipeline)\n"
         "  --graph on|off  CUDA-graph capture/replay model (default"
         " on)\n"
+        "  --devices N     shard the keyswitch over N modeled devices"
+        " (default 1;\n"
+        "                  keyswitch workload only; execution stays"
+        " bit-identical,\n"
+        "                  the cost model prices compute + collectives)\n"
+        "  --topology T    interconnect preset with --devices >= 2:"
+        " nvlink\n"
+        "                  (default) or pcie\n"
         "  --tuning-table PATH\n"
         "                  with --engine auto: load per-site decisions"
         " from PATH\n"
@@ -96,6 +106,8 @@ main(int argc, char **argv)
     std::string workload, engine = "fp64_tcu", json_path, baseline_path;
     std::string tuning_table, diff_base, diff_cur;
     bool tune_mode = false, diff_mode = false;
+    size_t devices = 1;
+    bool topology_set = false;
     size_t level = 0;
     size_t repeat = 1;
     neo::prof::CompareOptions copts;
@@ -139,6 +151,24 @@ main(int argc, char **argv)
             policy.fuse = on_off("--fuse");
         } else if (a == "--graph") {
             policy.graph = on_off("--graph");
+        } else if (a == "--devices") {
+            const long long v = std::atoll(next("--devices"));
+            if (v < 1) {
+                std::fprintf(stderr,
+                             "--devices takes a positive device count\n");
+                return 2;
+            }
+            devices = static_cast<size_t>(v);
+        } else if (a == "--topology") {
+            const std::string v = next("--topology");
+            if (!neo::gpusim::parse_interconnect(v,
+                                                 &policy.interconnect)) {
+                std::fprintf(stderr,
+                             "--topology takes nvlink|pcie, got '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+            topology_set = true;
         } else if (a == "--tuning-table") {
             tuning_table = next("--tuning-table");
         } else if (a == "--tune") {
@@ -173,6 +203,12 @@ main(int argc, char **argv)
             std::fprintf(stderr, "--diff takes no workload argument\n");
             return 2;
         }
+        if (devices > 1 || topology_set) {
+            std::fprintf(stderr, "--devices/--topology do not apply to "
+                                 "--diff (artifacts carry their own "
+                                 "device count)\n");
+            return 2;
+        }
         try {
             const neo::json::Value base =
                 neo::json::Value::parse_file(diff_base);
@@ -199,6 +235,12 @@ main(int argc, char **argv)
     }
 
     if (tune_mode) {
+        if (devices > 1 || topology_set) {
+            std::fprintf(stderr, "--devices/--topology do not apply to "
+                                 "--tune (tuned decisions are "
+                                 "device-agnostic)\n");
+            return 2;
+        }
         const std::string out =
             tuning_table.empty() ? "neo.tune.json" : tuning_table;
         try {
@@ -215,6 +257,20 @@ main(int argc, char **argv)
     }
     if (workload.empty())
         return usage(argv[0]);
+
+    // Reject nonsensical flag combinations instead of silently
+    // ignoring them.
+    if (topology_set && devices < 2) {
+        std::fprintf(stderr,
+                     "--topology requires --devices >= 2\n");
+        return 2;
+    }
+    if (devices > 1 && workload != "keyswitch") {
+        std::fprintf(stderr, "--devices is only modeled for the "
+                             "keyswitch workload\n");
+        return 2;
+    }
+    policy.devices = devices;
 
     try {
         if (engine == "auto") {
