@@ -17,10 +17,10 @@
 
 #include <array>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/static_operand.h"
 #include "poly/rns_poly.h"
 
@@ -46,7 +46,7 @@ template <class V> class PerLevelCache
     const V &
     get(size_t level, Build &&build) const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         auto it = map_.find(level);
         if (it == map_.end())
             it = map_.emplace(level, build()).first;
@@ -54,8 +54,11 @@ template <class V> class PerLevelCache
     }
 
   private:
-    mutable std::mutex mu_;
-    mutable std::map<size_t, V> map_;
+    mutable Mutex mu_;
+    /// Node handles are stable, so the reference returned by get()
+    /// stays valid after the lock drops; published values are
+    /// immutable.
+    mutable std::map<size_t, V> map_ NEO_GUARDED_BY(mu_);
 };
 
 } // namespace detail

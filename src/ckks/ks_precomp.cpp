@@ -18,8 +18,10 @@ KeySwitchPrecomp::~KeySwitchPrecomp() = default;
 const KeySwitchPrecomp::Level &
 KeySwitchPrecomp::level(size_t level) const
 {
+    LockGuard lock(mu_);
+    // Size check under the lock: levels_ is sized once in the
+    // constructor, but the analysis (rightly) has no way to know that.
     NEO_CHECK(level < levels_.size(), "level out of range");
-    std::lock_guard<std::mutex> lock(mu_);
     auto &slot = levels_[level];
     if (slot != nullptr)
         return *slot;
@@ -78,8 +80,8 @@ KeySwitchPrecomp::level(size_t level) const
 const BaseConverter &
 KeySwitchPrecomp::t_to_pq(size_t idx) const
 {
+    LockGuard lock(mu_);
     NEO_CHECK(idx < t_single_.size(), "pq index out of range");
-    std::lock_guard<std::mutex> lock(mu_);
     auto &slot = t_single_[idx];
     if (slot == nullptr)
         slot = std::make_unique<BaseConverter>(

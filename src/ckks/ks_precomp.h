@@ -20,9 +20,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "rns/base_convert.h"
 #include "rns/basis.h"
 #include "rns/partition.h"
@@ -75,9 +75,13 @@ class KeySwitchPrecomp
 
   private:
     const CkksContext &ctx_;
-    mutable std::mutex mu_;
-    mutable std::vector<std::unique_ptr<Level>> levels_;
-    mutable std::vector<std::unique_ptr<BaseConverter>> t_single_;
+    mutable Mutex mu_;
+    /// Lazily built per-level invariants; the unique_ptr slots are
+    /// guarded, the pointed-to Levels are immutable once published
+    /// (which is what makes the stable-reference contract safe).
+    mutable std::vector<std::unique_ptr<Level>> levels_ NEO_GUARDED_BY(mu_);
+    mutable std::vector<std::unique_ptr<BaseConverter>> t_single_
+        NEO_GUARDED_BY(mu_);
 };
 
 } // namespace neo::ckks

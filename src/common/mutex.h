@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Annotated mutex wrappers: `neo::Mutex`, `neo::SharedMutex`, the RAII
+ * guards (`neo::LockGuard`, `neo::ReaderLock`, `neo::WriterLock`) and
+ * `neo::CondVar`.
+ *
+ * These are zero-cost veneers over the std synchronization primitives
+ * whose only job is to carry the Clang Thread Safety Analysis
+ * attributes (common/annotations.h): a `neo::Mutex` is a capability,
+ * the guards are scoped capabilities, and `CondVar::wait` requires the
+ * capability it re-acquires before returning. Every shared-state
+ * module in the tree declares its locks with these types — the
+ * neo-lint `unannotated-mutex` rule rejects raw `std::mutex` /
+ * `std::shared_mutex` members, and `lock-discipline` rejects naked
+ * `.lock()` / `.unlock()` calls outside this wrapper.
+ *
+ * CondVar wraps std::condition_variable_any so it can block on the
+ * annotated Mutex directly (no escape hatch back to the raw std type
+ * is needed, which would blind the analysis). Waits are written as
+ * explicit predicate loops at the call site:
+ *
+ *   neo::LockGuard l(mu_);
+ *   while (!ready)           // guarded reads, visibly under mu_
+ *       cv_.wait(mu_);
+ *
+ * rather than the lambda-predicate overload — the analysis treats a
+ * lambda body as a separate function that holds nothing, so guarded
+ * reads inside a predicate lambda would be (correctly) rejected.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace neo {
+
+/**
+ * Exclusive mutex carrying the capability annotation. Prefer the RAII
+ * LockGuard; the raw lock()/unlock() surface exists for the guards and
+ * CondVar (and is off-limits elsewhere per the lock-discipline rule).
+ */
+class NEO_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    // neo-lint: allow(lock-discipline) — the wrapper is the one place
+    // that talks to the raw std primitive.
+    void lock() NEO_ACQUIRE() { mu_.lock(); }
+    // neo-lint: allow(lock-discipline)
+    void unlock() NEO_RELEASE() { mu_.unlock(); }
+    bool try_lock() NEO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_; // neo-lint: allow(unannotated-mutex) — the wrapper
+};
+
+/**
+ * Reader/writer mutex carrying the capability annotation. Writers use
+ * WriterLock (exclusive), readers ReaderLock (shared).
+ */
+class NEO_CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    // neo-lint: allow(lock-discipline) — wrapper-internal raw calls.
+    void lock() NEO_ACQUIRE() { mu_.lock(); }
+    // neo-lint: allow(lock-discipline)
+    void unlock() NEO_RELEASE() { mu_.unlock(); }
+    // neo-lint: allow(lock-discipline)
+    void lock_shared() NEO_ACQUIRE_SHARED() { mu_.lock_shared(); }
+    // neo-lint: allow(lock-discipline)
+    void unlock_shared() NEO_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  private:
+    // neo-lint: allow(unannotated-mutex) — the wrapper itself.
+    std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a neo::Mutex (std::lock_guard shape).
+class NEO_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mu) NEO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~LockGuard() NEO_RELEASE() { mu_.unlock(); }
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/// RAII exclusive lock over a neo::SharedMutex (writer side).
+class NEO_SCOPED_CAPABILITY WriterLock
+{
+  public:
+    explicit WriterLock(SharedMutex &mu) NEO_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~WriterLock() NEO_RELEASE() { mu_.unlock(); }
+    WriterLock(const WriterLock &) = delete;
+    WriterLock &operator=(const WriterLock &) = delete;
+
+  private:
+    SharedMutex &mu_;
+};
+
+/// RAII shared lock over a neo::SharedMutex (reader side).
+class NEO_SCOPED_CAPABILITY ReaderLock
+{
+  public:
+    explicit ReaderLock(SharedMutex &mu) NEO_ACQUIRE_SHARED(mu) : mu_(mu)
+    {
+        mu_.lock_shared();
+    }
+    ~ReaderLock() NEO_RELEASE() { mu_.unlock_shared(); }
+    ReaderLock(const ReaderLock &) = delete;
+    ReaderLock &operator=(const ReaderLock &) = delete;
+
+  private:
+    SharedMutex &mu_;
+};
+
+/**
+ * Condition variable that blocks on a neo::Mutex. wait() releases the
+ * mutex, blocks, and re-acquires before returning — from the analysis'
+ * point of view the capability is held across the call, which is
+ * exactly the guarantee the caller's predicate loop relies on.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /// Atomically release @p mu and block; re-acquires @p mu before
+    /// returning. Spurious wakeups possible — always loop on the
+    /// predicate.
+    void
+    wait(Mutex &mu) NEO_REQUIRES(mu)
+    {
+        cv_.wait(mu);
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace neo

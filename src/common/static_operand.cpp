@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
+
+#include "common/mutex.h"
 
 namespace neo {
 
@@ -17,8 +17,9 @@ struct Range
 
 struct Registry
 {
-    mutable std::shared_mutex mu;
-    std::map<uintptr_t, Range> ranges; // keyed by start address
+    mutable SharedMutex mu;
+    /// Pinned ranges keyed by start address.
+    std::map<uintptr_t, Range> ranges NEO_GUARDED_BY(mu);
     std::atomic<u64> next_gen{1};
     std::atomic<size_t> count{0};
 };
@@ -54,7 +55,7 @@ StaticOperands::pin(const void *p, size_t bytes)
         return 0;
     Registry &r = reg();
     const u64 gen = r.next_gen.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock lock(r.mu);
+    WriterLock lock(r.mu);
     auto [it, inserted] = r.ranges.insert_or_assign(
         reinterpret_cast<uintptr_t>(p), Range{bytes, gen});
     (void)it;
@@ -69,7 +70,7 @@ StaticOperands::unpin(const void *p)
     if (p == nullptr)
         return;
     Registry &r = reg();
-    std::unique_lock lock(r.mu);
+    WriterLock lock(r.mu);
     if (r.ranges.erase(reinterpret_cast<uintptr_t>(p)) > 0)
         r.count.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -81,7 +82,7 @@ StaticOperands::generation(const void *p) const
     if (r.count.load(std::memory_order_relaxed) == 0)
         return 0;
     const uintptr_t addr = reinterpret_cast<uintptr_t>(p);
-    std::shared_lock lock(r.mu);
+    ReaderLock lock(r.mu);
     auto it = r.ranges.upper_bound(addr);
     if (it == r.ranges.begin())
         return 0;

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace neo {
 
@@ -37,14 +37,14 @@ struct ThreadPool::Impl
     };
 
     std::vector<std::thread> workers;
-    std::mutex m;
-    std::condition_variable cv_work; // workers wait for a task
-    std::condition_variable cv_done; // submitter waits for completion
-    Task *task = nullptr;            // guarded by m
-    std::uint64_t generation = 0;    // guarded by m; bumped per task
-    size_t active = 0;               // workers currently inside task
-    bool stop = false;
-    std::mutex submit_m; // serialises concurrent external submitters
+    Mutex m;
+    CondVar cv_work; // workers wait for a task
+    CondVar cv_done; // submitter waits for completion
+    Task *task NEO_GUARDED_BY(m) = nullptr;
+    std::uint64_t generation NEO_GUARDED_BY(m) = 0; // bumped per task
+    size_t active NEO_GUARDED_BY(m) = 0; // workers currently inside task
+    bool stop NEO_GUARDED_BY(m) = false;
+    Mutex submit_m; // serialises concurrent external submitters
 
     void
     worker_loop()
@@ -54,10 +54,13 @@ struct ThreadPool::Impl
         for (;;) {
             Task *t = nullptr;
             {
-                std::unique_lock<std::mutex> l(m);
-                cv_work.wait(l, [&] {
-                    return stop || (task != nullptr && generation != seen);
-                });
+                LockGuard l(m);
+                // Explicit predicate loop (not the lambda-predicate
+                // wait): the guarded reads stay visibly under m for
+                // the thread-safety analysis.
+                while (!stop &&
+                       (task == nullptr || generation == seen))
+                    cv_work.wait(m);
                 if (stop)
                     return;
                 seen = generation;
@@ -66,7 +69,7 @@ struct ThreadPool::Impl
             }
             run_chunks(*t);
             {
-                std::lock_guard<std::mutex> l(m);
+                LockGuard l(m);
                 --active;
                 if (active == 0)
                     cv_done.notify_all();
@@ -110,7 +113,7 @@ ThreadPool::~ThreadPool()
     if (!impl_)
         return;
     {
-        std::lock_guard<std::mutex> l(impl_->m);
+        LockGuard l(impl_->m);
         impl_->stop = true;
     }
     impl_->cv_work.notify_all();
@@ -149,9 +152,9 @@ ThreadPool::parallel_for(size_t begin, size_t end, size_t grain,
     t.chunk = chunk;
     t.nchunks = nchunks;
 
-    std::lock_guard<std::mutex> submit(impl_->submit_m);
+    LockGuard submit(impl_->submit_m);
     {
-        std::lock_guard<std::mutex> l(impl_->m);
+        LockGuard l(impl_->m);
         impl_->task = &t;
         ++impl_->generation;
     }
@@ -166,31 +169,38 @@ ThreadPool::parallel_for(size_t begin, size_t end, size_t grain,
     // Wait until every chunk ran AND every worker has left the task —
     // only then may the stack-allocated Task be destroyed. Worker
     // writes are published by the mutex they release on exit.
-    std::unique_lock<std::mutex> l(impl_->m);
-    impl_->cv_done.wait(l, [&] {
-        return impl_->active == 0 &&
-               t.done.load(std::memory_order_acquire) == t.nchunks;
-    });
+    LockGuard l(impl_->m);
+    while (impl_->active != 0 ||
+           t.done.load(std::memory_order_acquire) != t.nchunks)
+        impl_->cv_done.wait(impl_->m);
     impl_->task = nullptr;
 }
 
+// Magic-static singleton: g_pool is guarded by the function-local g_m,
+// which the attribute grammar cannot name from a member declaration —
+// one of the documented NEO_NO_THREAD_SAFETY_ANALYSIS exceptions.
 ThreadPool &
-ThreadPool::global()
+ThreadPool::global() NEO_NO_THREAD_SAFETY_ANALYSIS
 {
-    static std::mutex g_m;
+    static Mutex g_m;
     // neo-lint: allow(thread-unsafe-static) — guarded by g_m.
     static std::unique_ptr<ThreadPool> g_pool;
-    std::lock_guard<std::mutex> l(g_m);
+    LockGuard l(g_m);
     if (!g_pool)
         g_pool = std::make_unique<ThreadPool>(0);
     return *g_pool;
 }
 
+// Invariant: callers never resize while parallel work is in flight
+// (documented on the declaration), so the impl_/n_threads_ swap below
+// races with nothing; g_m only serialises concurrent resizers. The
+// function-local lock is not nameable in attributes — documented
+// exception, like global().
 void
-ThreadPool::set_global_threads(size_t threads)
+ThreadPool::set_global_threads(size_t threads) NEO_NO_THREAD_SAFETY_ANALYSIS
 {
-    static std::mutex g_m; // distinct lock: guards the swap below
-    std::lock_guard<std::mutex> l(g_m);
+    static Mutex g_m; // distinct lock: guards the swap below
+    LockGuard l(g_m);
     ThreadPool &g = global();
     const size_t want = threads == 0 ? env_threads() : threads;
     if (g.n_threads_ == want)

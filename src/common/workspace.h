@@ -24,7 +24,10 @@
  * so arenas are never shared. A frame's memory may be *written* by
  * worker threads (e.g. row tiles of a GEMM scratch buffer allocated by
  * the submitting thread) — that is safe because the frame outlives the
- * parallel_for join.
+ * parallel_for join. Because nothing here is cross-thread-shared,
+ * the arena deliberately has no lock and no NEO_GUARDED_BY
+ * annotations (common/annotations.h): `thread_local` *is* its
+ * thread-safety mechanism, and adding a mutex would only hide that.
  *
  * Allocation requirements: T must be trivially copyable and trivially
  * destructible (the arena never runs constructors or destructors), and

@@ -9,10 +9,23 @@
  * through floating point outside the sanctioned bit-slicing code, and
  * nothing reachable from ThreadPool workers may hide function-local
  * mutable state. The rules engine scans the tree for those hazards
- * with a light lexer (comments and string literals are blanked before
- * matching, so rule patterns never fire inside either); the bit-budget
- * prover (bit_budget.h) statically verifies the FP64/INT8 plane
- * accumulation bounds for every reachable GEMM plan.
+ * with a light lexer (comments and string literals — including raw
+ * string literals — are blanked before matching, so rule patterns
+ * never fire inside either); the bit-budget prover (bit_budget.h)
+ * statically verifies the FP64/INT8 plane accumulation bounds for
+ * every reachable GEMM plan.
+ *
+ * v2 adds a symbol-aware pass (symtab.h): each file is parsed into a
+ * per-file symbol table — class scopes with their data members (type,
+ * guarded-ness, lock-ness), and function bodies with line ranges —
+ * which powers four concurrency/determinism rules: `unannotated-mutex`
+ * (raw std::mutex members instead of the annotated neo::Mutex),
+ * `lock-discipline` (naked .lock()/.unlock() on a known lock member
+ * instead of an RAII guard), `unordered-iteration-output` (range-for
+ * over a known unordered container inside an output/export function —
+ * nondeterministic order in serialized artifacts), and
+ * `nonatomic-shared-counter` (plain scalar member of a lock-owning
+ * class with no NEO_GUARDED_BY and no std::atomic).
  *
  * Suppressions: `// neo-lint: allow(rule-a, rule-b)` on a line
  * suppresses those rules on that line and the next one, so an
@@ -40,6 +53,12 @@ inline constexpr const char *banned_rng = "banned-rng";
 inline constexpr const char *naked_new = "naked-new";
 inline constexpr const char *header_hygiene = "header-hygiene";
 inline constexpr const char *obs_span_leak = "obs-span-leak";
+inline constexpr const char *unannotated_mutex = "unannotated-mutex";
+inline constexpr const char *lock_discipline = "lock-discipline";
+inline constexpr const char *unordered_iteration_output =
+    "unordered-iteration-output";
+inline constexpr const char *nonatomic_shared_counter =
+    "nonatomic-shared-counter";
 } // namespace rule
 
 /// Every rule id, in report order.

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/json.h"
+#include "lint/symtab.h"
 
 namespace neo::lint {
 
@@ -17,95 +18,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/* ------------------------------------------------------------------ */
-/* Lexing: blank comments and literals, keep comment text separately.  */
-/* ------------------------------------------------------------------ */
-
-/** One source line, split into matchable code and comment text. */
-struct Line
-{
-    std::string raw;     ///< original text
-    std::string code;    ///< literals and comments blanked with spaces
-    std::string comment; ///< concatenated comment text on this line
-};
-
-std::vector<Line>
-lex(const std::string &text)
-{
-    std::vector<Line> lines(1);
-    enum class St { code, str, chr, line_comment, block_comment };
-    St st = St::code;
-    for (size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char nx = i + 1 < text.size() ? text[i + 1] : '\0';
-        if (c == '\n') {
-            if (st == St::line_comment)
-                st = St::code;
-            lines.emplace_back();
-            continue;
-        }
-        Line &ln = lines.back();
-        ln.raw.push_back(c);
-        switch (st) {
-          case St::code:
-            if (c == '/' && nx == '/') {
-                st = St::line_comment;
-                ln.code.push_back(' ');
-            } else if (c == '/' && nx == '*') {
-                st = St::block_comment;
-                ln.code.push_back(' ');
-                ++i;
-                ln.raw.push_back('*');
-            } else if (c == '"') {
-                st = St::str;
-                ln.code.push_back(' ');
-            } else if (c == '\'') {
-                st = St::chr;
-                ln.code.push_back(' ');
-            } else {
-                ln.code.push_back(c);
-            }
-            break;
-          case St::str:
-            ln.code.push_back(' ');
-            if (c == '\\' && nx != '\0') {
-                if (nx != '\n') {
-                    ln.raw.push_back(nx);
-                    ln.code.push_back(' ');
-                }
-                ++i;
-            } else if (c == '"') {
-                st = St::code;
-            }
-            break;
-          case St::chr:
-            ln.code.push_back(' ');
-            if (c == '\\' && nx != '\0' && nx != '\n') {
-                ln.raw.push_back(nx);
-                ln.code.push_back(' ');
-                ++i;
-            } else if (c == '\'') {
-                st = St::code;
-            }
-            break;
-          case St::line_comment:
-            ln.code.push_back(' ');
-            ln.comment.push_back(c);
-            break;
-          case St::block_comment:
-            ln.code.push_back(' ');
-            ln.comment.push_back(c);
-            if (c == '*' && nx == '/') {
-                st = St::code;
-                ++i;
-                ln.raw.push_back('/');
-                ln.code.push_back(' ');
-            }
-            break;
-        }
-    }
-    return lines;
-}
+/* The lexer and the symbol table live in lint/symtab.{h,cpp}.        */
 
 /* ------------------------------------------------------------------ */
 /* Markers: allow(...) suppressions and as-path(...) classification.   */
@@ -201,6 +114,17 @@ bool
 ident_char(char c)
 {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Longest identifier ending at @p end (exclusive) in @p s.
+std::string
+ident_ending_at_pub(const std::string &s, size_t end)
+{
+    size_t b = std::min(end, s.size());
+    const size_t stop = b;
+    while (b > 0 && ident_char(s[b - 1]))
+        --b;
+    return s.substr(b, stop - b);
 }
 
 /**
@@ -409,10 +333,15 @@ rule_thread_unsafe_static(const std::string &path,
             rest.starts_with("const\t"))
             continue;
         // Inherently synchronized holders are the point of the pattern.
+        // The annotated wrappers (neo::Mutex / neo::SharedMutex) count:
+        // a static lock *is* the synchronization, not shared state.
         if (rest.starts_with("std::atomic") ||
             rest.starts_with("std::mutex") ||
             rest.starts_with("std::shared_mutex") ||
             rest.starts_with("std::once_flag") ||
+            rest.starts_with("Mutex ") || rest.starts_with("neo::Mutex ") ||
+            rest.starts_with("SharedMutex ") ||
+            rest.starts_with("neo::SharedMutex ") ||
             rest.starts_with("thread_local"))
             continue;
         // Member-function declarations etc.: a '(' before '=' or ';'
@@ -562,6 +491,189 @@ rule_obs_span_leak(const std::string &path, const std::vector<Line> &lines,
     }
 }
 
+
+/* ------------------------------------------------------------------ */
+/* Symbol-aware rules (v2): consume the per-file SymbolTable.         */
+/* ------------------------------------------------------------------ */
+
+/// The annotated wrapper itself is the sanctioned home of the raw std
+/// primitives and their .lock()/.unlock() surface.
+bool
+is_mutex_wrapper(const std::string &path)
+{
+    return path.ends_with("common/mutex.h");
+}
+
+void
+rule_unannotated_mutex(const std::string &path, const SymbolTable &tab,
+                       const std::vector<Line> &lines, Sink &out)
+{
+    if (is_mutex_wrapper(path))
+        return;
+    for (const ClassInfo &cls : tab.classes)
+        for (const Member &m : cls.members) {
+            const bool raw_std =
+                m.type.find("std::mutex") != std::string::npos ||
+                m.type.find("std::shared_mutex") != std::string::npos ||
+                m.type.find("std::recursive_mutex") != std::string::npos ||
+                m.type.find("std::timed_mutex") != std::string::npos;
+            if (!raw_std)
+                continue;
+            const size_t idx = static_cast<size_t>(m.line) - 1;
+            emit(out, rule::unannotated_mutex, path, m.line,
+                 "raw '" + m.type + "' member '" + m.name +
+                     "' carries no capability annotation; declare "
+                     "neo::Mutex / neo::SharedMutex (common/mutex.h) so "
+                     "clang -Wthread-safety and the lint rules can see "
+                     "the lock",
+                 idx < lines.size() ? lines[idx].raw : "");
+        }
+}
+
+void
+rule_lock_discipline(const std::string &path, const SymbolTable &tab,
+                     const std::vector<Line> &lines, Sink &out)
+{
+    if (is_mutex_wrapper(path) || tab.lock_names.empty())
+        return;
+    static constexpr std::string_view kCalls[] = {
+        "lock", "unlock", "lock_shared", "unlock_shared"};
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &code = lines[i].code;
+        for (std::string_view call : kCalls) {
+            size_t pos = code.find(call);
+            while (pos != std::string::npos) {
+                const size_t after = pos + call.size();
+                // The whole method name, called with no arguments, on
+                // a member-access receiver.
+                const bool zero_arg_call = after + 1 < code.size() &&
+                                           code[after] == '(' &&
+                                           code[after + 1] == ')';
+                bool member_call = false;
+                size_t recv_end = 0;
+                if (zero_arg_call && pos >= 1) {
+                    if (code[pos - 1] == '.') {
+                        member_call = true;
+                        recv_end = pos - 1;
+                    } else if (pos >= 2 && code[pos - 2] == '-' &&
+                               code[pos - 1] == '>') {
+                        member_call = true;
+                        recv_end = pos - 2;
+                    }
+                }
+                if (member_call) {
+                    const std::string recv =
+                        ident_ending_at_pub(code, recv_end);
+                    if (tab.has_lock_name(recv))
+                        emit(out, rule::lock_discipline, path,
+                             static_cast<int>(i + 1),
+                             "naked ." + std::string(call) +
+                                 "() on lock member '" + recv +
+                                 "'; use the RAII guards (neo::LockGuard"
+                                 " / WriterLock / ReaderLock) so unlock "
+                                 "is exception-safe and the critical "
+                                 "section is visible to the analysis",
+                             lines[i].raw);
+                }
+                pos = code.find(call, pos + 1);
+            }
+        }
+    }
+}
+
+/// Output-path function names: anything that serializes, prints, or
+/// exports. Iteration order inside these becomes artifact bytes.
+bool
+outputish_name(const std::string &name)
+{
+    static constexpr std::string_view kStems[] = {
+        "export", "write", "report", "print", "dump",
+        "json",   "format", "serialize", "save", "emit"};
+    std::string low;
+    low.reserve(name.size());
+    for (char c : name)
+        low.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    for (std::string_view stem : kStems)
+        if (low.find(stem) != std::string::npos)
+            return true;
+    return false;
+}
+
+void
+rule_unordered_iteration_output(const std::string &path,
+                                const SymbolTable &tab,
+                                const std::vector<Line> &lines, Sink &out)
+{
+    (void)path;
+    if (tab.unordered_names.empty())
+        return;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &code = lines[i].code;
+        const size_t fpos = find_word(code, "for");
+        if (fpos == std::string::npos)
+            continue;
+        const size_t open = code.find('(', fpos);
+        if (open == std::string::npos)
+            continue;
+        const std::string inner = paren_argument(code, open);
+        const size_t colon = inner.find(':');
+        if (colon == std::string::npos ||
+            (colon + 1 < inner.size() && inner[colon + 1] == ':'))
+            continue; // not a range-for (or a :: qualifier)
+        // Range expression: last identifier chain of the for-range.
+        std::string range = trimmed(inner.substr(colon + 1));
+        if (range.ends_with("()"))
+            range = range.substr(0, range.size() - 2);
+        const std::string sym = ident_ending_at_pub(range, range.size());
+        if (sym.empty() || !tab.has_unordered_name(sym))
+            continue;
+        const FunctionInfo *fn =
+            tab.enclosing_function(static_cast<int>(i + 1));
+        // Streaming bodies: `for (..) os << ..;` on the same line or
+        // the usual next-line single-statement body.
+        const bool streams =
+            code.find("<<") != std::string::npos ||
+            (i + 1 < lines.size() &&
+             lines[i + 1].code.find("<<") != std::string::npos);
+        if ((fn != nullptr && outputish_name(fn->name)) || streams)
+            emit(out, rule::unordered_iteration_output, path,
+                 static_cast<int>(i + 1),
+                 "range-for over unordered container '" + sym + "'" +
+                     (fn != nullptr && outputish_name(fn->name)
+                          ? " in output path '" + fn->name + "'"
+                          : " feeding a stream") +
+                     ": iteration order is nondeterministic across "
+                     "runs/platforms; collect and sort keys first "
+                     "(deterministic artifacts are a repo invariant)",
+                 lines[i].raw);
+    }
+}
+
+void
+rule_nonatomic_shared_counter(const std::string &path,
+                              const SymbolTable &tab,
+                              const std::vector<Line> &lines, Sink &out)
+{
+    for (const ClassInfo &cls : tab.classes) {
+        if (!cls.has_lock())
+            continue;
+        for (const Member &m : cls.members) {
+            if (!m.is_counter || m.is_atomic || m.guarded || m.is_lock)
+                continue;
+            const size_t idx = static_cast<size_t>(m.line) - 1;
+            emit(out, rule::nonatomic_shared_counter, path, m.line,
+                 "plain '" + m.type + "' member '" + m.name +
+                     "' in lock-owning class '" + cls.name +
+                     "' is neither NEO_GUARDED_BY a lock nor "
+                     "std::atomic; annotate the guard or make it "
+                     "atomic so cross-thread updates are visibly "
+                     "synchronized",
+                 idx < lines.size() ? lines[idx].raw : "");
+        }
+    }
+}
+
 } // namespace
 
 /* ------------------------------------------------------------------ */
@@ -575,7 +687,9 @@ all_rules()
         rule::raw_mod,        rule::float_on_limb,
         rule::thread_unsafe_static, rule::banned_rng,
         rule::naked_new,      rule::header_hygiene,
-        rule::obs_span_leak};
+        rule::obs_span_leak,  rule::unannotated_mutex,
+        rule::lock_discipline, rule::unordered_iteration_output,
+        rule::nonatomic_shared_counter};
     return rules;
 }
 
@@ -594,6 +708,8 @@ scan_source(const std::string &path, const std::string &text,
             eff_path = as.front();
     }
 
+    const SymbolTable tab = build_symtab(lines);
+
     std::vector<Finding> raw;
     rule_raw_mod(eff_path, lines, raw);
     rule_float_on_limb(eff_path, lines, raw);
@@ -602,6 +718,10 @@ scan_source(const std::string &path, const std::string &text,
     rule_naked_new(eff_path, lines, raw);
     rule_header_hygiene(eff_path, lines, raw);
     rule_obs_span_leak(eff_path, lines, raw);
+    rule_unannotated_mutex(eff_path, tab, lines, raw);
+    rule_lock_discipline(eff_path, tab, lines, raw);
+    rule_unordered_iteration_output(eff_path, tab, lines, raw);
+    rule_nonatomic_shared_counter(eff_path, tab, lines, raw);
 
     // allow(...) on line N silences N and N+1, so annotations can sit
     // on their own line directly above the deliberate exception.

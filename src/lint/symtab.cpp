@@ -1,0 +1,658 @@
+#include "lint/symtab.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace neo::lint {
+
+namespace {
+
+bool
+ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    const size_t b = s.find_first_not_of(" \t");
+    const size_t e = s.find_last_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    return s.substr(b, e - b + 1);
+}
+
+bool
+contains_word(const std::string &s, std::string_view w)
+{
+    size_t pos = s.find(w);
+    while (pos != std::string::npos) {
+        const bool lb = pos == 0 || !ident_char(s[pos - 1]);
+        const size_t end = pos + w.size();
+        const bool rb = end >= s.size() || !ident_char(s[end]);
+        if (lb && rb)
+            return true;
+        pos = s.find(w, pos + 1);
+    }
+    return false;
+}
+
+std::string
+first_word(const std::string &s)
+{
+    const size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    size_t e = b;
+    while (e < s.size() && ident_char(s[e]))
+        ++e;
+    return s.substr(b, e - b);
+}
+
+/// Longest identifier ending at @p end (exclusive) in @p s.
+std::string
+ident_ending_at(const std::string &s, size_t end)
+{
+    size_t b = std::min(end, s.size());
+    const size_t stop = b;
+    while (b > 0 && ident_char(s[b - 1]))
+        --b;
+    return s.substr(b, stop - b);
+}
+
+/// Remove every `WORD( ... )` macro invocation of @p word from @p s.
+void
+strip_macro(std::string &s, std::string_view word)
+{
+    size_t pos = s.find(word);
+    while (pos != std::string::npos) {
+        const bool lb = pos == 0 || !ident_char(s[pos - 1]);
+        size_t p = pos + word.size();
+        while (p < s.size() && s[p] == ' ')
+            ++p;
+        if (lb && p < s.size() && s[p] == '(') {
+            int depth = 0;
+            size_t q = p;
+            for (; q < s.size(); ++q) {
+                if (s[q] == '(')
+                    ++depth;
+                else if (s[q] == ')' && --depth == 0)
+                    break;
+            }
+            s.erase(pos, std::min(q + 1, s.size()) - pos);
+            pos = s.find(word, pos);
+        } else {
+            pos = s.find(word, pos + 1);
+        }
+    }
+}
+
+/// Cut @p s at the first assignment '=' outside template args, parens
+/// and brackets (so default member initializers don't pollute types).
+std::string
+cut_initializer(const std::string &s)
+{
+    int angle = 0, paren = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '<')
+            ++angle;
+        else if (c == '>')
+            angle = std::max(0, angle - 1);
+        else if (c == '(' || c == '[')
+            ++paren;
+        else if (c == ')' || c == ']')
+            paren = std::max(0, paren - 1);
+        else if (c == '=' && angle == 0 && paren == 0) {
+            const char prev = i > 0 ? s[i - 1] : '\0';
+            const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+            const bool compound =
+                next == '=' || prev == '=' || prev == '<' || prev == '>' ||
+                prev == '!' || prev == '+' || prev == '-' || prev == '*' ||
+                prev == '/' || prev == '%' || prev == '&' || prev == '|' ||
+                prev == '^';
+            if (!compound)
+                return s.substr(0, i);
+        }
+    }
+    return s;
+}
+
+bool
+is_lock_type(const std::string &type)
+{
+    return contains_word(type, "Mutex") ||
+           contains_word(type, "SharedMutex") ||
+           type.find("std::mutex") != std::string::npos ||
+           type.find("std::shared_mutex") != std::string::npos ||
+           type.find("std::recursive_mutex") != std::string::npos ||
+           type.find("std::timed_mutex") != std::string::npos;
+}
+
+bool
+is_counter_type(const std::string &type)
+{
+    static constexpr std::array<std::string_view, 28> kIntegral = {
+        "bool",      "int",      "unsigned", "signed",   "long",
+        "short",     "char",     "size_t",   "ssize_t",  "ptrdiff_t",
+        "uintptr_t", "intptr_t", "u8",       "u16",      "u32",
+        "u64",       "i8",       "i16",      "i32",      "i64",
+        "uint8_t",   "uint16_t", "uint32_t", "uint64_t", "int8_t",
+        "int16_t",   "int32_t",  "int64_t"};
+    static constexpr std::array<std::string_view, 3> kQualifier = {
+        "mutable", "volatile", "inline"};
+    // A const scalar is immutable after construction: no guard needed.
+    if (contains_word(type, "const"))
+        return false;
+    // Every identifier token must be a qualifier, "std", or an
+    // integral type name ("std::size_t" lexes as "std" + "size_t").
+    size_t i = 0;
+    bool any = false;
+    while (i < type.size()) {
+        if (!ident_char(type[i])) {
+            ++i;
+            continue;
+        }
+        const size_t b = i;
+        while (i < type.size() && ident_char(type[i]))
+            ++i;
+        const std::string_view tok(type.data() + b, i - b);
+        if (tok == "std" ||
+            std::find(kQualifier.begin(), kQualifier.end(), tok) !=
+                kQualifier.end())
+            continue;
+        if (std::find(kIntegral.begin(), kIntegral.end(), tok) ==
+            kIntegral.end())
+            return false;
+        any = true;
+    }
+    // Pointers and references to integers are not counters.
+    return any && type.find('*') == std::string::npos &&
+           type.find('&') == std::string::npos;
+}
+
+bool
+is_control_word(const std::string &w)
+{
+    return w == "if" || w == "else" || w == "for" || w == "while" ||
+           w == "do" || w == "switch" || w == "try" || w == "catch" ||
+           w == "return";
+}
+
+/// Record `std::unordered_*<...> name` declared by @p stmt, if any.
+void
+collect_unordered_decl(const std::string &stmt,
+                       std::vector<std::string> &names)
+{
+    if (stmt.find("std::unordered_") == std::string::npos)
+        return;
+    const std::string s = cut_initializer(stmt);
+    // Close the template argument list, then take the declarator name
+    // that follows it.
+    const size_t tpos = s.find("std::unordered_");
+    size_t p = s.find('<', tpos);
+    if (p == std::string::npos)
+        return;
+    int depth = 0;
+    for (; p < s.size(); ++p) {
+        if (s[p] == '<')
+            ++depth;
+        else if (s[p] == '>' && --depth == 0)
+            break;
+    }
+    if (p >= s.size())
+        return;
+    ++p;
+    while (p < s.size() && (s[p] == ' ' || s[p] == '&' || s[p] == '*'))
+        ++p;
+    size_t e = p;
+    while (e < s.size() && ident_char(s[e]))
+        ++e;
+    if (e > p)
+        names.push_back(s.substr(p, e - p));
+}
+
+/// Parameter names of unordered-container type in a declarator's
+/// parameter list (so a range-for over a parameter still resolves).
+void
+collect_unordered_params(const std::string &stmt,
+                         std::vector<std::string> &names)
+{
+    const size_t open = stmt.find('(');
+    if (open == std::string::npos)
+        return;
+    int depth = 0, angle = 0;
+    size_t part_begin = open + 1;
+    for (size_t i = open; i < stmt.size(); ++i) {
+        const char c = stmt[i];
+        if (c == '(') {
+            ++depth;
+            continue;
+        }
+        if (c == '<')
+            ++angle;
+        else if (c == '>')
+            angle = std::max(0, angle - 1);
+        if (((c == ',' && angle == 0) || c == ')') && depth == 1) {
+            const std::string part = trimmed(cut_initializer(
+                stmt.substr(part_begin, i - part_begin)));
+            if (part.find("std::unordered_") != std::string::npos) {
+                const std::string name =
+                    ident_ending_at(part, part.size());
+                if (!name.empty())
+                    names.push_back(name);
+            }
+            part_begin = i + 1;
+        }
+        if (c == ')')
+            --depth;
+    }
+}
+
+struct Scope
+{
+    enum class Kind { ns, cls, fn, other } kind = Kind::other;
+    size_t class_idx = 0; ///< into SymbolTable::classes when cls
+    size_t fn_idx = 0;    ///< into SymbolTable::functions when fn
+};
+
+/// Parse one class-body statement as a data member, if it is one.
+void
+parse_member(const std::string &stmt_in, int line, ClassInfo &cls,
+             SymbolTable &tab)
+{
+    std::string stmt = trimmed(stmt_in);
+    for (const char *label : {"public:", "private:", "protected:"})
+        if (stmt.starts_with(label))
+            stmt = trimmed(stmt.substr(std::string_view(label).size()));
+    if (stmt.empty())
+        return;
+    const std::string head = first_word(stmt);
+    if (head == "using" || head == "typedef" || head == "friend" ||
+        head == "static" || head == "template" || head == "class" ||
+        head == "struct" || head == "enum" || head == "union")
+        return;
+
+    Member m;
+    m.line = line;
+    m.guarded = stmt.find("NEO_GUARDED_BY") != std::string::npos ||
+                stmt.find("NEO_PT_GUARDED_BY") != std::string::npos;
+    strip_macro(stmt, "NEO_PT_GUARDED_BY");
+    strip_macro(stmt, "NEO_GUARDED_BY");
+    stmt = trimmed(cut_initializer(stmt));
+    if (stmt.empty() || stmt.find('(') != std::string::npos)
+        return; // a method declaration / ctor, not a data member
+    // Trailing array extent(s): the name precedes the '['.
+    while (stmt.ends_with("]")) {
+        const size_t open = stmt.rfind('[');
+        if (open == std::string::npos)
+            return;
+        stmt = trimmed(stmt.substr(0, open));
+    }
+    m.name = ident_ending_at(stmt, stmt.size());
+    if (m.name.empty())
+        return;
+    m.type = trimmed(stmt.substr(0, stmt.size() - m.name.size()));
+    if (m.type.empty())
+        return; // single token: not a declaration
+    m.is_lock = is_lock_type(m.type);
+    m.is_atomic = m.type.find("std::atomic") != std::string::npos;
+    m.is_unordered = m.type.find("std::unordered_") != std::string::npos;
+    m.is_counter = is_counter_type(m.type);
+    if (m.is_lock)
+        tab.lock_names.push_back(m.name);
+    if (m.is_unordered)
+        tab.unordered_names.push_back(m.name);
+    cls.members.push_back(std::move(m));
+}
+
+/// Class-head name: the last identifier before the base clause that is
+/// neither a keyword nor a macro invocation (NEO_CAPABILITY(...)).
+std::string
+class_head_name(const std::string &ts)
+{
+    std::string head = ts;
+    size_t kw = std::string::npos;
+    for (const char *k : {"class", "struct", "union"}) {
+        size_t pos = head.find(k);
+        while (pos != std::string::npos &&
+               ((pos > 0 && ident_char(head[pos - 1])) ||
+                (pos + std::string_view(k).size() < head.size() &&
+                 ident_char(head[pos + std::string_view(k).size()]))))
+            pos = head.find(k, pos + 1);
+        if (pos != std::string::npos && (kw == std::string::npos || pos < kw))
+            kw = pos;
+    }
+    if (kw != std::string::npos)
+        head = head.substr(kw);
+    const size_t colon = head.find(':');
+    if (colon != std::string::npos)
+        head = head.substr(0, colon);
+    std::string name;
+    for (size_t p = 0; p < head.size();) {
+        if (!ident_char(head[p])) {
+            ++p;
+            continue;
+        }
+        const size_t b = p;
+        while (p < head.size() && ident_char(head[p]))
+            ++p;
+        std::string tok = head.substr(b, p - b);
+        size_t q = p;
+        while (q < head.size() && head[q] == ' ')
+            ++q;
+        const bool macro = q < head.size() && head[q] == '(';
+        if (!macro && tok != "class" && tok != "struct" &&
+            tok != "union" && tok != "final" && tok != "alignas")
+            name = std::move(tok);
+    }
+    return name;
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Lexer.                                                             */
+/* ------------------------------------------------------------------ */
+
+std::vector<Line>
+lex(const std::string &text)
+{
+    std::vector<Line> lines(1);
+    enum class St { code, str, chr, raw, line_comment, block_comment };
+    St st = St::code;
+    std::string raw_close; // ")delim\"" of the open raw literal
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char nx = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == St::line_comment)
+                st = St::code;
+            lines.emplace_back();
+            continue;
+        }
+        Line &ln = lines.back();
+        ln.raw.push_back(c);
+        switch (st) {
+          case St::code:
+            if (c == '/' && nx == '/') {
+                st = St::line_comment;
+                ln.code.push_back(' ');
+            } else if (c == '/' && nx == '*') {
+                st = St::block_comment;
+                ln.code.push_back(' ');
+                ++i;
+                ln.raw.push_back('*');
+            } else if (c == '"') {
+                // Raw string literal? The R (optionally behind a
+                // u8/u/U/L encoding prefix) must start the token, not
+                // extend an identifier.
+                bool is_raw = false;
+                if (i >= 1 && text[i - 1] == 'R') {
+                    size_t pre = i - 1;
+                    if (pre >= 2 && text[pre - 2] == 'u' &&
+                        text[pre - 1] == '8')
+                        pre -= 2;
+                    else if (pre >= 1 && (text[pre - 1] == 'u' ||
+                                          text[pre - 1] == 'U' ||
+                                          text[pre - 1] == 'L'))
+                        pre -= 1;
+                    if (pre == 0 || !ident_char(text[pre - 1]))
+                        is_raw = true;
+                }
+                size_t open = std::string::npos;
+                if (is_raw) {
+                    open = text.find('(', i + 1);
+                    // Raw delimiters are short and single-line; an
+                    // over-long or broken prefix is not a raw literal.
+                    if (open == std::string::npos || open - i - 1 > 16 ||
+                        text.substr(i + 1, open - i - 1).find('\n') !=
+                            std::string::npos)
+                        open = std::string::npos;
+                }
+                if (open != std::string::npos) {
+                    raw_close =
+                        ")" + text.substr(i + 1, open - i - 1) + "\"";
+                    st = St::raw;
+                } else {
+                    st = St::str;
+                }
+                ln.code.push_back(' ');
+            } else if (c == '\'') {
+                st = St::chr;
+                ln.code.push_back(' ');
+            } else {
+                ln.code.push_back(c);
+            }
+            break;
+          case St::str:
+            ln.code.push_back(' ');
+            if (c == '\\' && nx != '\0') {
+                if (nx != '\n') {
+                    ln.raw.push_back(nx);
+                    ln.code.push_back(' ');
+                }
+                ++i;
+            } else if (c == '"') {
+                st = St::code;
+            }
+            break;
+          case St::chr:
+            ln.code.push_back(' ');
+            if (c == '\\' && nx != '\0' && nx != '\n') {
+                ln.raw.push_back(nx);
+                ln.code.push_back(' ');
+                ++i;
+            } else if (c == '\'') {
+                st = St::code;
+            }
+            break;
+          case St::raw:
+            // No escapes inside a raw literal: blank verbatim until
+            // the exact ")delim"" close marker. Newlines are handled
+            // above, so multi-line raw strings keep line numbers
+            // aligned with the input.
+            ln.code.push_back(' ');
+            if (c == ')' &&
+                text.compare(i, raw_close.size(), raw_close) == 0) {
+                for (size_t k = 1; k < raw_close.size(); ++k) {
+                    ln.raw.push_back(text[i + k]);
+                    ln.code.push_back(' ');
+                }
+                i += raw_close.size() - 1;
+                st = St::code;
+            }
+            break;
+          case St::line_comment:
+            ln.code.push_back(' ');
+            ln.comment.push_back(c);
+            break;
+          case St::block_comment:
+            ln.code.push_back(' ');
+            ln.comment.push_back(c);
+            if (c == '*' && nx == '/') {
+                st = St::code;
+                ++i;
+                ln.raw.push_back('/');
+                ln.code.push_back(' ');
+            }
+            break;
+        }
+    }
+    return lines;
+}
+
+/* ------------------------------------------------------------------ */
+/* Symbol table.                                                      */
+/* ------------------------------------------------------------------ */
+
+bool
+SymbolTable::has_lock_name(const std::string &n) const
+{
+    return std::find(lock_names.begin(), lock_names.end(), n) !=
+           lock_names.end();
+}
+
+bool
+SymbolTable::has_unordered_name(const std::string &n) const
+{
+    return std::find(unordered_names.begin(), unordered_names.end(), n) !=
+           unordered_names.end();
+}
+
+const FunctionInfo *
+SymbolTable::enclosing_function(int line) const
+{
+    const FunctionInfo *best = nullptr;
+    for (const FunctionInfo &f : functions)
+        if (f.body_begin <= line && line <= f.body_end &&
+            (best == nullptr || f.body_begin >= best->body_begin))
+            best = &f;
+    return best;
+}
+
+SymbolTable
+build_symtab(const std::vector<Line> &lines)
+{
+    SymbolTable tab;
+    std::vector<Scope> stack;
+    std::string stmt;
+    int stmt_line = 0;
+    int init_depth = 0; // inside a swallowed member brace-initializer
+    bool in_pp = false; // inside a (possibly continued) # directive
+
+    const auto reset = [&] {
+        stmt.clear();
+        stmt_line = 0;
+    };
+
+    // Innermost non-namespace scope kind (namespaces are transparent).
+    const auto scope_kind = [&]() -> Scope::Kind {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+            if (it->kind != Scope::Kind::ns)
+                return it->kind;
+        return Scope::Kind::ns;
+    };
+
+    for (size_t li = 0; li < lines.size(); ++li) {
+        const int lno = static_cast<int>(li + 1);
+        const std::string &code = lines[li].code;
+        const std::string lt = trimmed(code);
+        if (in_pp || lt.starts_with("#")) {
+            in_pp = !lt.empty() && lt.back() == '\\';
+            continue;
+        }
+        for (size_t ci = 0; ci < code.size(); ++ci) {
+            const char c = code[ci];
+            if (init_depth > 0) {
+                // Opaque `{...}` member initializer: balance braces,
+                // keep the surrounding statement accumulating.
+                if (c == '{')
+                    ++init_depth;
+                else if (c == '}')
+                    --init_depth;
+                continue;
+            }
+            if (c == '{') {
+                const std::string ts = trimmed(stmt);
+                const std::string fw = first_word(ts);
+                const char prev = ts.empty() ? '\0' : ts.back();
+                Scope sc;
+                if (is_control_word(fw)) {
+                    sc.kind = Scope::Kind::other;
+                } else if (contains_word(ts, "namespace")) {
+                    sc.kind = Scope::Kind::ns;
+                } else if (contains_word(ts, "enum")) {
+                    sc.kind = Scope::Kind::other;
+                } else if (contains_word(ts, "class") ||
+                           contains_word(ts, "struct") ||
+                           contains_word(ts, "union")) {
+                    sc.kind = Scope::Kind::cls;
+                    sc.class_idx = tab.classes.size();
+                    ClassInfo info;
+                    info.name = class_head_name(ts);
+                    info.line = stmt_line != 0 ? stmt_line : lno;
+                    tab.classes.push_back(std::move(info));
+                } else if (scope_kind() == Scope::Kind::cls &&
+                           ts.find('(') == std::string::npos &&
+                           (ident_char(prev) || prev == '>' ||
+                            prev == ']')) {
+                    // `std::atomic<u64> gen{1};` — a data member with
+                    // a brace initializer, not a new scope.
+                    init_depth = 1;
+                    continue;
+                } else if (ts.find('(') != std::string::npos &&
+                           scope_kind() != Scope::Kind::fn &&
+                           scope_kind() != Scope::Kind::other) {
+                    // Function or method body at namespace/class scope.
+                    const size_t open = ts.find('(');
+                    const size_t name_end =
+                        ts.find_last_not_of(' ', open == 0 ? 0 : open - 1);
+                    const std::string name =
+                        name_end == std::string::npos
+                            ? ""
+                            : ident_ending_at(ts, name_end + 1);
+                    if (!name.empty()) {
+                        sc.kind = Scope::Kind::fn;
+                        sc.fn_idx = tab.functions.size();
+                        FunctionInfo fi;
+                        fi.name = name;
+                        fi.line = lno;
+                        fi.body_begin = lno;
+                        tab.functions.push_back(fi);
+                        collect_unordered_params(ts, tab.unordered_names);
+                    } else {
+                        sc.kind = Scope::Kind::other;
+                    }
+                } else {
+                    sc.kind = Scope::Kind::other;
+                }
+                stack.push_back(sc);
+                reset();
+            } else if (c == '}') {
+                if (!stack.empty()) {
+                    const Scope sc = stack.back();
+                    stack.pop_back();
+                    if (sc.kind == Scope::Kind::fn)
+                        tab.functions[sc.fn_idx].body_end = lno;
+                }
+                reset();
+            } else if (c == ';') {
+                if (!stack.empty() &&
+                    stack.back().kind == Scope::Kind::cls)
+                    parse_member(stmt, stmt_line != 0 ? stmt_line : lno,
+                                 tab.classes[stack.back().class_idx],
+                                 tab);
+                collect_unordered_decl(stmt, tab.unordered_names);
+                reset();
+            } else {
+                if (stmt.empty() && (c == ' ' || c == '\t'))
+                    continue;
+                if (stmt.empty())
+                    stmt_line = lno;
+                stmt.push_back(c == '\t' ? ' ' : c);
+            }
+        }
+        if (!stmt.empty() && stmt.back() != ' ')
+            stmt.push_back(' '); // line break inside a statement
+    }
+    // Unclosed function bodies (truncated input): close at EOF.
+    for (FunctionInfo &f : tab.functions)
+        if (f.body_end == 0)
+            f.body_end = static_cast<int>(lines.size());
+    std::sort(tab.lock_names.begin(), tab.lock_names.end());
+    tab.lock_names.erase(
+        std::unique(tab.lock_names.begin(), tab.lock_names.end()),
+        tab.lock_names.end());
+    std::sort(tab.unordered_names.begin(), tab.unordered_names.end());
+    tab.unordered_names.erase(
+        std::unique(tab.unordered_names.begin(),
+                    tab.unordered_names.end()),
+        tab.unordered_names.end());
+    return tab;
+}
+
+} // namespace neo::lint

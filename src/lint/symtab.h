@@ -1,0 +1,112 @@
+/**
+ * @file
+ * neo-lint's lexer and per-file symbol table.
+ *
+ * The lexer splits a translation unit into lines whose literals and
+ * comments are blanked (comment text is kept separately for the
+ * `neo-lint:` markers). Raw string literals — `R"(...)"` and the
+ * delimited `R"delim(...)delim"` form — are blanked too, including
+ * across lines, so rule patterns never fire inside embedded JSON or
+ * shader text.
+ *
+ * On top of the lexed lines, build_symtab() recovers just enough
+ * structure for symbol-aware rules without a real C++ parser:
+ *
+ *  - class/struct scopes with their *data members*: declaration line,
+ *    type text, name, whether the member is a lock (std/neo mutex
+ *    types), an atomic, an unordered container, a scalar counter, and
+ *    whether it carries a NEO_GUARDED_BY / NEO_PT_GUARDED_BY
+ *    annotation;
+ *  - function bodies (free functions and out-of-line methods) with
+ *    their name and 1-based body line range;
+ *  - every unordered_map/unordered_set symbol declared anywhere in the
+ *    file (members, locals, file scope), for iteration-order rules.
+ *
+ * The recovery is heuristic (brace tracking + declaration tail
+ * parsing), tuned to this tree's style: declarations end on the line
+ * of their `;`, member names come last, and inline member-initializer
+ * parens/braces are tolerated. Rules that consume the table are
+ * expected to fail open (no symbol ⇒ no finding).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace neo::lint {
+
+/** One source line, split into matchable code and comment text. */
+struct Line
+{
+    std::string raw;     ///< original text
+    std::string code;    ///< literals and comments blanked with spaces
+    std::string comment; ///< concatenated comment text on this line
+};
+
+/// Lex @p text into lines with literals/comments blanked. Handles
+/// ordinary, character, and raw string literals plus // and block
+/// comments; newlines inside raw strings and block comments keep line
+/// numbers aligned with the input.
+std::vector<Line> lex(const std::string &text);
+
+/** One data member of a class scope. */
+struct Member
+{
+    std::string type; ///< declaration text left of the name, trimmed
+    std::string name;
+    int line = 0;              ///< 1-based declaration line
+    bool guarded = false;      ///< NEO_GUARDED_BY / NEO_PT_GUARDED_BY
+    bool is_lock = false;      ///< std/neo mutex or shared_mutex
+    bool is_atomic = false;    ///< std::atomic<...>
+    bool is_unordered = false; ///< std::unordered_{map,set}
+    bool is_counter = false;   ///< plain integral/bool scalar
+};
+
+/** One class/struct scope and its data members. */
+struct ClassInfo
+{
+    std::string name;
+    int line = 0; ///< 1-based line of the class-head
+    std::vector<Member> members;
+
+    bool
+    has_lock() const
+    {
+        for (const Member &m : members)
+            if (m.is_lock)
+                return true;
+        return false;
+    }
+};
+
+/** One function body (free function or out-of-line method). */
+struct FunctionInfo
+{
+    std::string name; ///< last declarator identifier (no qualifiers)
+    int line = 0;     ///< 1-based line the body's '{' opens on
+    int body_begin = 0; ///< first line inside the body (== line)
+    int body_end = 0;   ///< line of the closing '}'
+};
+
+/** Everything the symbol-aware rules need about one file. */
+struct SymbolTable
+{
+    std::vector<ClassInfo> classes;
+    std::vector<FunctionInfo> functions;
+    /// Names of every lock data member in the file (receiver matching
+    /// for lock-discipline).
+    std::vector<std::string> lock_names;
+    /// Names of every unordered_map/unordered_set symbol declared in
+    /// the file — members, locals, and file scope alike.
+    std::vector<std::string> unordered_names;
+
+    bool has_lock_name(const std::string &n) const;
+    bool has_unordered_name(const std::string &n) const;
+    /// The innermost function whose body spans @p line, or nullptr.
+    const FunctionInfo *enclosing_function(int line) const;
+};
+
+/// Build the symbol table for one lexed file.
+SymbolTable build_symtab(const std::vector<Line> &lines);
+
+} // namespace neo::lint

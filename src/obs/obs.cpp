@@ -147,7 +147,7 @@ Registry::now_ns() const
 void
 Registry::add(std::string_view name, u64 delta)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = counters_.find(name);
     if (it == counters_.end())
         counters_.emplace(std::string(name), delta);
@@ -158,7 +158,7 @@ Registry::add(std::string_view name, u64 delta)
 void
 Registry::add_value(std::string_view name, double delta)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = values_.find(name);
     if (it == values_.end())
         values_.emplace(std::string(name), delta);
@@ -169,7 +169,7 @@ Registry::add_value(std::string_view name, double delta)
 void
 Registry::max_value(std::string_view name, double v)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = values_.find(name);
     if (it == values_.end())
         values_.emplace(std::string(name), v);
@@ -199,14 +199,14 @@ Registry::observe_locked(std::string_view name, double v)
 void
 Registry::observe(std::string_view name, double v)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     observe_locked(name, v);
 }
 
 void
 Registry::set_gauge(std::string_view name, double v)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = gauges_.find(name);
     if (it == gauges_.end())
         it = gauges_.emplace(std::string(name), Gauge{}).first;
@@ -217,7 +217,7 @@ Registry::set_gauge(std::string_view name, double v)
 void
 Registry::add_gauge(std::string_view name, double delta)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = gauges_.find(name);
     if (it == gauges_.end())
         it = gauges_.emplace(std::string(name), Gauge{}).first;
@@ -229,7 +229,7 @@ Registry::add_gauge(std::string_view name, double delta)
 void
 Registry::max_gauge(std::string_view name, double v)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = gauges_.find(name);
     if (it == gauges_.end())
         it = gauges_.emplace(std::string(name), Gauge{}).first;
@@ -242,7 +242,7 @@ void
 Registry::add_gemm(size_t m, size_t n, size_t k)
 {
     const u64 flops = 2ull * m * n * k;
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     counters_["gemm.calls"] += 1;
     counters_["gemm.flops"] += flops;
     gemm_shapes_[GemmShape{m, n, k}] += 1;
@@ -257,7 +257,7 @@ Registry::add_modeled_cost(std::string_view kernel, double total_s,
                            double launch_s, double bytes, u64 invocations)
 {
     const std::string base = "modeled.kernel." + std::string(kernel);
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     values_[base + ".s"] += total_s;
     values_[base + ".compute.s"] += compute_s;
     values_[base + ".memory.s"] += memory_s;
@@ -270,7 +270,7 @@ void
 Registry::record_event(std::string_view name, const char *cat, u32 tid,
                        i64 ts_ns, i64 dur_ns)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     {
         std::string key = "span.";
         key += cat;
@@ -309,7 +309,7 @@ Registry::record_event(std::string_view name, const char *cat, u32 tid,
 u64
 Registry::counter(std::string_view name) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
 }
@@ -317,7 +317,7 @@ Registry::counter(std::string_view name) const
 double
 Registry::value(std::string_view name) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = values_.find(name);
     return it == values_.end() ? 0.0 : it->second;
 }
@@ -325,21 +325,21 @@ Registry::value(std::string_view name) const
 std::map<std::string, u64, std::less<>>
 Registry::counters() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return counters_;
 }
 
 std::map<std::string, double, std::less<>>
 Registry::values() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return values_;
 }
 
 Registry::Gauge
 Registry::gauge(std::string_view name) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? Gauge{} : it->second;
 }
@@ -347,7 +347,7 @@ Registry::gauge(std::string_view name) const
 std::map<std::string, Registry::Gauge, std::less<>>
 Registry::gauges() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return gauges_;
 }
 
@@ -368,7 +368,7 @@ snapshot_hist(const std::map<i32, u64> &buckets, u64 count, double sum,
 HistogramSnapshot
 Registry::histogram(std::string_view name) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = hists_.find(name);
     if (it == hists_.end())
         return HistogramSnapshot{};
@@ -379,7 +379,7 @@ Registry::histogram(std::string_view name) const
 std::map<std::string, HistogramSnapshot, std::less<>>
 Registry::histograms() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     std::map<std::string, HistogramSnapshot, std::less<>> out;
     for (const auto &[name, h] : hists_)
         out.emplace(name,
@@ -405,7 +405,7 @@ Registry::merge_from(const Registry &other)
     // re-bases `other`'s event timestamps onto our epoch exactly.
     const i64 shift = other.epoch_ns_ - epoch_ns_;
 
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (const auto &[name, v] : counters)
         counters_[name] += v;
     for (const auto &[name, v] : values)
@@ -448,21 +448,21 @@ Registry::merge_from(const Registry &other)
 std::map<GemmShape, u64>
 Registry::gemm_shapes() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return gemm_shapes_;
 }
 
 std::vector<TraceEvent>
 Registry::events() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return events_;
 }
 
 u64
 Registry::dropped_events() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return dropped_;
 }
 

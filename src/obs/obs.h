@@ -41,11 +41,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace neo::obs {
@@ -248,18 +248,20 @@ class Registry
         double max = 0;
     };
 
-    void observe_locked(std::string_view name, double v);
+    /// Record one observation; caller already holds mu_ (the batch
+    /// recorders fold several observations under one acquisition).
+    void observe_locked(std::string_view name, double v) NEO_REQUIRES(mu_);
 
     Options opts_;
-    i64 epoch_ns_; ///< steady_clock ns at construction
-    mutable std::mutex mu_;
-    std::map<std::string, u64, std::less<>> counters_;
-    std::map<std::string, double, std::less<>> values_;
-    std::map<std::string, Gauge, std::less<>> gauges_;
-    std::map<std::string, Hist, std::less<>> hists_;
-    std::map<GemmShape, u64> gemm_shapes_;
-    std::vector<TraceEvent> events_;
-    u64 dropped_ = 0;
+    const i64 epoch_ns_; ///< steady_clock ns at construction
+    mutable Mutex mu_;
+    std::map<std::string, u64, std::less<>> counters_ NEO_GUARDED_BY(mu_);
+    std::map<std::string, double, std::less<>> values_ NEO_GUARDED_BY(mu_);
+    std::map<std::string, Gauge, std::less<>> gauges_ NEO_GUARDED_BY(mu_);
+    std::map<std::string, Hist, std::less<>> hists_ NEO_GUARDED_BY(mu_);
+    std::map<GemmShape, u64> gemm_shapes_ NEO_GUARDED_BY(mu_);
+    std::vector<TraceEvent> events_ NEO_GUARDED_BY(mu_);
+    u64 dropped_ NEO_GUARDED_BY(mu_) = 0;
 };
 
 namespace detail {

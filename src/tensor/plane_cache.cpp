@@ -2,11 +2,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <tuple>
 
 #include "common/math_util.h"
+#include "common/mutex.h"
 #include "common/static_operand.h"
 #include "obs/obs.h"
 
@@ -139,14 +138,16 @@ evict_stale(Map &m, const Key &key, size_t &freed_bytes, u64 &evicted)
 
 struct PlaneCache::Impl
 {
-    std::shared_mutex mu;
-    std::map<PlaneKey, F64Ptr> f64;
-    std::map<PlaneKey, I32Ptr> i32;
-    std::map<WidthKey, int> width;
-    std::map<Pow2Key, Pow2Ptr> pow2;
+    SharedMutex mu;
+    std::map<PlaneKey, F64Ptr> f64 NEO_GUARDED_BY(mu);
+    std::map<PlaneKey, I32Ptr> i32 NEO_GUARDED_BY(mu);
+    std::map<WidthKey, int> width NEO_GUARDED_BY(mu);
+    std::map<Pow2Key, Pow2Ptr> pow2 NEO_GUARDED_BY(mu);
     std::atomic<bool> enabled{true};
-    size_t resident_bytes = 0; ///< payload bytes across all maps (mu)
-    size_t entry_count = 0;    ///< entries across all maps (mu)
+    /// Payload bytes across all maps.
+    size_t resident_bytes NEO_GUARDED_BY(mu) = 0;
+    /// Entries across all maps.
+    size_t entry_count NEO_GUARDED_BY(mu) = 0;
 };
 
 PlaneCache::PlaneCache() : impl_(std::make_unique<Impl>()) {}
@@ -175,7 +176,7 @@ PlaneCache::enabled() const
 void
 PlaneCache::clear()
 {
-    std::unique_lock lock(impl_->mu);
+    WriterLock lock(impl_->mu);
     impl_->f64.clear();
     impl_->i32.clear();
     impl_->width.clear();
@@ -196,7 +197,7 @@ PlaneCache::f64_planes(const u64 *p, size_t count, int planes, int plane_bits)
     const PlaneKey key{reinterpret_cast<uintptr_t>(p), gen, count, planes,
                        plane_bits};
     {
-        std::shared_lock lock(impl_->mu);
+        ReaderLock lock(impl_->mu);
         auto it = impl_->f64.find(key);
         if (it != impl_->f64.end()) {
             note(true);
@@ -206,7 +207,7 @@ PlaneCache::f64_planes(const u64 *p, size_t count, int planes, int plane_bits)
     auto built = std::make_shared<std::vector<double>>(
         static_cast<size_t>(planes) * count);
     slice_to_f64(p, count, planes, plane_bits, built->data());
-    std::unique_lock lock(impl_->mu);
+    WriterLock lock(impl_->mu);
     size_t freed = 0;
     u64 evicted = 0;
     evict_stale(impl_->f64, key, freed, evicted);
@@ -234,7 +235,7 @@ PlaneCache::i32_planes(const u64 *p, size_t count, int planes, int plane_bits)
     const PlaneKey key{reinterpret_cast<uintptr_t>(p), gen, count, planes,
                        plane_bits};
     {
-        std::shared_lock lock(impl_->mu);
+        ReaderLock lock(impl_->mu);
         auto it = impl_->i32.find(key);
         if (it != impl_->i32.end()) {
             note(true);
@@ -244,7 +245,7 @@ PlaneCache::i32_planes(const u64 *p, size_t count, int planes, int plane_bits)
     auto built = std::make_shared<std::vector<i32>>(
         static_cast<size_t>(planes) * count);
     slice_to_i32(p, count, planes, plane_bits, built->data());
-    std::unique_lock lock(impl_->mu);
+    WriterLock lock(impl_->mu);
     size_t freed = 0;
     u64 evicted = 0;
     evict_stale(impl_->i32, key, freed, evicted);
@@ -271,7 +272,7 @@ PlaneCache::width_bits(const u64 *p, size_t count)
         return -1;
     const WidthKey key{reinterpret_cast<uintptr_t>(p), gen, count};
     {
-        std::shared_lock lock(impl_->mu);
+        ReaderLock lock(impl_->mu);
         auto it = impl_->width.find(key);
         if (it != impl_->width.end())
             return it->second;
@@ -280,7 +281,7 @@ PlaneCache::width_bits(const u64 *p, size_t count)
     for (size_t i = 0; i < count; ++i)
         m |= p[i];
     const int bits = bit_size(m);
-    std::unique_lock lock(impl_->mu);
+    WriterLock lock(impl_->mu);
     size_t freed = 0;
     u64 evicted = 0;
     evict_stale(impl_->width, key, freed, evicted);
@@ -302,7 +303,7 @@ PlaneCache::pow2(const SplitPlan &plan, u64 q_value)
     const Pow2Key key{plan.a_planes, plan.a_plane_bits, plan.b_planes,
                       plan.b_plane_bits, q_value};
     if (enabled()) {
-        std::shared_lock lock(impl_->mu);
+        ReaderLock lock(impl_->mu);
         auto it = impl_->pow2.find(key);
         if (it != impl_->pow2.end())
             return it->second;
@@ -315,7 +316,7 @@ PlaneCache::pow2(const SplitPlan &plan, u64 q_value)
                 2, pa * plan.a_plane_bits + pb * plan.b_plane_bits, q_value);
     if (!enabled())
         return built;
-    std::unique_lock lock(impl_->mu);
+    WriterLock lock(impl_->mu);
     auto [it, inserted] = impl_->pow2.emplace(key, std::move(built));
     if (inserted) {
         impl_->resident_bytes += entry_bytes(it->second);

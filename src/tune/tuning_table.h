@@ -13,6 +13,13 @@
  *
  * Engine selection never changes results (every engine is bit-exact);
  * a table only chooses which correct engine executes each site.
+ *
+ * Thread-safety model: a TuningTable is immutable after construction
+ * (build/parse it once, then share by const reference or
+ * `shared_ptr<const TuningTable>`). It intentionally carries no
+ * mutex — the annotated-lock layer (common/mutex.h) applies to
+ * mutable shared state only, and the policy() resolver closes over
+ * the table by value of that const handle.
  */
 #pragma once
 

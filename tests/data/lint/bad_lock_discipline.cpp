@@ -1,0 +1,17 @@
+// Fixture: naked lock()/unlock() calls on known lock members.
+struct Guarded
+{
+    Mutex mu;
+    SharedMutex rw;
+    int work();
+};
+int
+Guarded::work()
+{
+    mu.lock();
+    rw.lock_shared();
+    rw.unlock_shared();
+    mu.unlock();
+    other.lock(); // unknown receiver: not a lock member here
+    return 0;
+}

@@ -1,0 +1,15 @@
+// Fixture: plain scalars in a lock-owning class, neither guarded nor
+// atomic; guarded/atomic/float members and lock-free classes pass.
+struct Stats
+{
+    Mutex mu;
+    u64 hits = 0;
+    bool dirty = false;
+    size_t depth NEO_GUARDED_BY(mu) = 0;
+    std::atomic<u64> fast{0};
+    double mean = 0.0;
+};
+struct Plain
+{
+    u64 hits = 0;
+};

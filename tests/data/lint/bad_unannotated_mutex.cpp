@@ -1,0 +1,8 @@
+// Fixture: raw std mutex members carry no capability annotation.
+#include <mutex>
+#include <shared_mutex>
+struct Cache
+{
+    std::mutex mu;
+    mutable std::shared_mutex rw;
+};

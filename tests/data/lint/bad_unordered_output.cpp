@@ -1,0 +1,21 @@
+// Fixture: unordered iteration feeding serialized output.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+struct Exporter
+{
+    std::unordered_map<std::string, int> counts;
+    void write_json(std::ostream &os);
+};
+void
+Exporter::write_json(std::ostream &os)
+{
+    for (const auto &kv : counts)
+        os.put('x');
+}
+void
+tally(std::ostream &os, const std::unordered_map<std::string, int> &freq)
+{
+    for (const auto &kv : freq)
+        os << kv.second;
+}

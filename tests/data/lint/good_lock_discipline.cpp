@@ -1,0 +1,15 @@
+// Fixture: RAII guards and non-lock receivers pass; one sanctioned
+// raw call (FFI handoff) is covered by an allow marker.
+struct Guarded
+{
+    Mutex mu;
+    void work();
+};
+void
+Guarded::work()
+{
+    LockGuard guard(mu);
+    widget.lock(); // receiver is not a lock member
+    // neo-lint: allow(lock-discipline) — raw handle crosses an FFI edge
+    mu.lock();
+}

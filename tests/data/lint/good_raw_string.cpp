@@ -1,0 +1,11 @@
+// Fixture: raw string literals are blanked before rules match — the
+// rule-triggering text inside them must not fire, and multi-line raw
+// strings keep line numbers aligned.
+// neo-lint: as-path(src/neo/fixture.cpp)
+const char *kJson = R"({"x % q": "new int", "srand": 7})";
+const char *kMulti = R"neo(
+    x % q; renew = new Thing; srand(7); time(0);
+    std::unordered_map<int, int> fake;
+    static int counter = 0;
+)neo";
+const char *kPrefixed = u8R"(std::random_device inside)";

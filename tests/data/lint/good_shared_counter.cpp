@@ -1,0 +1,11 @@
+// Fixture: every scalar in the lock-owning class is guarded, atomic,
+// or const; the one deliberate exception carries an allow marker.
+struct Stats
+{
+    Mutex mu;
+    u64 hits NEO_GUARDED_BY(mu) = 0;
+    std::atomic<size_t> calls{0};
+    const i64 epoch_ns = 0;
+    // neo-lint: allow(nonatomic-shared-counter) — registry-guarded
+    u64 last_use = 0;
+};

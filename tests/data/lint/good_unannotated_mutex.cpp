@@ -1,0 +1,9 @@
+// Fixture: the annotated neo wrappers pass; one sanctioned raw member
+// (wrapping an external API) is covered by an allow marker.
+struct Cache
+{
+    Mutex mu;
+    mutable SharedMutex rw;
+    // neo-lint: allow(unannotated-mutex) — handed to a C callback API
+    std::mutex raw_for_ffi;
+};

@@ -1,0 +1,31 @@
+// Fixture: order-insensitive accumulation passes; the collect-then-
+// sort loop inside the output path carries an allow marker.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+struct Exporter
+{
+    std::unordered_map<std::string, int> counts;
+    int total();
+    void write_json(std::ostream &os);
+};
+int
+Exporter::total()
+{
+    int t = 0;
+    for (const auto &kv : counts)
+        t += kv.second;
+    return t;
+}
+void
+Exporter::write_json(std::ostream &os)
+{
+    std::vector<std::string> keys;
+    // neo-lint: allow(unordered-iteration-output) — collect-then-sort
+    for (const auto &kv : counts)
+        keys.push_back(kv.first);
+    sort_strings(keys);
+    for (const auto &k : keys)
+        os << k;
+}

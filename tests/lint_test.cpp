@@ -167,6 +167,102 @@ TEST(LintRules, AllowSuppressesOwnAndNextLineOnlyForNamedRule)
     EXPECT_EQ(fs[0].line, 10);
 }
 
+TEST(LintRules, UnannotatedMutexFlagsRawStdMembers)
+{
+    const auto fs = scan_fixture("bad_unannotated_mutex.cpp");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, rule::unannotated_mutex);
+    EXPECT_EQ(fs[0].line, 6); // std::mutex mu
+    EXPECT_EQ(fs[1].line, 7); // mutable std::shared_mutex rw
+}
+
+TEST(LintRules, UnannotatedMutexPassesNeoWrappersAndAllowedRawMember)
+{
+    int suppressed = 0;
+    EXPECT_TRUE(
+        scan_fixture("good_unannotated_mutex.cpp", &suppressed).empty());
+    EXPECT_EQ(suppressed, 1); // the sanctioned FFI member
+}
+
+TEST(LintRules, LockDisciplineFlagsNakedCallsOnKnownLockMembers)
+{
+    const auto fs = scan_fixture("bad_lock_discipline.cpp");
+    ASSERT_EQ(fs.size(), 4u);
+    for (const Finding &f : fs)
+        EXPECT_EQ(f.rule, rule::lock_discipline);
+    EXPECT_EQ(fs[0].line, 11); // mu.lock()
+    EXPECT_EQ(fs[1].line, 12); // rw.lock_shared()
+    EXPECT_EQ(fs[2].line, 13); // rw.unlock_shared()
+    EXPECT_EQ(fs[3].line, 14); // mu.unlock()
+    // line 15 (`other.lock()`) is not a known lock member: no finding
+}
+
+TEST(LintRules, LockDisciplinePassesRaiiGuardsAndUnknownReceivers)
+{
+    int suppressed = 0;
+    EXPECT_TRUE(
+        scan_fixture("good_lock_discipline.cpp", &suppressed).empty());
+    EXPECT_EQ(suppressed, 1); // the annotated FFI handoff
+}
+
+TEST(LintRules, UnorderedIterationFlagsOutputPathsAndStreams)
+{
+    const auto fs = scan_fixture("bad_unordered_output.cpp");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, rule::unordered_iteration_output);
+    EXPECT_EQ(fs[0].line, 13); // member map inside write_json
+    EXPECT_EQ(fs[1].line, 19); // parameter map feeding a stream
+}
+
+TEST(LintRules, UnorderedIterationPassesAccumulationAndSortedCopies)
+{
+    int suppressed = 0;
+    EXPECT_TRUE(
+        scan_fixture("good_unordered_output.cpp", &suppressed).empty());
+    EXPECT_EQ(suppressed, 1); // the collect-then-sort loop
+}
+
+TEST(LintRules, NonatomicSharedCounterFlagsOnlyLockOwningClasses)
+{
+    const auto fs = scan_fixture("bad_shared_counter.cpp");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, rule::nonatomic_shared_counter);
+    EXPECT_EQ(fs[0].line, 6); // u64 hits
+    EXPECT_EQ(fs[1].line, 7); // bool dirty
+    // guarded / atomic / double members and the lock-free class pass
+}
+
+TEST(LintRules, NonatomicSharedCounterPassesGuardedAtomicConst)
+{
+    int suppressed = 0;
+    EXPECT_TRUE(
+        scan_fixture("good_shared_counter.cpp", &suppressed).empty());
+    EXPECT_EQ(suppressed, 1); // the registry-guarded LRU stamp
+}
+
+TEST(LintRules, RawStringLiteralsAreBlanked)
+{
+    // Rule-triggering text inside R"(...)" and R"delim(...)delim"
+    // literals — including multi-line and u8-prefixed ones — must
+    // not fire any rule.
+    EXPECT_TRUE(scan_fixture("good_raw_string.cpp").empty());
+}
+
+TEST(LintRules, RawStringKeepsLineNumbersAligned)
+{
+    // A real finding AFTER a multi-line raw string must report its
+    // true line: the blanked raw-string newlines still count.
+    const std::string text = "const char *s = R\"x(\n"
+                             "  % q\n"
+                             "  new int;\n"
+                             ")x\";\n"
+                             "int *p = new int;\n";
+    const auto fs = scan_source("raw_lines.cpp", text, nullptr);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, rule::naked_new);
+    EXPECT_EQ(fs[0].line, 5);
+}
+
 TEST(LintRules, AllRulesAreCoveredByFixtures)
 {
     // Every registered rule fires on at least one bad fixture above.
@@ -174,7 +270,9 @@ TEST(LintRules, AllRulesAreCoveredByFixtures)
     for (const char *f :
          {"bad_raw_mod.cpp", "bad_float_on_limb.cpp", "bad_static.cpp",
           "bad_rng.cpp", "bad_naked_new.cpp", "bad_header.h",
-          "bad_obs_span_leak.cpp"})
+          "bad_obs_span_leak.cpp", "bad_unannotated_mutex.cpp",
+          "bad_lock_discipline.cpp", "bad_unordered_output.cpp",
+          "bad_shared_counter.cpp"})
         for (const std::string &r : rules_of(scan_fixture(f)))
             seen.push_back(r);
     for (const std::string &r : all_rules())
